@@ -1,0 +1,41 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race fuzz bench experiments examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/ ./internal/sched/ ./internal/gpusim/ ./internal/graph/ ./internal/scan/
+
+# Short fuzzing pass over every fuzz target.
+fuzz:
+	$(GO) test -fuzz FuzzKernelsAgree -fuzztime 30s ./internal/intersect/
+	$(GO) test -fuzz FuzzReadEdgeList -fuzztime 30s ./internal/graph/
+	$(GO) test -fuzz FuzzReadBinary -fuzztime 30s ./internal/graph/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's tables and figures (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/experiments -experiment all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/clustering
+	$(GO) run ./examples/recommend
+	$(GO) run ./examples/triangles
+	$(GO) run ./examples/processors
+	$(GO) run ./examples/online
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,46 @@
+package cncount
+
+import (
+	"cncount/internal/analytics"
+)
+
+// StructuralSimilarity returns the SCAN structural similarity
+// σ(u,v) = |Γ(u)∩Γ(v)| / √(|Γ(u)|·|Γ(v)|) of every edge, indexed by edge
+// offset like the count array.
+func StructuralSimilarity(g *Graph, counts []uint32) ([]float64, error) {
+	return analytics.StructuralSimilarity(g, counts)
+}
+
+// Jaccard returns the per-edge Jaccard similarity |N(u)∩N(v)|/|N(u)∪N(v)|.
+func Jaccard(g *Graph, counts []uint32) ([]float64, error) {
+	return analytics.Jaccard(g, counts)
+}
+
+// Triangles returns the graph's exact triangle count, Σcnt/6.
+func Triangles(counts []uint32) uint64 { return analytics.Triangles(counts) }
+
+// ClusteringCoefficients returns each vertex's local clustering
+// coefficient derived from the counts.
+func ClusteringCoefficients(g *Graph, counts []uint32) ([]float64, error) {
+	return analytics.ClusteringCoefficients(g, counts)
+}
+
+// Clustering is a structural graph clustering result.
+type Clustering = analytics.Clustering
+
+// Cluster performs SCAN-style structural clustering: edges with structural
+// similarity ≥ eps connect vertices; vertices with ≥ mu such neighbors
+// (counting themselves) are cores; clusters are core-connected components
+// with attached borders.
+func Cluster(g *Graph, counts []uint32, eps float64, mu int) (*Clustering, error) {
+	return analytics.Cluster(g, counts, eps, mu)
+}
+
+// Recommendation is one entry of a ranked neighbor list.
+type Recommendation = analytics.Recommendation
+
+// TopKNeighbors ranks u's neighbors by common-neighbor strength, the
+// co-purchasing recommendation primitive of the paper's introduction.
+func TopKNeighbors(g *Graph, counts []uint32, u VertexID, k int) ([]Recommendation, error) {
+	return analytics.TopKNeighbors(g, counts, u, k)
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"cncount"
+)
+
+func TestParseAlgo(t *testing.T) {
+	cases := map[string]cncount.Algorithm{
+		"m": cncount.AlgoM, "merge": cncount.AlgoM,
+		"mps": cncount.AlgoMPS, "MPS": cncount.AlgoMPS,
+		"bmp":   cncount.AlgoBMP,
+		"bmprf": cncount.AlgoBMPRF, "bmp-rf": cncount.AlgoBMPRF, "rf": cncount.AlgoBMPRF,
+	}
+	for in, want := range cases {
+		got, err := parseAlgo(in)
+		if err != nil {
+			t.Errorf("parseAlgo(%q): %v", in, err)
+		}
+		if got != want {
+			t.Errorf("parseAlgo(%q) = %v, want %v", in, got, want)
+		}
+	}
+	if _, err := parseAlgo("quantum"); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestParseProcessor(t *testing.T) {
+	cases := map[string]cncount.Processor{
+		"cpu": cncount.ProcCPU, "KNL": cncount.ProcKNL, "gpu": cncount.ProcGPU,
+	}
+	for in, want := range cases {
+		got, err := parseProcessor(in)
+		if err != nil {
+			t.Errorf("parseProcessor(%q): %v", in, err)
+		}
+		if got != want {
+			t.Errorf("parseProcessor(%q) = %v, want %v", in, got, want)
+		}
+	}
+	if _, err := parseProcessor("tpu"); err == nil {
+		t.Error("unknown processor accepted")
+	}
+}
+
+func TestLoadOrGenerate(t *testing.T) {
+	if _, _, err := loadOrGenerate("x.txt", "TW", 1); err == nil {
+		t.Error("both -graph and -profile accepted")
+	}
+	g, name, err := loadOrGenerate("", "LJ", 0.05)
+	if err != nil {
+		t.Fatalf("profile generation: %v", err)
+	}
+	if name != "LJ" || g.NumEdges() == 0 {
+		t.Errorf("generated %q with %d edges", name, g.NumEdges())
+	}
+
+	path := filepath.Join(t.TempDir(), "g.bin")
+	if err := cncount.SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, name2, err := loadOrGenerate(path, "", 1)
+	if err != nil {
+		t.Fatalf("file load: %v", err)
+	}
+	if name2 != path || g2.NumEdges() != g.NumEdges() {
+		t.Error("file round trip mismatch")
+	}
+}

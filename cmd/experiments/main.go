@@ -1,0 +1,79 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic dataset profiles and simulated processors.
+//
+// Usage:
+//
+//	experiments -experiment all            # everything, in paper order
+//	experiments -experiment fig10          # one table or figure
+//	experiments -experiment all -out EXPERIMENTS.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"cncount/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		id    = flag.String("experiment", "all", "experiment id (table1..table7, fig3..fig10) or 'all'")
+		scale = flag.Float64("scale", 1.0, "dataset profile scale")
+		out   = flag.String("out", "", "write output to this file instead of stdout")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	ctx := experiments.NewContext()
+	ctx.Scale = *scale
+	ctx.CapacityScale = 0.001 * *scale
+
+	run := func(e experiments.Experiment) {
+		start := time.Now()
+		text, err := e.Run(ctx)
+		if err != nil {
+			log.Fatalf("%s: %v", e.ID, err)
+		}
+		fmt.Fprintf(w, "## %s\n\n```\n%s```\n\n", e.Title, text)
+		log.Printf("%s done in %v", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if strings.EqualFold(*id, "all") {
+		fmt.Fprintf(w, "# Experiment results (profile scale %g, capacity scale %g)\n\n",
+			ctx.Scale, ctx.CapacityScale)
+		for _, e := range experiments.All {
+			run(e)
+		}
+		return
+	}
+	e, err := experiments.ByID(*id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run(e)
+}

@@ -1,0 +1,246 @@
+// Package cncount computes the common neighbor count |N(u) ∩ N(v)| for
+// every edge (u,v) of an undirected graph — the all-edge common neighbor
+// counting operation of Che et al., "Accelerating All-Edge Common Neighbor
+// Counting on Three Processors" (ICPP 2019) — together with the downstream
+// analytics that consume the counts (structural clustering, similarity
+// queries, triangle counting, recommendation).
+//
+// Two algorithm families are provided, as in the paper:
+//
+//   - MPS, a merge-based algorithm combining a vectorizable block-wise
+//     merge with a pivot-skip (galloping) merge for degree-skewed pairs;
+//   - BMP, a bitmap-index algorithm that dynamically builds a bitmap over
+//     N(u) and probes it for each neighbor list, optionally through a small
+//     range-filter bitmap (RF) sized to stay cache-resident.
+//
+// Counting runs in parallel on the host with the paper's dynamic
+// task-scheduling skeleton. The sub-packages internal/archsim and
+// internal/gpusim additionally model the paper's three processors (Xeon
+// CPU, Knights Landing, TITAN Xp GPU) to regenerate its evaluation; see
+// the Simulate* functions.
+//
+// # Quick start
+//
+//	g, _ := cncount.GenerateProfile("TW", 0.1)
+//	res, _ := cncount.Count(g, cncount.Options{Algorithm: cncount.AlgoBMP, Reorder: true})
+//	fmt.Println("triangles:", res.TriangleCount())
+package cncount
+
+import (
+	"fmt"
+
+	"cncount/internal/core"
+	"cncount/internal/gen"
+	"cncount/internal/graph"
+)
+
+// Graph is an undirected graph in CSR form. Both directions of every edge
+// are stored and adjacency lists are sorted ascending; see
+// (*Graph).Neighbors and (*Graph).EdgeOffset.
+type Graph = graph.CSR
+
+// Edge is one undirected edge of an edge list.
+type Edge = graph.Edge
+
+// VertexID identifies a vertex; IDs are dense in [0, NumVertices).
+type VertexID = graph.VertexID
+
+// Stats summarizes a graph (vertex/edge counts, average and maximum
+// degree).
+type Stats = graph.Stats
+
+// Reordering records a vertex relabeling; see ReorderByDegree.
+type Reordering = graph.Reordering
+
+func reorderByDegree(g *Graph) (*Graph, *Reordering) { return graph.ReorderByDegree(g) }
+
+// MapCounts translates a count array computed on a reordered graph back to
+// the original graph's edge offsets.
+func MapCounts(original, reordered *Graph, r *Reordering, counts []uint32) []uint32 {
+	return graph.MapCounts(original, reordered, r, counts)
+}
+
+// NewGraph builds a Graph from an undirected edge list. Self-loops are
+// dropped and duplicate edges merged.
+func NewGraph(numVertices int, edges []Edge) (*Graph, error) {
+	return graph.FromEdges(numVertices, edges)
+}
+
+// NewGraphParallel is NewGraph with the construction phases parallelized
+// across workers (< 1 = all cores); prefer it for very large edge lists.
+func NewGraphParallel(numVertices int, edges []Edge, workers int) (*Graph, error) {
+	return graph.FromEdgesParallel(numVertices, edges, workers)
+}
+
+// ConnectedComponents labels each vertex with its connected component and
+// returns the component count.
+func ConnectedComponents(g *Graph) (compOf []int32, numComponents int) {
+	return graph.ConnectedComponents(g)
+}
+
+// LargestComponent extracts the induced subgraph of the largest connected
+// component, returning it with the new→old vertex mapping.
+func LargestComponent(g *Graph) (*Graph, []VertexID, error) {
+	return graph.LargestComponent(g)
+}
+
+// InducedSubgraph extracts the subgraph induced by the given vertices,
+// renumbered densely, with the new→old vertex mapping.
+func InducedSubgraph(g *Graph, keep []VertexID) (*Graph, []VertexID, error) {
+	return graph.InducedSubgraph(g, keep)
+}
+
+// CoreNumbers returns each vertex's k-core number.
+func CoreNumbers(g *Graph) []int32 { return graph.CoreNumbers(g) }
+
+// ReorderByDegeneracy relabels vertices by descending core number — an
+// alternative preprocessing to ReorderByDegree for the bitmap algorithms,
+// compared in the ordering ablation benchmark.
+func ReorderByDegeneracy(g *Graph) (*Graph, *Reordering) {
+	return graph.ReorderByDegeneracy(g)
+}
+
+// LoadGraph reads a graph from a text edge list, or from the binary CSR
+// format when the path ends in ".bin".
+func LoadGraph(path string) (*Graph, error) { return graph.LoadFile(path) }
+
+// SaveGraph writes a graph in the format implied by the path extension.
+func SaveGraph(path string, g *Graph) error { return graph.SaveFile(path, g) }
+
+// Summarize computes Stats for g.
+func Summarize(name string, g *Graph) Stats { return graph.Summarize(name, g) }
+
+// SkewPercent returns the percentage of the graph's set intersections whose
+// endpoint degree ratio exceeds threshold (the paper's Table 2 statistic;
+// the paper uses threshold 50).
+func SkewPercent(g *Graph, threshold float64) float64 {
+	return graph.SkewPercent(g, threshold)
+}
+
+// GenerateProfile builds a synthetic stand-in for one of the paper's five
+// datasets ("LJ", "OR", "WI", "TW", "FR") at the given scale; scale 1.0 is
+// roughly 1/1000 of the original graph with the paper's average degree and
+// degree-skew percentage preserved. Generation is deterministic.
+func GenerateProfile(name string, scale float64) (*Graph, error) {
+	p, err := gen.ProfileByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return p.Generate(scale)
+}
+
+// ProfileNames lists the dataset profiles in the paper's Table 1 order.
+func ProfileNames() []string {
+	names := make([]string, len(gen.Profiles))
+	for i, p := range gen.Profiles {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// Algorithm selects the counting algorithm.
+type Algorithm = core.Algorithm
+
+// The counting algorithms of the paper: the baseline merge M, the combined
+// merge-with-pivot-skip MPS (Algorithm 1), the dynamic bitmap index BMP
+// (Algorithm 2), and BMP with range filtering.
+const (
+	AlgoM     = core.AlgoM
+	AlgoMPS   = core.AlgoMPS
+	AlgoBMP   = core.AlgoBMP
+	AlgoBMPRF = core.AlgoBMPRF
+)
+
+// Algorithms lists all algorithms in presentation order.
+var Algorithms = core.Algorithms
+
+// Options configures Count. The zero value runs the baseline merge on all
+// cores with the paper's default tuning.
+type Options struct {
+	// Algorithm is the counting algorithm (default AlgoM).
+	Algorithm Algorithm
+
+	// Threads is the worker count; < 1 means all cores, 1 is sequential.
+	Threads int
+
+	// TaskSize is |T|, the edge offsets per dynamically scheduled task;
+	// <= 0 uses the default (2048).
+	TaskSize int
+
+	// SkewThreshold is MPS's degree-skew ratio t; <= 0 uses 50.
+	SkewThreshold float64
+
+	// Lanes is the block-merge lane width (1 scalar, 8 ≈ AVX2,
+	// 16 ≈ AVX-512); <= 0 uses 8.
+	Lanes int
+
+	// RangeScale is the RF bitmap-to-filter size ratio; <= 0 uses 4096.
+	RangeScale int
+
+	// Reorder relabels vertices in degree-descending order before counting
+	// and maps the counts back, giving the bitmap algorithms their
+	// O(min(d_u, d_v)) per-intersection bound. Recommended for AlgoBMP and
+	// AlgoBMPRF.
+	Reorder bool
+
+	// CollectWork gathers abstract operation counts into Result.Work
+	// (slower; used by the processor models).
+	CollectWork bool
+}
+
+// Result is a counting run's outcome.
+type Result = core.Result
+
+// Count computes cnt[e] = |N(u) ∩ N(v)| for every directed edge offset e of
+// g. The count array is symmetric: cnt[e(u,v)] == cnt[e(v,u)].
+func Count(g *Graph, opts Options) (*Result, error) {
+	coreOpts := core.Options{
+		Algorithm:     opts.Algorithm,
+		Threads:       opts.Threads,
+		TaskSize:      opts.TaskSize,
+		SkewThreshold: opts.SkewThreshold,
+		Lanes:         opts.Lanes,
+		RangeScale:    opts.RangeScale,
+		CollectWork:   opts.CollectWork,
+	}
+	if !opts.Reorder {
+		return core.Count(g, coreOpts)
+	}
+	rg, r := graph.ReorderByDegree(g)
+	res, err := core.Count(rg, coreOpts)
+	if err != nil {
+		return nil, err
+	}
+	res.Counts = graph.MapCounts(g, rg, r, res.Counts)
+	return res, nil
+}
+
+// CountEdge computes the common neighbor count of the single edge (u,v),
+// for spot queries. It returns an error when (u,v) is not an edge.
+func CountEdge(g *Graph, u, v VertexID) (uint32, error) {
+	if int(u) >= g.NumVertices() || int(v) >= g.NumVertices() {
+		return 0, fmt.Errorf("cncount: vertex out of range")
+	}
+	if !g.HasEdge(u, v) {
+		return 0, fmt.Errorf("cncount: (%d,%d) is not an edge", u, v)
+	}
+	return countIntersection(g.Neighbors(u), g.Neighbors(v)), nil
+}
+
+func countIntersection(a, b []VertexID) uint32 {
+	var c uint32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c
+}

@@ -1,0 +1,210 @@
+package cncount
+
+import (
+	"path/filepath"
+	"testing"
+
+	"cncount/internal/verify"
+)
+
+func testGraph(t *testing.T) *Graph {
+	t.Helper()
+	g, err := GenerateProfile("LJ", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestCountAllAlgorithms(t *testing.T) {
+	g := testGraph(t)
+	want := verify.Counts(g)
+	for _, algo := range Algorithms {
+		for _, reorder := range []bool{false, true} {
+			res, err := Count(g, Options{Algorithm: algo, Reorder: reorder, Threads: 2})
+			if err != nil {
+				t.Fatalf("%v reorder=%v: %v", algo, reorder, err)
+			}
+			for e := range want {
+				if res.Counts[e] != want[e] {
+					t.Fatalf("%v reorder=%v: cnt[%d] = %d, want %d",
+						algo, reorder, e, res.Counts[e], want[e])
+				}
+			}
+		}
+	}
+}
+
+func TestCountEdge(t *testing.T) {
+	g, err := NewGraph(4, []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := CountEdge(g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 1 {
+		t.Errorf("CountEdge(0,1) = %d, want 1", c)
+	}
+	if _, err := CountEdge(g, 0, 3); err == nil {
+		t.Error("non-edge accepted")
+	}
+	if _, err := CountEdge(g, 0, 99); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+}
+
+func TestGenerateProfileNames(t *testing.T) {
+	names := ProfileNames()
+	if len(names) != 5 {
+		t.Fatalf("ProfileNames = %v", names)
+	}
+	for _, n := range names {
+		g, err := GenerateProfile(n, 0.02)
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if g.NumEdges() == 0 {
+			t.Errorf("%s: empty graph", n)
+		}
+	}
+	if _, err := GenerateProfile("bogus", 1); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := testGraph(t)
+	path := filepath.Join(t.TempDir(), "g.bin")
+	if err := SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() || g2.NumVertices() != g.NumVertices() {
+		t.Error("round trip changed the graph")
+	}
+}
+
+func TestReorderByDegreeFacade(t *testing.T) {
+	g := testGraph(t)
+	rg, r := ReorderByDegree(g)
+	if rg.NumEdges() != g.NumEdges() {
+		t.Error("reordering changed edge count")
+	}
+	res, err := Count(rg, Options{Algorithm: AlgoBMP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped := MapCounts(g, rg, r, res.Counts)
+	if err := verify.CheckCounts(g, mapped); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateAllProcessors(t *testing.T) {
+	g0 := testGraph(t)
+	g, _ := ReorderByDegree(g0)
+	want := verify.Counts(g)
+	for _, proc := range Processors {
+		sim, err := Simulate(g, SimOptions{
+			Processor:    proc,
+			Algorithm:    AlgoBMPRF,
+			CoProcessing: true,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", proc, err)
+		}
+		if sim.Modeled <= 0 {
+			t.Errorf("%v: nonpositive modeled time", proc)
+		}
+		for e := range want {
+			if sim.Counts[e] != want[e] {
+				t.Fatalf("%v: wrong count at %d", proc, e)
+			}
+		}
+		if proc == ProcGPU && sim.GPU == nil {
+			t.Error("GPU simulation missing report")
+		}
+		if proc != ProcGPU && sim.GPU != nil {
+			t.Errorf("%v: unexpected GPU report", proc)
+		}
+	}
+	if _, err := Simulate(g, SimOptions{Processor: Processor(9)}); err == nil {
+		t.Error("unknown processor accepted")
+	}
+}
+
+func TestProcessorString(t *testing.T) {
+	for p, want := range map[Processor]string{ProcCPU: "CPU", ProcKNL: "KNL", ProcGPU: "GPU"} {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q", int(p), p.String())
+		}
+	}
+	if Processor(9).String() == "" {
+		t.Error("unknown processor stringer empty")
+	}
+}
+
+func TestAnalyticsFacade(t *testing.T) {
+	g := testGraph(t)
+	res, err := Count(g, Options{Algorithm: AlgoBMP, Reorder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := StructuralSimilarity(g, res.Counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sim) != len(res.Counts) {
+		t.Error("similarity length mismatch")
+	}
+	jac, err := Jaccard(g, res.Counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range jac {
+		if jac[e] < 0 || jac[e] > 1 {
+			t.Fatalf("jaccard out of range at %d: %g", e, jac[e])
+		}
+	}
+	if got, want := Triangles(res.Counts), res.TriangleCount(); got != want {
+		t.Errorf("Triangles = %d, want %d", got, want)
+	}
+	if _, err := ClusteringCoefficients(g, res.Counts); err != nil {
+		t.Fatal(err)
+	}
+	clu, err := Cluster(g, res.Counts, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clu.ClusterOf) != g.NumVertices() {
+		t.Error("cluster assignment length mismatch")
+	}
+	var u VertexID
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Degree(VertexID(v)) > 0 {
+			u = VertexID(v)
+			break
+		}
+	}
+	if _, err := TopKNeighbors(g, res.Counts, u, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkewPercentFacade(t *testing.T) {
+	g, err := GenerateProfile("WI", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// WI keeps meaningful skew only near full scale, but the statistic must
+	// at least be well-formed here.
+	s := SkewPercent(g, 50)
+	if s < 0 || s > 100 {
+		t.Errorf("SkewPercent = %g", s)
+	}
+}

@@ -1,0 +1,92 @@
+// Cross-processor exploration: model the paper's three processors on one
+// workload and see the headline finding — the CPU favors BMP, the KNL
+// favors MPS, the GPU favors BMP — emerge from measured work and the
+// processor cost models.
+//
+// Run with:
+//
+//	go run ./examples/processors
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cncount"
+)
+
+func main() {
+	// The web-it profile: the most degree-skewed of the paper's datasets.
+	g0, err := cncount.GenerateProfile("WI", 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Degree-descending reordering, as the paper applies before BMP.
+	g, _ := cncount.ReorderByDegree(g0)
+	fmt.Println(cncount.Summarize("web-it-profile", g))
+	fmt.Printf("skewed intersections: %.1f%%\n\n", cncount.SkewPercent(g, 50))
+
+	fmt.Printf("%-10s %14s %14s\n", "processor", "MPS", "BMP-RF")
+	type cell struct {
+		proc cncount.Processor
+		mps  float64
+		bmp  float64
+	}
+	var table []cell
+	for _, proc := range cncount.Processors {
+		row := cell{proc: proc}
+		for _, algo := range []cncount.Algorithm{cncount.AlgoMPS, cncount.AlgoBMPRF} {
+			sim, err := cncount.Simulate(g, cncount.SimOptions{
+				Processor:    proc,
+				Algorithm:    algo,
+				CoProcessing: true,
+				MemMode:      cncount.ModeFlat, // MCDRAM flat mode on the KNL
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if algo == cncount.AlgoMPS {
+				row.mps = sim.Modeled.Seconds()
+			} else {
+				row.bmp = sim.Modeled.Seconds()
+			}
+		}
+		table = append(table, cell{proc, row.mps, row.bmp})
+		fmt.Printf("%-10v %12.2fms %12.2fms\n", proc, row.mps*1e3, row.bmp*1e3)
+	}
+
+	fmt.Println()
+	for _, row := range table {
+		winner := "BMP"
+		if row.mps < row.bmp {
+			winner = "MPS"
+		}
+		fmt.Printf("%v favors %s (%.2fx)\n", row.proc, winner,
+			maxf(row.mps, row.bmp)/minf(row.mps, row.bmp))
+	}
+
+	// The modeled GPU report exposes the paper's tuning surface.
+	sim, err := cncount.Simulate(g, cncount.SimOptions{
+		Processor:    cncount.ProcGPU,
+		Algorithm:    cncount.AlgoBMPRF,
+		CoProcessing: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nGPU detail: %v\n", sim.GPU)
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,70 @@
+// Exact triangle counting from all-edge common neighbor counts, and how it
+// differs from dedicated triangle counting (paper §2.2.2).
+//
+// Summing the per-edge counts and dividing by six yields the exact triangle
+// count: each triangle {u,v,w} contributes 1 to cnt of each of its six
+// directed edges. Unlike N⁺-ordered triangle counting, the all-edge
+// operation keeps a per-edge value — which is what the similarity and
+// clustering applications actually need.
+//
+// Run with:
+//
+//	go run ./examples/triangles
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cncount"
+)
+
+func main() {
+	// A profile of the LiveJournal social network.
+	g, err := cncount.GenerateProfile("LJ", 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(cncount.Summarize("livejournal-profile", g))
+
+	// Count with all four algorithms; every one yields the same triangle
+	// count through the Σcnt/6 identity.
+	var counts []uint32
+	for _, algo := range cncount.Algorithms {
+		res, err := cncount.Count(g, cncount.Options{Algorithm: algo, Reorder: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6v: %8v -> %d triangles\n", algo, res.Elapsed, res.TriangleCount())
+		counts = res.Counts
+	}
+
+	// The per-edge counts support queries a plain triangle counter cannot
+	// answer: the edge embedded in the most triangles...
+	bestE, bestC := -1, uint32(0)
+	for e, c := range counts {
+		if c > bestC {
+			bestE, bestC = e, c
+		}
+	}
+	fmt.Printf("\nmost embedded edge: offset %d with %d triangles through it\n", bestE, bestC)
+
+	// ...and per-vertex triangle participation (local clustering).
+	cc, err := cncount.ClusteringCoefficients(g, counts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	buckets := make([]int, 5)
+	for _, x := range cc {
+		i := int(x * 4.9999)
+		buckets[i]++
+	}
+	fmt.Println("local clustering coefficient distribution:")
+	labels := []string{"[0.0,0.2)", "[0.2,0.4)", "[0.4,0.6)", "[0.6,0.8)", "[0.8,1.0]"}
+	for i, n := range buckets {
+		fmt.Printf("  %s %6d vertices\n", labels[i], n)
+	}
+
+	// Triangle density sanity check against the global count.
+	fmt.Printf("\nglobal triangles via Σcnt/6: %d\n", cncount.Triangles(counts))
+}

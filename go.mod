@@ -1,0 +1,3 @@
+module cncount
+
+go 1.22

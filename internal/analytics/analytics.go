@@ -1,0 +1,270 @@
+// Package analytics implements the downstream graph analytics the paper
+// cites as consumers of all-edge common neighbor counts (§1): structural
+// similarity and SCAN-style structural graph clustering [8, 9, 27], edge
+// similarity queries (cosine and Jaccard), exact triangle counting, and
+// common-neighbor-strength recommendation for co-purchasing graphs.
+//
+// Every function consumes a count array indexed by edge offset, as produced
+// by the counting engine, so the expensive intersection work is done once
+// and reused across analyses — the usage pattern that makes the counting
+// operation worth accelerating.
+package analytics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cncount/internal/graph"
+)
+
+// StructuralSimilarity returns the SCAN structural similarity of every
+// edge: σ(u,v) = |Γ(u) ∩ Γ(v)| / √(|Γ(u)|·|Γ(v)|) with the closed
+// neighborhoods Γ(x) = N(x) ∪ {x}, so for adjacent u,v the numerator is
+// cnt[e(u,v)] + 2. The result is indexed by edge offset like counts.
+func StructuralSimilarity(g *graph.CSR, counts []uint32) ([]float64, error) {
+	if int64(len(counts)) != g.NumEdges() {
+		return nil, fmt.Errorf("analytics: %d counts for %d edges", len(counts), g.NumEdges())
+	}
+	sim := make([]float64, len(counts))
+	n := g.NumVertices()
+	for u := 0; u < n; u++ {
+		du := float64(g.Degree(graph.VertexID(u))) + 1
+		for e := g.Off[u]; e < g.Off[u+1]; e++ {
+			v := g.Dst[e]
+			dv := float64(g.Degree(v)) + 1
+			sim[e] = (float64(counts[e]) + 2) / math.Sqrt(du*dv)
+		}
+	}
+	return sim, nil
+}
+
+// Jaccard returns the Jaccard similarity |N(u)∩N(v)| / |N(u)∪N(v)| of every
+// edge, indexed by edge offset.
+func Jaccard(g *graph.CSR, counts []uint32) ([]float64, error) {
+	if int64(len(counts)) != g.NumEdges() {
+		return nil, fmt.Errorf("analytics: %d counts for %d edges", len(counts), g.NumEdges())
+	}
+	sim := make([]float64, len(counts))
+	n := g.NumVertices()
+	for u := 0; u < n; u++ {
+		du := g.Degree(graph.VertexID(u))
+		for e := g.Off[u]; e < g.Off[u+1]; e++ {
+			union := du + g.Degree(g.Dst[e]) - int64(counts[e])
+			if union > 0 {
+				sim[e] = float64(counts[e]) / float64(union)
+			}
+		}
+	}
+	return sim, nil
+}
+
+// Triangles returns the exact triangle count Σcnt/6 (paper §2.2.2).
+func Triangles(counts []uint32) uint64 {
+	var sum uint64
+	for _, c := range counts {
+		sum += uint64(c)
+	}
+	return sum / 6
+}
+
+// ClusteringCoefficients returns each vertex's local clustering coefficient
+// 2·tri(u) / (d_u·(d_u−1)), where tri(u) = Σ_{v∈N(u)} cnt[e(u,v)] / 2.
+func ClusteringCoefficients(g *graph.CSR, counts []uint32) ([]float64, error) {
+	if int64(len(counts)) != g.NumEdges() {
+		return nil, fmt.Errorf("analytics: %d counts for %d edges", len(counts), g.NumEdges())
+	}
+	n := g.NumVertices()
+	cc := make([]float64, n)
+	for u := 0; u < n; u++ {
+		d := g.Degree(graph.VertexID(u))
+		if d < 2 {
+			continue
+		}
+		var twiceTri uint64
+		for e := g.Off[u]; e < g.Off[u+1]; e++ {
+			twiceTri += uint64(counts[e])
+		}
+		// twiceTri = 2·tri(u): each triangle through u is counted once via
+		// each of its two edges at u.
+		cc[u] = float64(twiceTri) / float64(d*(d-1))
+	}
+	return cc, nil
+}
+
+// Clustering is the result of Cluster: a cluster ID per vertex (-1 for
+// unclustered vertices), plus SCAN's classification of the unclustered
+// remainder into hubs (bridging two or more clusters) and outliers.
+type Clustering struct {
+	// ClusterOf maps vertex → cluster ID, or -1.
+	ClusterOf []int
+	// NumClusters is the number of distinct clusters.
+	NumClusters int
+	// Cores flags the core vertices (≥ mu neighbors at similarity ≥ eps).
+	Cores []bool
+	// Hubs flags unclustered vertices adjacent to two or more different
+	// clusters (SCAN's hub classification [27]).
+	Hubs []bool
+	// Outliers flags the remaining unclustered vertices.
+	Outliers []bool
+}
+
+// Cluster performs SCAN-style structural graph clustering [27] driven by
+// the precomputed counts: an edge is an ε-edge when its structural
+// similarity is at least eps; a vertex is a core when it has at least mu
+// ε-neighbors (counting itself); clusters are formed by connecting cores
+// through ε-edges and attaching each border vertex to a neighboring core's
+// cluster.
+func Cluster(g *graph.CSR, counts []uint32, eps float64, mu int) (*Clustering, error) {
+	sim, err := StructuralSimilarity(g, counts)
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+	cores := make([]bool, n)
+	for u := 0; u < n; u++ {
+		epsNbrs := 1 // Γ(u) includes u itself
+		for e := g.Off[u]; e < g.Off[u+1]; e++ {
+			if sim[e] >= eps {
+				epsNbrs++
+			}
+		}
+		cores[u] = epsNbrs >= mu
+	}
+
+	// Union cores across ε-edges.
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for u := 0; u < n; u++ {
+		if !cores[u] {
+			continue
+		}
+		for e := g.Off[u]; e < g.Off[u+1]; e++ {
+			v := g.Dst[e]
+			if cores[v] && sim[e] >= eps {
+				union(int32(u), int32(v))
+			}
+		}
+	}
+
+	// Number the core components, then attach borders.
+	clusterOf := make([]int, n)
+	for i := range clusterOf {
+		clusterOf[i] = -1
+	}
+	next := 0
+	rootCluster := make(map[int32]int)
+	for u := 0; u < n; u++ {
+		if !cores[u] {
+			continue
+		}
+		r := find(int32(u))
+		id, ok := rootCluster[r]
+		if !ok {
+			id = next
+			next++
+			rootCluster[r] = id
+		}
+		clusterOf[u] = id
+	}
+	for u := 0; u < n; u++ {
+		if cores[u] || clusterOf[u] != -1 {
+			continue
+		}
+		for e := g.Off[u]; e < g.Off[u+1]; e++ {
+			v := g.Dst[e]
+			if cores[v] && sim[e] >= eps {
+				clusterOf[u] = clusterOf[v]
+				break
+			}
+		}
+	}
+
+	// Classify the still-unclustered vertices: hubs bridge two or more
+	// clusters, the rest are outliers (SCAN's final step).
+	hubs := make([]bool, n)
+	outliers := make([]bool, n)
+	for u := 0; u < n; u++ {
+		if clusterOf[u] != -1 {
+			continue
+		}
+		first := -1
+		for e := g.Off[u]; e < g.Off[u+1]; e++ {
+			if c := clusterOf[g.Dst[e]]; c != -1 {
+				if first == -1 {
+					first = c
+				} else if c != first {
+					hubs[u] = true
+					break
+				}
+			}
+		}
+		if !hubs[u] {
+			outliers[u] = true
+		}
+	}
+	return &Clustering{
+		ClusterOf:   clusterOf,
+		NumClusters: next,
+		Cores:       cores,
+		Hubs:        hubs,
+		Outliers:    outliers,
+	}, nil
+}
+
+// Recommendation is one ranked edge of a recommendation list.
+type Recommendation struct {
+	Neighbor graph.VertexID
+	Count    uint32
+	Score    float64 // Jaccard-normalized strength
+}
+
+// TopKNeighbors ranks u's neighbors by common-neighbor strength — the
+// co-purchasing recommendation primitive from the paper's introduction
+// ("recommend products of potential interest to the user while the user is
+// shopping"). Ties break toward smaller vertex IDs for determinism.
+func TopKNeighbors(g *graph.CSR, counts []uint32, u graph.VertexID, k int) ([]Recommendation, error) {
+	if int64(len(counts)) != g.NumEdges() {
+		return nil, fmt.Errorf("analytics: %d counts for %d edges", len(counts), g.NumEdges())
+	}
+	if int(u) >= g.NumVertices() {
+		return nil, fmt.Errorf("analytics: vertex %d out of range |V|=%d", u, g.NumVertices())
+	}
+	du := g.Degree(u)
+	recs := make([]Recommendation, 0, du)
+	for e := g.Off[u]; e < g.Off[u+1]; e++ {
+		v := g.Dst[e]
+		union := du + g.Degree(v) - int64(counts[e])
+		score := 0.0
+		if union > 0 {
+			score = float64(counts[e]) / float64(union)
+		}
+		recs = append(recs, Recommendation{Neighbor: v, Count: counts[e], Score: score})
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Count != recs[j].Count {
+			return recs[i].Count > recs[j].Count
+		}
+		return recs[i].Neighbor < recs[j].Neighbor
+	})
+	if k >= 0 && k < len(recs) {
+		recs = recs[:k]
+	}
+	return recs, nil
+}

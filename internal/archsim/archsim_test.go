@@ -1,0 +1,277 @@
+package archsim
+
+import (
+	"testing"
+
+	"cncount/internal/core"
+	"cncount/internal/gen"
+	"cncount/internal/graph"
+	"cncount/internal/stats"
+	"cncount/internal/verify"
+)
+
+func TestEffectiveParallelism(t *testing.T) {
+	if got := CPU.EffectiveParallelism(1); got != 1 {
+		t.Errorf("1 thread = %g core-equivalents", got)
+	}
+	if got := CPU.EffectiveParallelism(28); got != 28 {
+		t.Errorf("28 threads = %g", got)
+	}
+	// SMT threads add partial yield.
+	got := CPU.EffectiveParallelism(56)
+	if got <= 28 || got >= 56 {
+		t.Errorf("56 threads = %g, want in (28, 56)", got)
+	}
+	// Oversubscription beyond hardware threads adds nothing.
+	if CPU.EffectiveParallelism(1000) != CPU.EffectiveParallelism(56) {
+		t.Error("oversubscription increased parallelism")
+	}
+	if CPU.EffectiveParallelism(0) != 1 {
+		t.Error("zero threads should clamp to 1")
+	}
+}
+
+func TestBandwidthSaturation(t *testing.T) {
+	// One thread draws its per-thread share; many threads saturate the
+	// channel.
+	one := CPU.Bandwidth(ModeDDR, 1)
+	if one != CPU.PerThreadBW*1e9 {
+		t.Errorf("single-thread bandwidth = %g", one)
+	}
+	many := CPU.Bandwidth(ModeDDR, 1000)
+	if many != CPU.DDRBandwidth*1e9 {
+		t.Errorf("saturated bandwidth = %g, want channel %g", many, CPU.DDRBandwidth*1e9)
+	}
+	// KNL flat mode unlocks MCDRAM bandwidth; cache mode pays a tax; DDR
+	// mode is narrowest.
+	ddr := KNL.Bandwidth(ModeDDR, 256)
+	cache := KNL.Bandwidth(ModeCache, 256)
+	flat := KNL.Bandwidth(ModeFlat, 256)
+	if !(ddr < cache && cache < flat) {
+		t.Errorf("KNL bandwidth ordering ddr=%g cache=%g flat=%g", ddr, cache, flat)
+	}
+	// The CPU has no HBM: modes are equivalent.
+	if CPU.Bandwidth(ModeFlat, 64) != CPU.Bandwidth(ModeDDR, 64) {
+		t.Error("CPU flat mode changed bandwidth despite no HBM")
+	}
+}
+
+func TestMemLatency(t *testing.T) {
+	if KNL.MemLatencyNs(ModeFlat) != KNL.HBMLatencyNs {
+		t.Error("flat mode should use HBM latency")
+	}
+	if KNL.MemLatencyNs(ModeCache) <= KNL.HBMLatencyNs {
+		t.Error("cache mode should pay a latency tax over flat")
+	}
+	if CPU.MemLatencyNs(ModeFlat) != CPU.DDRLatencyNs {
+		t.Error("CPU should ignore memory modes")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for m, want := range map[MemoryMode]string{ModeDDR: "DDR", ModeFlat: "Flat", ModeCache: "Cache"} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q", int(m), m.String())
+		}
+	}
+	if MemoryMode(9).String() != "Mode?" {
+		t.Error("unknown mode stringer")
+	}
+}
+
+func TestScaledCapacity(t *testing.T) {
+	s := CPU.ScaledCapacity(0.001)
+	if s.CacheBytes != CPU.CacheBytes/1000 {
+		t.Errorf("scaled cache = %d", s.CacheBytes)
+	}
+	if s.DDRBandwidth != CPU.DDRBandwidth {
+		t.Error("bandwidth must not scale")
+	}
+	if CPU.ScaledCapacity(0).CacheBytes != CPU.CacheBytes {
+		t.Error("scale 0 must be identity")
+	}
+	tiny := CPU.ScaledCapacity(1e-12)
+	if tiny.CacheBytes < 1 {
+		t.Error("scaled cache must stay positive")
+	}
+}
+
+func TestEstimateMonotonicity(t *testing.T) {
+	w := stats.Work{
+		Comparisons:    1e9,
+		BytesStreamed:  4e9,
+		RandomAccesses: 1e8,
+	}
+	// More threads never slow the compute-bound portion below 1 thread.
+	t1 := Estimate(w, CPU, RunConfig{Threads: 1, Lanes: 1}).Total
+	t28 := Estimate(w, CPU, RunConfig{Threads: 28, Lanes: 1}).Total
+	if t28 >= t1 {
+		t.Errorf("28 threads (%v) not faster than 1 (%v)", t28, t1)
+	}
+	// More work costs more time.
+	w2 := w
+	w2.Comparisons *= 10
+	if Estimate(w2, CPU, RunConfig{Threads: 1, Lanes: 1}).Total <= t1 {
+		t.Error("10x work not slower")
+	}
+	// Zero work costs zero.
+	if Estimate(stats.Work{}, CPU, RunConfig{Threads: 1, Lanes: 1}).Total != 0 {
+		t.Error("zero work has nonzero time")
+	}
+}
+
+func TestEstimateVectorization(t *testing.T) {
+	// The same element volume as blocks vs scalar comparisons must model
+	// faster, and wider lanes faster still — Figure 4's premise.
+	elems := uint64(1e9)
+	scalar := Estimate(stats.Work{Comparisons: elems}, CPU, RunConfig{Threads: 1, Lanes: 1}).Total
+	avx2 := Estimate(stats.Work{VectorBlocks: elems / 8}, CPU, RunConfig{Threads: 1, Lanes: 8}).Total
+	avx512 := Estimate(stats.Work{VectorBlocks: elems / 16}, CPU, RunConfig{Threads: 1, Lanes: 16}).Total
+	if !(avx512 < avx2 && avx2 < scalar) {
+		t.Errorf("vector ordering scalar=%v avx2=%v avx512=%v", scalar, avx2, avx512)
+	}
+	ratio := float64(scalar) / float64(avx2)
+	if ratio < 1.5 || ratio > 3 {
+		t.Errorf("AVX2 speedup %g outside the paper's ballpark [1.5, 3]", ratio)
+	}
+}
+
+func TestEstimateLatencyWorkingSet(t *testing.T) {
+	// Random accesses against a cache-resident working set must be cheaper
+	// than against one that spills to DRAM.
+	w := stats.Work{RandomAccesses: 1e8}
+	small := Estimate(w, CPU, RunConfig{Threads: 1, RandomWorkingSetBytes: 1 << 10}).Total
+	big := Estimate(w, CPU, RunConfig{Threads: 1, RandomWorkingSetBytes: 100 * CPU.CacheBytes}).Total
+	if big <= small {
+		t.Errorf("DRAM-resident probes (%v) not slower than cached (%v)", big, small)
+	}
+}
+
+func TestEstimateMemoryModes(t *testing.T) {
+	// A bandwidth-bound workload must benefit from MCDRAM flat mode and
+	// slightly less from cache mode.
+	w := stats.Work{BytesStreamed: 100e9}
+	ddr := Estimate(w, KNL, RunConfig{Threads: 256, MemMode: ModeDDR}).Total
+	cache := Estimate(w, KNL, RunConfig{Threads: 256, MemMode: ModeCache}).Total
+	flat := Estimate(w, KNL, RunConfig{Threads: 256, MemMode: ModeFlat}).Total
+	if !(flat < cache && cache < ddr) {
+		t.Errorf("mode ordering flat=%v cache=%v ddr=%v", flat, cache, ddr)
+	}
+}
+
+func TestModelRunMatchesHost(t *testing.T) {
+	p, err := gen.ProfileByName("LJ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g0, err := p.Generate(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := graph.ReorderByDegree(g0)
+	for _, algo := range core.Algorithms {
+		res, bd, err := ModelRun(g, core.Options{Algorithm: algo, RangeScale: 64},
+			CPU, RunConfig{Threads: 28, Lanes: 8})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if err := verify.CheckCounts(g, res.Counts); err != nil {
+			t.Fatalf("%v: modeled run corrupted counts: %v", algo, err)
+		}
+		if bd.Total <= 0 {
+			t.Errorf("%v: nonpositive modeled time %v", algo, bd.Total)
+		}
+		if bd.Total < bd.Latency {
+			t.Errorf("%v: total %v below latency term %v", algo, bd.Total, bd.Latency)
+		}
+	}
+}
+
+func TestModelRunInvalidOptions(t *testing.T) {
+	g, err := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ModelRun(g, core.Options{Algorithm: core.Algorithm(77)}, CPU, RunConfig{Threads: 1}); err == nil {
+		t.Error("invalid algorithm accepted")
+	}
+}
+
+func TestWorkingSetByAlgorithm(t *testing.T) {
+	g, err := graph.FromEdges(1000, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Merge algorithms: cache-resident gallop targets.
+	if ws := WorkingSet(g, core.Options{Algorithm: core.AlgoMPS}, RunConfig{Threads: 8}, nil); ws != 0 {
+		t.Errorf("MPS working set = %d, want 0", ws)
+	}
+	// BMP: one bitmap per modeled thread.
+	ws1 := WorkingSet(g, core.Options{Algorithm: core.AlgoBMP}, RunConfig{Threads: 1}, nil)
+	ws8 := WorkingSet(g, core.Options{Algorithm: core.AlgoBMP}, RunConfig{Threads: 8}, nil)
+	if ws8 != 8*ws1 || ws1 <= 0 {
+		t.Errorf("BMP working sets: 1t=%d 8t=%d", ws1, ws8)
+	}
+	// RF: the hot fraction shrinks with the measured skip rate.
+	res := &core.Result{}
+	res.Work.FilterTests = 100
+	res.Work.FilterSkips = 90
+	wsRF := WorkingSet(g, core.Options{Algorithm: core.AlgoBMPRF, RangeScale: 64}, RunConfig{Threads: 8}, res)
+	if wsRF >= ws8 {
+		t.Errorf("RF working set %d not below BMP %d", wsRF, ws8)
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	bd := Estimate(stats.Work{Comparisons: 1000}, CPU, RunConfig{Threads: 1})
+	if bd.String() == "" {
+		t.Error("empty breakdown string")
+	}
+}
+
+// TestPaperShapeKNLFavorsMPS is the headline finding check: on a
+// Twitter-profile graph, the modeled KNL prefers MPS while the modeled CPU
+// prefers a bitmap algorithm (paper §5.3, Figure 10).
+func TestPaperShapeKNLFavorsMPS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profile generation is slow")
+	}
+	p, err := gen.ProfileByName("TW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g0, err := p.Generate(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := graph.ReorderByDegree(g0)
+	const capScale = 0.001
+	cpu := CPU.ScaledCapacity(capScale)
+	knl := KNL.ScaledCapacity(capScale)
+
+	model := func(algo core.Algorithm, spec Spec, threads, lanes int, mode MemoryMode) float64 {
+		_, bd, err := ModelRun(g, core.Options{Algorithm: algo, RangeScale: 64},
+			spec, RunConfig{Threads: threads, Lanes: lanes, MemMode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bd.Total.Seconds()
+	}
+	cpuMPS := model(core.AlgoMPS, cpu, 64, 8, ModeDDR)
+	cpuBMP := model(core.AlgoBMP, cpu, 64, 8, ModeDDR)
+	cpuRF := model(core.AlgoBMPRF, cpu, 64, 8, ModeDDR)
+	knlMPS := model(core.AlgoMPS, knl, 256, 16, ModeFlat)
+	knlBMP := model(core.AlgoBMP, knl, 64, 16, ModeFlat)
+	knlRF := model(core.AlgoBMPRF, knl, 64, 16, ModeFlat)
+
+	bestCPUBitmap := min(cpuBMP, cpuRF)
+	if bestCPUBitmap >= cpuMPS {
+		t.Errorf("CPU should favor a bitmap algorithm: BMP=%.4fs RF=%.4fs MPS=%.4fs",
+			cpuBMP, cpuRF, cpuMPS)
+	}
+	bestKNLBitmap := min(knlBMP, knlRF)
+	if knlMPS >= bestKNLBitmap {
+		t.Errorf("KNL should favor MPS: MPS=%.4fs BMP=%.4fs RF=%.4fs",
+			knlMPS, knlBMP, knlRF)
+	}
+}

@@ -1,0 +1,225 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitmapSetTestClear(t *testing.T) {
+	b := New(1000)
+	if b.Cardinality() != 1000 {
+		t.Errorf("Cardinality = %d", b.Cardinality())
+	}
+	for _, v := range []uint32{0, 1, 63, 64, 65, 999} {
+		if b.Test(v) {
+			t.Errorf("fresh bitmap has bit %d set", v)
+		}
+		b.Set(v)
+		if !b.Test(v) {
+			t.Errorf("bit %d not set after Set", v)
+		}
+		b.Clear(v)
+		if b.Test(v) {
+			t.Errorf("bit %d set after Clear", v)
+		}
+	}
+}
+
+func TestBitmapListRoundTrip(t *testing.T) {
+	b := New(512)
+	vs := []uint32{3, 64, 65, 100, 511}
+	b.SetList(vs)
+	if b.PopCount() != len(vs) {
+		t.Errorf("PopCount = %d, want %d", b.PopCount(), len(vs))
+	}
+	for _, v := range vs {
+		if !b.Test(v) {
+			t.Errorf("bit %d missing", v)
+		}
+	}
+	b.ClearList(vs)
+	if b.PopCount() != 0 {
+		t.Errorf("PopCount = %d after ClearList, want 0", b.PopCount())
+	}
+}
+
+func TestBitmapPropertyFlipDiscipline(t *testing.T) {
+	// Property: Set(list) then Clear(list) restores an empty bitmap for any
+	// duplicate-free list (the BMP flip-clearing invariant).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := uint32(64 + rng.Intn(2000))
+		b := New(n)
+		seen := make(map[uint32]bool)
+		var vs []uint32
+		for i := 0; i < rng.Intn(200); i++ {
+			v := uint32(rng.Intn(int(n)))
+			if !seen[v] {
+				seen[v] = true
+				vs = append(vs, v)
+			}
+		}
+		b.SetList(vs)
+		if b.PopCount() != len(vs) {
+			return false
+		}
+		b.ClearList(vs)
+		return b.PopCount() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitmapMemoryBytes(t *testing.T) {
+	cases := []struct {
+		n    uint32
+		want int64
+	}{
+		{1, 8}, {64, 8}, {65, 16}, {4096, 512},
+	}
+	for _, c := range cases {
+		if got := New(c.n).MemoryBytes(); got != c.want {
+			t.Errorf("New(%d).MemoryBytes = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestMemoryFootprint(t *testing.T) {
+	bm, f := MemoryFootprint(4096*64, 4096)
+	if bm != 4096*64/8 {
+		t.Errorf("bitmap bytes = %d", bm)
+	}
+	if f != 8 {
+		t.Errorf("filter bytes = %d, want 8 (64 ranges)", f)
+	}
+	// Default scale applies when scale <= 0.
+	bm2, f2 := MemoryFootprint(4096*64, 0)
+	if bm2 != bm || f2 != f {
+		t.Error("default scale not applied")
+	}
+	// The filter is ~scale× smaller — the property that lets it fit in L1.
+	bmBig, fBig := MemoryFootprint(124_836_180, DefaultRangeScale)
+	if fBig*1000 > bmBig {
+		t.Errorf("filter %d not much smaller than bitmap %d", fBig, bmBig)
+	}
+}
+
+func TestRangeFilteredMatchesPlain(t *testing.T) {
+	// Property: RangeFiltered behaves exactly like a plain bitmap under any
+	// interleaving of Set/Clear/Test, for several scales.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := uint32(100 + rng.Intn(5000))
+		scale := []int{1, 3, 64, 500, 4096}[rng.Intn(5)]
+		rf := NewRangeFiltered(n, scale)
+		plain := New(n)
+		for op := 0; op < 300; op++ {
+			v := uint32(rng.Intn(int(n)))
+			switch rng.Intn(3) {
+			case 0:
+				rf.Set(v)
+				plain.Set(v)
+			case 1:
+				rf.Clear(v)
+				plain.Clear(v)
+			default:
+				if rf.Test(v) != plain.Test(v) {
+					return false
+				}
+			}
+		}
+		for v := uint32(0); v < n; v++ {
+			if rf.Test(v) != plain.Test(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRangeFilteredFilterSkips(t *testing.T) {
+	rf := NewRangeFiltered(100000, 4096)
+	rf.Set(5)
+	// A probe far from any set bit must be answered by the filter.
+	hit, filtered := rf.TestCounted(90000)
+	if hit || !filtered {
+		t.Errorf("TestCounted(90000) = (%v, %v), want (false, true)", hit, filtered)
+	}
+	// A probe in the same range as a set bit must consult the big bitmap.
+	hit, filtered = rf.TestCounted(6)
+	if hit || filtered {
+		t.Errorf("TestCounted(6) = (%v, %v), want (false, false)", hit, filtered)
+	}
+	hit, filtered = rf.TestCounted(5)
+	if !hit || filtered {
+		t.Errorf("TestCounted(5) = (%v, %v), want (true, false)", hit, filtered)
+	}
+}
+
+func TestRangeFilteredIdempotentSetClear(t *testing.T) {
+	rf := NewRangeFiltered(1000, 64)
+	rf.Set(10)
+	rf.Set(10) // idempotent: counter must not double-count
+	rf.Clear(10)
+	if rf.Test(10) {
+		t.Error("bit 10 still set")
+	}
+	if rf.Under.PopCount() != 0 {
+		t.Error("underlying bitmap not empty")
+	}
+	rf.Clear(10) // clearing a cleared bit is a no-op
+	rf.Set(11)
+	if !rf.Test(11) {
+		t.Error("range falsely filtered after counter churn")
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New(1000)
+	b.SetList([]uint32{1, 64, 999})
+	b.Reset()
+	if b.PopCount() != 0 {
+		t.Errorf("PopCount after Reset = %d", b.PopCount())
+	}
+	// The bitmap stays usable after Reset.
+	b.Set(5)
+	if !b.Test(5) || b.PopCount() != 1 {
+		t.Error("bitmap unusable after Reset")
+	}
+}
+
+func TestRangeFilteredListOps(t *testing.T) {
+	rf := NewRangeFiltered(2000, 64)
+	vs := []uint32{0, 63, 64, 1999}
+	rf.SetList(vs)
+	for _, v := range vs {
+		if !rf.Test(v) {
+			t.Errorf("bit %d missing after SetList", v)
+		}
+	}
+	rf.ClearList(vs)
+	if rf.Under.PopCount() != 0 {
+		t.Error("ClearList left bits set")
+	}
+	if rf.Test(0) {
+		t.Error("filter still reports a cleared range")
+	}
+}
+
+func TestRangeFilteredScaleAndMemory(t *testing.T) {
+	rf := NewRangeFiltered(1<<20, 0)
+	if rf.Scale() != DefaultRangeScale {
+		t.Errorf("Scale = %d, want default", rf.Scale())
+	}
+	if rf.FilterMemoryBytes() >= rf.Under.MemoryBytes() {
+		t.Error("filter not smaller than underlying bitmap")
+	}
+	if rf.MemoryBytes() <= rf.Under.MemoryBytes() {
+		t.Error("MemoryBytes must include filter and counters")
+	}
+}

@@ -1,0 +1,105 @@
+package bitmap
+
+// RangeFiltered layers a small summary bitmap over a full-cardinality
+// Bitmap, implementing the paper's Bitmap Range Filtering (RF)
+// optimization: one filter bit covers a contiguous range of `scale` vertex
+// IDs and is set iff any bit in that range of the underlying bitmap is set.
+// A probe first peeks at the filter bit; if it is zero the big bitmap —
+// which may be much larger than cache — is never touched.
+//
+// The filter maintains a per-range set-bit counter so ranges can be cleared
+// exactly when their last underlying bit flips back, keeping Set/Clear at
+// amortized O(1) and preserving the flip-back clearing discipline.
+type RangeFiltered struct {
+	Under  *Bitmap
+	filter *Bitmap
+	count  []uint16
+	scale  uint32
+}
+
+// NewRangeFiltered returns an all-zero range-filtered bitmap of cardinality
+// n with one filter bit per scale underlying bits. A scale ≤ 0 uses
+// DefaultRangeScale.
+func NewRangeFiltered(n uint32, scale int) *RangeFiltered {
+	if scale <= 0 {
+		scale = DefaultRangeScale
+	}
+	ranges := (int64(n) + int64(scale) - 1) / int64(scale)
+	return &RangeFiltered{
+		Under:  New(n),
+		filter: New(uint32(ranges)),
+		count:  make([]uint16, ranges),
+		scale:  uint32(scale),
+	}
+}
+
+// Scale returns the number of underlying bits summarized by one filter bit.
+func (rf *RangeFiltered) Scale() int { return int(rf.scale) }
+
+// Set sets v's bit and the covering filter bit.
+func (rf *RangeFiltered) Set(v uint32) {
+	if rf.Under.Test(v) {
+		return
+	}
+	rf.Under.Set(v)
+	r := v / rf.scale
+	if rf.count[r] == 0 {
+		rf.filter.Set(r)
+	}
+	rf.count[r]++
+}
+
+// Clear flips v's bit off, dropping the filter bit when its range empties.
+func (rf *RangeFiltered) Clear(v uint32) {
+	if !rf.Under.Test(v) {
+		return
+	}
+	rf.Under.Clear(v)
+	r := v / rf.scale
+	rf.count[r]--
+	if rf.count[r] == 0 {
+		rf.filter.Clear(r)
+	}
+}
+
+// Test reports whether v's bit is set, consulting the filter first. The
+// boolean pair (hit, filtered) of TestCounted is collapsed here; use
+// TestCounted when instrumenting.
+func (rf *RangeFiltered) Test(v uint32) bool {
+	if !rf.filter.Test(v / rf.scale) {
+		return false
+	}
+	return rf.Under.Test(v)
+}
+
+// TestCounted is Test plus instrumentation: filtered reports that the probe
+// was answered by the small filter alone, never touching the big bitmap.
+func (rf *RangeFiltered) TestCounted(v uint32) (hit, filtered bool) {
+	if !rf.filter.Test(v / rf.scale) {
+		return false, true
+	}
+	return rf.Under.Test(v), false
+}
+
+// SetList sets the bit of every vertex in vs.
+func (rf *RangeFiltered) SetList(vs []uint32) {
+	for _, v := range vs {
+		rf.Set(v)
+	}
+}
+
+// ClearList flips off the bit of every vertex in vs.
+func (rf *RangeFiltered) ClearList(vs []uint32) {
+	for _, v := range vs {
+		rf.Clear(v)
+	}
+}
+
+// FilterMemoryBytes returns the storage of the small filter bitmap alone,
+// the quantity that must fit in L1 cache (CPU/KNL) or shared memory (GPU).
+func (rf *RangeFiltered) FilterMemoryBytes() int64 { return rf.filter.MemoryBytes() }
+
+// MemoryBytes returns total storage: underlying bitmap + filter + counters.
+func (rf *RangeFiltered) MemoryBytes() int64 {
+	return rf.Under.MemoryBytes() + rf.filter.MemoryBytes() + int64(len(rf.count))*2
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"time"
+
+	"cncount/internal/bitmap"
+	"cncount/internal/graph"
+	"cncount/internal/intersect"
+	"cncount/internal/sched"
+	"cncount/internal/stats"
+)
+
+// Result reports one counting run.
+type Result struct {
+	// Counts holds cnt[e] for every directed edge offset e, with
+	// cnt[e(u,v)] == cnt[e(v,u)].
+	Counts []uint32
+
+	// Elapsed is the in-memory processing time, measured as in the paper:
+	// from after graph load to completion of all counts.
+	Elapsed time.Duration
+
+	// Work holds the aggregated abstract operation counts when
+	// Options.CollectWork was set.
+	Work stats.Work
+
+	// Threads is the resolved worker count.
+	Threads int
+}
+
+// TriangleCount returns Σcnt/6, the exact triangle count of the graph
+// (paper §2.2.2).
+func (r *Result) TriangleCount() uint64 {
+	var sum uint64
+	for _, c := range r.Counts {
+		sum += uint64(c)
+	}
+	return sum / 6
+}
+
+// workerCtx is the static thread-local state of one scheduler worker
+// (Algorithm 3): the stashed source vertex inside SrcFinder, and for the
+// bitmap algorithms the thread-local bitmap index with the last-indexed
+// vertex pu.
+type workerCtx struct {
+	finder *graph.SrcFinder
+	bm     *bitmap.Bitmap
+	rf     *bitmap.RangeFiltered
+	pu     int64 // last vertex whose neighbors the bitmap indexes; -1 = none
+	work   stats.Work
+	// pad prevents false sharing between adjacent worker contexts in the
+	// contexts slice when workers write their work tallies.
+	_ [64]byte
+}
+
+// Count computes the all-edge common neighbor counts of g.
+//
+// For the bitmap algorithms the caller should pass a degree-descending
+// reordered graph (graph.ReorderByDegree) to obtain the paper's
+// O(min(d_u,d_v)) per-intersection bound; counting is correct either way.
+func Count(g *graph.CSR, opts Options) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+
+	numEdges := g.NumEdges()
+	counts := make([]uint32, numEdges)
+	contexts := make([]workerCtx, opts.Threads)
+	numV := uint32(g.NumVertices())
+	for i := range contexts {
+		contexts[i].finder = graph.NewSrcFinder(g)
+		contexts[i].pu = -1
+		switch opts.Algorithm {
+		case AlgoBMP:
+			contexts[i].bm = bitmap.New(numV)
+		case AlgoBMPRF:
+			contexts[i].rf = bitmap.NewRangeFiltered(numV, opts.RangeScale)
+		}
+	}
+
+	start := time.Now()
+	body := makeBody(g, counts, contexts, opts)
+	sched.Dynamic(numEdges, opts.TaskSize, opts.Threads, body)
+	elapsed := time.Since(start)
+
+	res := &Result{Counts: counts, Elapsed: elapsed, Threads: opts.Threads}
+	if opts.CollectWork {
+		for i := range contexts {
+			res.Work.Add(contexts[i].work)
+		}
+	}
+	return res, nil
+}
+
+// makeBody builds the per-chunk edge loop of Algorithm 3 for the selected
+// algorithm: recover the source vertex u of each edge offset, compute the
+// count when u < v, and symmetrically assign it to the reverse offset.
+func makeBody(g *graph.CSR, counts []uint32, contexts []workerCtx, opts Options) func(int, int64, int64) {
+	kernel := makeKernel(g, contexts, opts)
+	collect := opts.CollectWork
+	return func(worker int, lo, hi int64) {
+		ctx := &contexts[worker]
+		for e := lo; e < hi; e++ {
+			v := g.Dst[e]
+			u := ctx.finder.Find(e)
+			if u >= v {
+				continue
+			}
+			if collect {
+				// The symmetric assignment writes two count-array entries —
+				// the reverse one at an uncorrelated offset — and performs
+				// a reverse-offset binary search; both are part of the cost
+				// the paper measures.
+				ctx.work.BytesStreamed += 8
+				ctx.work.RandomAccesses++
+				ctx.work.BinarySteps += log2(g.Degree(v))
+			}
+			c := kernel(ctx, u, v)
+			counts[e] = c
+			rev, ok := g.EdgeOffset(v, u)
+			if ok {
+				counts[rev] = c
+			}
+		}
+	}
+}
+
+// makeKernel returns the per-edge ComputeCnt procedure for the algorithm.
+func makeKernel(g *graph.CSR, contexts []workerCtx, opts Options) func(*workerCtx, uint32, uint32) uint32 {
+	switch opts.Algorithm {
+	case AlgoM:
+		if opts.CollectWork {
+			return func(ctx *workerCtx, u, v uint32) uint32 {
+				return intersect.MergeStats(g.Neighbors(u), g.Neighbors(v), &ctx.work)
+			}
+		}
+		return func(_ *workerCtx, u, v uint32) uint32 {
+			return intersect.Merge(g.Neighbors(u), g.Neighbors(v))
+		}
+
+	case AlgoMPS:
+		t, lanes := opts.SkewThreshold, opts.Lanes
+		if opts.CollectWork {
+			return func(ctx *workerCtx, u, v uint32) uint32 {
+				return intersect.MPSStats(g.Neighbors(u), g.Neighbors(v), t, lanes, &ctx.work)
+			}
+		}
+		return func(_ *workerCtx, u, v uint32) uint32 {
+			return intersect.MPS(g.Neighbors(u), g.Neighbors(v), t, lanes)
+		}
+
+	case AlgoBMP:
+		if opts.CollectWork {
+			return func(ctx *workerCtx, u, v uint32) uint32 {
+				refreshBitmap(g, ctx, u, true)
+				return intersect.BitmapStats(ctx.bm, g.Neighbors(v), &ctx.work)
+			}
+		}
+		return func(ctx *workerCtx, u, v uint32) uint32 {
+			refreshBitmap(g, ctx, u, false)
+			return intersect.Bitmap(ctx.bm, g.Neighbors(v))
+		}
+
+	case AlgoBMPRF:
+		if opts.CollectWork {
+			return func(ctx *workerCtx, u, v uint32) uint32 {
+				refreshRF(g, ctx, u, true)
+				return intersect.BitmapRFStats(ctx.rf, g.Neighbors(v), &ctx.work)
+			}
+		}
+		return func(ctx *workerCtx, u, v uint32) uint32 {
+			refreshRF(g, ctx, u, false)
+			return intersect.BitmapRF(ctx.rf, g.Neighbors(v))
+		}
+	}
+	panic("core: unreachable: options validated")
+}
+
+// refreshBitmap implements ComputeCntBMP's thread-local index maintenance
+// (Algorithm 3 lines 19-24): when the processed source vertex changes,
+// flip-clear the previous N(pu) bits and set the N(u) bits.
+func refreshBitmap(g *graph.CSR, ctx *workerCtx, u uint32, collect bool) {
+	if ctx.pu == int64(u) {
+		return
+	}
+	if ctx.pu >= 0 {
+		prev := g.Neighbors(uint32(ctx.pu))
+		ctx.bm.ClearList(prev)
+		if collect {
+			ctx.work.BitmapClears += uint64(len(prev))
+			ctx.work.RandomAccesses += uint64(len(prev))
+		}
+	}
+	nu := g.Neighbors(u)
+	ctx.bm.SetList(nu)
+	if collect {
+		// Construction and clearing stream N(u) once but scatter single-bit
+		// writes across the whole bitmap: random accesses the range filter
+		// cannot avoid.
+		ctx.work.BitmapSets += uint64(len(nu))
+		ctx.work.RandomAccesses += uint64(len(nu))
+		ctx.work.BytesStreamed += uint64(len(nu)) * 4
+	}
+	ctx.pu = int64(u)
+}
+
+// refreshRF is refreshBitmap for the range-filtered index.
+func refreshRF(g *graph.CSR, ctx *workerCtx, u uint32, collect bool) {
+	if ctx.pu == int64(u) {
+		return
+	}
+	if ctx.pu >= 0 {
+		prev := g.Neighbors(uint32(ctx.pu))
+		ctx.rf.ClearList(prev)
+		if collect {
+			// Each range-filtered clear touches the bitmap word AND the
+			// per-range counter: twice the random traffic of a plain
+			// bitmap. Filter maintenance is the price of filtering, which
+			// is why RF's gain saturates (paper Fig 6).
+			ctx.work.BitmapClears += uint64(len(prev))
+			ctx.work.RandomAccesses += 2 * uint64(len(prev))
+		}
+	}
+	nu := g.Neighbors(u)
+	ctx.rf.SetList(nu)
+	if collect {
+		ctx.work.BitmapSets += uint64(len(nu))
+		ctx.work.RandomAccesses += 2 * uint64(len(nu))
+		ctx.work.BytesStreamed += uint64(len(nu)) * 4
+	}
+	ctx.pu = int64(u)
+}
+
+// log2 returns ⌈log2(d)⌉ for d ≥ 1, the binary search step count.
+func log2(d int64) uint64 {
+	var s uint64
+	for d > 1 {
+		d >>= 1
+		s++
+	}
+	return s
+}

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cncount/internal/gen"
+	"cncount/internal/graph"
+	"cncount/internal/verify"
+)
+
+func randomGraph(t testing.TB, seed int64, n, m int) *graph.CSR {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		edges[i] = graph.Edge{U: graph.VertexID(rng.Intn(n)), V: graph.VertexID(rng.Intn(n))}
+	}
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	return g
+}
+
+func TestCountAllAlgorithmsAgainstReference(t *testing.T) {
+	g := randomGraph(t, 1, 200, 1500)
+	for _, algo := range Algorithms {
+		for _, threads := range []int{1, 4} {
+			res, err := Count(g, Options{Algorithm: algo, Threads: threads, TaskSize: 64})
+			if err != nil {
+				t.Fatalf("%v/%d: %v", algo, threads, err)
+			}
+			if err := verify.CheckCounts(g, res.Counts); err != nil {
+				t.Fatalf("%v/%d: %v", algo, threads, err)
+			}
+		}
+	}
+}
+
+func TestCountReorderedGraph(t *testing.T) {
+	// BMP's complexity bound needs the degree-descending ordering; counting
+	// must be correct on both the original and the reordered labeling, and
+	// MapCounts must translate between them.
+	g := randomGraph(t, 2, 150, 1200)
+	rg, r := graph.ReorderByDegree(g)
+	for _, algo := range Algorithms {
+		res, err := Count(rg, Options{Algorithm: algo, Threads: 2, TaskSize: 32})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if err := verify.CheckCounts(rg, res.Counts); err != nil {
+			t.Fatalf("%v on reordered: %v", algo, err)
+		}
+		mapped := graph.MapCounts(g, rg, r, res.Counts)
+		if err := verify.CheckCounts(g, mapped); err != nil {
+			t.Fatalf("%v mapped back: %v", algo, err)
+		}
+	}
+}
+
+func TestCountSymmetry(t *testing.T) {
+	g := randomGraph(t, 3, 100, 700)
+	res, err := Count(g, Options{Algorithm: AlgoMPS, Threads: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		for i := g.Off[u]; i < g.Off[u+1]; i++ {
+			v := g.Dst[i]
+			rev, ok := g.EdgeOffset(v, graph.VertexID(u))
+			if !ok {
+				t.Fatalf("missing reverse edge (%d,%d)", v, u)
+			}
+			if res.Counts[i] != res.Counts[rev] {
+				t.Fatalf("cnt[e(%d,%d)]=%d != cnt[e(%d,%d)]=%d",
+					u, v, res.Counts[i], v, u, res.Counts[rev])
+			}
+		}
+	}
+}
+
+func TestCountTriangleIdentity(t *testing.T) {
+	g := randomGraph(t, 4, 120, 900)
+	res, err := Count(g, Options{Algorithm: AlgoBMP, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.CheckTriangleIdentity(g, res.Counts); err != nil {
+		t.Fatal(err)
+	}
+	if res.TriangleCount() != verify.Triangles(g) {
+		t.Errorf("TriangleCount = %d, want %d", res.TriangleCount(), verify.Triangles(g))
+	}
+}
+
+func TestCountPropertyAlgorithmsAgree(t *testing.T) {
+	// Property: all four algorithms produce identical count arrays on any
+	// random graph, across thread counts and task sizes.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(80)
+		m := rng.Intn(500)
+		edges := make([]graph.Edge, m)
+		for i := range edges {
+			edges[i] = graph.Edge{U: graph.VertexID(rng.Intn(n)), V: graph.VertexID(rng.Intn(n))}
+		}
+		g, err := graph.FromEdges(n, edges)
+		if err != nil {
+			return false
+		}
+		base, err := Count(g, Options{Algorithm: AlgoM, Threads: 1})
+		if err != nil {
+			return false
+		}
+		for _, algo := range []Algorithm{AlgoMPS, AlgoBMP, AlgoBMPRF} {
+			res, err := Count(g, Options{
+				Algorithm: algo,
+				Threads:   1 + rng.Intn(4),
+				TaskSize:  1 + rng.Intn(100),
+				Lanes:     []int{1, 4, 8, 16}[rng.Intn(4)],
+			})
+			if err != nil {
+				return false
+			}
+			for e := range base.Counts {
+				if res.Counts[e] != base.Counts[e] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountCollectWork(t *testing.T) {
+	g := randomGraph(t, 5, 100, 600)
+	for _, algo := range Algorithms {
+		res, err := Count(g, Options{Algorithm: algo, Threads: 2, CollectWork: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Work.Intersections == 0 {
+			t.Errorf("%v: no intersections recorded", algo)
+		}
+		// Every u<v edge is one intersection.
+		var want uint64
+		for u := 0; u < g.NumVertices(); u++ {
+			for _, v := range g.Neighbors(graph.VertexID(u)) {
+				if graph.VertexID(u) < v {
+					want++
+				}
+			}
+		}
+		if res.Work.Intersections != want {
+			t.Errorf("%v: %d intersections recorded, want %d", algo, res.Work.Intersections, want)
+		}
+		// Sum of matches equals sum of counts over u<v edges.
+		var matchSum uint64
+		for u := 0; u < g.NumVertices(); u++ {
+			for i := g.Off[u]; i < g.Off[u+1]; i++ {
+				if graph.VertexID(u) < g.Dst[i] {
+					matchSum += uint64(res.Counts[i])
+				}
+			}
+		}
+		if res.Work.Matches != matchSum {
+			t.Errorf("%v: matches %d, want %d", algo, res.Work.Matches, matchSum)
+		}
+	}
+}
+
+func TestCountWorkDistinguishesAlgorithms(t *testing.T) {
+	// On a skewed graph MPS must do far fewer comparisons than M, and BMP
+	// must replace comparisons with bitmap probes — the mechanism behind
+	// the paper's Figure 3.
+	p, err := gen.ProfileByName("TW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := p.Generate(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, _ := graph.ReorderByDegree(g)
+
+	m, _ := Count(rg, Options{Algorithm: AlgoM, Threads: 1, CollectWork: true})
+	mps, _ := Count(rg, Options{Algorithm: AlgoMPS, Threads: 1, CollectWork: true})
+	bmp, _ := Count(rg, Options{Algorithm: AlgoBMP, Threads: 1, CollectWork: true})
+
+	if mps.Work.TotalOps() >= m.Work.TotalOps() {
+		t.Errorf("MPS ops %d not below M ops %d on skewed graph",
+			mps.Work.TotalOps(), m.Work.TotalOps())
+	}
+	if bmp.Work.BitmapTests == 0 {
+		t.Error("BMP recorded no bitmap probes")
+	}
+	if bmp.Work.Comparisons >= m.Work.Comparisons {
+		t.Errorf("BMP comparisons %d not below M %d", bmp.Work.Comparisons, m.Work.Comparisons)
+	}
+}
+
+func TestCountVertexBMPMatchesEngine(t *testing.T) {
+	// The literal Algorithm 2 and the parallel skeleton must agree on any
+	// graph.
+	for seed := int64(0); seed < 4; seed++ {
+		g := randomGraph(t, 40+seed, 150, 1100)
+		want := CountVertexBMP(g)
+		if err := verify.CheckCounts(g, want); err != nil {
+			t.Fatalf("seed %d: Algorithm 2 reference wrong: %v", seed, err)
+		}
+		res, err := Count(g, Options{Algorithm: AlgoBMP, Threads: 3, TaskSize: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := range want {
+			if res.Counts[e] != want[e] {
+				t.Fatalf("seed %d: engine disagrees with Algorithm 2 at offset %d", seed, e)
+			}
+		}
+	}
+}
+
+func TestCountOptionsValidation(t *testing.T) {
+	g := randomGraph(t, 6, 10, 20)
+	if _, err := Count(g, Options{Algorithm: Algorithm(99)}); err == nil {
+		t.Error("want error for unknown algorithm")
+	}
+	if _, err := Count(g, Options{Algorithm: AlgoMPS, Lanes: 100}); err == nil {
+		t.Error("want error for absurd lane width")
+	}
+}
+
+func TestCountEmptyAndTinyGraphs(t *testing.T) {
+	for _, algo := range Algorithms {
+		g, err := graph.FromEdges(3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Count(g, Options{Algorithm: algo})
+		if err != nil {
+			t.Fatalf("%v on empty: %v", algo, err)
+		}
+		if len(res.Counts) != 0 {
+			t.Errorf("%v: counts on empty graph", algo)
+		}
+
+		g, err = graph.FromEdges(2, []graph.Edge{{U: 0, V: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err = Count(g, Options{Algorithm: algo})
+		if err != nil {
+			t.Fatalf("%v on single edge: %v", algo, err)
+		}
+		if res.Counts[0] != 0 || res.Counts[1] != 0 {
+			t.Errorf("%v: single edge has common neighbors", algo)
+		}
+	}
+}
+
+func TestCountCompleteGraph(t *testing.T) {
+	// K5: every edge has exactly 3 common neighbors.
+	var edges []graph.Edge
+	for u := 0; u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			edges = append(edges, graph.Edge{U: graph.VertexID(u), V: graph.VertexID(v)})
+		}
+	}
+	g, err := graph.FromEdges(5, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range Algorithms {
+		res, err := Count(g, Options{Algorithm: algo, Threads: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e, c := range res.Counts {
+			if c != 3 {
+				t.Fatalf("%v: cnt[%d] = %d, want 3", algo, e, c)
+			}
+		}
+		if res.TriangleCount() != 10 {
+			t.Errorf("%v: triangles = %d, want 10", algo, res.TriangleCount())
+		}
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	want := map[Algorithm]string{AlgoM: "M", AlgoMPS: "MPS", AlgoBMP: "BMP", AlgoBMPRF: "BMP-RF"}
+	for a, s := range want {
+		if a.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(a), a.String(), s)
+		}
+	}
+	if Algorithm(42).String() == "" {
+		t.Error("unknown algorithm stringer empty")
+	}
+}

@@ -1,0 +1,251 @@
+// Package dynamic maintains all-edge common neighbor counts under edge
+// insertions and deletions — the "online graph analytics" setting the paper
+// motivates in its introduction ("online platforms maintain graphs of user
+// co-purchasing relations and analyze the data on the fly"): rather than
+// recomputing all |E| counts when the graph changes, the counts are
+// repaired incrementally.
+//
+// Inserting an edge (u,v) changes counts in three ways:
+//
+//  1. the new edge's own count is |N(u) ∩ N(v)|;
+//  2. every common neighbor w of u and v closes two new triangles' worth of
+//     common-neighbor relationships: cnt[(u,w)] and cnt[(v,w)] each grow by
+//     one (w's neighborhood now contains one more of their neighbors);
+//  3. no other edge is affected.
+//
+// Deletion is the exact inverse. Both cost one set intersection plus
+// O(|N(u) ∩ N(v)|) count updates — the same primitive the batch algorithms
+// optimize, so the MPS machinery (pivot-skip for skewed pairs) is reused
+// per update.
+package dynamic
+
+import (
+	"fmt"
+	"sort"
+
+	"cncount/internal/graph"
+	"cncount/internal/intersect"
+)
+
+// Graph is a mutable undirected graph with per-edge common neighbor counts
+// maintained across updates. Adjacency lists are kept sorted; counts are
+// stored per (min,max) vertex pair.
+//
+// Graph is not safe for concurrent mutation.
+type Graph struct {
+	adj    [][]graph.VertexID
+	counts map[edgeKey]uint32
+	// skewThreshold and lanes configure the per-update intersection kernel.
+	skewThreshold float64
+	lanes         int
+}
+
+type edgeKey struct{ u, v graph.VertexID } // u < v
+
+func key(u, v graph.VertexID) edgeKey {
+	if u > v {
+		u, v = v, u
+	}
+	return edgeKey{u, v}
+}
+
+// New returns an empty dynamic graph over n vertices.
+func New(n int) *Graph {
+	return &Graph{
+		adj:           make([][]graph.VertexID, n),
+		counts:        make(map[edgeKey]uint32),
+		skewThreshold: intersect.DefaultSkewThreshold,
+		lanes:         intersect.LanesAVX2,
+	}
+}
+
+// FromCSR builds a dynamic graph from a static one, computing all counts
+// with the batch kernel.
+func FromCSR(g *graph.CSR, counts []uint32) (*Graph, error) {
+	if int64(len(counts)) != g.NumEdges() {
+		return nil, fmt.Errorf("dynamic: %d counts for %d edges", len(counts), g.NumEdges())
+	}
+	d := New(g.NumVertices())
+	for u := 0; u < g.NumVertices(); u++ {
+		nu := g.Neighbors(graph.VertexID(u))
+		d.adj[u] = append([]graph.VertexID(nil), nu...)
+		for i, v := range nu {
+			if graph.VertexID(u) < v {
+				d.counts[key(graph.VertexID(u), v)] = counts[g.Off[u]+int64(i)]
+			}
+		}
+	}
+	return d, nil
+}
+
+// NumVertices returns |V|.
+func (d *Graph) NumVertices() int { return len(d.adj) }
+
+// NumEdges returns the undirected edge count.
+func (d *Graph) NumEdges() int { return len(d.counts) }
+
+// Neighbors returns the sorted neighbor list of u (aliased; do not modify).
+func (d *Graph) Neighbors(u graph.VertexID) []graph.VertexID { return d.adj[u] }
+
+// HasEdge reports whether (u,v) is an edge.
+func (d *Graph) HasEdge(u, v graph.VertexID) bool {
+	if int(u) >= len(d.adj) || int(v) >= len(d.adj) {
+		return false
+	}
+	_, ok := d.counts[key(u, v)]
+	return ok
+}
+
+// Count returns the common neighbor count of edge (u,v); ok is false when
+// (u,v) is not an edge.
+func (d *Graph) Count(u, v graph.VertexID) (count uint32, ok bool) {
+	c, ok := d.counts[key(u, v)]
+	return c, ok
+}
+
+// checkVertices validates endpoint IDs and rejects self-loops.
+func (d *Graph) checkVertices(u, v graph.VertexID) error {
+	if int(u) >= len(d.adj) || int(v) >= len(d.adj) {
+		return fmt.Errorf("dynamic: edge (%d,%d) out of range |V|=%d", u, v, len(d.adj))
+	}
+	if u == v {
+		return fmt.Errorf("dynamic: self-loop (%d,%d)", u, v)
+	}
+	return nil
+}
+
+// InsertEdge adds the undirected edge (u,v) and repairs all affected
+// counts. Inserting an existing edge is a no-op.
+func (d *Graph) InsertEdge(u, v graph.VertexID) error {
+	if err := d.checkVertices(u, v); err != nil {
+		return err
+	}
+	if d.HasEdge(u, v) {
+		return nil
+	}
+	// Common neighbors BEFORE linking: these w gain a new common neighbor
+	// with both endpoints, and they define the new edge's own count.
+	common := d.commonNeighbors(u, v)
+	for _, w := range common {
+		d.counts[key(u, w)]++
+		d.counts[key(v, w)]++
+	}
+	d.counts[key(u, v)] = uint32(len(common))
+	d.adj[u] = insertSorted(d.adj[u], v)
+	d.adj[v] = insertSorted(d.adj[v], u)
+	return nil
+}
+
+// DeleteEdge removes the undirected edge (u,v) and repairs all affected
+// counts. Deleting a nonexistent edge is a no-op.
+func (d *Graph) DeleteEdge(u, v graph.VertexID) error {
+	if err := d.checkVertices(u, v); err != nil {
+		return err
+	}
+	if !d.HasEdge(u, v) {
+		return nil
+	}
+	d.adj[u] = removeSorted(d.adj[u], v)
+	d.adj[v] = removeSorted(d.adj[v], u)
+	// Common neighbors AFTER unlinking (identical to before: u∉N(u),
+	// v∉N(v), so the removed edge never contributed to this set).
+	for _, w := range d.commonNeighbors(u, v) {
+		d.counts[key(u, w)]--
+		d.counts[key(v, w)]--
+	}
+	delete(d.counts, key(u, v))
+	return nil
+}
+
+// commonNeighbors materializes N(u) ∩ N(v) using the skew-aware kernel
+// choice of MPS: galloping when one list dwarfs the other, merging
+// otherwise.
+func (d *Graph) commonNeighbors(u, v graph.VertexID) []graph.VertexID {
+	a, b := d.adj[u], d.adj[v]
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	var out []graph.VertexID
+	if intersect.Skewed(len(a), len(b), d.skewThreshold) {
+		// Pivot-skip enumeration: iterate the short list, gallop the long.
+		long, short := a, b
+		if len(long) < len(short) {
+			long, short = short, long
+		}
+		off := 0
+		for _, x := range short {
+			off += intersect.LowerBound(long[off:], x)
+			if off >= len(long) {
+				break
+			}
+			if long[off] == x {
+				out = append(out, x)
+				off++
+			}
+		}
+		return out
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// ToCSR freezes the dynamic graph into a static CSR plus a count array
+// indexed by its edge offsets.
+func (d *Graph) ToCSR() (*graph.CSR, []uint32, error) {
+	var edges []graph.Edge
+	for k := range d.counts {
+		edges = append(edges, graph.Edge{U: k.u, V: k.v})
+	}
+	g, err := graph.FromEdges(len(d.adj), edges)
+	if err != nil {
+		return nil, nil, err
+	}
+	counts := make([]uint32, g.NumEdges())
+	for u := 0; u < g.NumVertices(); u++ {
+		for e := g.Off[u]; e < g.Off[u+1]; e++ {
+			counts[e] = d.counts[key(graph.VertexID(u), g.Dst[e])]
+		}
+	}
+	return g, counts, nil
+}
+
+// Triangles returns Σcnt/6 over the current edge set, doubling each stored
+// (u<v) count to cover both directions.
+func (d *Graph) Triangles() uint64 {
+	var sum uint64
+	for _, c := range d.counts {
+		sum += 2 * uint64(c)
+	}
+	return sum / 6
+}
+
+func insertSorted(a []graph.VertexID, v graph.VertexID) []graph.VertexID {
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= v })
+	if i < len(a) && a[i] == v {
+		return a
+	}
+	a = append(a, 0)
+	copy(a[i+1:], a[i:])
+	a[i] = v
+	return a
+}
+
+func removeSorted(a []graph.VertexID, v graph.VertexID) []graph.VertexID {
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= v })
+	if i == len(a) || a[i] != v {
+		return a
+	}
+	return append(a[:i], a[i+1:]...)
+}

@@ -1,0 +1,338 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cncount/internal/archsim"
+	"cncount/internal/core"
+	"cncount/internal/gpusim"
+)
+
+// Fig3 reproduces the degree-skew-handling comparison: single-threaded M,
+// MPS and BMP on the CPU and KNL.
+func (c *Context) Fig3() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-4s %12s %12s %12s %9s %9s   (single-threaded, modeled)\n",
+		"Data", "Proc", "M", "MPS", "BMP", "M/MPS", "M/BMP")
+	for _, ds := range []string{"TW", "FR"} {
+		for _, proc := range []struct {
+			name string
+			spec archsim.Spec
+		}{{"CPU", c.cpu()}, {"KNL", c.knl()}} {
+			m, err := c.model(ds, core.AlgoM, 1, proc.spec, 1, archsim.ModeDDR)
+			if err != nil {
+				return "", err
+			}
+			mps, err := c.model(ds, core.AlgoMPS, 1, proc.spec, 1, archsim.ModeDDR)
+			if err != nil {
+				return "", err
+			}
+			bmp, err := c.model(ds, core.AlgoBMP, 1, proc.spec, 1, archsim.ModeDDR)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "%-4s %-4s %12s %12s %12s %8.1fx %8.1fx\n",
+				ds, proc.name, fmtSec(m), fmtSec(mps), fmtSec(bmp), m/mps, m/bmp)
+		}
+	}
+	b.WriteString("(paper: TW CPU 3.6x/20.1x, TW KNL 7.1x/29.3x; FR ~1x and ~1.1-2.5x)\n")
+	return b.String(), nil
+}
+
+// Fig4 reproduces the vectorization effect: MPS at scalar, AVX2 and
+// AVX-512 lane widths, next to BMP, single-threaded.
+func (c *Context) Fig4() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-4s %11s %11s %11s %11s %8s %8s   (single-threaded, modeled)\n",
+		"Data", "Proc", "MPS", "MPS-AVX2", "MPS-AVX512", "BMP", "x AVX2", "x AVX512")
+	for _, ds := range []string{"TW", "FR"} {
+		for _, proc := range []struct {
+			name string
+			spec archsim.Spec
+		}{{"CPU", c.cpu()}, {"KNL", c.knl()}} {
+			v1, err := c.model(ds, core.AlgoMPS, 1, proc.spec, 1, archsim.ModeDDR)
+			if err != nil {
+				return "", err
+			}
+			v8, err := c.model(ds, core.AlgoMPS, 8, proc.spec, 1, archsim.ModeDDR)
+			if err != nil {
+				return "", err
+			}
+			v16, err := c.model(ds, core.AlgoMPS, 16, proc.spec, 1, archsim.ModeDDR)
+			if err != nil {
+				return "", err
+			}
+			bmp, err := c.model(ds, core.AlgoBMP, 1, proc.spec, 1, archsim.ModeDDR)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "%-4s %-4s %11s %11s %11s %11s %7.2fx %7.2fx\n",
+				ds, proc.name, fmtSec(v1), fmtSec(v8), fmtSec(v16), fmtSec(bmp), v1/v8, v1/v16)
+		}
+	}
+	b.WriteString("(paper: AVX2 1.9-2.0x, AVX-512 2.5-2.6x; gains larger on KNL)\n")
+	return b.String(), nil
+}
+
+// Fig5 reproduces the thread-scalability curves: speedup over one thread
+// for MPS and BMP on the CPU (to 64 threads) and KNL (to 256 threads, DDR
+// as in the pre-HBW evaluation).
+func (c *Context) Fig5() (string, error) {
+	var b strings.Builder
+	cpuThreads := []int{1, 4, 8, 16, 28, 64}
+	knlThreads := []int{1, 16, 64, 128, 256}
+	for _, ds := range []string{"TW", "FR"} {
+		for _, proc := range []struct {
+			name    string
+			spec    archsim.Spec
+			lanes   int
+			threads []int
+		}{
+			{"CPU", c.cpu(), 8, cpuThreads},
+			{"KNL", c.knl(), 16, knlThreads},
+		} {
+			for _, algo := range []core.Algorithm{core.AlgoMPS, core.AlgoBMP} {
+				base, err := c.model(ds, algo, proc.lanes, proc.spec, 1, archsim.ModeDDR)
+				if err != nil {
+					return "", err
+				}
+				fmt.Fprintf(&b, "%-4s %-4s %-4v speedup:", ds, proc.name, algo)
+				for _, th := range proc.threads {
+					v, err := c.model(ds, algo, proc.lanes, proc.spec, th, archsim.ModeDDR)
+					if err != nil {
+						return "", err
+					}
+					fmt.Fprintf(&b, "  %dt=%.1fx", th, base/v)
+				}
+				b.WriteByte('\n')
+			}
+		}
+	}
+	b.WriteString("(paper: CPU MPS 41.1x/36.1x at 64t, BMP 24x/15x; KNL MPS 67-72x on DDR,\n" +
+		" BMP scales worst on FR and saturates early)\n")
+	return b.String(), nil
+}
+
+// Fig6 reproduces the range-filtering effect on the CPU and KNL: parallel
+// BMP, BMP-RF and MPS.
+func (c *Context) Fig6() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-4s %12s %12s %12s %10s   (parallel, modeled)\n",
+		"Data", "Proc", "MPS", "BMP", "BMP-RF", "RF gain")
+	for _, ds := range []string{"TW", "FR"} {
+		for _, proc := range []struct {
+			name    string
+			spec    archsim.Spec
+			lanes   int
+			threads int
+		}{
+			{"CPU", c.cpu(), 8, 64},
+			{"KNL", c.knl(), 16, 64},
+		} {
+			mps, err := c.model(ds, core.AlgoMPS, proc.lanes, proc.spec, proc.threads, archsim.ModeDDR)
+			if err != nil {
+				return "", err
+			}
+			bmp, err := c.model(ds, core.AlgoBMP, 1, proc.spec, proc.threads, archsim.ModeDDR)
+			if err != nil {
+				return "", err
+			}
+			rf, err := c.model(ds, core.AlgoBMPRF, 1, proc.spec, proc.threads, archsim.ModeDDR)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "%-4s %-4s %12s %12s %12s %9.2fx\n",
+				ds, proc.name, fmtSec(mps), fmtSec(bmp), fmtSec(rf), bmp/rf)
+		}
+	}
+	b.WriteString("(paper: RF ~1x on TW, 1.9x/2.1x on FR)\n")
+	return b.String(), nil
+}
+
+// Fig7 reproduces the MCDRAM utilization study on the KNL: DDR vs flat vs
+// cache mode for parallel MPS and BMP-RF.
+func (c *Context) Fig7() (string, error) {
+	var b strings.Builder
+	knl := c.knl()
+	fmt.Fprintf(&b, "%-4s %-7s %12s %12s %12s %10s %10s   (modeled)\n",
+		"Data", "Algo", "DDR", "Flat", "Cache", "flat gain", "cache gain")
+	for _, ds := range []string{"TW", "FR"} {
+		for _, a := range []struct {
+			label   string
+			algo    core.Algorithm
+			lanes   int
+			threads int
+		}{
+			{"MPS", core.AlgoMPS, 16, 256},
+			{"BMP", core.AlgoBMP, 1, 64},
+			{"BMP-RF", core.AlgoBMPRF, 1, 64},
+		} {
+			ddr, err := c.model(ds, a.algo, a.lanes, knl, a.threads, archsim.ModeDDR)
+			if err != nil {
+				return "", err
+			}
+			flat, err := c.model(ds, a.algo, a.lanes, knl, a.threads, archsim.ModeFlat)
+			if err != nil {
+				return "", err
+			}
+			cache, err := c.model(ds, a.algo, a.lanes, knl, a.threads, archsim.ModeCache)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "%-4s %-7s %12s %12s %12s %9.2fx %9.2fx\n",
+				ds, a.label, fmtSec(ddr), fmtSec(flat), fmtSec(cache), ddr/flat, ddr/cache)
+		}
+	}
+	b.WriteString("(paper: MPS flat 1.6-1.8x, BMP flat 1.2-1.3x, cache slightly below flat)\n")
+	return b.String(), nil
+}
+
+// Fig8 reproduces the multi-pass study on the GPU: elapsed time against the
+// number of passes for MPS and BMP, with thrashing marked.
+func (c *Context) Fig8() (string, error) {
+	var b strings.Builder
+	for _, ds := range []string{"TW", "FR"} {
+		g, err := c.Graph(ds)
+		if err != nil {
+			return "", err
+		}
+		for _, algo := range []core.Algorithm{core.AlgoMPS, core.AlgoBMP} {
+			plan := gpusim.PlanPasses(g, gpusim.Config{
+				Algorithm: algo, CapacityScale: c.CapacityScale, RangeScale: c.RangeScale,
+			})
+			fmt.Fprintf(&b, "%-4s %-4v (planned %d):", ds, algo, plan.Passes)
+			for _, passes := range []int{1, 2, 3, 4, 6, 8} {
+				rep, err := gpusim.Run(g, gpusim.Config{
+					Algorithm: algo, CapacityScale: c.CapacityScale,
+					RangeScale: c.RangeScale, CoProcessing: true, Passes: passes,
+				})
+				if err != nil {
+					return "", err
+				}
+				mark := ""
+				if rep.Thrashed {
+					mark = "*"
+				}
+				fmt.Fprintf(&b, "  %dp=%s%s", passes, fmtSec(rep.TotalTime.Seconds()), mark)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	b.WriteString("(* = unified-memory thrashing; paper: TW rises slightly with passes,\n" +
+		" FR BMP fails below the estimated pass count)\n")
+	return b.String(), nil
+}
+
+// Fig9 reproduces the block-size tuning study: warps per block from 1 to
+// 32 for MPS and BMP on the GPU.
+func (c *Context) Fig9() (string, error) {
+	var b strings.Builder
+	for _, ds := range []string{"TW", "FR"} {
+		g, err := c.Graph(ds)
+		if err != nil {
+			return "", err
+		}
+		for _, algo := range []core.Algorithm{core.AlgoMPS, core.AlgoBMP} {
+			fmt.Fprintf(&b, "%-4s %-4v:", ds, algo)
+			for _, warps := range []int{1, 2, 4, 8, 16, 32} {
+				rep, err := gpusim.Run(g, gpusim.Config{
+					Algorithm: algo, CapacityScale: c.CapacityScale,
+					RangeScale: c.RangeScale, CoProcessing: true, WarpsPerBlock: warps,
+				})
+				if err != nil {
+					return "", err
+				}
+				fmt.Fprintf(&b, "  %dw=%s", warps, fmtSec(rep.TotalTime.Seconds()))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	b.WriteString("(paper: MPS flat across block sizes; BMP improves to 4 warps, and on FR\n" +
+		" large blocks shrink the bitmap pool and the pass count)\n")
+	return b.String(), nil
+}
+
+// Fig10 reproduces the final cross-processor comparison on all five
+// datasets: the optimized MPS and bitmap algorithm per processor.
+func (c *Context) Fig10() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %12s %12s %12s %12s %12s %12s %8s\n",
+		"Data", "CPU-MPS", "CPU-BMP", "KNL-MPS", "KNL-BMP", "GPU-MPS", "GPU-BMP", "best")
+	for _, ds := range c.datasets() {
+		g, err := c.Graph(ds)
+		if err != nil {
+			return "", err
+		}
+		cpuMPS, err := c.model(ds, core.AlgoMPS, 8, c.cpu(), 64, archsim.ModeDDR)
+		if err != nil {
+			return "", err
+		}
+		cpuBMP, err := c.bestBitmap(ds, c.cpu(), 64, archsim.ModeDDR)
+		if err != nil {
+			return "", err
+		}
+		knlMPS, err := c.model(ds, core.AlgoMPS, 16, c.knl(), 256, archsim.ModeFlat)
+		if err != nil {
+			return "", err
+		}
+		knlBMP, err := c.bestBitmap(ds, c.knl(), 64, archsim.ModeFlat)
+		if err != nil {
+			return "", err
+		}
+		gpuRun := func(algo core.Algorithm) (float64, error) {
+			rep, err := gpusim.Run(g, gpusim.Config{
+				Algorithm: algo, CapacityScale: c.CapacityScale,
+				RangeScale: c.RangeScale, CoProcessing: true,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return rep.TotalTime.Seconds(), nil
+		}
+		gpuMPS, err := gpuRun(core.AlgoMPS)
+		if err != nil {
+			return "", err
+		}
+		gpuBMP, err := gpuRun(core.AlgoBMPRF)
+		if err != nil {
+			return "", err
+		}
+
+		best, bestName := cpuMPS, "CPU-MPS"
+		for _, cand := range []struct {
+			v    float64
+			name string
+		}{
+			{cpuBMP, "CPU-BMP"}, {knlMPS, "KNL-MPS"}, {knlBMP, "KNL-BMP"},
+			{gpuMPS, "GPU-MPS"}, {gpuBMP, "GPU-BMP"},
+		} {
+			if cand.v < best {
+				best, bestName = cand.v, cand.name
+			}
+		}
+		fmt.Fprintf(&b, "%-4s %12s %12s %12s %12s %12s %12s %8s\n", ds,
+			fmtSec(cpuMPS), fmtSec(cpuBMP), fmtSec(knlMPS), fmtSec(knlBMP),
+			fmtSec(gpuMPS), fmtSec(gpuBMP), bestName)
+	}
+	b.WriteString("(paper: CPU favors BMP, KNL favors MPS, GPU favors BMP; the best is\n" +
+		" KNL-MPS or GPU-BMP, and GPU-MPS is the slowest on skewed graphs)\n")
+	return b.String(), nil
+}
+
+// bestBitmap returns the better of BMP and BMP-RF, the paper's "optimized
+// BMP" (RF is enabled when beneficial).
+func (c *Context) bestBitmap(ds string, spec archsim.Spec, threads int, mode archsim.MemoryMode) (float64, error) {
+	bmp, err := c.model(ds, core.AlgoBMP, 1, spec, threads, mode)
+	if err != nil {
+		return 0, err
+	}
+	rf, err := c.model(ds, core.AlgoBMPRF, 1, spec, threads, mode)
+	if err != nil {
+		return 0, err
+	}
+	if rf < bmp {
+		return rf, nil
+	}
+	return bmp, nil
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"testing"
+
+	"cncount/internal/archsim"
+	"cncount/internal/core"
+)
+
+// TestPaperHeadlineBands guards the claims EXPERIMENTS.md makes about
+// Table 4: the cumulative technique stacks must land within generous bands
+// around the paper's speedups over the baseline M. If a model or generator
+// change moves these by an order of magnitude, this test fails before the
+// documentation silently rots.
+func TestPaperHeadlineBands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale headline check is slow")
+	}
+	c := NewContext()
+
+	model := func(ds string, algo core.Algorithm, lanes int, spec archsim.Spec,
+		threads int, mode archsim.MemoryMode) float64 {
+		v, err := c.model(ds, algo, lanes, spec, threads, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+
+	type band struct {
+		name     string
+		ratio    float64
+		lo, hi   float64
+		paperVal float64
+	}
+	var bands []band
+
+	for _, ds := range []string{"TW"} {
+		m := model(ds, core.AlgoM, 1, archsim.CPU, 1, archsim.ModeDDR)
+		mpsCPU := model(ds, core.AlgoMPS, 8, archsim.CPU, 64, archsim.ModeDDR)
+		bmpCPU := model(ds, core.AlgoBMPRF, 1, archsim.CPU, 64, archsim.ModeDDR)
+		mKNL := model(ds, core.AlgoM, 1, archsim.KNL, 1, archsim.ModeDDR)
+		mpsKNL := model(ds, core.AlgoMPS, 16, archsim.KNL, 256, archsim.ModeFlat)
+
+		bands = append(bands,
+			// Paper: best MPS over M on TW/CPU = 286x; ours ~366x.
+			band{ds + " CPU best-MPS/M", m / mpsCPU, 100, 1200, 286},
+			// Paper: best BMP over M on TW/CPU = 497x; ours ~570x.
+			band{ds + " CPU best-BMP/M", m / bmpCPU, 150, 2000, 497},
+			// Paper: best MPS over M on TW/KNL = 2057x; ours ~1462x.
+			band{ds + " KNL best-MPS/M", mKNL / mpsKNL, 500, 5000, 2057},
+		)
+	}
+	for _, b := range bands {
+		if b.ratio < b.lo || b.ratio > b.hi {
+			t.Errorf("%s = %.0fx outside band [%g, %g] (paper: %gx)",
+				b.name, b.ratio, b.lo, b.hi, b.paperVal)
+		}
+	}
+
+	// The per-processor winners of Figure 10 on TW.
+	cpuMPS := model("TW", core.AlgoMPS, 8, archsim.CPU, 64, archsim.ModeDDR)
+	cpuBMP := model("TW", core.AlgoBMPRF, 1, archsim.CPU, 64, archsim.ModeDDR)
+	if cpuBMP >= cpuMPS {
+		t.Errorf("CPU should favor BMP-RF on TW: BMP-RF %.4fs vs MPS %.4fs", cpuBMP, cpuMPS)
+	}
+	knlMPS := model("TW", core.AlgoMPS, 16, archsim.KNL, 256, archsim.ModeFlat)
+	knlBMP := model("TW", core.AlgoBMPRF, 1, archsim.KNL, 64, archsim.ModeFlat)
+	if knlMPS >= knlBMP {
+		t.Errorf("KNL should favor MPS on TW: MPS %.4fs vs BMP-RF %.4fs", knlMPS, knlBMP)
+	}
+}

@@ -1,0 +1,287 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cncount/internal/archsim"
+	"cncount/internal/bitmap"
+	"cncount/internal/core"
+	"cncount/internal/gen"
+	"cncount/internal/gpusim"
+	"cncount/internal/graph"
+)
+
+// Table1 reproduces the graph statistics table for the synthetic profiles,
+// next to the paper's originals.
+func (c *Context) Table1() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %10s %12s %7s %8s   %14s %16s\n",
+		"Data", "|V|", "|E|", "avg_d", "max_d", "paper |V|", "paper |E|")
+	for _, name := range c.datasets() {
+		g, err := c.Graph(name)
+		if err != nil {
+			return "", err
+		}
+		p, err := gen.ProfileByName(name)
+		if err != nil {
+			return "", err
+		}
+		s := graph.Summarize(name, g)
+		fmt.Fprintf(&b, "%-4s %10d %12d %7.1f %8d   %14d %16d\n",
+			name, s.NumVertices, s.NumEdges, s.AvgDegree, s.MaxDegree,
+			p.PaperVertices, p.PaperEdges)
+	}
+	b.WriteString("(profiles are ~1/1000 scale; average degree matches the paper)\n")
+	return b.String(), nil
+}
+
+// Table2 reproduces the highly-skewed-intersection percentages
+// (d_u/d_v > 50 per edge).
+func (c *Context) Table2() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %12s %12s\n", "Data", "skew%", "paper skew%")
+	for _, name := range c.datasets() {
+		g, err := c.Graph(name)
+		if err != nil {
+			return "", err
+		}
+		p, err := gen.ProfileByName(name)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%-4s %11.2f%% %11.2f%%\n", name, graph.SkewPercent(g, 50), p.PaperSkewPct)
+	}
+	return b.String(), nil
+}
+
+// Table3 reproduces the per-context bitmap memory. The paper-scale column
+// is exact (it is |V|/8 of the real datasets); the profile column is the
+// simulated runs' actual footprint.
+func (c *Context) Table3() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %16s %16s %18s\n",
+		"Data", "profile bitmap", "profile filter", "paper-scale bitmap")
+	for _, name := range c.datasets() {
+		g, err := c.Graph(name)
+		if err != nil {
+			return "", err
+		}
+		p, err := gen.ProfileByName(name)
+		if err != nil {
+			return "", err
+		}
+		bm, filter := bitmap.MemoryFootprint(uint32(g.NumVertices()), c.RangeScale)
+		paperBM, _ := bitmap.MemoryFootprint(uint32(p.PaperVertices), bitmap.DefaultRangeScale)
+		fmt.Fprintf(&b, "%-4s %13.1f KB %13.1f KB %15.1f MB\n",
+			name, float64(bm)/1024, float64(filter)/1024, float64(paperBM)/(1<<20))
+	}
+	b.WriteString("(paper Table 3: LJ 0.48 MB, OR 0.37 MB, WI 4.9 MB, TW 5.0 MB, FR 14.9 MB)\n")
+	return b.String(), nil
+}
+
+// Table4 reproduces the technique-stack comparison against the baseline M
+// on TW and FR, for the CPU and KNL: the modeled time of each row as the
+// techniques DSH, V, P, RF and HBW are enabled one by one.
+func (c *Context) Table4() (string, error) {
+	var b strings.Builder
+	type row struct {
+		label string
+		eval  func(ds string, spec archsim.Spec, isKNL bool) (float64, error)
+	}
+	cpuThreads := archsim.CPU.Cores * archsim.CPU.SMTWays
+	knlThreads := archsim.KNL.Cores * archsim.KNL.SMTWays
+	threadsFor := func(isKNL bool) int {
+		if isKNL {
+			return knlThreads
+		}
+		return cpuThreads
+	}
+	lanesFor := func(isKNL bool) int {
+		if isKNL {
+			return 16
+		}
+		return 8
+	}
+	rows := []row{
+		{"M", func(ds string, spec archsim.Spec, _ bool) (float64, error) {
+			return c.model(ds, core.AlgoM, 1, spec, 1, archsim.ModeDDR)
+		}},
+		{"MPS", func(ds string, spec archsim.Spec, _ bool) (float64, error) {
+			return c.model(ds, core.AlgoMPS, 1, spec, 1, archsim.ModeDDR)
+		}},
+		{"MPS+V", func(ds string, spec archsim.Spec, isKNL bool) (float64, error) {
+			return c.model(ds, core.AlgoMPS, lanesFor(isKNL), spec, 1, archsim.ModeDDR)
+		}},
+		{"MPS+V+P", func(ds string, spec archsim.Spec, isKNL bool) (float64, error) {
+			return c.model(ds, core.AlgoMPS, lanesFor(isKNL), spec, threadsFor(isKNL), archsim.ModeDDR)
+		}},
+		{"MPS+V+P+HBW", func(ds string, spec archsim.Spec, isKNL bool) (float64, error) {
+			if !isKNL {
+				return -1, nil // N/A on the CPU
+			}
+			return c.model(ds, core.AlgoMPS, 16, spec, knlThreads, archsim.ModeFlat)
+		}},
+		{"BMP", func(ds string, spec archsim.Spec, _ bool) (float64, error) {
+			return c.model(ds, core.AlgoBMP, 1, spec, 1, archsim.ModeDDR)
+		}},
+		{"BMP+P", func(ds string, spec archsim.Spec, isKNL bool) (float64, error) {
+			return c.model(ds, core.AlgoBMP, 1, spec, threadsFor(isKNL), archsim.ModeDDR)
+		}},
+		{"BMP+P+RF", func(ds string, spec archsim.Spec, isKNL bool) (float64, error) {
+			return c.model(ds, core.AlgoBMPRF, 1, spec, threadsFor(isKNL), archsim.ModeDDR)
+		}},
+		{"BMP+P+RF+HBW", func(ds string, spec archsim.Spec, isKNL bool) (float64, error) {
+			if !isKNL {
+				return -1, nil
+			}
+			return c.model(ds, core.AlgoBMPRF, 1, spec, knlThreads, archsim.ModeFlat)
+		}},
+	}
+
+	fmt.Fprintf(&b, "%-14s %12s %12s %12s %12s   (modeled seconds)\n",
+		"Technique", "TW/CPU", "TW/KNL", "FR/CPU", "FR/KNL")
+	times := map[string][4]float64{}
+	for _, r := range rows {
+		var vals [4]float64
+		i := 0
+		for _, ds := range []string{"TW", "FR"} {
+			for _, isKNL := range []bool{false, true} {
+				spec := c.cpu()
+				if isKNL {
+					spec = c.knl()
+				}
+				v, err := r.eval(ds, spec, isKNL)
+				if err != nil {
+					return "", err
+				}
+				vals[i] = v
+				i++
+			}
+		}
+		times[r.label] = vals
+		fmt.Fprintf(&b, "%-14s %12s %12s %12s %12s\n", r.label,
+			fmtSec(vals[0]), fmtSec(vals[1]), fmtSec(vals[2]), fmtSec(vals[3]))
+	}
+	best := func(labels []string, i int) float64 {
+		v := -1.0
+		for _, l := range labels {
+			t := times[l][i]
+			if t > 0 && (v < 0 || t < v) {
+				v = t
+			}
+		}
+		return v
+	}
+	m := times["M"]
+	mpsLabels := []string{"MPS+V+P", "MPS+V+P+HBW"}
+	bmpLabels := []string{"BMP+P", "BMP+P+RF", "BMP+P+RF+HBW"}
+	fmt.Fprintf(&b, "%-14s %11.0fx %11.0fx %11.0fx %11.0fx  (paper: 286x 2057x 66x 330x)\n",
+		"best MPS vs M", m[0]/best(mpsLabels, 0), m[1]/best(mpsLabels, 1),
+		m[2]/best(mpsLabels, 2), m[3]/best(mpsLabels, 3))
+	fmt.Fprintf(&b, "%-14s %11.0fx %11.0fx %11.0fx %11.0fx  (paper: 497x 1583x 71x 121x)\n",
+		"best BMP vs M", m[0]/best(bmpLabels, 0), m[1]/best(bmpLabels, 1),
+		m[2]/best(bmpLabels, 2), m[3]/best(bmpLabels, 3))
+	return b.String(), nil
+}
+
+// Table5 reproduces the co-processing effect on the CPU post-processing
+// time.
+func (c *Context) Table5() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %16s %16s %9s   (modeled; paper: TW 5.6->0.9s, FR 19->3.8s)\n",
+		"Data", "no co-proc", "with co-proc", "ratio")
+	for _, ds := range []string{"TW", "FR"} {
+		g, err := c.Graph(ds)
+		if err != nil {
+			return "", err
+		}
+		without, err := gpusim.Run(g, gpusim.Config{
+			Algorithm: core.AlgoBMP, CapacityScale: c.CapacityScale,
+			RangeScale: c.RangeScale, CoProcessing: false,
+		})
+		if err != nil {
+			return "", err
+		}
+		with, err := gpusim.Run(g, gpusim.Config{
+			Algorithm: core.AlgoBMP, CapacityScale: c.CapacityScale,
+			RangeScale: c.RangeScale, CoProcessing: true,
+		})
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%-4s %16v %16v %8.1fx\n", ds, without.PostTime, with.PostTime,
+			without.PostTime.Seconds()/with.PostTime.Seconds())
+	}
+	return b.String(), nil
+}
+
+// Table6 reproduces the GPU memory breakdown and the estimated pass counts.
+func (c *Context) Table6() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-5s %10s %10s %10s %9s %7s\n",
+		"Data", "Algo", "CSR", "counts", "bitmaps", "#bitmaps", "passes")
+	for _, ds := range []string{"TW", "FR"} {
+		g, err := c.Graph(ds)
+		if err != nil {
+			return "", err
+		}
+		for _, algo := range []core.Algorithm{core.AlgoMPS, core.AlgoBMP} {
+			plan := gpusim.PlanPasses(g, gpusim.Config{
+				Algorithm: algo, CapacityScale: c.CapacityScale, RangeScale: c.RangeScale,
+			})
+			fmt.Fprintf(&b, "%-4s %-5s %8.1fMB %8.1fMB %8.1fMB %9d %7d\n",
+				ds, algo, mb(plan.CSRBytes), mb(plan.CountBytes), mb(plan.BitmapBytes),
+				plan.NumBitmaps, plan.Passes)
+		}
+	}
+	b.WriteString("(global memory 12 GB and reservation 500 MB, both at capacity scale;\n" +
+		" paper: TW fits in 1-2 passes, FR BMP needs ~3 — see Figure 8)\n")
+	return b.String(), nil
+}
+
+// Table7 reproduces the GPU range-filtering speedup.
+func (c *Context) Table7() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %14s %14s %9s   (modeled; paper: 1.9x on both)\n",
+		"Data", "BMP", "BMP-RF", "speedup")
+	for _, ds := range []string{"TW", "FR"} {
+		g, err := c.Graph(ds)
+		if err != nil {
+			return "", err
+		}
+		run := func(algo core.Algorithm) (*gpusim.Report, error) {
+			return gpusim.Run(g, gpusim.Config{
+				Algorithm: algo, CapacityScale: c.CapacityScale,
+				RangeScale: c.RangeScale, CoProcessing: true,
+			})
+		}
+		bmp, err := run(core.AlgoBMP)
+		if err != nil {
+			return "", err
+		}
+		rf, err := run(core.AlgoBMPRF)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%-4s %14v %14v %8.2fx\n", ds, bmp.TotalTime, rf.TotalTime,
+			bmp.TotalTime.Seconds()/rf.TotalTime.Seconds())
+	}
+	return b.String(), nil
+}
+
+func fmtSec(v float64) string {
+	if v < 0 {
+		return "N/A"
+	}
+	switch {
+	case v >= 1:
+		return fmt.Sprintf("%.2fs", v)
+	case v >= 1e-3:
+		return fmt.Sprintf("%.2fms", v*1e3)
+	default:
+		return fmt.Sprintf("%.0fµs", v*1e6)
+	}
+}
+
+func mb(b int64) float64 { return float64(b) / (1 << 20) }

@@ -1,0 +1,265 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"cncount/internal/graph"
+)
+
+func TestErdosRenyi(t *testing.T) {
+	g, err := ErdosRenyi(100, 300, 1)
+	if err != nil {
+		t.Fatalf("ErdosRenyi: %v", err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.NumVertices() != 100 {
+		t.Errorf("NumVertices = %d, want 100", g.NumVertices())
+	}
+	// Duplicates shrink the count slightly; it can never exceed the target.
+	if und := g.NumEdges() / 2; und > 300 || und < 250 {
+		t.Errorf("undirected edges = %d, want ~300", und)
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	g1, _ := ErdosRenyi(50, 100, 7)
+	g2, _ := ErdosRenyi(50, 100, 7)
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for i := range g1.Dst {
+		if g1.Dst[i] != g2.Dst[i] {
+			t.Fatal("same seed produced different graphs")
+		}
+	}
+	g3, _ := ErdosRenyi(50, 100, 8)
+	same := g1.NumEdges() == g3.NumEdges()
+	if same {
+		for i := range g1.Dst {
+			if g1.Dst[i] != g3.Dst[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestErdosRenyiErrors(t *testing.T) {
+	if _, err := ErdosRenyi(1, 10, 1); err == nil {
+		t.Error("want error for n=1")
+	}
+}
+
+func TestChungLuExpectedDegrees(t *testing.T) {
+	// With strongly unequal weights, realized degrees must order like the
+	// weights.
+	n := 200
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	w[0] = 100
+	g, err := ChungLu(w, 2000, 3)
+	if err != nil {
+		t.Fatalf("ChungLu: %v", err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	d0 := g.Degree(0)
+	var avgRest float64
+	for u := 1; u < n; u++ {
+		avgRest += float64(g.Degree(graph.VertexID(u)))
+	}
+	avgRest /= float64(n - 1)
+	if float64(d0) < 5*avgRest {
+		t.Errorf("hub degree %d not dominant over avg %f", d0, avgRest)
+	}
+}
+
+func TestChungLuErrors(t *testing.T) {
+	if _, err := ChungLu([]float64{1}, 5, 1); err == nil {
+		t.Error("want error for single vertex")
+	}
+	if _, err := ChungLu([]float64{1, -2}, 5, 1); err == nil {
+		t.Error("want error for negative weight")
+	}
+	if _, err := ChungLu([]float64{0, 0}, 5, 1); err == nil {
+		t.Error("want error for zero total weight")
+	}
+}
+
+func TestPowerLawWeights(t *testing.T) {
+	w := PowerLawWeights(1000, 20, 2.2, 100)
+	if len(w) != 1000 {
+		t.Fatalf("len = %d", len(w))
+	}
+	for i := 1; i < len(w); i++ {
+		if w[i] > w[i-1] {
+			t.Fatal("weights not non-increasing")
+		}
+	}
+	for _, x := range w {
+		if x > 100 {
+			t.Fatal("clamp violated")
+		}
+	}
+	// Degenerate exponent must not panic or divide by zero.
+	w = PowerLawWeights(10, 5, 0.5, 0)
+	if math.IsNaN(w[0]) || math.IsInf(w[0], 0) {
+		t.Fatal("degenerate exponent produced non-finite weight")
+	}
+}
+
+func TestHubSpoke(t *testing.T) {
+	g, err := HubSpoke(1000, 5, 200, 1000, 9)
+	if err != nil {
+		t.Fatalf("HubSpoke: %v", err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Hubs (IDs < 5) must have degree near 200; leaves far less.
+	for h := 0; h < 5; h++ {
+		if d := g.Degree(graph.VertexID(h)); d < 150 {
+			t.Errorf("hub %d degree %d, want ≈200", h, d)
+		}
+	}
+	var maxLeaf int64
+	for u := 5; u < 1000; u++ {
+		if d := g.Degree(graph.VertexID(u)); d > maxLeaf {
+			maxLeaf = d
+		}
+	}
+	if maxLeaf > 50 {
+		t.Errorf("leaf degree %d unexpectedly large", maxLeaf)
+	}
+}
+
+func TestHubSpokeErrors(t *testing.T) {
+	if _, err := HubSpoke(1, 0, 0, 0, 1); err == nil {
+		t.Error("want error for n=1")
+	}
+	if _, err := HubSpoke(10, 10, 1, 1, 1); err == nil {
+		t.Error("want error for all-hub graph")
+	}
+	// hubDegree larger than the leaf count is clamped, not an error.
+	if _, err := HubSpoke(10, 2, 100, 5, 1); err != nil {
+		t.Errorf("clamped hub degree should succeed, got %v", err)
+	}
+}
+
+func TestRMAT(t *testing.T) {
+	g, err := RMAT(10, 8, 0.57, 0.19, 0.19, 2)
+	if err != nil {
+		t.Fatalf("RMAT: %v", err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.NumVertices() != 1024 {
+		t.Errorf("NumVertices = %d, want 1024", g.NumVertices())
+	}
+	// RMAT with skewed quadrants must produce a skewed degree distribution.
+	s := graph.Summarize("rmat", g)
+	if float64(s.MaxDegree) < 4*s.AvgDegree {
+		t.Errorf("RMAT max degree %d vs avg %f: no skew", s.MaxDegree, s.AvgDegree)
+	}
+}
+
+func TestRMATErrors(t *testing.T) {
+	if _, err := RMAT(0, 8, 0.5, 0.2, 0.2, 1); err == nil {
+		t.Error("want error for scale 0")
+	}
+	if _, err := RMAT(5, 8, 0.5, 0.3, 0.3, 1); err == nil {
+		t.Error("want error for a+b+c >= 1")
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, want := range []string{"LJ", "OR", "WI", "TW", "FR"} {
+		p, err := ProfileByName(want)
+		if err != nil {
+			t.Fatalf("ProfileByName(%s): %v", want, err)
+		}
+		if p.Name != want {
+			t.Errorf("got profile %s", p.Name)
+		}
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Error("want error for unknown profile")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	p := Profiles[0]
+	if _, err := p.Generate(0); err == nil {
+		t.Error("want error for scale 0")
+	}
+	if _, err := p.Generate(-1); err == nil {
+		t.Error("want error for negative scale")
+	}
+}
+
+// TestProfilesMatchPaperStatistics is the substitution-fidelity gate: every
+// profile must land near the paper's Table 1 average degree and Table 2
+// skewed-intersection percentage at the default scale. Bands are generous
+// enough to survive RNG churn but tight enough that the MPS-vs-BMP
+// crossover structure is preserved.
+func TestProfilesMatchPaperStatistics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale profile generation is slow")
+	}
+	bands := map[string]struct{ skewLo, skewHi float64 }{
+		"LJ": {1, 10},
+		"OR": {0.3, 8},
+		"WI": {55, 85},
+		"TW": {20, 42},
+		"FR": {0, 1},
+	}
+	for _, p := range Profiles {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			g, err := p.Generate(1.0)
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			s := graph.Summarize(p.Name, g)
+			if s.AvgDegree < 0.8*p.AvgDegree || s.AvgDegree > 1.2*p.AvgDegree {
+				t.Errorf("avg degree %f, want within 20%% of %f", s.AvgDegree, p.AvgDegree)
+			}
+			skew := graph.SkewPercent(g, 50)
+			b := bands[p.Name]
+			if skew < b.skewLo || skew > b.skewHi {
+				t.Errorf("skew %.2f%%, want in [%g, %g] (paper: %g%%)",
+					skew, b.skewLo, b.skewHi, p.PaperSkewPct)
+			}
+		})
+	}
+}
+
+func TestGenerateSmallScaleStable(t *testing.T) {
+	// Tiny scales must still produce valid graphs for fast unit tests.
+	for _, p := range Profiles {
+		g, err := p.Generate(0.02)
+		if err != nil {
+			t.Fatalf("%s at scale 0.02: %v", p.Name, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if g.NumEdges() == 0 {
+			t.Errorf("%s at scale 0.02 has no edges", p.Name)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"cncount/internal/graph"
+)
+
+// Model selects the random-graph family a Profile uses.
+type Model int
+
+const (
+	// ModelPowerLaw is Chung-Lu sampling with truncated power-law expected
+	// degrees; it produces the hub-dominated, degree-skewed structure of
+	// social and web graphs.
+	ModelPowerLaw Model = iota
+	// ModelUniform is Erdős–Rényi G(n,m); degrees concentrate around the
+	// mean, matching Friendster's near-absence of skewed intersections.
+	ModelUniform
+	// ModelHubSpoke overlays hub vertices on a uniform background so the
+	// share of highly skewed intersections can be dialed in directly,
+	// matching the web (WI) and Twitter (TW) datasets.
+	ModelHubSpoke
+)
+
+// Profile describes a scaled synthetic stand-in for one of the paper's five
+// datasets. BaseVertices is |V| at the default 1/1000 scale; AvgDegree is
+// the directed average degree of Table 1, which the generator preserves
+// across scales. For power-law profiles, Exponent is the degree exponent γ
+// and MaxWeightFrac clamps hub expected degrees at that fraction of |V|.
+type Profile struct {
+	Name          string
+	Description   string
+	BaseVertices  int
+	AvgDegree     float64
+	Model         Model
+	Exponent      float64
+	MaxWeightFrac float64
+	// HubDegreeFrac and SkewEdgeFrac parameterize ModelHubSpoke: each hub
+	// has expected degree HubDegreeFrac·|V| and hub edges make up
+	// SkewEdgeFrac of all edges.
+	HubDegreeFrac float64
+	SkewEdgeFrac  float64
+	Seed          int64
+
+	// PaperStats records Table 1/2 for EXPERIMENTS.md comparison.
+	PaperVertices int64
+	PaperEdges    int64
+	PaperSkewPct  float64
+}
+
+// Profiles are the five dataset stand-ins, in the paper's Table 1 order.
+// Exponents and hub clamps are tuned so SkewPercent(·, 50) lands near the
+// paper's Table 2 column for each dataset (validated in gen tests).
+var Profiles = []Profile{
+	{
+		Name:          "LJ",
+		Description:   "livejournal: social network, mild skew",
+		BaseVertices:  4036,
+		AvgDegree:     17.2,
+		Model:         ModelPowerLaw,
+		Exponent:      2.2,
+		MaxWeightFrac: 0.10,
+		Seed:          42,
+		PaperVertices: 4_036_538, PaperEdges: 34_681_189, PaperSkewPct: 4,
+	},
+	{
+		Name:          "OR",
+		Description:   "orkut: dense social network, low skew",
+		BaseVertices:  3072,
+		AvgDegree:     76.3,
+		Model:         ModelPowerLaw,
+		Exponent:      2.0,
+		MaxWeightFrac: 0.40,
+		Seed:          43,
+		PaperVertices: 3_072_627, PaperEdges: 117_185_083, PaperSkewPct: 2,
+	},
+	{
+		Name:          "WI",
+		Description:   "web-it: web graph, extreme hubs and skew",
+		BaseVertices:  41291,
+		AvgDegree:     28.2,
+		Model:         ModelHubSpoke,
+		HubDegreeFrac: 0.050,
+		SkewEdgeFrac:  0.70,
+		Seed:          44,
+		PaperVertices: 41_291_083, PaperEdges: 583_044_292, PaperSkewPct: 69,
+	},
+	{
+		Name:          "TW",
+		Description:   "twitter: follower graph, strong hubs",
+		BaseVertices:  41652,
+		AvgDegree:     32.9,
+		Model:         ModelHubSpoke,
+		HubDegreeFrac: 0.048,
+		SkewEdgeFrac:  0.31,
+		Seed:          45,
+		PaperVertices: 41_652_230, PaperEdges: 684_500_375, PaperSkewPct: 31,
+	},
+	{
+		Name:          "FR",
+		Description:   "friendster: near-uniform degrees, no skew",
+		BaseVertices:  124836,
+		AvgDegree:     28.9,
+		Model:         ModelUniform,
+		Seed:          46,
+		PaperVertices: 124_836_180, PaperEdges: 1_806_067_135, PaperSkewPct: 0.04,
+	},
+}
+
+// ProfileByName returns the profile with the given (case-sensitive) name.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	names := make([]string, len(Profiles))
+	for i, p := range Profiles {
+		names[i] = p.Name
+	}
+	sort.Strings(names)
+	return Profile{}, fmt.Errorf("gen: unknown profile %q (have %v)", name, names)
+}
+
+// Generate builds the profile's graph at the given scale multiplier
+// (scale 1.0 = BaseVertices, i.e. ~1/1000 of the paper's dataset). The
+// result is deterministic in (profile, scale).
+//
+// Because the CSR builder removes duplicate samples — hubs saturate — one
+// corrective resampling round inflates the target edge count to approach
+// the profile's average degree.
+func (p Profile) Generate(scale float64) (*graph.CSR, error) {
+	if scale <= 0 {
+		return nil, fmt.Errorf("gen: scale %g must be positive", scale)
+	}
+	n := int(float64(p.BaseVertices) * scale)
+	if n < 4 {
+		n = 4
+	}
+	targetUndirected := int(float64(n) * p.AvgDegree / 2)
+	if targetUndirected < 1 {
+		targetUndirected = 1
+	}
+	build := func(target int) (*graph.CSR, error) {
+		switch p.Model {
+		case ModelUniform:
+			return ErdosRenyi(n, target, p.Seed)
+		case ModelPowerLaw:
+			maxW := p.MaxWeightFrac * float64(n)
+			w := PowerLawWeights(n, p.AvgDegree, p.Exponent, maxW)
+			return ChungLu(w, target, p.Seed)
+		case ModelHubSpoke:
+			hubDegree := int(p.HubDegreeFrac * float64(n))
+			if hubDegree < 1 {
+				hubDegree = 1
+			}
+			hubEdges := int(p.SkewEdgeFrac * float64(target))
+			// Spread 3 puts hub degrees across roughly one order of
+			// magnitude, giving the skew ratios the heavy tail of real web
+			// and follower graphs.
+			return TieredHubSpoke(n, hubDegree, hubEdges, target-hubEdges, 3, p.Seed)
+		default:
+			return nil, fmt.Errorf("gen: unknown model %d", p.Model)
+		}
+	}
+	g, err := build(targetUndirected)
+	if err != nil {
+		return nil, err
+	}
+	// One corrective round: duplicates removed by dedup shrink |E| below
+	// target; inflate the sample proportionally (capped at 2x).
+	got := float64(g.NumEdges()) / 2
+	if got < 0.97*float64(targetUndirected) {
+		ratio := float64(targetUndirected) / got
+		if ratio > 2 {
+			ratio = 2
+		}
+		g, err = build(int(float64(targetUndirected) * ratio))
+		if err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,201 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConnectedComponents(t *testing.T) {
+	// Two triangles and an isolated vertex: 3 components.
+	g := mustGraph(t, 7, []Edge{
+		{0, 1}, {1, 2}, {0, 2},
+		{3, 4}, {4, 5}, {3, 5},
+	})
+	compOf, num := ConnectedComponents(g)
+	if num != 3 {
+		t.Fatalf("numComponents = %d, want 3", num)
+	}
+	if compOf[0] != compOf[1] || compOf[1] != compOf[2] {
+		t.Error("triangle A split")
+	}
+	if compOf[3] != compOf[4] || compOf[4] != compOf[5] {
+		t.Error("triangle B split")
+	}
+	if compOf[0] == compOf[3] || compOf[0] == compOf[6] || compOf[3] == compOf[6] {
+		t.Error("components merged")
+	}
+}
+
+func TestConnectedComponentsProperty(t *testing.T) {
+	// Property: endpoints of every edge share a component, and component
+	// IDs are dense in [0, num).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		g, err := FromEdges(n, randomEdges(rng, n, rng.Intn(120)))
+		if err != nil {
+			return false
+		}
+		compOf, num := ConnectedComponents(g)
+		seen := make([]bool, num)
+		for v := 0; v < n; v++ {
+			c := compOf[v]
+			if c < 0 || int(c) >= num {
+				return false
+			}
+			seen[c] = true
+			for _, w := range g.Neighbors(VertexID(v)) {
+				if compOf[w] != c {
+					return false
+				}
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := mustGraph(t, 5, testEdges) // triangle 0-1-2 with pendant 3
+	sub, oldID, err := InducedSubgraph(g, []VertexID{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumVertices() != 3 || sub.NumEdges() != 6 {
+		t.Fatalf("sub: |V|=%d |E|=%d, want 3 and 6", sub.NumVertices(), sub.NumEdges())
+	}
+	for newV, oldV := range oldID {
+		if oldV != VertexID(newV) {
+			t.Errorf("oldID[%d] = %d", newV, oldV)
+		}
+	}
+	// Keeping disconnected endpoints drops the edges between kept/dropped.
+	sub2, _, err := InducedSubgraph(g, []VertexID{0, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub2.NumEdges() != 2 { // only (0,3)
+		t.Errorf("sub2 |E| = %d, want 2", sub2.NumEdges())
+	}
+	// Out-of-range keep IDs are ignored.
+	sub3, _, err := InducedSubgraph(g, []VertexID{0, 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub3.NumVertices() != 1 {
+		t.Errorf("sub3 |V| = %d, want 1", sub3.NumVertices())
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	g := mustGraph(t, 8, []Edge{
+		{0, 1}, {1, 2}, {0, 2}, {2, 3}, // size-4 component
+		{4, 5}, // size-2 component
+	})
+	lc, oldID, err := LargestComponent(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc.NumVertices() != 4 {
+		t.Fatalf("largest component |V| = %d, want 4", lc.NumVertices())
+	}
+	want := map[VertexID]bool{0: true, 1: true, 2: true, 3: true}
+	for _, v := range oldID {
+		if !want[v] {
+			t.Errorf("unexpected vertex %d in largest component", v)
+		}
+	}
+}
+
+func TestCoreNumbers(t *testing.T) {
+	// A K4 (core 3) with a path hanging off it (core 1), plus an isolated
+	// vertex (core 0).
+	g := mustGraph(t, 7, []Edge{
+		{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, // K4
+		{3, 4}, {4, 5}, // tail
+	})
+	core := CoreNumbers(g)
+	want := []int32{3, 3, 3, 3, 1, 1, 0}
+	for v, w := range want {
+		if core[v] != w {
+			t.Errorf("core[%d] = %d, want %d (all: %v)", v, core[v], w, core)
+		}
+	}
+}
+
+func TestCoreNumbersProperty(t *testing.T) {
+	// Property: 0 ≤ core(v) ≤ degree(v), and the maximum core is at least
+	// ⌊min degree of the densest subgraph⌋ — checked loosely via triangle
+	// membership: any vertex of a triangle has core ≥ 2.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(50)
+		g, err := FromEdges(n, randomEdges(rng, n, rng.Intn(300)))
+		if err != nil {
+			return false
+		}
+		core := CoreNumbers(g)
+		for v := 0; v < n; v++ {
+			if core[v] < 0 || int64(core[v]) > g.Degree(VertexID(v)) {
+				return false
+			}
+		}
+		// Monotonicity under peeling is implied; check triangles.
+		for u := 0; u < n; u++ {
+			for _, v := range g.Neighbors(VertexID(u)) {
+				if v <= VertexID(u) {
+					continue
+				}
+				for _, w := range g.Neighbors(v) {
+					if w > v && g.HasEdge(VertexID(u), w) {
+						if core[u] < 2 || core[v] < 2 || core[w] < 2 {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReorderByDegeneracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	g := mustGraph(t, 60, randomEdges(rng, 60, 400))
+	rg, r := ReorderByDegeneracy(g)
+	if err := rg.Validate(); err != nil {
+		t.Fatalf("degeneracy-reordered graph invalid: %v", err)
+	}
+	// Permutation sanity.
+	for old, n := range r.NewID {
+		if r.OldID[n] != VertexID(old) {
+			t.Fatalf("NewID/OldID not inverse at %d", old)
+		}
+	}
+	// Core numbers are non-increasing along the new IDs.
+	core := CoreNumbers(g)
+	for newID := 1; newID < g.NumVertices(); newID++ {
+		if core[r.OldID[newID]] > core[r.OldID[newID-1]] {
+			t.Fatalf("core numbers not descending at new ID %d", newID)
+		}
+	}
+	// Edge set preserved.
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, v := range g.Neighbors(VertexID(u)) {
+			if !rg.HasEdge(r.NewID[u], r.NewID[v]) {
+				t.Fatalf("edge (%d,%d) lost", u, v)
+			}
+		}
+	}
+}

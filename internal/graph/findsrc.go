@@ -1,0 +1,66 @@
+package graph
+
+// SrcFinder recovers the source vertex u of an edge offset e(u,v) without a
+// materialized source array, implementing FindSrc of the paper's
+// Algorithm 3. It stashes the previously recovered source so that scanning
+// consecutive edge offsets costs amortized O(1), falling back to a lower
+// bound search on the offset array only when the cursor leaves the stashed
+// vertex's offset range.
+//
+// A SrcFinder is worker-local state: each scheduler worker owns one and it
+// must not be shared across goroutines.
+type SrcFinder struct {
+	g *CSR
+	u VertexID
+}
+
+// NewSrcFinder returns a finder positioned at vertex 0.
+func NewSrcFinder(g *CSR) *SrcFinder {
+	return &SrcFinder{g: g}
+}
+
+// Reset repositions the finder at vertex 0 (used when a worker jumps to an
+// unrelated task range and monotonicity no longer holds).
+func (f *SrcFinder) Reset() { f.u = 0 }
+
+// Find returns the source vertex u with e ∈ [Off[u], Off[u+1]).
+//
+// It handles both forward and backward jumps: offsets ahead of the stash
+// trigger a lower-bound search on Off, and offsets behind it walk back past
+// zero-degree vertices exactly as Algorithm 3 lines 9-14 prescribe.
+func (f *SrcFinder) Find(e int64) VertexID {
+	g := f.g
+	if e >= g.Off[f.u+1] {
+		// Lower bound of the first offset strictly greater than e in
+		// Off[u+1 ..], then step back to the owning vertex.
+		lo, hi := int64(f.u)+1, int64(g.NumVertices())
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if g.Off[mid] <= e {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		f.u = VertexID(lo - 1)
+	} else if e < g.Off[f.u] {
+		lo, hi := int64(0), int64(f.u)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if g.Off[mid] <= e {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		f.u = VertexID(lo - 1)
+	}
+	// Skip any zero-degree vertices whose offset ranges are empty: the
+	// owning vertex is the last one whose Off equals the found position but
+	// which actually has neighbors covering e. Because Off is monotone and
+	// e < Off[u+1] is required, advance while the current range is empty.
+	for g.Off[f.u+1] <= e {
+		f.u++
+	}
+	return f.u
+}

@@ -1,0 +1,128 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeList(t *testing.T) {
+	in := `# comment
+% another comment
+0 1
+1 2
+
+0 2
+0 3
+`
+	n, edges, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	if n != 4 {
+		t.Errorf("numVertices = %d, want 4", n)
+	}
+	want := []Edge{{0, 1}, {1, 2}, {0, 2}, {0, 3}}
+	if !reflect.DeepEqual(edges, want) {
+		t.Errorf("edges = %v, want %v", edges, want)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{"0", "a b", "0 -1", "0 99999999999999999999"}
+	for _, in := range cases {
+		if _, _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: want parse error", in)
+		}
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	g := mustGraph(t, 5, testEdges)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatalf("WriteEdgeList: %v", err)
+	}
+	n, edges, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	g2, err := FromEdges(maxInt(n, 5), edges)
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	// Vertex 4 is isolated so the round trip may shrink |V|; compare edges.
+	if !reflect.DeepEqual(g.Edges(), g2.Edges()) {
+		t.Error("text round trip changed the edge set")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := mustGraph(t, 64, randomEdges(rng, 64, 300))
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if !reflect.DeepEqual(g.Off, g2.Off) || !reflect.DeepEqual(g.Dst, g2.Dst) {
+		t.Error("binary round trip changed the graph")
+	}
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("not a graph at all........"))); err == nil {
+		t.Error("ReadBinary accepted garbage")
+	}
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Error("ReadBinary accepted empty input")
+	}
+}
+
+func TestLoadSaveFile(t *testing.T) {
+	g := mustGraph(t, 5, testEdges)
+	dir := t.TempDir()
+
+	binPath := filepath.Join(dir, "g.bin")
+	if err := SaveFile(binPath, g); err != nil {
+		t.Fatalf("SaveFile(bin): %v", err)
+	}
+	g2, err := LoadFile(binPath)
+	if err != nil {
+		t.Fatalf("LoadFile(bin): %v", err)
+	}
+	if !reflect.DeepEqual(g.Dst, g2.Dst) {
+		t.Error("binary file round trip changed the graph")
+	}
+
+	txtPath := filepath.Join(dir, "g.txt")
+	if err := SaveFile(txtPath, g); err != nil {
+		t.Fatalf("SaveFile(txt): %v", err)
+	}
+	g3, err := LoadFile(txtPath)
+	if err != nil {
+		t.Fatalf("LoadFile(txt): %v", err)
+	}
+	if !reflect.DeepEqual(g.Edges(), g3.Edges()) {
+		t.Error("text file round trip changed the edge set")
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.txt")); err == nil {
+		t.Error("LoadFile on missing path succeeded")
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadMETIS parses a graph in the METIS adjacency format: a header line
+// "n m [fmt]" (n vertices, m undirected edges) followed by one line per
+// vertex listing its 1-indexed neighbors; '%' starts a comment line. Only
+// the plain unweighted format (fmt absent or "0") is supported. The graph
+// is validated and symmetrized (METIS files are supposed to list both
+// directions; missing reverses are repaired rather than rejected).
+func ReadMETIS(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+
+	// nextLine skips comments but returns empty lines: in METIS an empty
+	// adjacency line is a legitimate isolated vertex.
+	nextLine := func() (string, bool) {
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if strings.HasPrefix(line, "%") {
+				continue
+			}
+			return line, true
+		}
+		return "", false
+	}
+
+	header, ok := nextLine()
+	if !ok {
+		return nil, fmt.Errorf("graph: METIS: missing header")
+	}
+	fields := strings.Fields(header)
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("graph: METIS: header %q needs n and m", header)
+	}
+	n, err := strconv.Atoi(fields[0])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("graph: METIS: bad vertex count %q", fields[0])
+	}
+	m, err := strconv.Atoi(fields[1])
+	if err != nil || m < 0 {
+		return nil, fmt.Errorf("graph: METIS: bad edge count %q", fields[1])
+	}
+	if len(fields) >= 3 && fields[2] != "0" && fields[2] != "000" {
+		return nil, fmt.Errorf("graph: METIS: weighted format %q not supported", fields[2])
+	}
+
+	edges := make([]Edge, 0, m)
+	for u := 0; u < n; u++ {
+		line, ok := nextLine()
+		if !ok {
+			return nil, fmt.Errorf("graph: METIS: missing adjacency line for vertex %d of %d", u+1, n)
+		}
+		for _, tok := range strings.Fields(line) {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("graph: METIS: vertex %d: bad neighbor %q", u+1, tok)
+			}
+			if v < 1 || v > n {
+				return nil, fmt.Errorf("graph: METIS: vertex %d: neighbor %d out of [1,%d]", u+1, v, n)
+			}
+			// Record each undirected edge once; FromEdges symmetrizes and
+			// dedups, repairing files that list only one direction.
+			if v-1 > u {
+				edges = append(edges, Edge{VertexID(u), VertexID(v - 1)})
+			} else if v-1 < u {
+				edges = append(edges, Edge{VertexID(v - 1), VertexID(u)})
+			}
+			// Self-loops (v-1 == u) are dropped, as everywhere else.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return FromEdges(n, edges)
+}
+
+// WriteMETIS writes g in the METIS adjacency format.
+func WriteMETIS(w io.Writer, g *CSR) error {
+	bw := bufio.NewWriter(w)
+	n := g.NumVertices()
+	if _, err := fmt.Fprintf(bw, "%d %d\n", n, g.NumEdges()/2); err != nil {
+		return err
+	}
+	for u := 0; u < n; u++ {
+		nbr := g.Neighbors(VertexID(u))
+		for i, v := range nbr {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.Itoa(int(v) + 1)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,102 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadMETIS(t *testing.T) {
+	// Triangle 1-2-3 (1-indexed) plus isolated vertex 4.
+	in := `% a comment
+4 3
+2 3
+1 3
+1 2
+
+`
+	g, err := ReadMETIS(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadMETIS: %v", err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 6 {
+		t.Fatalf("|V|=%d |E|=%d, want 4 and 6", g.NumVertices(), g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) || !g.HasEdge(0, 2) {
+		t.Error("triangle edges missing")
+	}
+	if g.Degree(3) != 0 {
+		t.Error("isolated vertex gained edges")
+	}
+}
+
+func TestReadMETISRepairsAsymmetry(t *testing.T) {
+	// Only one direction listed: the reader symmetrizes.
+	in := "3 2\n2 3\n\n\n"
+	g, err := ReadMETIS(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadMETIS: %v", err)
+	}
+	if !g.HasEdge(1, 0) || !g.HasEdge(2, 0) {
+		t.Error("reverse edges not repaired")
+	}
+}
+
+func TestReadMETISErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"short header":     "5\n",
+		"bad n":            "x 3\n",
+		"bad m":            "3 x\n",
+		"weighted":         "2 1 011\n2\n1\n",
+		"missing line":     "3 2\n2\n",
+		"bad neighbor":     "2 1\nzap\n1\n",
+		"neighbor too big": "2 1\n5\n1\n",
+		"neighbor zero":    "2 1\n0\n1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadMETIS(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestMETISRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		g, err := FromEdges(n, randomEdges(rng, n, rng.Intn(200)))
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := WriteMETIS(&buf, g); err != nil {
+			return false
+		}
+		g2, err := ReadMETIS(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(g.Off, g2.Off) && reflect.DeepEqual(g.Dst, g2.Dst)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMETISSelfLoopDropped(t *testing.T) {
+	in := "2 1\n1 2\n1\n" // vertex 1 lists itself
+	g, err := ReadMETIS(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadMETIS: %v", err)
+	}
+	if g.HasEdge(0, 0) {
+		t.Error("self-loop survived")
+	}
+	if !g.HasEdge(0, 1) {
+		t.Error("real edge lost")
+	}
+}

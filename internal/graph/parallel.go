@@ -1,0 +1,103 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"cncount/internal/sched"
+)
+
+// FromEdgesParallel is FromEdges with every O(|E|) phase parallelized:
+// degree counting, edge scattering, and per-vertex sort/dedup run across
+// workers (< 1 = all cores). The result is identical to FromEdges.
+//
+// The paper reports its whole preprocessing (including the
+// degree-descending remap) takes under 3 seconds on billion-edge graphs;
+// this is the corresponding parallel build path.
+func FromEdgesParallel(numVertices int, edges []Edge, workers int) (*CSR, error) {
+	if numVertices < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", numVertices)
+	}
+	var bad atomic.Int64
+	bad.Store(-1)
+	sched.Static(int64(len(edges)), workers, func(_ int, lo, hi int64) {
+		for i := lo; i < hi; i++ {
+			e := edges[i]
+			if int(e.U) >= numVertices || int(e.V) >= numVertices {
+				bad.CompareAndSwap(-1, i)
+				return
+			}
+		}
+	})
+	if i := bad.Load(); i >= 0 {
+		e := edges[i]
+		return nil, fmt.Errorf("graph: edge (%d,%d) out of range |V|=%d", e.U, e.V, numVertices)
+	}
+
+	// Phase 1: degrees, with atomic increments (both directions).
+	deg := make([]int64, numVertices)
+	sched.Static(int64(len(edges)), workers, func(_ int, lo, hi int64) {
+		for i := lo; i < hi; i++ {
+			e := edges[i]
+			if e.U == e.V {
+				continue
+			}
+			atomic.AddInt64(&deg[e.U], 1)
+			atomic.AddInt64(&deg[e.V], 1)
+		}
+	})
+
+	// Phase 2: offsets (sequential prefix sum; O(|V|)).
+	off := make([]int64, numVertices+1)
+	for u := 0; u < numVertices; u++ {
+		off[u+1] = off[u] + deg[u]
+	}
+
+	// Phase 3: scatter with per-vertex atomic cursors.
+	cursor := make([]int64, numVertices)
+	copy(cursor, off[:numVertices])
+	dst := make([]VertexID, off[numVertices])
+	sched.Static(int64(len(edges)), workers, func(_ int, lo, hi int64) {
+		for i := lo; i < hi; i++ {
+			e := edges[i]
+			if e.U == e.V {
+				continue
+			}
+			dst[atomic.AddInt64(&cursor[e.U], 1)-1] = e.V
+			dst[atomic.AddInt64(&cursor[e.V], 1)-1] = e.U
+		}
+	})
+
+	// Phase 4: per-vertex sort and in-row dedup, recording surviving
+	// degrees.
+	newDeg := make([]int64, numVertices)
+	sched.Dynamic(int64(numVertices), 256, workers, func(_ int, lo, hi int64) {
+		for ui := lo; ui < hi; ui++ {
+			row := dst[off[ui]:off[ui+1]]
+			sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+			w := 0
+			for i, v := range row {
+				if i > 0 && row[i-1] == v {
+					continue
+				}
+				row[w] = v
+				w++
+			}
+			newDeg[ui] = int64(w)
+		}
+	})
+
+	// Phase 5: compact into the final arrays.
+	finalOff := make([]int64, numVertices+1)
+	for u := 0; u < numVertices; u++ {
+		finalOff[u+1] = finalOff[u] + newDeg[u]
+	}
+	finalDst := make([]VertexID, finalOff[numVertices])
+	sched.Dynamic(int64(numVertices), 256, workers, func(_ int, lo, hi int64) {
+		for ui := lo; ui < hi; ui++ {
+			copy(finalDst[finalOff[ui]:finalOff[ui+1]], dst[off[ui]:off[ui]+newDeg[ui]])
+		}
+	})
+	return &CSR{Off: finalOff, Dst: finalDst}, nil
+}

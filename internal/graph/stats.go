@@ -1,0 +1,72 @@
+package graph
+
+import "fmt"
+
+// Stats summarizes a graph as in the paper's Table 1.
+type Stats struct {
+	Name        string
+	NumVertices int
+	NumEdges    int64 // directed edges, |E|
+	AvgDegree   float64
+	MaxDegree   int64
+}
+
+// Summarize computes Table 1 statistics for g.
+func Summarize(name string, g *CSR) Stats {
+	s := Stats{Name: name, NumVertices: g.NumVertices(), NumEdges: g.NumEdges()}
+	if s.NumVertices > 0 {
+		s.AvgDegree = float64(s.NumEdges) / float64(s.NumVertices)
+	}
+	for u := 0; u < s.NumVertices; u++ {
+		if d := g.Degree(VertexID(u)); d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+	}
+	return s
+}
+
+// String renders one Table 1 row.
+func (s Stats) String() string {
+	return fmt.Sprintf("%-12s |V|=%d |E|=%d avg_d=%.1f max_d=%d",
+		s.Name, s.NumVertices, s.NumEdges, s.AvgDegree, s.MaxDegree)
+}
+
+// SkewPercent returns the percentage of set intersections in the all-edge
+// counting whose degree ratio exceeds threshold (paper Table 2 uses
+// threshold 50, i.e. d_u/d_v > 50 with d_u > d_v). One intersection is
+// counted per undirected edge.
+func SkewPercent(g *CSR, threshold float64) float64 {
+	var total, skewed int64
+	n := g.NumVertices()
+	for u := 0; u < n; u++ {
+		du := g.Degree(VertexID(u))
+		for _, v := range g.Neighbors(VertexID(u)) {
+			if VertexID(u) >= v {
+				continue
+			}
+			total++
+			dv := g.Degree(v)
+			hi, lo := du, dv
+			if hi < lo {
+				hi, lo = lo, hi
+			}
+			if float64(hi) > threshold*float64(lo) {
+				skewed++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(skewed) / float64(total)
+}
+
+// DegreeHistogram returns the vertex count per degree, for generator
+// validation and workload characterization.
+func DegreeHistogram(g *CSR) map[int64]int {
+	h := make(map[int64]int)
+	for u := 0; u < g.NumVertices(); u++ {
+		h[g.Degree(VertexID(u))]++
+	}
+	return h
+}

@@ -1,0 +1,198 @@
+package intersect
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cncount/internal/bitmap"
+	"cncount/internal/sparsebitmap"
+)
+
+// benchPair builds a reproducible sorted pair with the given sizes and
+// universe, returning the two sets.
+func benchPair(sizeA, sizeB, universe int) ([]uint32, []uint32) {
+	rng := rand.New(rand.NewSource(1))
+	return sortedSet(rng, sizeA, universe), sortedSet(rng, sizeB, universe)
+}
+
+// BenchmarkKernelsBalanced compares every intersection kernel on
+// similar-cardinality sets — the regime where the block merge should win
+// and pivot-skip should not.
+func BenchmarkKernelsBalanced(b *testing.B) {
+	const universe = 1 << 20
+	a, c := benchPair(1024, 1024, universe)
+	bm := bitmap.New(universe)
+	bm.SetList(a)
+	rf := bitmap.NewRangeFiltered(universe, 64)
+	rf.SetList(a)
+	h := NewHashIndex(len(a))
+	h.Rebuild(a)
+	sa, sc := sparsebitmap.FromSorted(a), sparsebitmap.FromSorted(c)
+
+	b.Run("Merge", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Merge(a, c)
+		}
+	})
+	for _, lanes := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("BlockMerge%d", lanes), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				BlockMerge(a, c, lanes)
+			}
+		})
+	}
+	b.Run("PivotSkip", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			PivotSkip(a, c)
+		}
+	})
+	b.Run("Bitmap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Bitmap(bm, c)
+		}
+	})
+	b.Run("BitmapRF", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			BitmapRF(rf, c)
+		}
+	})
+	b.Run("HashIndex", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			HashCount(h, c)
+		}
+	})
+	b.Run("SparseBitmap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sparsebitmap.IntersectCount(sa, sc)
+		}
+	})
+}
+
+// BenchmarkKernelsSkewed compares the kernels on a 1000:1 cardinality skew
+// — pivot-skip's home regime (the paper's DSH motivation).
+func BenchmarkKernelsSkewed(b *testing.B) {
+	const universe = 1 << 22
+	long, short := benchPair(100000, 100, universe)
+	bm := bitmap.New(universe)
+	bm.SetList(long)
+	h := NewHashIndex(len(long))
+	h.Rebuild(long)
+
+	b.Run("Merge", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Merge(long, short)
+		}
+	})
+	b.Run("PivotSkip", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			PivotSkip(long, short)
+		}
+	})
+	b.Run("MPS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			MPS(long, short, DefaultSkewThreshold, 8)
+		}
+	})
+	b.Run("Bitmap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Bitmap(bm, short)
+		}
+	})
+	b.Run("HashIndex", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			HashCount(h, short)
+		}
+	})
+}
+
+// BenchmarkBlockMergeSpecialization compares the generic lane-parameterized
+// block merge against the hand-unrolled 8x8 kernel and the scalar merge on
+// balanced sets.
+func BenchmarkBlockMergeSpecialization(b *testing.B) {
+	a, c := benchPair(4096, 4096, 1<<20)
+	b.Run("scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Merge(a, c)
+		}
+	})
+	b.Run("generic8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			BlockMerge(a, c, 8)
+		}
+	})
+	b.Run("unrolled8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			BlockMerge8(a, c)
+		}
+	})
+}
+
+// BenchmarkLowerBound measures the three-stage lower bound against plain
+// binary search over a large sorted array.
+func BenchmarkLowerBound(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a := sortedSet(rng, 1<<16, 1<<24)
+	pivots := make([]uint32, 256)
+	for i := range pivots {
+		pivots[i] = uint32(rng.Intn(1 << 24))
+	}
+	b.Run("gallop", func(b *testing.B) {
+		var sink int
+		for i := 0; i < b.N; i++ {
+			for _, p := range pivots {
+				sink += LowerBound(a, p)
+			}
+		}
+		_ = sink
+	})
+	b.Run("binary", func(b *testing.B) {
+		var sink int
+		for i := 0; i < b.N; i++ {
+			for _, p := range pivots {
+				lo, hi := 0, len(a)
+				for lo < hi {
+					mid := int(uint(lo+hi) >> 1)
+					if a[mid] < p {
+						lo = mid + 1
+					} else {
+						hi = mid
+					}
+				}
+				sink += lo
+			}
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkBitmapConstruction measures the dynamic index build/flip-clear
+// cycle BMP amortizes across a vertex's intersections.
+func BenchmarkBitmapConstruction(b *testing.B) {
+	const universe = 1 << 20
+	rng := rand.New(rand.NewSource(3))
+	nu := sortedSet(rng, 4096, universe)
+	b.Run("plain", func(b *testing.B) {
+		bm := bitmap.New(universe)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bm.SetList(nu)
+			bm.ClearList(nu)
+		}
+	})
+	b.Run("range-filtered", func(b *testing.B) {
+		rf := bitmap.NewRangeFiltered(universe, 64)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rf.SetList(nu)
+			rf.ClearList(nu)
+		}
+	})
+	b.Run("hash-rebuild", func(b *testing.B) {
+		h := NewHashIndex(len(nu))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Rebuild(nu)
+		}
+	})
+}

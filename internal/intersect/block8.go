@@ -1,0 +1,46 @@
+package intersect
+
+// BlockMerge8 is a hand-specialized 8-lane block merge: the generic
+// BlockMerge with lanes=8, but with the 8x8 all-pair comparison fully
+// unrolled over fixed-size array values so the compiler eliminates bounds
+// checks and keeps both blocks in registers — the closest portable Go gets
+// to the AVX2 kernel's register-resident all-pair compare. Benchmarked
+// against the generic kernel in BenchmarkBlockMergeSpecialization.
+func BlockMerge8(a, b []uint32) uint32 {
+	var c uint32
+	i, j := 0, 0
+	for i+8 <= len(a) && j+8 <= len(b) {
+		pa := (*[8]uint32)(a[i : i+8])
+		pb := (*[8]uint32)(b[j : j+8])
+		va, vb := *pa, *pb
+		c += pairs8(&va, &vb)
+		lastA, lastB := va[7], vb[7]
+		if lastA <= lastB {
+			i += 8
+		}
+		if lastB <= lastA {
+			j += 8
+		}
+	}
+	return c + Merge(a[i:], b[j:])
+}
+
+// pairs8 counts equal pairs between two sorted, duplicate-free 8-blocks.
+// Each line is branch-free: comparisons convert to 0/1 adds.
+func pairs8(a, b *[8]uint32) uint32 {
+	var c uint32
+	for _, x := range a {
+		c += b2u(x == b[0]) + b2u(x == b[1]) + b2u(x == b[2]) + b2u(x == b[3]) +
+			b2u(x == b[4]) + b2u(x == b[5]) + b2u(x == b[6]) + b2u(x == b[7])
+	}
+	return c
+}
+
+// b2u converts a bool to 0/1 without a branch (the compiler lowers this to
+// SETcc on amd64).
+func b2u(v bool) uint32 {
+	if v {
+		return 1
+	}
+	return 0
+}

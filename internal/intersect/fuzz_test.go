@@ -1,0 +1,65 @@
+package intersect
+
+import (
+	"sort"
+	"testing"
+
+	"cncount/internal/bitmap"
+)
+
+// decodeSet turns fuzz bytes into a sorted duplicate-free uint32 set with a
+// bounded universe.
+func decodeSet(data []byte) []uint32 {
+	seen := map[uint32]struct{}{}
+	for i := 0; i+1 < len(data); i += 2 {
+		seen[uint32(data[i])<<8|uint32(data[i+1])] = struct{}{}
+	}
+	out := make([]uint32, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FuzzKernelsAgree feeds arbitrary byte pairs to every intersection kernel
+// and requires unanimous counts.
+func FuzzKernelsAgree(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2}, []byte{0, 2, 0, 3})
+	f.Add([]byte{}, []byte{1, 1})
+	f.Add([]byte{255, 255}, []byte{255, 255})
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		a := decodeSet(rawA)
+		b := decodeSet(rawB)
+		want := refIntersect(a, b)
+		if got := Merge(a, b); got != want {
+			t.Fatalf("Merge = %d, want %d", got, want)
+		}
+		for _, lanes := range []int{4, 8, 16} {
+			if got := BlockMerge(a, b, lanes); got != want {
+				t.Fatalf("BlockMerge(%d) = %d, want %d", lanes, got, want)
+			}
+		}
+		if got := PivotSkip(a, b); got != want {
+			t.Fatalf("PivotSkip = %d, want %d", got, want)
+		}
+		if got := MPS(a, b, 3, 8); got != want {
+			t.Fatalf("MPS = %d, want %d", got, want)
+		}
+		bm := bitmap.New(1 << 16)
+		bm.SetList(a)
+		if got := Bitmap(bm, b); got != want {
+			t.Fatalf("Bitmap = %d, want %d", got, want)
+		}
+		rf := bitmap.NewRangeFiltered(1<<16, 64)
+		rf.SetList(a)
+		if got := BitmapRF(rf, b); got != want {
+			t.Fatalf("BitmapRF = %d, want %d", got, want)
+		}
+		h := NewHashIndex(len(a))
+		h.Rebuild(a)
+		if got := HashCount(h, b); got != want {
+			t.Fatalf("HashCount = %d, want %d", got, want)
+		}
+	})
+}

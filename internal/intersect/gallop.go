@@ -1,0 +1,108 @@
+package intersect
+
+import "cncount/internal/stats"
+
+// linearWindow is the width of the linear-search window tried before
+// galloping. The paper first runs a vectorized linear search of the pivot
+// (one AVX comparison over a register-width window) and only falls back to
+// exponential skipping when the window misses; a 16-element window mirrors
+// the AVX-512 lane count and is tuned by the BenchmarkAblationGallopWindow
+// ablation.
+const linearWindow = 16
+
+// LowerBound returns the smallest index i in the sorted slice a with
+// a[i] >= pivot, or len(a) if no such element exists. It chains the three
+// techniques of the paper's PS lower bound (§3.1): a short linear-search
+// window, galloping (exponential) skips at sizes 2^4, 2^5, ..., and a final
+// binary search inside the bracketing range [2^i, 2^{i+1}).
+func LowerBound(a []uint32, pivot uint32) int {
+	return LowerBoundWindow(a, pivot, linearWindow)
+}
+
+// LowerBoundWindow is LowerBound with an explicit linear-search window
+// width (window < 1 goes straight to galloping); it exists for the
+// gallop-window ablation benchmark.
+func LowerBoundWindow(a []uint32, pivot uint32, window int) int {
+	if window < 1 {
+		window = 1
+	}
+	// Stage 1: linear window, emulating the vectorized linear search.
+	n := len(a)
+	w := window
+	if w > n {
+		w = n
+	}
+	for i := 0; i < w; i++ {
+		if a[i] >= pivot {
+			return i
+		}
+	}
+	if w == n {
+		return n
+	}
+	// Stage 2: galloping from the window edge at exponentially growing
+	// steps until an element >= pivot brackets the answer.
+	lo := w
+	step := window
+	hi := lo + step
+	for hi < n && a[hi] < pivot {
+		lo = hi + 1
+		step <<= 1
+		hi = lo + step
+	}
+	if hi >= n {
+		hi = n
+	}
+	// Stage 3: binary search in (lo, hi].
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < pivot {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// lowerBoundStats is LowerBound with per-stage work accounting.
+func lowerBoundStats(a []uint32, pivot uint32, w *stats.Work) int {
+	n := len(a)
+	win := linearWindow
+	if win > n {
+		win = n
+	}
+	for i := 0; i < win; i++ {
+		w.LinearProbes++
+		if a[i] >= pivot {
+			return i
+		}
+	}
+	if win == n {
+		return n
+	}
+	lo := win
+	step := linearWindow
+	hi := lo + step
+	for hi < n && a[hi] < pivot {
+		w.GallopSteps++
+		w.RandomAccesses++
+		lo = hi + 1
+		step <<= 1
+		hi = lo + step
+	}
+	if hi >= n {
+		hi = n
+	}
+	for lo < hi {
+		w.BinarySteps++
+		w.RandomAccesses++
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < pivot {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

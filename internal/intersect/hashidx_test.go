@@ -1,0 +1,61 @@
+package intersect
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashIndexBasic(t *testing.T) {
+	h := NewHashIndex(4)
+	h.Rebuild([]uint32{1, 5, 9, 1 << 30})
+	if h.Len() != 4 {
+		t.Errorf("Len = %d", h.Len())
+	}
+	for _, k := range []uint32{1, 5, 9, 1 << 30} {
+		if !h.Contains(k) {
+			t.Errorf("missing %d", k)
+		}
+	}
+	for _, k := range []uint32{0, 2, 10, 1<<30 + 1} {
+		if h.Contains(k) {
+			t.Errorf("phantom %d", k)
+		}
+	}
+	h.Rebuild([]uint32{7})
+	if h.Contains(1) || !h.Contains(7) {
+		t.Error("Rebuild did not replace contents")
+	}
+	h.Rebuild(nil)
+	if h.Contains(7) {
+		t.Error("Rebuild(nil) kept keys")
+	}
+}
+
+func TestHashIndexGrowth(t *testing.T) {
+	h := NewHashIndex(0)
+	big := make([]uint32, 5000)
+	for i := range big {
+		big[i] = uint32(i * 3)
+	}
+	h.Rebuild(big)
+	for _, k := range big {
+		if !h.Contains(k) {
+			t.Fatalf("missing %d after growth", k)
+		}
+	}
+}
+
+func TestHashCountAgainstOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := sortedSet(rng, 120, 400)
+		b := sortedSet(rng, 120, 400)
+		h := NewHashIndex(len(a))
+		h.Rebuild(a)
+		return HashCount(h, b) == refIntersect(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

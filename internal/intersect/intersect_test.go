@@ -1,0 +1,328 @@
+package intersect
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"cncount/internal/bitmap"
+	"cncount/internal/stats"
+)
+
+// refIntersect is the oracle: hash-set intersection count.
+func refIntersect(a, b []uint32) uint32 {
+	set := make(map[uint32]struct{}, len(a))
+	for _, x := range a {
+		set[x] = struct{}{}
+	}
+	var c uint32
+	for _, y := range b {
+		if _, ok := set[y]; ok {
+			c++
+		}
+	}
+	return c
+}
+
+// sortedSet builds a sorted duplicate-free random set of size ≤ maxLen with
+// values in [0, universe).
+func sortedSet(rng *rand.Rand, maxLen, universe int) []uint32 {
+	n := rng.Intn(maxLen + 1)
+	seen := make(map[uint32]struct{}, n)
+	for len(seen) < n {
+		seen[uint32(rng.Intn(universe))] = struct{}{}
+	}
+	out := make([]uint32, 0, n)
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestMergeBasic(t *testing.T) {
+	cases := []struct {
+		a, b []uint32
+		want uint32
+	}{
+		{nil, nil, 0},
+		{[]uint32{1, 2, 3}, nil, 0},
+		{[]uint32{1, 2, 3}, []uint32{2, 3, 4}, 2},
+		{[]uint32{1, 2, 3}, []uint32{1, 2, 3}, 3},
+		{[]uint32{1, 3, 5}, []uint32{2, 4, 6}, 0},
+		{[]uint32{7}, []uint32{7}, 1},
+	}
+	for _, c := range cases {
+		if got := Merge(c.a, c.b); got != c.want {
+			t.Errorf("Merge(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// kernels under test, all of which must agree with the oracle.
+func kernels() map[string]func(a, b []uint32) uint32 {
+	return map[string]func(a, b []uint32) uint32{
+		"Merge":          Merge,
+		"BlockMerge4":    func(a, b []uint32) uint32 { return BlockMerge(a, b, 4) },
+		"BlockMerge8":    func(a, b []uint32) uint32 { return BlockMerge(a, b, LanesAVX2) },
+		"BlockMerge8spl": BlockMerge8,
+		"BlockMerge16":   func(a, b []uint32) uint32 { return BlockMerge(a, b, LanesAVX512) },
+		"PivotSkip":      PivotSkip,
+		"MPS":            func(a, b []uint32) uint32 { return MPS(a, b, DefaultSkewThreshold, LanesAVX2) },
+		"MPS-tightSkew":  func(a, b []uint32) uint32 { return MPS(a, b, 1.5, LanesAVX512) },
+		"MergeStats":     func(a, b []uint32) uint32 { var w stats.Work; return MergeStats(a, b, &w) },
+		"BlockStats8":    func(a, b []uint32) uint32 { var w stats.Work; return BlockMergeStats(a, b, 8, &w) },
+		"PivotSkipStats": func(a, b []uint32) uint32 { var w stats.Work; return PivotSkipStats(a, b, &w) },
+		"MPSStats": func(a, b []uint32) uint32 {
+			var w stats.Work
+			return MPSStats(a, b, DefaultSkewThreshold, 8, &w)
+		},
+	}
+}
+
+func TestKernelsAgainstOracleProperty(t *testing.T) {
+	for name, kernel := range kernels() {
+		kernel := kernel
+		t.Run(name, func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				a := sortedSet(rng, 80, 120)
+				b := sortedSet(rng, 80, 120)
+				return kernel(a, b) == refIntersect(a, b)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestKernelsSkewedSets(t *testing.T) {
+	// Degree-skewed pairs are PS's home turf; exercise long-vs-short pairs
+	// explicitly, including the match-at-the-end and no-match cases.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		long := sortedSet(rng, 4000, 100000)
+		short := sortedSet(rng, 10, 100000)
+		want := refIntersect(long, short)
+		for name, kernel := range kernels() {
+			if got := kernel(long, short); got != want {
+				t.Fatalf("%s(long, short) = %d, want %d", name, got, want)
+			}
+			if got := kernel(short, long); got != want {
+				t.Fatalf("%s(short, long) = %d, want %d", name, got, want)
+			}
+		}
+	}
+}
+
+func TestKernelsIdenticalSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := sortedSet(rng, 200, 400)
+	for name, kernel := range kernels() {
+		if got := kernel(a, a); got != uint32(len(a)) {
+			t.Errorf("%s(a, a) = %d, want %d", name, got, len(a))
+		}
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	a := []uint32{2, 4, 4, 8, 16, 32, 64}
+	// Note LowerBound tolerates duplicates even though adjacency lists are
+	// duplicate-free.
+	cases := []struct {
+		pivot uint32
+		want  int
+	}{
+		{0, 0}, {2, 0}, {3, 1}, {4, 1}, {5, 3}, {64, 6}, {65, 7}, {1000, 7},
+	}
+	for _, c := range cases {
+		if got := LowerBound(a, c.pivot); got != c.want {
+			t.Errorf("LowerBound(a, %d) = %d, want %d", c.pivot, got, c.want)
+		}
+	}
+	if got := LowerBound(nil, 5); got != 0 {
+		t.Errorf("LowerBound(nil, 5) = %d, want 0", got)
+	}
+}
+
+func TestLowerBoundProperty(t *testing.T) {
+	// Property: LowerBound agrees with sort.Search on long arrays, which
+	// forces the galloping and binary stages to run.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := sortedSet(rng, 3000, 10000)
+		pivot := uint32(rng.Intn(10001))
+		want := sort.Search(len(a), func(i int) bool { return a[i] >= pivot })
+		if LowerBound(a, pivot) != want {
+			return false
+		}
+		var w stats.Work
+		return lowerBoundStats(a, pivot, &w) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkewed(t *testing.T) {
+	cases := []struct {
+		la, lb int
+		t      float64
+		want   bool
+	}{
+		{100, 1, 50, true},
+		{1, 100, 50, true},
+		{100, 2, 50, false}, // exactly 50 is not > 50
+		{100, 100, 50, false},
+		{0, 100, 50, false},
+		{100, 0, 50, false},
+		{10, 1, 5, true},
+	}
+	for _, c := range cases {
+		if got := Skewed(c.la, c.lb, c.t); got != c.want {
+			t.Errorf("Skewed(%d, %d, %g) = %v, want %v", c.la, c.lb, c.t, got, c.want)
+		}
+	}
+}
+
+func TestBitmapKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const universe = 5000
+	for trial := 0; trial < 60; trial++ {
+		nu := sortedSet(rng, 300, universe)
+		nv := sortedSet(rng, 300, universe)
+		want := refIntersect(nu, nv)
+
+		bm := bitmap.New(universe)
+		bm.SetList(nu)
+		if got := Bitmap(bm, nv); got != want {
+			t.Fatalf("Bitmap = %d, want %d", got, want)
+		}
+		var w stats.Work
+		if got := BitmapStats(bm, nv, &w); got != want {
+			t.Fatalf("BitmapStats = %d, want %d", got, want)
+		}
+		if w.BitmapTests != uint64(len(nv)) {
+			t.Fatalf("BitmapStats counted %d tests, want %d", w.BitmapTests, len(nv))
+		}
+		bm.ClearList(nu)
+		if bm.PopCount() != 0 {
+			t.Fatal("flip-back clearing left bits set")
+		}
+
+		for _, scale := range []int{1, 7, 64, 4096} {
+			rf := bitmap.NewRangeFiltered(universe, scale)
+			rf.SetList(nu)
+			if got := BitmapRF(rf, nv); got != want {
+				t.Fatalf("BitmapRF(scale=%d) = %d, want %d", scale, got, want)
+			}
+			var w stats.Work
+			if got := BitmapRFStats(rf, nv, &w); got != want {
+				t.Fatalf("BitmapRFStats(scale=%d) = %d, want %d", scale, got, want)
+			}
+			if w.FilterTests != uint64(len(nv)) {
+				t.Fatalf("FilterTests = %d, want %d", w.FilterTests, len(nv))
+			}
+			if w.FilterSkips+w.BitmapTests != w.FilterTests {
+				t.Fatalf("filter accounting inconsistent: %+v", w)
+			}
+			rf.ClearList(nu)
+			if rf.Under.PopCount() != 0 {
+				t.Fatal("RF flip-back clearing left bits set")
+			}
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	a := []uint32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	b := []uint32{2, 4, 6, 8, 10, 12, 14, 16, 18, 20}
+	var w stats.Work
+	got := MergeStats(a, b, &w)
+	if got != 5 {
+		t.Fatalf("MergeStats = %d, want 5", got)
+	}
+	if w.Matches != 5 || w.Intersections != 1 {
+		t.Errorf("work = %+v", w)
+	}
+	if w.Comparisons == 0 {
+		t.Errorf("work not counted: %+v", w)
+	}
+
+	var w2 stats.Work
+	BlockMergeStats(a, b, 4, &w2)
+	if w2.Intersections != 1 {
+		t.Errorf("BlockMergeStats intersections = %d, want 1", w2.Intersections)
+	}
+	if w2.VectorBlocks == 0 {
+		t.Errorf("BlockMergeStats counted no vector blocks: %+v", w2)
+	}
+	if w2.Matches != 5 {
+		t.Errorf("BlockMergeStats matches = %d, want 5 (blocks + tail)", w2.Matches)
+	}
+
+	var sum, one stats.Work
+	one.Comparisons = 3
+	one.Matches = 1
+	sum.Add(one)
+	sum.Add(one)
+	if sum.Comparisons != 6 || sum.Matches != 2 {
+		t.Errorf("Work.Add broken: %+v", sum)
+	}
+	if one.TotalOps() != one.ScalarOps() {
+		t.Errorf("TotalOps without blocks should equal ScalarOps")
+	}
+}
+
+func TestMergeThreshold(t *testing.T) {
+	a := []uint32{1, 2, 3, 4, 5}
+	b := []uint32{2, 4, 6, 8}
+	// |a ∩ b| = 2.
+	if c, ok := MergeThreshold(a, b, 0); !ok || c != 0 {
+		t.Errorf("threshold 0: (%d, %v)", c, ok)
+	}
+	if c, ok := MergeThreshold(a, b, 1); !ok || c != 1 {
+		t.Errorf("threshold 1: (%d, %v), want early success at 1", c, ok)
+	}
+	if c, ok := MergeThreshold(a, b, 2); !ok || c != 2 {
+		t.Errorf("threshold 2: (%d, %v)", c, ok)
+	}
+	if _, ok := MergeThreshold(a, b, 3); ok {
+		t.Error("threshold 3 reported reached with only 2 matches")
+	}
+	if _, ok := MergeThreshold(nil, b, 1); ok {
+		t.Error("empty set reached threshold")
+	}
+}
+
+func TestMergeThresholdProperty(t *testing.T) {
+	// Property: reached ⟺ exact count ≥ threshold, for random sets and
+	// thresholds; the returned tally never exceeds the exact count.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := sortedSet(rng, 100, 200)
+		b := sortedSet(rng, 100, 200)
+		exact := refIntersect(a, b)
+		threshold := uint32(rng.Intn(int(exact) + 5))
+		c, reached := MergeThreshold(a, b, threshold)
+		if reached != (exact >= threshold) {
+			return false
+		}
+		return c <= exact
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockMergeLaneOne(t *testing.T) {
+	// lanes <= 1 must behave exactly like the scalar merge.
+	rng := rand.New(rand.NewSource(31))
+	a := sortedSet(rng, 100, 300)
+	b := sortedSet(rng, 100, 300)
+	if BlockMerge(a, b, 1) != Merge(a, b) || BlockMerge(a, b, 0) != Merge(a, b) {
+		t.Error("BlockMerge with lanes<=1 disagrees with Merge")
+	}
+}

@@ -1,0 +1,70 @@
+package intersect
+
+import "cncount/internal/stats"
+
+// PivotSkip counts |a ∩ b| with the pivot-skip merge PS (Algorithm 1,
+// IntersectPS): iteratively fix the current element of one array as the
+// pivot, skip the other array directly to the lower bound of the pivot, and
+// count when the two cursors land on equal values. On degree-skewed pairs
+// (d_u >> d_v) the skips advance the long array by large strides, giving
+// the O(c·d_s) behaviour the paper derives.
+func PivotSkip(a, b []uint32) uint32 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	var c uint32
+	offA, offB := 0, 0
+	for {
+		offA += LowerBound(a[offA:], b[offB])
+		if offA >= len(a) {
+			return c
+		}
+		offB += LowerBound(b[offB:], a[offA])
+		if offB >= len(b) {
+			return c
+		}
+		if a[offA] == b[offB] {
+			c++
+			offA++
+			offB++
+			if offA >= len(a) || offB >= len(b) {
+				return c
+			}
+		}
+	}
+}
+
+// PivotSkipStats is PivotSkip with work accounting.
+func PivotSkipStats(a, b []uint32, w *stats.Work) uint32 {
+	w.Intersections++
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	var c uint32
+	offA, offB := 0, 0
+	defer func() {
+		w.Matches += uint64(c)
+		// Only the pivot side is streamed; the skipped-over side is touched
+		// at gallop targets, which are already counted as random accesses.
+		w.BytesStreamed += uint64(offB) * 4
+	}()
+	for {
+		offA += lowerBoundStats(a[offA:], b[offB], w)
+		if offA >= len(a) {
+			return c
+		}
+		offB += lowerBoundStats(b[offB:], a[offA], w)
+		if offB >= len(b) {
+			return c
+		}
+		w.Comparisons++
+		if a[offA] == b[offB] {
+			c++
+			offA++
+			offB++
+			if offA >= len(a) || offB >= len(b) {
+				return c
+			}
+		}
+	}
+}

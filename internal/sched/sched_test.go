@@ -1,0 +1,205 @@
+package sched
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestDynamicCoversRangeExactlyOnce(t *testing.T) {
+	f := func(seed int64) bool {
+		n := int64(1 + seed%1000)
+		if n < 0 {
+			n = -n + 1
+		}
+		taskSize := int(1 + (seed/7)%97)
+		if taskSize < 1 {
+			taskSize = 1
+		}
+		hits := make([]int32, n)
+		Dynamic(n, taskSize, 4, func(_ int, lo, hi int64) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for _, h := range hits {
+			if h != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDynamicZeroAndNegative(t *testing.T) {
+	called := false
+	Dynamic(0, 10, 4, func(_ int, _, _ int64) { called = true })
+	Dynamic(-5, 10, 4, func(_ int, _, _ int64) { called = true })
+	if called {
+		t.Error("body called for empty range")
+	}
+}
+
+func TestDynamicSequentialPath(t *testing.T) {
+	// workers == 1 must make exactly one call covering the whole range.
+	var calls int
+	var total int64
+	Dynamic(1000, 10, 1, func(worker int, lo, hi int64) {
+		calls++
+		total += hi - lo
+		if worker != 0 {
+			t.Errorf("worker = %d, want 0", worker)
+		}
+	})
+	if calls != 1 || total != 1000 {
+		t.Errorf("calls = %d total = %d, want 1 and 1000", calls, total)
+	}
+}
+
+func TestDynamicWorkerIndexStable(t *testing.T) {
+	workers := 4
+	seen := make([]int32, workers)
+	Dynamic(10000, 16, workers, func(worker int, lo, hi int64) {
+		if worker < 0 || worker >= workers {
+			t.Errorf("worker index %d out of range", worker)
+		}
+		atomic.AddInt32(&seen[worker], 1)
+	})
+}
+
+func TestDynamicDefaultTaskSize(t *testing.T) {
+	var chunks atomic.Int64
+	Dynamic(int64(DefaultTaskSize)*3, 0, 2, func(_ int, lo, hi int64) {
+		chunks.Add(1)
+		if hi-lo > int64(DefaultTaskSize) {
+			t.Errorf("chunk size %d exceeds default %d", hi-lo, DefaultTaskSize)
+		}
+	})
+	if chunks.Load() != 3 {
+		t.Errorf("chunks = %d, want 3", chunks.Load())
+	}
+}
+
+func TestDynamicPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		if !strings.Contains(r.(string), "boom") {
+			t.Errorf("panic value %v does not mention cause", r)
+		}
+	}()
+	Dynamic(100, 10, 4, func(_ int, lo, _ int64) {
+		if lo == 0 {
+			panic("boom")
+		}
+	})
+}
+
+func TestGuidedCoversRangeExactlyOnce(t *testing.T) {
+	for _, n := range []int64{1, 10, 1000, 12345} {
+		for _, workers := range []int{1, 3, 8} {
+			hits := make([]int32, n)
+			Guided(n, 4, workers, func(_ int, lo, hi int64) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d workers=%d: index %d hit %d times", n, workers, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestGuidedChunksShrink(t *testing.T) {
+	var mu sync.Mutex
+	var sizes []int64
+	Guided(10000, 8, 4, func(_ int, lo, hi int64) {
+		mu.Lock()
+		sizes = append(sizes, hi-lo)
+		mu.Unlock()
+	})
+	var maxSize int64
+	below := 0
+	for _, s := range sizes {
+		if s > maxSize {
+			maxSize = s
+		}
+		if s < 8 {
+			below++
+		}
+	}
+	if maxSize <= 8 {
+		t.Errorf("guided chunks did not start large: max=%d", maxSize)
+	}
+	// Only the final remainder chunk may fall below minChunk.
+	if below > 1 {
+		t.Errorf("%d chunks below minChunk", below)
+	}
+}
+
+func TestGuidedPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic did not propagate")
+		}
+	}()
+	Guided(100, 1, 4, func(_ int, _, _ int64) { panic("boom") })
+}
+
+func TestGuidedEmpty(t *testing.T) {
+	called := false
+	Guided(0, 1, 4, func(_ int, _, _ int64) { called = true })
+	if called {
+		t.Error("body called for empty range")
+	}
+}
+
+func TestStaticCoversRange(t *testing.T) {
+	for _, n := range []int64{1, 7, 100, 1001} {
+		for _, workers := range []int{1, 3, 8, 2000} {
+			hits := make([]int32, n)
+			Static(n, workers, func(_ int, lo, hi int64) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d workers=%d: index %d hit %d times", n, workers, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestStaticPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic did not propagate")
+		}
+	}()
+	Static(100, 4, func(_ int, _, _ int64) { panic("boom") })
+}
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+}

@@ -1,0 +1,102 @@
+package sparsebitmap
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func sortedSet(rng *rand.Rand, maxLen, universe int) []uint32 {
+	n := rng.Intn(maxLen + 1)
+	seen := map[uint32]struct{}{}
+	for len(seen) < n {
+		seen[uint32(rng.Intn(universe))] = struct{}{}
+	}
+	out := make([]uint32, 0, n)
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestFromSortedRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vs := sortedSet(rng, 200, 5000)
+		s := FromSorted(vs)
+		if s.Len() != len(vs) {
+			return false
+		}
+		got := s.Elements()
+		if len(vs) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, vs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContains(t *testing.T) {
+	vs := []uint32{0, 1, 63, 64, 128, 4095}
+	s := FromSorted(vs)
+	for _, v := range vs {
+		if !s.Contains(v) {
+			t.Errorf("missing %d", v)
+		}
+	}
+	for _, v := range []uint32{2, 62, 65, 127, 129, 4094, 100000} {
+		if s.Contains(v) {
+			t.Errorf("phantom %d", v)
+		}
+	}
+	if FromSorted(nil).Contains(5) {
+		t.Error("empty set contains 5")
+	}
+}
+
+func TestIntersectCountProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := sortedSet(rng, 150, 3000)
+		b := sortedSet(rng, 150, 3000)
+		set := map[uint32]struct{}{}
+		for _, x := range a {
+			set[x] = struct{}{}
+		}
+		var want uint32
+		for _, y := range b {
+			if _, ok := set[y]; ok {
+				want++
+			}
+		}
+		sa, sb := FromSorted(a), FromSorted(b)
+		return IntersectCount(sa, sb) == want && IntersectCount(sb, sa) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordsDensity(t *testing.T) {
+	// A dense run of 128 consecutive IDs occupies exactly 2-3 words; the
+	// same count spread at 64-ID strides occupies one word each.
+	dense := make([]uint32, 128)
+	for i := range dense {
+		dense[i] = uint32(i)
+	}
+	if got := FromSorted(dense).Words(); got != 2 {
+		t.Errorf("dense Words = %d, want 2", got)
+	}
+	sparse := make([]uint32, 128)
+	for i := range sparse {
+		sparse[i] = uint32(i * 64)
+	}
+	if got := FromSorted(sparse).Words(); got != 128 {
+		t.Errorf("sparse Words = %d, want 128", got)
+	}
+}

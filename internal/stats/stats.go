@@ -1,0 +1,104 @@
+// Package stats defines the work accounting used throughout the library.
+//
+// Every instrumented kernel in internal/intersect tallies its abstract
+// operations into a Work value: element comparisons, vector blocks,
+// galloping and binary-search steps, bitmap probes, and the bytes it
+// streamed or touched at random. The architecture simulator
+// (internal/archsim) converts these machine-independent counts into modeled
+// elapsed time on a processor specification, which is how the paper's KNL
+// and memory-mode experiments are regenerated without the hardware.
+package stats
+
+// Work tallies the abstract operations performed by one or more set
+// intersections. All counts are totals; Work values are combined with Add.
+//
+// The zero value is an empty tally ready for use.
+type Work struct {
+	// Intersections is the number of set intersections performed.
+	Intersections uint64
+
+	// Comparisons counts scalar element comparisons in merge loops.
+	Comparisons uint64
+
+	// VectorBlocks counts block-wise all-pair comparison steps (the unit of
+	// work of the vectorized block merge VB). One block compares
+	// laneA*laneB element pairs at once.
+	VectorBlocks uint64
+
+	// TailComparisons counts scalar comparisons in the sub-block tails of
+	// the block merge. They are separated from Comparisons because a real
+	// vector ISA executes them under a mask at lower cost than the branchy
+	// merge loop.
+	TailComparisons uint64
+
+	// GallopSteps counts exponential-skip probes in the pivot-skip lower
+	// bound.
+	GallopSteps uint64
+
+	// BinarySteps counts binary-search halving steps (lower bound
+	// refinement and reverse-edge lookup).
+	BinarySteps uint64
+
+	// LinearProbes counts probes of the vectorized-linear-search window
+	// that precedes galloping.
+	LinearProbes uint64
+
+	// BitmapSets counts bits set while constructing a bitmap index, and
+	// BitmapClears counts bits flipped back while clearing it.
+	BitmapSets   uint64
+	BitmapClears uint64
+
+	// BitmapTests counts membership probes of the full-cardinality bitmap.
+	BitmapTests uint64
+
+	// FilterTests counts probes of the small range-filter bitmap, and
+	// FilterSkips counts how many of those avoided touching the big bitmap.
+	FilterTests uint64
+	FilterSkips uint64
+
+	// Matches counts common neighbors found (the sum of all produced
+	// counts).
+	Matches uint64
+
+	// BytesStreamed estimates sequentially accessed bytes (sorted-array
+	// scans, CSR traversal). These are served at memory bandwidth.
+	BytesStreamed uint64
+
+	// RandomAccesses estimates latency-bound accesses (bitmap word probes
+	// across a wide range, gallop targets). These are served at memory or
+	// cache latency depending on the working-set fit.
+	RandomAccesses uint64
+}
+
+// Add accumulates o into w.
+func (w *Work) Add(o Work) {
+	w.Intersections += o.Intersections
+	w.Comparisons += o.Comparisons
+	w.VectorBlocks += o.VectorBlocks
+	w.TailComparisons += o.TailComparisons
+	w.GallopSteps += o.GallopSteps
+	w.BinarySteps += o.BinarySteps
+	w.LinearProbes += o.LinearProbes
+	w.BitmapSets += o.BitmapSets
+	w.BitmapClears += o.BitmapClears
+	w.BitmapTests += o.BitmapTests
+	w.FilterTests += o.FilterTests
+	w.FilterSkips += o.FilterSkips
+	w.Matches += o.Matches
+	w.BytesStreamed += o.BytesStreamed
+	w.RandomAccesses += o.RandomAccesses
+}
+
+// ScalarOps returns the total compute operations that execute one element at
+// a time (everything except vector blocks).
+func (w Work) ScalarOps() uint64 {
+	return w.Comparisons + w.TailComparisons + w.GallopSteps + w.BinarySteps +
+		w.LinearProbes + w.BitmapSets + w.BitmapClears + w.BitmapTests + w.FilterTests
+}
+
+// TotalOps returns all counted compute operations, charging each vector
+// block as a single operation (the archsim spec decides how much a block
+// costs relative to a scalar op).
+func (w Work) TotalOps() uint64 {
+	return w.ScalarOps() + w.VectorBlocks
+}

@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAccumulatesEveryField(t *testing.T) {
+	// Construct a Work with every field distinct, add it twice, and verify
+	// each field doubled — catches a forgotten field in Add when the
+	// struct grows.
+	one := Work{
+		Intersections: 1, Comparisons: 2, VectorBlocks: 3, TailComparisons: 4,
+		GallopSteps: 5, BinarySteps: 6, LinearProbes: 7,
+		BitmapSets: 8, BitmapClears: 9, BitmapTests: 10,
+		FilterTests: 11, FilterSkips: 12, Matches: 13,
+		BytesStreamed: 14, RandomAccesses: 15,
+	}
+	var sum Work
+	sum.Add(one)
+	sum.Add(one)
+	want := Work{
+		Intersections: 2, Comparisons: 4, VectorBlocks: 6, TailComparisons: 8,
+		GallopSteps: 10, BinarySteps: 12, LinearProbes: 14,
+		BitmapSets: 16, BitmapClears: 18, BitmapTests: 20,
+		FilterTests: 22, FilterSkips: 24, Matches: 26,
+		BytesStreamed: 28, RandomAccesses: 30,
+	}
+	if !reflect.DeepEqual(sum, want) {
+		t.Errorf("Add result %+v, want %+v", sum, want)
+	}
+}
+
+func TestOpsAccounting(t *testing.T) {
+	w := Work{
+		Comparisons: 10, TailComparisons: 5, GallopSteps: 3, BinarySteps: 2,
+		LinearProbes: 4, BitmapSets: 1, BitmapClears: 1, BitmapTests: 6,
+		FilterTests: 8, VectorBlocks: 7,
+	}
+	if got := w.ScalarOps(); got != 40 {
+		t.Errorf("ScalarOps = %d, want 40", got)
+	}
+	if got := w.TotalOps(); got != 47 {
+		t.Errorf("TotalOps = %d, want 47", got)
+	}
+	if (Work{}).TotalOps() != 0 {
+		t.Error("zero Work has ops")
+	}
+}
+
+func TestAddCommutative(t *testing.T) {
+	f := func(a, b uint64) bool {
+		w1 := Work{Comparisons: a, Matches: b}
+		w2 := Work{Comparisons: b, Matches: a}
+		var s1, s2 Work
+		s1.Add(w1)
+		s1.Add(w2)
+		s2.Add(w2)
+		s2.Add(w1)
+		return reflect.DeepEqual(s1, s2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,173 @@
+package triangle
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cncount/internal/graph"
+	"cncount/internal/verify"
+)
+
+func randomGraph(t testing.TB, seed int64, n, m int) *graph.CSR {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		edges[i] = graph.Edge{U: graph.VertexID(rng.Intn(n)), V: graph.VertexID(rng.Intn(n))}
+	}
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestForward(t *testing.T) {
+	g, err := graph.FromEdges(5, []graph.Edge{{U: 2, V: 0}, {U: 2, V: 1}, {U: 2, V: 3}, {U: 2, V: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := forward(g, 2)
+	if len(f) != 2 || f[0] != 3 || f[1] != 4 {
+		t.Errorf("forward(2) = %v, want [3 4]", f)
+	}
+	if got := forward(g, 4); len(got) != 0 {
+		t.Errorf("forward(4) = %v, want empty", got)
+	}
+}
+
+func TestCountersAgreeWithReference(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		g := randomGraph(t, seed, 100, 800)
+		want := verify.Triangles(g)
+		if got := MergeCount(g, 1); got != want {
+			t.Errorf("seed %d: MergeCount = %d, want %d", seed, got, want)
+		}
+		if got := MergeCount(g, 4); got != want {
+			t.Errorf("seed %d: parallel MergeCount = %d, want %d", seed, got, want)
+		}
+		if got := HashCount(g, 1); got != want {
+			t.Errorf("seed %d: HashCount = %d, want %d", seed, got, want)
+		}
+		if got := HashCount(g, 4); got != want {
+			t.Errorf("seed %d: parallel HashCount = %d, want %d", seed, got, want)
+		}
+		if got := FromEdgeCounts(verify.Counts(g)); got != want {
+			t.Errorf("seed %d: FromEdgeCounts = %d, want %d", seed, got, want)
+		}
+	}
+}
+
+func TestCountersProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(60)
+		m := rng.Intn(400)
+		edges := make([]graph.Edge, m)
+		for i := range edges {
+			edges[i] = graph.Edge{U: graph.VertexID(rng.Intn(n)), V: graph.VertexID(rng.Intn(n))}
+		}
+		g, err := graph.FromEdges(n, edges)
+		if err != nil {
+			return false
+		}
+		want := verify.Triangles(g)
+		return MergeCount(g, 2) == want && HashCount(g, 2) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKnownCounts(t *testing.T) {
+	// K5 has 10 triangles; a 5-cycle none; K3 plus tail exactly 1.
+	var k5 []graph.Edge
+	for u := 0; u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			k5 = append(k5, graph.Edge{U: graph.VertexID(u), V: graph.VertexID(v)})
+		}
+	}
+	cases := []struct {
+		name  string
+		edges []graph.Edge
+		n     int
+		want  uint64
+	}{
+		{"K5", k5, 5, 10},
+		{"C5", []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 0}}, 5, 0},
+		{"triangle+tail", []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, {U: 2, V: 3}}, 4, 1},
+		{"empty", nil, 4, 0},
+	}
+	for _, c := range cases {
+		g, err := graph.FromEdges(c.n, c.edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := MergeCount(g, 2); got != c.want {
+			t.Errorf("%s: MergeCount = %d, want %d", c.name, got, c.want)
+		}
+		if got := HashCount(g, 2); got != c.want {
+			t.Errorf("%s: HashCount = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestHashSet(t *testing.T) {
+	h := newHashSet(4)
+	keys := []uint32{0, 1, 63, 64, 1 << 20, 0xfffffffe}
+	for _, k := range keys {
+		h.add(k)
+		h.add(k) // idempotent
+	}
+	for _, k := range keys {
+		if !h.has(k) {
+			t.Errorf("missing key %d", k)
+		}
+	}
+	for _, k := range []uint32{2, 65, 1<<20 + 1} {
+		if h.has(k) {
+			t.Errorf("phantom key %d", k)
+		}
+	}
+	h.reset(3)
+	for _, k := range keys {
+		if h.has(k) {
+			t.Errorf("key %d survived reset", k)
+		}
+	}
+	// Reset to a larger size must grow.
+	h.reset(10000)
+	for i := uint32(0); i < 10000; i++ {
+		h.add(i * 7)
+	}
+	for i := uint32(0); i < 10000; i++ {
+		if !h.has(i * 7) {
+			t.Fatalf("missing %d after grow", i*7)
+		}
+	}
+}
+
+func TestHashSetPropertyMatchesMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := newHashSet(8)
+		ref := map[uint32]bool{}
+		n := rng.Intn(300)
+		h.reset(n + 1)
+		for i := 0; i < n; i++ {
+			k := uint32(rng.Intn(1000))
+			h.add(k)
+			ref[k] = true
+		}
+		for k := uint32(0); k < 1000; k++ {
+			if h.has(k) != ref[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,116 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"cncount/internal/graph"
+)
+
+func buildRandom(t *testing.T, seed int64, n, m int) *graph.CSR {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		edges[i] = graph.Edge{U: graph.VertexID(rng.Intn(n)), V: graph.VertexID(rng.Intn(n))}
+	}
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestCountsTriangle(t *testing.T) {
+	g, err := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, {U: 0, V: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt := Counts(g)
+	check := func(u, v graph.VertexID, want uint32) {
+		e, ok := g.EdgeOffset(u, v)
+		if !ok {
+			t.Fatalf("missing edge (%d,%d)", u, v)
+		}
+		if cnt[e] != want {
+			t.Errorf("cnt[e(%d,%d)] = %d, want %d", u, v, cnt[e], want)
+		}
+	}
+	check(0, 1, 1) // common neighbor 2
+	check(1, 0, 1)
+	check(0, 2, 1) // common neighbor 1
+	check(1, 2, 1) // common neighbor 0
+	check(0, 3, 0)
+	check(3, 0, 0)
+}
+
+func TestTriangles(t *testing.T) {
+	cases := []struct {
+		edges []graph.Edge
+		n     int
+		want  uint64
+	}{
+		{[]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}}, 3, 1},
+		{[]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}}, 3, 0},
+		{nil, 3, 0},
+	}
+	// K5 has C(5,3) = 10 triangles.
+	var k5 []graph.Edge
+	for u := 0; u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			k5 = append(k5, graph.Edge{U: graph.VertexID(u), V: graph.VertexID(v)})
+		}
+	}
+	cases = append(cases, struct {
+		edges []graph.Edge
+		n     int
+		want  uint64
+	}{k5, 5, 10})
+
+	for i, c := range cases {
+		g, err := graph.FromEdges(c.n, c.edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := Triangles(g); got != c.want {
+			t.Errorf("case %d: Triangles = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestTriangleIdentityOnRandomGraphs(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := buildRandom(t, seed, 80, 500)
+		cnt := Counts(g)
+		if err := CheckTriangleIdentity(g, cnt); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestCheckCountsDetectsErrors(t *testing.T) {
+	g := buildRandom(t, 9, 50, 300)
+	cnt := Counts(g)
+	if err := CheckCounts(g, cnt); err != nil {
+		t.Fatalf("correct counts rejected: %v", err)
+	}
+	if g.NumEdges() > 0 {
+		bad := append([]uint32(nil), cnt...)
+		bad[0]++
+		if err := CheckCounts(g, bad); err == nil {
+			t.Error("corrupted counts accepted")
+		}
+	}
+	if err := CheckCounts(g, cnt[:len(cnt)-1]); err == nil {
+		t.Error("short count array accepted")
+	}
+}
+
+func TestCheckTriangleIdentityDetectsErrors(t *testing.T) {
+	g := buildRandom(t, 10, 40, 250)
+	cnt := Counts(g)
+	cnt[0] += 6
+	if err := CheckTriangleIdentity(g, cnt); err == nil {
+		t.Error("inconsistent counts accepted")
+	}
+}

@@ -1,0 +1,28 @@
+package cncount
+
+import (
+	"cncount/internal/scan"
+)
+
+// ScanParams are the SCAN structural-clustering parameters: the similarity
+// threshold ε in (0, 1] and the core threshold μ ≥ 2.
+type ScanParams = scan.Params
+
+// ScanResult is a structural clustering with core/hub/outlier
+// classification.
+type ScanResult = scan.Result
+
+// SCAN clusters the graph with on-demand similarity evaluation and
+// pSCAN-style pruning: most edges are decided by degree bounds alone, the
+// rest by an early-exit intersection that stops as soon as σ ≥ ε is
+// settled. Use this for a single (ε, μ) query.
+func SCAN(g *Graph, p ScanParams) (*ScanResult, error) {
+	return scan.Run(g, p)
+}
+
+// SCANFromCounts derives the clustering from a precomputed all-edge count
+// array (as produced by Count), turning every (ε, μ) query into a linear
+// pass — the batch pipeline the paper's counting operation feeds.
+func SCANFromCounts(g *Graph, counts []uint32, p ScanParams) (*ScanResult, error) {
+	return scan.FromCounts(g, counts, p)
+}
