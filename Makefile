@@ -2,19 +2,28 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz bench experiments examples clean
+.PHONY: all build vet test race check fuzz bench experiments examples clean
 
-all: build test
+# The default verify path is `make check`: build + vet + tests + the race
+# detector on the small-graph packages.
+all: check
 
 build:
 	$(GO) build ./...
 	$(GO) vet ./...
 
+vet:
+	$(GO) vet ./...
+
 test:
 	$(GO) test ./...
 
+# Race detection runs on the packages whose tests use small graphs; the
+# full profile-scale workloads are too slow under the race detector.
 race:
-	$(GO) test -race ./internal/core/ ./internal/sched/ ./internal/gpusim/ ./internal/graph/ ./internal/scan/
+	$(GO) test -race ./internal/core/ ./internal/sched/ ./internal/gpusim/ ./internal/graph/ ./internal/scan/ ./internal/metrics/ ./cmd/cnc/
+
+check: build test race
 
 # Short fuzzing pass over every fuzz target.
 fuzz:

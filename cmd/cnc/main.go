@@ -6,79 +6,140 @@
 //	cnc -graph graph.txt -algo bmp -reorder
 //	cnc -profile TW -scale 0.5 -algo mps -threads 8
 //	cnc -profile LJ -processor knl -algo mps    # modeled KNL time
+//	cnc -profile TW -algo bmp -metrics -        # JSON metrics snapshot
+//	cnc -profile FR -pprof localhost:6060       # live pprof while counting
+//
+// cnc exits 0 only when the whole run succeeded: a -verify mismatch, a
+// failed metrics write, or an output I/O error all exit non-zero.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers profiling handlers on DefaultServeMux
 	"os"
 	"strings"
 
 	"cncount"
 )
 
+// appConfig mirrors the flag set so the whole run is testable without
+// touching globals or os.Exit.
+type appConfig struct {
+	graphPath  string
+	profile    string
+	scale      float64
+	algoName   string
+	threads    int
+	taskSize   int
+	lanes      int
+	skew       float64
+	rangeScale int
+	reorder    bool
+	work       bool
+	processor  string
+	verify     bool
+	metricsOut string
+	pprofAddr  string
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cnc: ")
 
-	var (
-		graphPath = flag.String("graph", "", "graph file (text edge list, or binary CSR with .bin)")
-		profile   = flag.String("profile", "", "generate a dataset profile instead: "+strings.Join(cncount.ProfileNames(), ", "))
-		scale     = flag.Float64("scale", 1.0, "profile scale (1.0 ≈ 1/1000 of the paper's dataset)")
-		algoName  = flag.String("algo", "bmp", "algorithm: m, mps, bmp, bmprf")
-		threads   = flag.Int("threads", 0, "worker count (0 = all cores, 1 = sequential)")
-		taskSize  = flag.Int("tasksize", 0, "edge offsets per scheduled task (0 = default)")
-		lanes     = flag.Int("lanes", 0, "block-merge lane width (0 = default 8)")
-		skew      = flag.Float64("skew", 0, "MPS degree-skew threshold t (0 = default 50)")
-		rangeSc   = flag.Int("rangescale", 0, "RF bitmap:filter ratio (0 = default)")
-		reorder   = flag.Bool("reorder", true, "degree-descending reordering before counting")
-		work      = flag.Bool("work", false, "collect and print abstract work counters")
-		processor = flag.String("processor", "", "also model elapsed time on: cpu, knl, gpu")
-		verifyFlg = flag.Bool("verify", false, "cross-check against the reference counter (slow)")
-	)
+	var cfg appConfig
+	flag.StringVar(&cfg.graphPath, "graph", "", "graph file (text edge list, or binary CSR with .bin)")
+	flag.StringVar(&cfg.profile, "profile", "", "generate a dataset profile instead: "+strings.Join(cncount.ProfileNames(), ", "))
+	flag.Float64Var(&cfg.scale, "scale", 1.0, "profile scale (1.0 ≈ 1/1000 of the paper's dataset)")
+	flag.StringVar(&cfg.algoName, "algo", "bmp", "algorithm: m, mps, bmp, bmprf")
+	flag.IntVar(&cfg.threads, "threads", 0, "worker count (0 = all cores, 1 = sequential)")
+	flag.IntVar(&cfg.taskSize, "tasksize", 0, "edge offsets per scheduled task (0 = default)")
+	flag.IntVar(&cfg.lanes, "lanes", 0, "block-merge lane width (0 = default 8)")
+	flag.Float64Var(&cfg.skew, "skew", 0, "MPS degree-skew threshold t (0 = default 50)")
+	flag.IntVar(&cfg.rangeScale, "rangescale", 0, "RF bitmap:filter ratio (0 = default)")
+	flag.BoolVar(&cfg.reorder, "reorder", true, "degree-descending reordering before counting")
+	flag.BoolVar(&cfg.work, "work", false, "collect and print abstract work counters")
+	flag.StringVar(&cfg.processor, "processor", "", "also model elapsed time on: cpu, knl, gpu")
+	flag.BoolVar(&cfg.verify, "verify", false, "cross-check against the reference counter (slow)")
+	flag.StringVar(&cfg.metricsOut, "metrics", "", `write a JSON metrics snapshot (phase timings, scheduler tallies) to this file ("-" = stdout)`)
+	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve net/http/pprof on this address while running (e.g. localhost:6060)")
 	flag.Parse()
 
-	g, name, err := loadOrGenerate(*graphPath, *profile, *scale)
-	if err != nil {
+	if cfg.graphPath == "" && cfg.profile == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(cfg, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	algo, err := parseAlgo(*algoName)
+}
+
+// run executes one counting run. Every failure — including a -verify
+// mismatch and any error writing the printed output or the metrics
+// snapshot — is returned so main can exit non-zero.
+func run(cfg appConfig, stdout io.Writer) error {
+	var mc *cncount.Metrics
+	if cfg.metricsOut != "" {
+		mc = cncount.NewMetrics()
+	}
+	out := &errWriter{w: stdout}
+
+	if cfg.pprofAddr != "" {
+		ln, err := net.Listen("tcp", cfg.pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(out, "pprof listening on http://%s/debug/pprof/\n", ln.Addr())
+		go func() { _ = http.Serve(ln, nil) }()
+	}
+
+	g, name, err := loadOrGenerate(cfg.graphPath, cfg.profile, cfg.scale, mc)
 	if err != nil {
-		log.Fatal(err)
+		return err
+	}
+	algo, err := parseAlgo(cfg.algoName)
+	if err != nil {
+		return err
 	}
 
 	s := cncount.Summarize(name, g)
-	fmt.Println(s)
-	fmt.Printf("skewed intersections (>50x): %.2f%%\n", cncount.SkewPercent(g, 50))
+	fmt.Fprintln(out, s)
+	fmt.Fprintf(out, "skewed intersections (>50x): %.2f%%\n", cncount.SkewPercent(g, 50))
 
 	res, err := cncount.Count(g, cncount.Options{
 		Algorithm:     algo,
-		Threads:       *threads,
-		TaskSize:      *taskSize,
-		Lanes:         *lanes,
-		SkewThreshold: *skew,
-		RangeScale:    *rangeSc,
-		Reorder:       *reorder,
-		CollectWork:   *work,
+		Threads:       cfg.threads,
+		TaskSize:      cfg.taskSize,
+		Lanes:         cfg.lanes,
+		SkewThreshold: cfg.skew,
+		RangeScale:    cfg.rangeScale,
+		Reorder:       cfg.reorder,
+		CollectWork:   cfg.work,
+		Metrics:       mc,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	var sum uint64
 	for _, c := range res.Counts {
 		sum += uint64(c)
 	}
-	fmt.Printf("algorithm %v, %d threads: %v\n", algo, res.Threads, res.Elapsed)
-	fmt.Printf("count sum %d, triangles %d\n", sum, res.TriangleCount())
-	if *work {
-		fmt.Printf("work: %+v\n", res.Work)
+	fmt.Fprintf(out, "algorithm %v, %d threads: %v\n", algo, res.Threads, res.Elapsed)
+	fmt.Fprintf(out, "count sum %d, triangles %d\n", sum, res.TriangleCount())
+	if cfg.work {
+		fmt.Fprintf(out, "work: %+v\n", res.Work)
 	}
 
-	if *processor != "" {
-		proc, err := parseProcessor(*processor)
+	if cfg.processor != "" {
+		proc, err := parseProcessor(cfg.processor)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		sim, err := cncount.Simulate(g, cncount.SimOptions{
 			Processor:    proc,
@@ -86,39 +147,93 @@ func main() {
 			CoProcessing: true,
 		})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("modeled on %v: %v\n", proc, sim.Modeled)
+		fmt.Fprintf(out, "modeled on %v: %v\n", proc, sim.Modeled)
 	}
 
-	if *verifyFlg {
+	if cfg.verify {
 		base, err := cncount.Count(g, cncount.Options{Algorithm: cncount.AlgoM, Threads: 1})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		for e := range base.Counts {
-			if res.Counts[e] != base.Counts[e] {
-				log.Fatalf("VERIFY FAILED at edge offset %d: %d != %d", e, res.Counts[e], base.Counts[e])
-			}
+		if err := compareCounts(res.Counts, base.Counts); err != nil {
+			return err
 		}
-		fmt.Println("verify: counts match the sequential baseline")
+		fmt.Fprintln(out, "verify: counts match the sequential baseline")
 	}
+
+	if mc != nil {
+		if err := writeMetrics(cfg.metricsOut, mc, out); err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
+		}
+	}
+	return out.err
 }
 
-func loadOrGenerate(path, profile string, scale float64) (*cncount.Graph, string, error) {
+// compareCounts checks a computed count array against the reference,
+// returning an error describing the first mismatch.
+func compareCounts(got, want []uint32) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("verify failed: %d counts, want %d", len(got), len(want))
+	}
+	for e := range want {
+		if got[e] != want[e] {
+			return fmt.Errorf("verify failed at edge offset %d: got %d, want %d", e, got[e], want[e])
+		}
+	}
+	return nil
+}
+
+// writeMetrics writes the snapshot to path ("-" = stdout), surfacing
+// write and close errors.
+func writeMetrics(path string, mc *cncount.Metrics, stdout io.Writer) error {
+	if path == "-" {
+		return mc.WriteJSON(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := mc.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// errWriter latches the first write error so every ignored fmt.Fprintf
+// result still surfaces as a non-zero exit at the end of the run.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	n, err := w.w.Write(p)
+	if err != nil {
+		w.err = err
+	}
+	return n, err
+}
+
+func loadOrGenerate(path, profile string, scale float64, mc *cncount.Metrics) (*cncount.Graph, string, error) {
 	switch {
 	case path != "" && profile != "":
 		return nil, "", fmt.Errorf("pass either -graph or -profile, not both")
 	case path != "":
-		g, err := cncount.LoadGraph(path)
+		g, err := cncount.LoadGraphMetrics(path, mc)
 		return g, path, err
 	case profile != "":
+		stop := mc.StartPhase("generate")
 		g, err := cncount.GenerateProfile(profile, scale)
+		stop()
 		return g, profile, err
 	default:
-		flag.Usage()
-		os.Exit(2)
-		return nil, "", nil
+		return nil, "", errors.New("pass -graph or -profile")
 	}
 }
 

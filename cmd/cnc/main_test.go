@@ -1,7 +1,13 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"cncount"
@@ -47,10 +53,13 @@ func TestParseProcessor(t *testing.T) {
 }
 
 func TestLoadOrGenerate(t *testing.T) {
-	if _, _, err := loadOrGenerate("x.txt", "TW", 1); err == nil {
+	if _, _, err := loadOrGenerate("x.txt", "TW", 1, nil); err == nil {
 		t.Error("both -graph and -profile accepted")
 	}
-	g, name, err := loadOrGenerate("", "LJ", 0.05)
+	if _, _, err := loadOrGenerate("", "", 1, nil); err == nil {
+		t.Error("neither -graph nor -profile accepted")
+	}
+	g, name, err := loadOrGenerate("", "LJ", 0.05, nil)
 	if err != nil {
 		t.Fatalf("profile generation: %v", err)
 	}
@@ -62,11 +71,173 @@ func TestLoadOrGenerate(t *testing.T) {
 	if err := cncount.SaveGraph(path, g); err != nil {
 		t.Fatal(err)
 	}
-	g2, name2, err := loadOrGenerate(path, "", 1)
+	g2, name2, err := loadOrGenerate(path, "", 1, nil)
 	if err != nil {
 		t.Fatalf("file load: %v", err)
 	}
 	if name2 != path || g2.NumEdges() != g.NumEdges() {
 		t.Error("file round trip mismatch")
+	}
+}
+
+// smallRun is an appConfig that finishes quickly for CLI-level tests.
+func smallRun() appConfig {
+	return appConfig{profile: "WI", scale: 0.1, algoName: "bmp", threads: 2, reorder: true}
+}
+
+// TestRunMetricsSnapshotToStdout drives `cnc -metrics -` end to end and
+// validates the emitted JSON: phase durations, per-worker scheduler
+// tallies, and the imbalance summary must all be present and coherent.
+func TestRunMetricsSnapshotToStdout(t *testing.T) {
+	cfg := smallRun()
+	cfg.metricsOut = "-"
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+
+	// The snapshot is the single line starting with '{' (everything else
+	// cnc prints is plain text).
+	var jsonLine string
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "{") {
+			jsonLine = line
+			break
+		}
+	}
+	if jsonLine == "" {
+		t.Fatalf("no JSON snapshot in output:\n%s", buf.String())
+	}
+	var snap cncount.MetricsSnapshot
+	if err := json.Unmarshal([]byte(jsonLine), &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, jsonLine)
+	}
+
+	for _, phase := range []string{"generate", "reorder", "core.setup", "core.count", "core.reduce", "map_counts"} {
+		if _, ok := snap.Phase(phase); !ok {
+			t.Errorf("phase %q missing from snapshot", phase)
+		}
+	}
+	if snap.Counters["core.edges_scanned"] == 0 {
+		t.Error("edges_scanned counter missing or zero")
+	}
+	if len(snap.Sched) != 1 {
+		t.Fatalf("sched snapshots = %d, want 1", len(snap.Sched))
+	}
+	sc := snap.Sched[0]
+	if sc.Scope != "core.count" || len(sc.Workers) != 2 {
+		t.Errorf("sched scope=%q workers=%d, want core.count/2", sc.Scope, len(sc.Workers))
+	}
+	var units uint64
+	for _, w := range sc.Workers {
+		units += w.UnitsProcessed
+	}
+	if units != snap.Counters["core.edges_scanned"] {
+		t.Errorf("worker units %d != edges scanned %d", units, snap.Counters["core.edges_scanned"])
+	}
+	if sc.Imbalance.Ratio < 1.0 {
+		t.Errorf("imbalance ratio = %g, want >= 1 for a real run", sc.Imbalance.Ratio)
+	}
+}
+
+func TestRunMetricsSnapshotToFile(t *testing.T) {
+	cfg := smallRun()
+	cfg.metricsOut = filepath.Join(t.TempDir(), "metrics.json")
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(cfg.metricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap cncount.MetricsSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics file is not valid JSON: %v", err)
+	}
+	if len(snap.Phases) == 0 {
+		t.Error("metrics file has no phases")
+	}
+}
+
+func TestRunMetricsFileCreateErrorExitsNonZero(t *testing.T) {
+	cfg := smallRun()
+	cfg.metricsOut = filepath.Join(t.TempDir(), "missing-dir", "metrics.json")
+	if err := run(cfg, io.Discard); err == nil {
+		t.Error("unwritable metrics path did not fail the run")
+	}
+}
+
+func TestRunVerifyPasses(t *testing.T) {
+	cfg := smallRun()
+	cfg.verify = true
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatalf("verify on a correct run failed: %v", err)
+	}
+	if !strings.Contains(buf.String(), "verify: counts match") {
+		t.Error("verify success not reported")
+	}
+}
+
+func TestCompareCountsMismatch(t *testing.T) {
+	if err := compareCounts([]uint32{1, 2, 3}, []uint32{1, 2, 3}); err != nil {
+		t.Errorf("equal counts rejected: %v", err)
+	}
+	err := compareCounts([]uint32{1, 9, 3}, []uint32{1, 2, 3})
+	if err == nil {
+		t.Fatal("mismatch accepted")
+	}
+	if !strings.Contains(err.Error(), "offset 1") {
+		t.Errorf("error %q does not locate the mismatch", err)
+	}
+	if err := compareCounts([]uint32{1}, []uint32{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+// failAfterWriter fails every write after the first n bytes, modeling a
+// full disk / closed pipe on stdout.
+type failAfterWriter struct {
+	n       int
+	written int
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.n {
+		return 0, errors.New("simulated write failure")
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+func TestRunOutputErrorExitsNonZero(t *testing.T) {
+	cfg := smallRun()
+	err := run(cfg, &failAfterWriter{n: 10})
+	if err == nil {
+		t.Fatal("output write failure did not fail the run")
+	}
+	if !strings.Contains(err.Error(), "simulated write failure") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestRunBadPprofAddr(t *testing.T) {
+	cfg := smallRun()
+	cfg.pprofAddr = "256.256.256.256:0"
+	if err := run(cfg, io.Discard); err == nil {
+		t.Error("invalid pprof address accepted")
+	}
+}
+
+func TestRunPprofServes(t *testing.T) {
+	cfg := smallRun()
+	cfg.pprofAddr = "127.0.0.1:0"
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "pprof listening on") {
+		t.Error("pprof address not announced")
 	}
 }

@@ -6,9 +6,18 @@
 //	experiments -experiment all            # everything, in paper order
 //	experiments -experiment fig10          # one table or figure
 //	experiments -experiment all -out EXPERIMENTS.md
+//	experiments -experiment all -metrics metrics.json
+//
+// With -metrics, each experiment additionally emits a JSON metrics
+// snapshot (phase timings, per-worker scheduler tallies, imbalance
+// summary) so the tables' results can be attributed to the paper's
+// Algorithm 3 phases. Snapshots reflect work actually performed: cached
+// graphs and counting runs shared with earlier experiments record
+// nothing on reuse.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -18,17 +27,25 @@ import (
 	"time"
 
 	"cncount/internal/experiments"
+	"cncount/internal/metrics"
 )
+
+// experimentMetrics pairs one experiment's id with its metrics snapshot.
+type experimentMetrics struct {
+	Experiment string           `json:"experiment"`
+	Snapshot   metrics.Snapshot `json:"snapshot"`
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 
 	var (
-		id    = flag.String("experiment", "all", "experiment id (table1..table7, fig3..fig10) or 'all'")
-		scale = flag.Float64("scale", 1.0, "dataset profile scale")
-		out   = flag.String("out", "", "write output to this file instead of stdout")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		id         = flag.String("experiment", "all", "experiment id (table1..table7, fig3..fig10) or 'all'")
+		scale      = flag.Float64("scale", 1.0, "dataset profile scale")
+		out        = flag.String("out", "", "write output to this file instead of stdout")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		metricsOut = flag.String("metrics", "", `write per-experiment metrics snapshots as a JSON array ("-" = stdout)`)
 	)
 	flag.Parse()
 
@@ -45,7 +62,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
 		w = f
 	}
 
@@ -53,7 +74,11 @@ func main() {
 	ctx.Scale = *scale
 	ctx.CapacityScale = 0.001 * *scale
 
+	var snaps []experimentMetrics
 	run := func(e experiments.Experiment) {
+		if *metricsOut != "" {
+			ctx.Metrics = metrics.New()
+		}
 		start := time.Now()
 		text, err := e.Run(ctx)
 		if err != nil {
@@ -61,6 +86,9 @@ func main() {
 		}
 		fmt.Fprintf(w, "## %s\n\n```\n%s```\n\n", e.Title, text)
 		log.Printf("%s done in %v", e.ID, time.Since(start).Round(time.Millisecond))
+		if *metricsOut != "" {
+			snaps = append(snaps, experimentMetrics{Experiment: e.ID, Snapshot: ctx.Metrics.Snapshot()})
+		}
 	}
 
 	if strings.EqualFold(*id, "all") {
@@ -69,11 +97,40 @@ func main() {
 		for _, e := range experiments.All {
 			run(e)
 		}
-		return
+	} else {
+		e, err := experiments.ByID(*id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run(e)
 	}
-	e, err := experiments.ByID(*id)
+
+	if *metricsOut != "" {
+		if err := writeSnapshots(*metricsOut, snaps); err != nil {
+			log.Fatalf("writing metrics: %v", err)
+		}
+	}
+}
+
+// writeSnapshots writes the per-experiment snapshots as one JSON array,
+// surfacing write and close errors.
+func writeSnapshots(path string, snaps []experimentMetrics) error {
+	b, err := json.Marshal(snaps)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	run(e)
+	b = append(b, '\n')
+	if path == "-" {
+		_, err := os.Stdout.Write(b)
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

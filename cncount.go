@@ -32,7 +32,19 @@ import (
 	"cncount/internal/core"
 	"cncount/internal/gen"
 	"cncount/internal/graph"
+	"cncount/internal/metrics"
 )
+
+// Metrics is the runtime observability collector: phase timings, counters,
+// and per-worker scheduler tallies, snapshottable as JSON. A nil *Metrics
+// disables all collection; see Options.Metrics.
+type Metrics = metrics.Collector
+
+// MetricsSnapshot is the JSON-encodable view of a Metrics collector.
+type MetricsSnapshot = metrics.Snapshot
+
+// NewMetrics returns an enabled metrics collector.
+func NewMetrics() *Metrics { return metrics.New() }
 
 // Graph is an undirected graph in CSR form. Both directions of every edge
 // are stored and adjacency lists are sorted ascending; see
@@ -103,6 +115,18 @@ func ReorderByDegeneracy(g *Graph) (*Graph, *Reordering) {
 // LoadGraph reads a graph from a text edge list, or from the binary CSR
 // format when the path ends in ".bin".
 func LoadGraph(path string) (*Graph, error) { return graph.LoadFile(path) }
+
+// LoadGraphMetrics is LoadGraph recording parse/build phase durations into
+// mc (nil disables collection).
+func LoadGraphMetrics(path string, mc *Metrics) (*Graph, error) {
+	return graph.LoadFileMetrics(path, mc)
+}
+
+// NewGraphParallelMetrics is NewGraphParallel recording per-stage build
+// phase durations into mc (nil disables collection).
+func NewGraphParallelMetrics(numVertices int, edges []Edge, workers int, mc *Metrics) (*Graph, error) {
+	return graph.FromEdgesParallelMetrics(numVertices, edges, workers, mc)
+}
 
 // SaveGraph writes a graph in the format implied by the path extension.
 func SaveGraph(path string, g *Graph) error { return graph.SaveFile(path, g) }
@@ -186,6 +210,12 @@ type Options struct {
 	// CollectWork gathers abstract operation counts into Result.Work
 	// (slower; used by the processor models).
 	CollectWork bool
+
+	// Metrics, when non-nil, receives phase timings (reorder, context
+	// setup, counting, count mapping), kernel counters, and per-worker
+	// scheduler tallies with an imbalance summary. Nil disables all
+	// collection at negligible cost.
+	Metrics *Metrics
 }
 
 // Result is a counting run's outcome.
@@ -202,16 +232,21 @@ func Count(g *Graph, opts Options) (*Result, error) {
 		Lanes:         opts.Lanes,
 		RangeScale:    opts.RangeScale,
 		CollectWork:   opts.CollectWork,
+		Metrics:       opts.Metrics,
 	}
 	if !opts.Reorder {
 		return core.Count(g, coreOpts)
 	}
+	stop := opts.Metrics.StartPhase("reorder")
 	rg, r := graph.ReorderByDegree(g)
+	stop()
 	res, err := core.Count(rg, coreOpts)
 	if err != nil {
 		return nil, err
 	}
+	stop = opts.Metrics.StartPhase("map_counts")
 	res.Counts = graph.MapCounts(g, rg, r, res.Counts)
+	stop()
 	return res, nil
 }
 

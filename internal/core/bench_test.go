@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+
+	"cncount/internal/gen"
+	"cncount/internal/graph"
+	"cncount/internal/metrics"
+)
+
+// BenchmarkCountMetricsGuard is the overhead guard for the observability
+// layer: the "off" variant runs the exact code path production uses with
+// metrics disabled (nil collector) and must stay within ~2% of historical
+// baselines, because the only additions are a never-taken predictable
+// branch per edge and a nil-recorder branch per scheduler task. Compare
+// against the "on" variant to see the enabled cost.
+//
+//	go test -bench BenchmarkCountMetricsGuard -count 10 ./internal/core/
+func BenchmarkCountMetricsGuard(b *testing.B) {
+	p, err := gen.ProfileByName("TW")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g0, err := p.Generate(0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, _ := graph.ReorderByDegree(g0)
+
+	run := func(b *testing.B, mc *metrics.Collector) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Count(g, Options{Algorithm: AlgoBMP, Metrics: mc}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(g.NumEdges()/2)*float64(b.N)/b.Elapsed().Seconds(), "intersections/s")
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) { run(b, metrics.New()) })
+}

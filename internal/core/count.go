@@ -48,6 +48,9 @@ type workerCtx struct {
 	rf     *bitmap.RangeFiltered
 	pu     int64 // last vertex whose neighbors the bitmap indexes; -1 = none
 	work   stats.Work
+	// kernelCalls counts intersections this worker computed (edges with
+	// u < v); tallied only when Options.Metrics is set.
+	kernelCalls uint64
 	// pad prevents false sharing between adjacent worker contexts in the
 	// contexts slice when workers write their work tallies.
 	_ [64]byte
@@ -64,6 +67,11 @@ func Count(g *graph.CSR, opts Options) (*Result, error) {
 	}
 	opts = opts.withDefaults()
 
+	mc := opts.Metrics
+
+	// Phase "core.setup" is Algorithm 3's per-thread context construction
+	// (lines 1-5): SrcFinder state and the static thread-local bitmaps.
+	stopSetup := mc.StartPhase("core.setup")
 	numEdges := g.NumEdges()
 	counts := make([]uint32, numEdges)
 	contexts := make([]workerCtx, opts.Threads)
@@ -78,18 +86,39 @@ func Count(g *graph.CSR, opts Options) (*Result, error) {
 			contexts[i].rf = bitmap.NewRangeFiltered(numV, opts.RangeScale)
 		}
 	}
+	stopSetup()
 
+	// Phase "core.count" is the dynamically scheduled all-edge loop
+	// (Algorithm 3 lines 6-27); the recorder captures each worker's
+	// claimed tasks and busy time for the imbalance summary.
+	rec := mc.SchedRecorder("core.count", opts.Threads)
 	start := time.Now()
 	body := makeBody(g, counts, contexts, opts)
-	sched.Dynamic(numEdges, opts.TaskSize, opts.Threads, body)
+	stopCount := mc.StartPhase("core.count")
+	sched.DynamicRecorded(numEdges, opts.TaskSize, opts.Threads, rec, body)
+	stopCount()
 	elapsed := time.Since(start)
+	rec.Commit()
 
+	// Phase "core.reduce" aggregates the per-worker tallies (the work
+	// reduction after the parallel region).
+	stopReduce := mc.StartPhase("core.reduce")
 	res := &Result{Counts: counts, Elapsed: elapsed, Threads: opts.Threads}
 	if opts.CollectWork {
 		for i := range contexts {
 			res.Work.Add(contexts[i].work)
 		}
 	}
+	if mc.Enabled() {
+		var kernels uint64
+		for i := range contexts {
+			kernels += contexts[i].kernelCalls
+		}
+		mc.Add("core.edges_scanned", uint64(numEdges))
+		mc.Add("core.kernel_calls_"+opts.Algorithm.String(), kernels)
+		mc.Add("core.symmetric_assignments", kernels)
+	}
+	stopReduce()
 	return res, nil
 }
 
@@ -99,6 +128,7 @@ func Count(g *graph.CSR, opts Options) (*Result, error) {
 func makeBody(g *graph.CSR, counts []uint32, contexts []workerCtx, opts Options) func(int, int64, int64) {
 	kernel := makeKernel(g, contexts, opts)
 	collect := opts.CollectWork
+	metered := opts.Metrics.Enabled()
 	return func(worker int, lo, hi int64) {
 		ctx := &contexts[worker]
 		for e := lo; e < hi; e++ {
@@ -106,6 +136,9 @@ func makeBody(g *graph.CSR, counts []uint32, contexts []workerCtx, opts Options)
 			u := ctx.finder.Find(e)
 			if u >= v {
 				continue
+			}
+			if metered {
+				ctx.kernelCalls++
 			}
 			if collect {
 				// The symmetric assignment writes two count-array entries —

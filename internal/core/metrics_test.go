@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"cncount/internal/metrics"
+)
+
+// TestCountRecordsMetrics checks that a metered run produces the full
+// observability picture: the three core phases, the kernel counters, and a
+// scheduler snapshot whose tallies cover the whole edge range.
+func TestCountRecordsMetrics(t *testing.T) {
+	g := randomGraph(t, 7, 200, 2000)
+	for _, algo := range Algorithms {
+		t.Run(algo.String(), func(t *testing.T) {
+			mc := metrics.New()
+			res, err := Count(g, Options{Algorithm: algo, Threads: 4, TaskSize: 64, Metrics: mc})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := mc.Snapshot()
+			for _, phase := range []string{"core.setup", "core.count", "core.reduce"} {
+				if _, ok := s.Phase(phase); !ok {
+					t.Errorf("phase %q missing from snapshot", phase)
+				}
+			}
+			if got := s.Counters["core.edges_scanned"]; got != uint64(g.NumEdges()) {
+				t.Errorf("edges_scanned = %d, want %d", got, g.NumEdges())
+			}
+			// Every undirected edge is intersected exactly once (u < v).
+			wantKernels := uint64(g.NumEdges() / 2)
+			if got := s.Counters["core.kernel_calls_"+algo.String()]; got != wantKernels {
+				t.Errorf("kernel_calls = %d, want %d", got, wantKernels)
+			}
+			if len(s.Sched) != 1 {
+				t.Fatalf("sched snapshots = %d, want 1", len(s.Sched))
+			}
+			sc := s.Sched[0]
+			if sc.Scope != "core.count" || len(sc.Workers) != res.Threads {
+				t.Fatalf("sched snapshot scope=%q workers=%d, want core.count/%d",
+					sc.Scope, len(sc.Workers), res.Threads)
+			}
+			var units uint64
+			for _, w := range sc.Workers {
+				units += w.UnitsProcessed
+			}
+			if units != uint64(g.NumEdges()) {
+				t.Errorf("worker units = %d, want %d", units, g.NumEdges())
+			}
+			if sc.Imbalance.MaxBusyNanos < sc.Imbalance.MeanBusyNanos {
+				t.Errorf("imbalance max %d < mean %d", sc.Imbalance.MaxBusyNanos, sc.Imbalance.MeanBusyNanos)
+			}
+		})
+	}
+}
+
+// TestCountMetricsDisabledMatches checks the metered and unmetered paths
+// compute identical counts.
+func TestCountMetricsDisabledMatches(t *testing.T) {
+	g := randomGraph(t, 11, 150, 1500)
+	plain, err := Count(g, Options{Algorithm: AlgoBMP, Threads: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	metered, err := Count(g, Options{Algorithm: AlgoBMP, Threads: 3, Metrics: metrics.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range plain.Counts {
+		if plain.Counts[e] != metered.Counts[e] {
+			t.Fatalf("counts diverge at offset %d: %d != %d", e, plain.Counts[e], metered.Counts[e])
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 
 	"cncount/internal/bitmap"
 	"cncount/internal/intersect"
+	"cncount/internal/metrics"
 	"cncount/internal/sched"
 )
 
@@ -91,6 +92,12 @@ type Options struct {
 	// with the abstract operation counts archsim consumes. It slows the run
 	// and is off by default.
 	CollectWork bool
+
+	// Metrics, when non-nil, receives phase timings (setup, counting,
+	// reduction), per-algorithm kernel counters, and the per-worker
+	// scheduler tallies with their imbalance summary. Nil disables all
+	// collection at negligible cost.
+	Metrics *metrics.Collector
 }
 
 // withDefaults returns a copy of o with all unset fields defaulted.

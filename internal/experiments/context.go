@@ -22,6 +22,7 @@ import (
 	"cncount/internal/core"
 	"cncount/internal/gen"
 	"cncount/internal/graph"
+	"cncount/internal/metrics"
 )
 
 // Context caches generated graphs and instrumented counting runs across
@@ -38,6 +39,12 @@ type Context struct {
 	RangeScale int
 	// Datasets restricts experiments that sweep datasets; nil = all five.
 	Datasets []string
+
+	// Metrics, when non-nil, receives phase timings (generation,
+	// reordering, and the core counting phases) and scheduler tallies
+	// from the work behind each experiment. Cached graphs and runs record
+	// nothing on reuse, so a snapshot reflects work actually performed.
+	Metrics *metrics.Collector
 
 	mu     sync.Mutex
 	graphs map[string]*graph.CSR
@@ -86,11 +93,15 @@ func (c *Context) Graph(name string) (*graph.CSR, error) {
 	if err != nil {
 		return nil, err
 	}
+	stop := c.Metrics.StartPhase("gen." + name)
 	g0, err := p.Generate(c.Scale)
+	stop()
 	if err != nil {
 		return nil, err
 	}
+	stop = c.Metrics.StartPhase("reorder." + name)
 	g, _ := graph.ReorderByDegree(g0)
+	stop()
 	c.graphs[name] = g
 	return g, nil
 }
@@ -116,6 +127,7 @@ func (c *Context) run(dataset string, algo core.Algorithm, lanes int) (*core.Res
 		Lanes:       lanes,
 		RangeScale:  c.RangeScale,
 		CollectWork: true,
+		Metrics:     c.Metrics,
 	})
 	if err != nil {
 		return nil, err

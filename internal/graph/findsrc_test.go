@@ -1,0 +1,103 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteFindSrc is the reference: linear scan of the offset array for the
+// vertex owning edge offset e, skipping empty ranges.
+func bruteFindSrc(g *CSR, e int64) VertexID {
+	for u := 0; u < g.NumVertices(); u++ {
+		if g.Off[u] <= e && e < g.Off[u+1] {
+			return VertexID(u)
+		}
+	}
+	panic("offset out of range")
+}
+
+// randomSparseGraph builds a CSR whose vertex set includes long runs of
+// zero-degree vertices (the hard case for FindSrc's skip loop): only every
+// stride-th vertex may receive edges.
+func randomSparseGraph(t *testing.T, rng *rand.Rand, n, m, stride int) *CSR {
+	t.Helper()
+	edges := make([]Edge, 0, m)
+	for i := 0; i < m; i++ {
+		u := VertexID(rng.Intn(1+(n-1)/stride) * stride)
+		v := VertexID(rng.Intn(1+(n-1)/stride) * stride)
+		edges = append(edges, Edge{u, v})
+	}
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestSrcFinderProperty exercises Find against the brute-force scan over
+// random access patterns that include forward jumps over zero-degree
+// vertex runs, backward jumps, repeated offsets, and monotone sweeps.
+func TestSrcFinderProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(200)
+		stride := 1 + rng.Intn(5) // stride > 1 leaves zero-degree runs
+		g := randomSparseGraph(t, rng, n, 1+rng.Intn(400), stride)
+		m := g.NumEdges()
+		if m == 0 {
+			continue
+		}
+		f := NewSrcFinder(g)
+		for q := 0; q < 200; q++ {
+			var e int64
+			switch q % 4 {
+			case 0: // uniform random (forward and backward jumps)
+				e = rng.Int63n(m)
+			case 1: // repeat-ish: cluster near the previous query
+				e = rng.Int63n(m)
+				if q > 0 {
+					e = (e + int64(q)) % m
+				}
+			case 2: // monotone sweep position
+				e = int64(q) * m / 200
+			case 3: // edges of the range
+				if rng.Intn(2) == 0 {
+					e = 0
+				} else {
+					e = m - 1
+				}
+			}
+			want := bruteFindSrc(g, e)
+			if got := f.Find(e); got != want {
+				t.Fatalf("trial %d: Find(%d) = %d, want %d (n=%d stride=%d)", trial, e, got, want, n, stride)
+			}
+			// Repeated offset must be stable.
+			if got := f.Find(e); got != want {
+				t.Fatalf("trial %d: repeated Find(%d) changed answer to %d, want %d", trial, e, got, want)
+			}
+		}
+	}
+}
+
+// TestSrcFinderBackwardOverEmptyRuns directs the finder far forward, then
+// back across a run of zero-degree vertices, the two searches Algorithm 3
+// lines 9-14 must both survive.
+func TestSrcFinderBackwardOverEmptyRuns(t *testing.T) {
+	// Vertices 0 and 10 have edges; 1..9 are empty.
+	edges := []Edge{{0, 10}, {0, 11}, {10, 11}}
+	g, err := FromEdges(12, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewSrcFinder(g)
+	last := g.NumEdges() - 1
+	if got, want := f.Find(last), bruteFindSrc(g, last); got != want {
+		t.Fatalf("forward jump: Find(%d) = %d, want %d", last, got, want)
+	}
+	if got, want := f.Find(0), bruteFindSrc(g, 0); got != want {
+		t.Fatalf("backward jump: Find(0) = %d, want %d", got, want)
+	}
+	if f.Reset(); f.Find(last) != bruteFindSrc(g, last) {
+		t.Fatal("find after Reset diverges")
+	}
+}

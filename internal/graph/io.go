@@ -8,11 +8,21 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"cncount/internal/metrics"
 )
 
 // ReadEdgeList parses a whitespace-separated text edge list ("u v" per
 // line; lines beginning with '#' or '%' are comments). The vertex count is
 // 1 + the maximum ID seen.
+//
+// The returned edge list is the raw input: duplicate lines, reversed
+// duplicates ("u v" and "v u"), and self-loops ("u u") are preserved
+// verbatim. The canonical semantics — self-loops dropped, duplicates
+// merged so each undirected edge appears exactly once per direction — are
+// enforced identically by both build paths, FromEdges and
+// FromEdgesParallel, so degrees and counts never inflate from dirty
+// input.
 func ReadEdgeList(r io.Reader) (numVertices int, edges []Edge, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -161,6 +171,14 @@ func readChunkedUint32(r io.Reader, count int) ([]uint32, error) {
 // ".bin" is the binary CSR format, ".metis" and ".graph" are METIS
 // adjacency files, and anything else is parsed as a text edge list.
 func LoadFile(path string) (*CSR, error) {
+	return LoadFileMetrics(path, nil)
+}
+
+// LoadFileMetrics is LoadFile recording phase durations into mc: a
+// "graph.parse" sample for reading/decoding the input and a "graph.build"
+// sample for CSR construction (binary CSR files decode directly and record
+// only the parse phase). A nil collector records nothing.
+func LoadFileMetrics(path string, mc *metrics.Collector) (*CSR, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -168,15 +186,26 @@ func LoadFile(path string) (*CSR, error) {
 	defer f.Close()
 	switch {
 	case strings.HasSuffix(path, ".bin"):
-		return ReadBinary(f)
+		stop := mc.StartPhase("graph.parse")
+		g, err := ReadBinary(f)
+		stop()
+		return g, err
 	case strings.HasSuffix(path, ".metis"), strings.HasSuffix(path, ".graph"):
-		return ReadMETIS(f)
+		stop := mc.StartPhase("graph.parse")
+		g, err := ReadMETIS(f)
+		stop()
+		return g, err
 	}
+	stop := mc.StartPhase("graph.parse")
 	n, edges, err := ReadEdgeList(f)
+	stop()
 	if err != nil {
 		return nil, err
 	}
-	return FromEdges(n, edges)
+	stop = mc.StartPhase("graph.build")
+	g, err := FromEdges(n, edges)
+	stop()
+	return g, err
 }
 
 // SaveFile writes g to path, choosing the format by extension as in

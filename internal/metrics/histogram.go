@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the fixed bucket count: bucket i counts durations d with
+// bits.Len64(nanos) == i, i.e. nanos in [2^(i-1), 2^i). 48 buckets cover
+// sub-nanosecond through ~78 hours, far past any phase this library times.
+const histBuckets = 48
+
+// Histogram is a fixed-bucket power-of-two duration histogram. Observe is
+// one atomic add with no allocation, so it is safe on hot paths shared by
+// many workers. The zero value is ready for use.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one duration. Negative durations count in bucket 0.
+func (h *Histogram) Observe(d time.Duration) {
+	var n uint64
+	if d > 0 {
+		n = uint64(d)
+	}
+	i := bits.Len64(n)
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+}
+
+// Snapshot returns the non-empty buckets with their exclusive upper bounds
+// in nanoseconds.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		s.Buckets = append(s.Buckets, HistogramBucket{UpperNanos: uint64(1) << i, Count: n})
+		s.Count += n
+	}
+	return s
+}
+
+// HistogramSnapshot is the JSON-encodable view of a Histogram.
+type HistogramSnapshot struct {
+	// Buckets lists the non-empty buckets in ascending bound order;
+	// a bucket counts durations in [bound/2, bound) nanoseconds.
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+	// Count is the total number of observations.
+	Count uint64 `json:"count"`
+}
+
+// HistogramBucket is one non-empty histogram bucket.
+type HistogramBucket struct {
+	UpperNanos uint64 `json:"le_nanos"`
+	Count      uint64 `json:"count"`
+}

@@ -1,0 +1,190 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilCollectorIsSafe(t *testing.T) {
+	var c *Collector
+	if c.Enabled() {
+		t.Error("nil collector reports enabled")
+	}
+	stop := c.StartPhase("x")
+	stop()
+	c.RecordPhase("x", time.Second)
+	c.Add("n", 3)
+	r := c.SchedRecorder("scope", 4)
+	if r != nil {
+		t.Error("nil collector returned a recorder")
+	}
+	if r.Tally(0) != nil {
+		t.Error("nil recorder returned a tally")
+	}
+	r.ObserveTask(time.Millisecond)
+	r.Commit()
+	s := c.Snapshot()
+	if len(s.Phases) != 0 || len(s.Counters) != 0 || len(s.Sched) != 0 {
+		t.Errorf("nil snapshot not empty: %+v", s)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhasesAndCounters(t *testing.T) {
+	c := New()
+	c.RecordPhase("core.count", 2*time.Millisecond)
+	c.RecordPhase("core.count", 3*time.Millisecond)
+	c.RecordPhase("core.setup", time.Millisecond)
+	c.Add("edges", 10)
+	c.Add("edges", 5)
+
+	s := c.Snapshot()
+	if len(s.Phases) != 3 {
+		t.Fatalf("phases = %d, want 3", len(s.Phases))
+	}
+	if s.Phases[0].Name != "core.count" || s.Phases[2].Name != "core.setup" {
+		t.Errorf("phase order not preserved: %+v", s.Phases)
+	}
+	if total, ok := s.Phase("core.count"); !ok || total != (5*time.Millisecond).Nanoseconds() {
+		t.Errorf("Phase(core.count) = %d,%v", total, ok)
+	}
+	if _, ok := s.Phase("missing"); ok {
+		t.Error("missing phase reported present")
+	}
+	if s.Counters["edges"] != 15 {
+		t.Errorf("counter = %d, want 15", s.Counters["edges"])
+	}
+}
+
+func TestStartPhaseMeasures(t *testing.T) {
+	c := New()
+	stop := c.StartPhase("p")
+	time.Sleep(2 * time.Millisecond)
+	stop()
+	n, ok := c.Snapshot().Phase("p")
+	if !ok || n < (1*time.Millisecond).Nanoseconds() {
+		t.Errorf("phase p = %d ns, want >= 1ms", n)
+	}
+}
+
+func TestSchedRecorderImbalance(t *testing.T) {
+	c := New()
+	r := c.SchedRecorder("core.count", 4)
+	// Worker 0 is the straggler: 3x the busy time of the others.
+	for w := 0; w < 4; w++ {
+		tally := r.Tally(w)
+		tally.TasksClaimed = uint64(w + 1)
+		tally.UnitsProcessed = uint64(100 * (w + 1))
+		tally.BusyNanos = 1000
+		if w == 0 {
+			tally.BusyNanos = 3000
+		}
+		r.ObserveTask(time.Duration(tally.BusyNanos))
+	}
+	r.Commit()
+
+	s := c.Snapshot()
+	if len(s.Sched) != 1 {
+		t.Fatalf("sched snapshots = %d, want 1", len(s.Sched))
+	}
+	sc := s.Sched[0]
+	if sc.Scope != "core.count" || len(sc.Workers) != 4 {
+		t.Fatalf("bad snapshot %+v", sc)
+	}
+	if sc.Imbalance.MaxBusyNanos != 3000 {
+		t.Errorf("max busy = %d, want 3000", sc.Imbalance.MaxBusyNanos)
+	}
+	if sc.Imbalance.MeanBusyNanos != 1500 {
+		t.Errorf("mean busy = %d, want 1500", sc.Imbalance.MeanBusyNanos)
+	}
+	if sc.Imbalance.Ratio != 2.0 {
+		t.Errorf("ratio = %g, want 2.0", sc.Imbalance.Ratio)
+	}
+	if sc.TaskNanos.Count != 4 {
+		t.Errorf("task histogram count = %d, want 4", sc.TaskNanos.Count)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(0)                        // bucket 0
+	h.Observe(-time.Second)             // clamped to bucket 0
+	h.Observe(1)                        // [1,2)
+	h.Observe(3)                        // [2,4)
+	h.Observe(1 << 40)                  // way up
+	h.Observe(time.Duration(1)<<62 + 1) // clamps to last bucket
+
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	want := map[uint64]uint64{1: 2, 2: 1, 4: 1, 1 << 41: 1, 1 << 47: 1}
+	for _, b := range s.Buckets {
+		if want[b.UpperNanos] != b.Count {
+			t.Errorf("bucket le=%d count=%d, want %d", b.UpperNanos, b.Count, want[b.UpperNanos])
+		}
+		delete(want, b.UpperNanos)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing buckets: %v", want)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	c := New()
+	c.RecordPhase("graph.parse", time.Millisecond)
+	c.Add("core.kernel_calls_BMP", 7)
+	r := c.SchedRecorder("core.count", 2)
+	r.Tally(0).TasksClaimed = 1
+	r.Tally(0).BusyNanos = 10
+	r.ObserveTask(10)
+	r.Commit()
+
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Bytes()[buf.Len()-1] != '\n' {
+		t.Error("snapshot not newline-terminated")
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(s.Phases) != 1 || s.Phases[0].Name != "graph.parse" {
+		t.Errorf("phases did not round-trip: %+v", s.Phases)
+	}
+	if s.Counters["core.kernel_calls_BMP"] != 7 {
+		t.Errorf("counters did not round-trip: %+v", s.Counters)
+	}
+	if len(s.Sched) != 1 || s.Sched[0].Workers[0].TasksClaimed != 1 {
+		t.Errorf("sched did not round-trip: %+v", s.Sched)
+	}
+}
+
+func TestCollectorConcurrentUse(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Add("n", 1)
+				c.RecordPhase("p", time.Nanosecond)
+				_ = c.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.Counters["n"] != 800 || len(s.Phases) != 800 {
+		t.Errorf("lost updates: counter=%d phases=%d", s.Counters["n"], len(s.Phases))
+	}
+}

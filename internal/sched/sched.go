@@ -7,6 +7,12 @@
 // state (each worker owns a context that persists across the tasks it
 // claims, which is what makes the stashed-source-vertex and thread-local
 // bitmap amortizations work).
+//
+// Each scheduler has a *Recorded variant that tallies per-worker
+// tasks-claimed / units-processed / busy-time into a
+// metrics.SchedRecorder, the substrate for the per-worker load-balance
+// breakdowns of the evaluation. The plain entry points pass a nil recorder
+// and keep the uninstrumented hot loop.
 package sched
 
 import (
@@ -14,6 +20,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"cncount/internal/metrics"
 )
 
 // DefaultTaskSize is the default number of units |T| per dynamically
@@ -32,14 +41,71 @@ func Workers(requested int) int {
 	return requested
 }
 
+// PanicError carries a worker goroutine's panic across the join to the
+// caller's goroutine. The original panic value survives in Value with its
+// dynamic type intact (a runtime.Error or sentinel stays inspectable with
+// errors.Is/As through Unwrap), and Stack holds the panicking worker's
+// stack trace, which the re-panic on the caller's goroutine would
+// otherwise lose.
+type PanicError struct {
+	// Value is the original value passed to panic in the worker.
+	Value any
+	// Stack is the panicking worker goroutine's stack trace.
+	Stack []byte
+}
+
+// Error formats the original panic value.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sched: worker panicked: %v", e.Value)
+}
+
+// Unwrap exposes the original value to errors.Is/As when it was an error.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// panicBox captures the first worker panic; rethrow re-panics it on the
+// caller's goroutine wrapped in *PanicError. capture must run in the
+// deferred context of the worker (before its wg.Done), so the write to err
+// is ordered before the caller's wg.Wait returns.
+type panicBox struct {
+	once sync.Once
+	err  *PanicError
+}
+
+func (b *panicBox) capture() {
+	if r := recover(); r != nil {
+		stack := make([]byte, 64<<10)
+		stack = stack[:runtime.Stack(stack, false)]
+		b.once.Do(func() { b.err = &PanicError{Value: r, Stack: stack} })
+	}
+}
+
+func (b *panicBox) rethrow() {
+	if b.err != nil {
+		panic(b.err)
+	}
+}
+
 // Dynamic runs body over the half-open range [0, n) split into
 // ceil(n/taskSize) chunks claimed dynamically by `workers` goroutines.
 // body(worker, lo, hi) processes [lo, hi); the worker index is stable for
 // the lifetime of the call, so worker-indexed state is goroutine-local.
 //
 // A panic in any worker is captured and re-panicked in the caller's
-// goroutine after all workers stop.
+// goroutine after all workers stop, wrapped in *PanicError.
 func Dynamic(n int64, taskSize, workers int, body func(worker int, lo, hi int64)) {
+	DynamicRecorded(n, taskSize, workers, nil, body)
+}
+
+// DynamicRecorded is Dynamic with per-worker metrics: each claimed task
+// adds to the worker's tally (tasks, units, busy time) and to the
+// recorder's task-duration histogram. A nil recorder records nothing and
+// keeps the uninstrumented loop.
+func DynamicRecorded(n int64, taskSize, workers int, rec *metrics.SchedRecorder, body func(worker int, lo, hi int64)) {
 	if n <= 0 {
 		return
 	}
@@ -48,23 +114,19 @@ func Dynamic(n int64, taskSize, workers int, body func(worker int, lo, hi int64)
 	}
 	workers = Workers(workers)
 	if workers == 1 {
-		body(0, 0, n)
+		runSequential(n, rec, body)
 		return
 	}
 
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
-	var panicOnce sync.Once
-	var panicVal any
+	var box panicBox
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panicOnce.Do(func() { panicVal = r })
-				}
-			}()
+			defer box.capture()
+			tally := rec.Tally(worker)
 			for {
 				lo := cursor.Add(int64(taskSize)) - int64(taskSize)
 				if lo >= n {
@@ -74,14 +136,40 @@ func Dynamic(n int64, taskSize, workers int, body func(worker int, lo, hi int64)
 				if hi > n {
 					hi = n
 				}
-				body(worker, lo, hi)
+				if tally != nil {
+					start := time.Now()
+					body(worker, lo, hi)
+					d := time.Since(start)
+					tally.TasksClaimed++
+					tally.UnitsProcessed += uint64(hi - lo)
+					tally.BusyNanos += uint64(d)
+					rec.ObserveTask(d)
+				} else {
+					body(worker, lo, hi)
+				}
 			}
 		}(w)
 	}
 	wg.Wait()
-	if panicVal != nil {
-		panic(fmt.Sprintf("sched: worker panicked: %v", panicVal))
+	box.rethrow()
+}
+
+// runSequential is the workers == 1 fast path shared by all schedulers:
+// one body call covers the whole range on the caller's goroutine (so a
+// panic propagates unwrapped, exactly as a plain loop would).
+func runSequential(n int64, rec *metrics.SchedRecorder, body func(worker int, lo, hi int64)) {
+	if rec == nil {
+		body(0, 0, n)
+		return
 	}
+	tally := rec.Tally(0)
+	start := time.Now()
+	body(0, 0, n)
+	d := time.Since(start)
+	tally.TasksClaimed++
+	tally.UnitsProcessed += uint64(n)
+	tally.BusyNanos += uint64(d)
+	rec.ObserveTask(d)
 }
 
 // Guided runs body over [0, n) with OpenMP guided scheduling: each worker
@@ -92,6 +180,11 @@ func Dynamic(n int64, taskSize, workers int, body func(worker int, lo, hi int64)
 // per-unit cost is skewed (exactly the situation on hub-heavy graphs, which
 // is why the paper — and core — use plain fixed-size dynamic chunks).
 func Guided(n int64, minChunk, workers int, body func(worker int, lo, hi int64)) {
+	GuidedRecorded(n, minChunk, workers, nil, body)
+}
+
+// GuidedRecorded is Guided with per-worker metrics; see DynamicRecorded.
+func GuidedRecorded(n int64, minChunk, workers int, rec *metrics.SchedRecorder, body func(worker int, lo, hi int64)) {
 	if n <= 0 {
 		return
 	}
@@ -100,7 +193,7 @@ func Guided(n int64, minChunk, workers int, body func(worker int, lo, hi int64))
 	}
 	workers = Workers(workers)
 	if workers == 1 {
-		body(0, 0, n)
+		runSequential(n, rec, body)
 		return
 	}
 
@@ -127,50 +220,58 @@ func Guided(n int64, minChunk, workers int, body func(worker int, lo, hi int64))
 	}
 
 	var wg sync.WaitGroup
-	var panicOnce sync.Once
-	var panicVal any
+	var box panicBox
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panicOnce.Do(func() { panicVal = r })
-				}
-			}()
+			defer box.capture()
+			tally := rec.Tally(worker)
 			for {
 				lo, hi, ok := claim()
 				if !ok {
 					return
 				}
-				body(worker, lo, hi)
+				if tally != nil {
+					start := time.Now()
+					body(worker, lo, hi)
+					d := time.Since(start)
+					tally.TasksClaimed++
+					tally.UnitsProcessed += uint64(hi - lo)
+					tally.BusyNanos += uint64(d)
+					rec.ObserveTask(d)
+				} else {
+					body(worker, lo, hi)
+				}
 			}
 		}(w)
 	}
 	wg.Wait()
-	if panicVal != nil {
-		panic(fmt.Sprintf("sched: worker panicked: %v", panicVal))
-	}
+	box.rethrow()
 }
 
 // Static runs body over [0, n) split into `workers` contiguous slabs, one
 // per worker (OpenMP static schedule). Used where dynamic scheduling buys
 // nothing (e.g. the reverse-offset assignment postprocessing).
 func Static(n int64, workers int, body func(worker int, lo, hi int64)) {
+	StaticRecorded(n, workers, nil, body)
+}
+
+// StaticRecorded is Static with per-worker metrics; see DynamicRecorded.
+func StaticRecorded(n int64, workers int, rec *metrics.SchedRecorder, body func(worker int, lo, hi int64)) {
 	if n <= 0 {
 		return
 	}
 	workers = Workers(workers)
 	if workers == 1 {
-		body(0, 0, n)
+		runSequential(n, rec, body)
 		return
 	}
 	if int64(workers) > n {
 		workers = int(n)
 	}
 	var wg sync.WaitGroup
-	var panicOnce sync.Once
-	var panicVal any
+	var box panicBox
 	per := n / int64(workers)
 	rem := n % int64(workers)
 	lo := int64(0)
@@ -182,17 +283,21 @@ func Static(n int64, workers int, body func(worker int, lo, hi int64)) {
 		wg.Add(1)
 		go func(worker int, lo, hi int64) {
 			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panicOnce.Do(func() { panicVal = r })
-				}
-			}()
-			body(worker, lo, hi)
+			defer box.capture()
+			if tally := rec.Tally(worker); tally != nil {
+				start := time.Now()
+				body(worker, lo, hi)
+				d := time.Since(start)
+				tally.TasksClaimed++
+				tally.UnitsProcessed += uint64(hi - lo)
+				tally.BusyNanos += uint64(d)
+				rec.ObserveTask(d)
+			} else {
+				body(worker, lo, hi)
+			}
 		}(w, lo, hi)
 		lo = hi
 	}
 	wg.Wait()
-	if panicVal != nil {
-		panic(fmt.Sprintf("sched: worker panicked: %v", panicVal))
-	}
+	box.rethrow()
 }

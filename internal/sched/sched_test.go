@@ -1,12 +1,15 @@
 package sched
 
 import (
+	"errors"
 	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+
+	"cncount/internal/metrics"
 )
 
 func TestDynamicCoversRangeExactlyOnce(t *testing.T) {
@@ -92,8 +95,12 @@ func TestDynamicPanicPropagates(t *testing.T) {
 		if r == nil {
 			t.Fatal("panic did not propagate")
 		}
-		if !strings.Contains(r.(string), "boom") {
-			t.Errorf("panic value %v does not mention cause", r)
+		pe, ok := r.(*PanicError)
+		if !ok {
+			t.Fatalf("panic value %T, want *PanicError", r)
+		}
+		if !strings.Contains(pe.Error(), "boom") {
+			t.Errorf("panic error %q does not mention cause", pe.Error())
 		}
 	}()
 	Dynamic(100, 10, 4, func(_ int, lo, _ int64) {
@@ -101,6 +108,131 @@ func TestDynamicPanicPropagates(t *testing.T) {
 			panic("boom")
 		}
 	})
+}
+
+// errSentinel is a typed sentinel used to assert that worker panics
+// round-trip with their original dynamic type and identity.
+var errSentinel = errors.New("sentinel failure")
+
+func TestPanicValueRoundTrips(t *testing.T) {
+	schedulers := map[string]func(body func(int, int64, int64)){
+		"dynamic": func(body func(int, int64, int64)) { Dynamic(100, 10, 4, body) },
+		"guided":  func(body func(int, int64, int64)) { Guided(100, 1, 4, body) },
+		"static":  func(body func(int, int64, int64)) { Static(100, 4, body) },
+	}
+	for name, run := range schedulers {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("panic did not propagate")
+				}
+				pe, ok := r.(*PanicError)
+				if !ok {
+					t.Fatalf("panic value %T, want *PanicError", r)
+				}
+				if pe.Value != errSentinel {
+					t.Errorf("original value lost: got %#v, want errSentinel", pe.Value)
+				}
+				if !errors.Is(pe, errSentinel) {
+					t.Error("errors.Is cannot see the sentinel through the wrapper")
+				}
+				if !strings.Contains(string(pe.Stack), "sched") {
+					t.Errorf("stack trace missing or foreign:\n%s", pe.Stack)
+				}
+			}()
+			run(func(_ int, lo, _ int64) {
+				if lo == 0 {
+					panic(errSentinel)
+				}
+			})
+		})
+	}
+}
+
+func TestPanicRuntimeErrorPreserved(t *testing.T) {
+	defer func() {
+		pe, ok := recover().(*PanicError)
+		if !ok {
+			t.Fatal("want *PanicError")
+		}
+		var rte runtime.Error
+		if !errors.As(pe, &rte) {
+			t.Errorf("runtime.Error type lost: Value is %T", pe.Value)
+		}
+	}()
+	var s []int
+	Dynamic(100, 10, 4, func(_ int, lo, _ int64) {
+		if lo == 0 {
+			_ = s[5] // index out of range -> runtime.Error
+		}
+	})
+}
+
+func TestDynamicRecorded(t *testing.T) {
+	const n, taskSize, workers = 1000, 64, 4
+	c := metrics.New()
+	rec := c.SchedRecorder("test", workers)
+	DynamicRecorded(n, taskSize, workers, rec, func(_ int, lo, hi int64) {
+		for i := lo; i < hi; i++ {
+			_ = i
+		}
+	})
+	rec.Commit()
+
+	s := c.Snapshot()
+	if len(s.Sched) != 1 {
+		t.Fatalf("sched snapshots = %d, want 1", len(s.Sched))
+	}
+	sc := s.Sched[0]
+	if len(sc.Workers) != workers {
+		t.Fatalf("worker tallies = %d, want %d", len(sc.Workers), workers)
+	}
+	var tasks, units uint64
+	for _, w := range sc.Workers {
+		tasks += w.TasksClaimed
+		units += w.UnitsProcessed
+	}
+	wantTasks := uint64((n + taskSize - 1) / taskSize)
+	if tasks != wantTasks {
+		t.Errorf("tasks claimed = %d, want %d", tasks, wantTasks)
+	}
+	if units != n {
+		t.Errorf("units processed = %d, want %d", units, n)
+	}
+	if sc.TaskNanos.Count != wantTasks {
+		t.Errorf("task histogram count = %d, want %d", sc.TaskNanos.Count, wantTasks)
+	}
+}
+
+func TestRecordedSequentialPath(t *testing.T) {
+	c := metrics.New()
+	rec := c.SchedRecorder("seq", 1)
+	StaticRecorded(500, 1, rec, func(_ int, lo, hi int64) {})
+	rec.Commit()
+	w := c.Snapshot().Sched[0].Workers[0]
+	if w.TasksClaimed != 1 || w.UnitsProcessed != 500 {
+		t.Errorf("sequential tally = %+v", w)
+	}
+}
+
+func TestStaticRecorded(t *testing.T) {
+	const n, workers = 1000, 4
+	c := metrics.New()
+	rec := c.SchedRecorder("static", workers)
+	StaticRecorded(n, workers, rec, func(_ int, lo, hi int64) {})
+	rec.Commit()
+	sc := c.Snapshot().Sched[0]
+	var units uint64
+	for _, w := range sc.Workers {
+		if w.TasksClaimed > 1 {
+			t.Errorf("static worker claimed %d tasks, want <= 1", w.TasksClaimed)
+		}
+		units += w.UnitsProcessed
+	}
+	if units != n {
+		t.Errorf("units = %d, want %d", units, n)
+	}
 }
 
 func TestGuidedCoversRangeExactlyOnce(t *testing.T) {
