@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check fuzz bench experiments examples clean
+.PHONY: all build vet test race check fuzz bench benchdiff microbench experiments examples clean
 
 # The default verify path is `make check`: build + vet + tests + the race
 # detector on the small-graph packages.
@@ -21,7 +21,7 @@ test:
 # Race detection runs on the packages whose tests use small graphs; the
 # full profile-scale workloads are too slow under the race detector.
 race:
-	$(GO) test -race ./internal/core/ ./internal/sched/ ./internal/gpusim/ ./internal/graph/ ./internal/scan/ ./internal/metrics/ ./cmd/cnc/
+	$(GO) test -race ./internal/core/ ./internal/sched/ ./internal/gpusim/ ./internal/graph/ ./internal/scan/ ./internal/metrics/ ./internal/trace/ ./internal/benchfmt/ ./cmd/cnc/ ./cmd/benchrun/
 
 check: build test race
 
@@ -31,7 +31,22 @@ fuzz:
 	$(GO) test -fuzz FuzzReadEdgeList -fuzztime 30s ./internal/graph/
 	$(GO) test -fuzz FuzzReadBinary -fuzztime 30s ./internal/graph/
 
+# Continuous benchmark harness: run the graph × algorithm × workers
+# matrix and write a schema-versioned BENCH_local.json (~seconds, not
+# minutes). Override the label with `make bench LABEL=mybranch`.
+LABEL ?= local
 bench:
+	$(GO) run ./cmd/benchrun -label $(LABEL)
+
+# Diff two benchmark reports; exits non-zero when any matrix cell slowed
+# past the threshold: `make benchdiff BASE=BENCH_main.json HEAD=BENCH_pr.json`.
+BASE ?= BENCH_main.json
+HEAD ?= BENCH_local.json
+benchdiff:
+	$(GO) run ./cmd/benchrun -baseline $(BASE) -input $(HEAD)
+
+# Go microbenchmarks (kernel and overhead-guard level).
+microbench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate the paper's tables and figures (see EXPERIMENTS.md).

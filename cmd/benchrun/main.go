@@ -1,0 +1,316 @@
+// Command benchrun is the continuous benchmark harness: it runs a fixed
+// matrix of generated graphs × counting algorithms × worker counts,
+// records ns/edge, speedup-vs-1-worker, scheduler imbalance and kernel
+// counters, and writes a schema-versioned BENCH_<label>.json report
+// (internal/benchfmt). In -baseline mode it instead diffs two reports and
+// exits non-zero when any matrix cell slowed past the threshold.
+//
+// Usage:
+//
+//	benchrun -label local                        # run matrix, write BENCH_local.json
+//	benchrun -profiles WI,LJ -scale 0.2 -workers 1,2,4 -reps 3
+//	benchrun -baseline BENCH_main.json -input BENCH_pr.json -threshold 0.10
+//	benchrun -baseline BENCH_main.json           # run matrix, diff against base
+//
+// benchrun exits 0 only when the whole run succeeded and, in -baseline
+// mode, no regression exceeded the threshold.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"cncount"
+	"cncount/internal/benchfmt"
+)
+
+// appConfig mirrors the flag set so the whole run is testable without
+// touching globals or os.Exit.
+type appConfig struct {
+	label     string
+	out       string
+	profiles  string
+	scale     float64
+	algos     string
+	workers   string
+	reps      int
+	baseline  string
+	input     string
+	threshold float64
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchrun: ")
+
+	var cfg appConfig
+	flag.StringVar(&cfg.label, "label", "local", "report label (names the default output file)")
+	flag.StringVar(&cfg.out, "out", "", `output path (default "BENCH_<label>.json"; "-" = stdout)`)
+	flag.StringVar(&cfg.profiles, "profiles", "WI,OR", "comma-separated dataset profiles to run")
+	flag.Float64Var(&cfg.scale, "scale", 0.2, "profile scale for every graph in the matrix")
+	flag.StringVar(&cfg.algos, "algos", "mps,bmp", "comma-separated algorithms (m, mps, bmp, bmprf)")
+	flag.StringVar(&cfg.workers, "workers", "1,2,4", "comma-separated worker counts")
+	flag.IntVar(&cfg.reps, "reps", 3, "repetitions per cell (best is reported)")
+	flag.StringVar(&cfg.baseline, "baseline", "", "diff mode: baseline BENCH_*.json to compare against")
+	flag.StringVar(&cfg.input, "input", "", "diff mode: head BENCH_*.json (empty = run the matrix)")
+	flag.Float64Var(&cfg.threshold, "threshold", 0.10, "relative ns/edge slowdown that fails the diff")
+	flag.Parse()
+
+	if err := run(cfg, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes one harness invocation. Every failure — a bad flag, a
+// failed counting run, an output write error, or a past-threshold
+// regression in -baseline mode — is returned so main can exit non-zero.
+func run(cfg appConfig, stdout io.Writer) error {
+	out := &errWriter{w: stdout}
+	if cfg.baseline != "" {
+		if err := runDiff(cfg, out); err != nil {
+			return err
+		}
+		return out.err
+	}
+
+	report, err := runMatrix(cfg, out)
+	if err != nil {
+		return err
+	}
+	path := cfg.out
+	if path == "" {
+		path = "BENCH_" + cfg.label + ".json"
+	}
+	if path == "-" {
+		if err := report.Write(out); err != nil {
+			return err
+		}
+	} else {
+		if err := benchfmt.WriteFile(path, report); err != nil {
+			return fmt.Errorf("writing report: %w", err)
+		}
+		fmt.Fprintf(out, "wrote %s (%d results)\n", path, len(report.Results))
+	}
+	return out.err
+}
+
+// runDiff loads base and head (running the matrix when no -input file is
+// given), prints the comparison, and fails on regressions.
+func runDiff(cfg appConfig, out *errWriter) error {
+	base, err := benchfmt.LoadFile(cfg.baseline)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var head *benchfmt.Report
+	if cfg.input != "" {
+		head, err = benchfmt.LoadFile(cfg.input)
+		if err != nil {
+			return fmt.Errorf("input: %w", err)
+		}
+	} else {
+		head, err = runMatrix(cfg, out)
+		if err != nil {
+			return err
+		}
+	}
+
+	d := benchfmt.Diff(base, head, cfg.threshold)
+	fmt.Fprintf(out, "diff %s (base) vs %s (head), threshold +%.0f%%\n",
+		base.Label, head.Label, 100*cfg.threshold)
+	for _, delta := range d.Deltas {
+		status := "ok"
+		if delta.Regressed {
+			status = "REGRESSED"
+		}
+		fmt.Fprintf(out, "  %-16s %8.2f -> %8.2f ns/edge  (%+6.1f%%)  %s\n",
+			delta.Key, delta.BaseNsPerEdge, delta.HeadNsPerEdge,
+			100*(delta.Ratio-1), status)
+	}
+	for _, k := range d.MissingInHead {
+		fmt.Fprintf(out, "  %-16s missing in head  REGRESSED\n", k)
+	}
+	for _, k := range d.MissingInBase {
+		fmt.Fprintf(out, "  %-16s new in head\n", k)
+	}
+	if d.Regressions > 0 {
+		return fmt.Errorf("%d of %d cells regressed past +%.0f%%",
+			d.Regressions, len(base.Results), 100*cfg.threshold)
+	}
+	fmt.Fprintf(out, "no regressions across %d cells\n", len(d.Deltas))
+	return nil
+}
+
+// runMatrix executes the benchmark matrix and assembles the report.
+// Graphs are generated and degree-reordered once per profile; each cell
+// runs cfg.reps times and keeps the best elapsed time, as the paper's
+// methodology (and benchmarking practice generally) prescribes for
+// noise-prone wall-clock measurements.
+func runMatrix(cfg appConfig, out *errWriter) (*benchfmt.Report, error) {
+	profiles, err := splitList(cfg.profiles)
+	if err != nil {
+		return nil, err
+	}
+	algoNames, err := splitList(cfg.algos)
+	if err != nil {
+		return nil, err
+	}
+	algos := make([]cncount.Algorithm, len(algoNames))
+	for i, name := range algoNames {
+		if algos[i], err = parseAlgo(name); err != nil {
+			return nil, err
+		}
+	}
+	workers, err := splitInts(cfg.workers)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.reps < 1 {
+		return nil, fmt.Errorf("reps %d < 1", cfg.reps)
+	}
+
+	report := &benchfmt.Report{
+		Schema:     benchfmt.Schema,
+		Label:      cfg.label,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, profile := range profiles {
+		g, err := cncount.GenerateProfile(profile, cfg.scale)
+		if err != nil {
+			return nil, err
+		}
+		// Reorder once: every cell measures counting on the same
+		// degree-descending graph, not the preprocessing.
+		rg, _ := cncount.ReorderByDegree(g)
+		for _, algo := range algos {
+			base := make(map[int]int64) // workers -> best elapsed
+			for _, w := range workers {
+				res, err := runCell(rg, algo, w, cfg.reps)
+				if err != nil {
+					return nil, err
+				}
+				res.Graph = profile
+				res.Scale = cfg.scale
+				base[w] = res.ElapsedNanos
+				if one, ok := base[1]; ok && res.ElapsedNanos > 0 {
+					res.SpeedupVs1 = float64(one) / float64(res.ElapsedNanos)
+				}
+				report.Results = append(report.Results, *res)
+				fmt.Fprintf(out, "%-4s %-6s w%-2d  %9.2f ns/edge  speedup %.2fx  imbalance %.2f\n",
+					profile, res.Algo, w, res.NsPerEdge, res.SpeedupVs1, res.ImbalanceRatio)
+			}
+		}
+	}
+	report.CreatedUnix = time.Now().Unix()
+	return report, nil
+}
+
+// runCell measures one matrix cell: reps counting runs on the already
+// reordered graph, keeping the best and its metrics snapshot.
+func runCell(rg *cncount.Graph, algo cncount.Algorithm, workers, reps int) (*benchfmt.Result, error) {
+	res := &benchfmt.Result{
+		Algo:    algo.String(),
+		Workers: workers,
+		Edges:   rg.NumEdges(),
+		Reps:    reps,
+	}
+	for rep := 0; rep < reps; rep++ {
+		mc := cncount.NewMetrics()
+		r, err := cncount.Count(rg, cncount.Options{
+			Algorithm: algo,
+			Threads:   workers,
+			Reorder:   false, // measured graph is pre-reordered
+			Metrics:   mc,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if rep > 0 && r.Elapsed.Nanoseconds() >= res.ElapsedNanos {
+			continue
+		}
+		snap := mc.Snapshot()
+		res.ElapsedNanos = r.Elapsed.Nanoseconds()
+		res.Counters = snap.Counters
+		if len(snap.Sched) > 0 {
+			sc := snap.Sched[0]
+			res.ImbalanceRatio = sc.Imbalance.Ratio
+			res.TaskP50Nanos = sc.TaskNanos.P50Nanos
+			res.TaskP95Nanos = sc.TaskNanos.P95Nanos
+			res.TaskP99Nanos = sc.TaskNanos.P99Nanos
+		}
+	}
+	if res.Edges > 0 {
+		res.NsPerEdge = float64(res.ElapsedNanos) / float64(res.Edges)
+	}
+	return res, nil
+}
+
+func splitList(s string) ([]string, error) {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list %q", s)
+	}
+	return out, nil
+}
+
+func splitInts(s string) ([]int, error) {
+	parts, err := splitList(s)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad worker count %q", p)
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+func parseAlgo(s string) (cncount.Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "m", "merge":
+		return cncount.AlgoM, nil
+	case "mps":
+		return cncount.AlgoMPS, nil
+	case "bmp":
+		return cncount.AlgoBMP, nil
+	case "bmprf", "bmp-rf", "rf":
+		return cncount.AlgoBMPRF, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q (want m, mps, bmp, bmprf)", s)
+	}
+}
+
+// errWriter latches the first write error so every ignored fmt.Fprintf
+// result still surfaces as a non-zero exit at the end of the run.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	n, err := w.w.Write(p)
+	if err != nil {
+		w.err = err
+	}
+	return n, err
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cncount/internal/benchfmt"
+)
+
+// tinyRun is an appConfig whose matrix finishes in well under a second.
+func tinyRun(out string) appConfig {
+	return appConfig{
+		label: "test", out: out,
+		profiles: "WI", scale: 0.05,
+		algos: "mps,bmp", workers: "1,2", reps: 1,
+		threshold: 0.10,
+	}
+}
+
+// TestRunWritesSchemaVersionedReport drives the harness end to end and
+// checks the written file loads under the schema gate with a full matrix.
+func TestRunWritesSchemaVersionedReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	var buf bytes.Buffer
+	if err := run(tinyRun(path), &buf); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	rep, err := benchfmt.LoadFile(path)
+	if err != nil {
+		t.Fatalf("written report fails schema load: %v", err)
+	}
+	if rep.Schema != benchfmt.Schema || rep.Label != "test" {
+		t.Errorf("header = %q/%q", rep.Schema, rep.Label)
+	}
+	if len(rep.Results) != 4 { // 1 profile × 2 algos × 2 worker counts
+		t.Fatalf("results = %d, want 4", len(rep.Results))
+	}
+	seen := map[benchfmt.Key]bool{}
+	for _, r := range rep.Results {
+		seen[r.Key()] = true
+		if r.NsPerEdge <= 0 || r.ElapsedNanos <= 0 || r.Edges <= 0 {
+			t.Errorf("%v: empty measurement %+v", r.Key(), r)
+		}
+		if r.Workers == 1 && r.SpeedupVs1 != 1.0 {
+			t.Errorf("%v: speedup vs itself = %g, want 1", r.Key(), r.SpeedupVs1)
+		}
+		if r.Counters["core.edges_scanned"] == 0 {
+			t.Errorf("%v: counters not captured", r.Key())
+		}
+	}
+	if len(seen) != 4 {
+		t.Errorf("duplicate cells: %v", seen)
+	}
+}
+
+// TestBaselineDiffDetectsInjectedRegression writes a report, injects a
+// past-threshold slowdown into a copy, and checks the diff run fails.
+func TestBaselineDiffDetectsInjectedRegression(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "BENCH_base.json")
+	var buf bytes.Buffer
+	if err := run(tinyRun(basePath), &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	head, err := benchfmt.LoadFile(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head.Label = "head"
+	head.Results[0].NsPerEdge *= 1.5 // +50% ≫ 10% threshold
+	headPath := filepath.Join(dir, "BENCH_head.json")
+	if err := benchfmt.WriteFile(headPath, head); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := appConfig{baseline: basePath, input: headPath, threshold: 0.10}
+	buf.Reset()
+	err = run(cfg, &buf)
+	if err == nil {
+		t.Fatalf("injected regression passed the diff:\n%s", buf.String())
+	}
+	if !strings.Contains(err.Error(), "regressed") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	if !strings.Contains(buf.String(), "REGRESSED") {
+		t.Errorf("regressed cell not reported:\n%s", buf.String())
+	}
+}
+
+// TestBaselineDiffIdenticalPasses diffs a report against itself.
+func TestBaselineDiffIdenticalPasses(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_base.json")
+	if err := run(tinyRun(path), io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	cfg := appConfig{baseline: path, input: path, threshold: 0.10}
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatalf("self-diff failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "no regressions") {
+		t.Errorf("verdict missing:\n%s", buf.String())
+	}
+}
+
+// TestRunRejectsBadFlags covers the flag validation paths.
+func TestRunRejectsBadFlags(t *testing.T) {
+	for name, mutate := range map[string]func(*appConfig){
+		"bad algo":     func(c *appConfig) { c.algos = "quantum" },
+		"bad workers":  func(c *appConfig) { c.workers = "0" },
+		"empty algos":  func(c *appConfig) { c.algos = "," },
+		"zero reps":    func(c *appConfig) { c.reps = 0 },
+		"bad profile":  func(c *appConfig) { c.profiles = "NOPE" },
+		"missing base": func(c *appConfig) { c.baseline = "/nonexistent/b.json" },
+	} {
+		cfg := tinyRun(filepath.Join(t.TempDir(), "out.json"))
+		mutate(&cfg)
+		if err := run(cfg, io.Discard); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestRunOutputErrorExitsNonZero models a broken stdout pipe.
+func TestRunOutputErrorExitsNonZero(t *testing.T) {
+	cfg := tinyRun("-") // report to stdout, which fails immediately
+	if err := run(cfg, failWriter{}); err == nil {
+		t.Error("output write failure did not fail the run")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) {
+	return 0, io.ErrClosedPipe
+}

@@ -7,10 +7,11 @@
 //	cnc -profile TW -scale 0.5 -algo mps -threads 8
 //	cnc -profile LJ -processor knl -algo mps    # modeled KNL time
 //	cnc -profile TW -algo bmp -metrics -        # JSON metrics snapshot
+//	cnc -profile TW -algo bmp -trace out.json   # Perfetto-loadable timeline
 //	cnc -profile FR -pprof localhost:6060       # live pprof while counting
 //
 // cnc exits 0 only when the whole run succeeded: a -verify mismatch, a
-// failed metrics write, or an output I/O error all exit non-zero.
+// failed metrics or trace write, or an output I/O error all exit non-zero.
 package main
 
 import (
@@ -45,6 +46,7 @@ type appConfig struct {
 	processor  string
 	verify     bool
 	metricsOut string
+	traceOut   string
 	pprofAddr  string
 }
 
@@ -67,6 +69,7 @@ func main() {
 	flag.StringVar(&cfg.processor, "processor", "", "also model elapsed time on: cpu, knl, gpu")
 	flag.BoolVar(&cfg.verify, "verify", false, "cross-check against the reference counter (slow)")
 	flag.StringVar(&cfg.metricsOut, "metrics", "", `write a JSON metrics snapshot (phase timings, scheduler tallies) to this file ("-" = stdout)`)
+	flag.StringVar(&cfg.traceOut, "trace", "", "write a Chrome trace-event JSON timeline (open in Perfetto) to this file")
 	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve net/http/pprof on this address while running (e.g. localhost:6060)")
 	flag.Parse()
 
@@ -87,6 +90,10 @@ func run(cfg appConfig, stdout io.Writer) error {
 	if cfg.metricsOut != "" {
 		mc = cncount.NewMetrics()
 	}
+	var tr *cncount.Tracer
+	if cfg.traceOut != "" {
+		tr = cncount.NewTracer()
+	}
 	out := &errWriter{w: stdout}
 
 	if cfg.pprofAddr != "" {
@@ -99,7 +106,7 @@ func run(cfg appConfig, stdout io.Writer) error {
 		go func() { _ = http.Serve(ln, nil) }()
 	}
 
-	g, name, err := loadOrGenerate(cfg.graphPath, cfg.profile, cfg.scale, mc)
+	g, name, err := loadOrGenerate(cfg.graphPath, cfg.profile, cfg.scale, mc, tr)
 	if err != nil {
 		return err
 	}
@@ -122,6 +129,7 @@ func run(cfg appConfig, stdout io.Writer) error {
 		Reorder:       cfg.reorder,
 		CollectWork:   cfg.work,
 		Metrics:       mc,
+		Trace:         tr,
 	})
 	if err != nil {
 		return err
@@ -145,6 +153,7 @@ func run(cfg appConfig, stdout io.Writer) error {
 			Processor:    proc,
 			Algorithm:    algo,
 			CoProcessing: true,
+			Trace:        tr,
 		})
 		if err != nil {
 			return err
@@ -167,6 +176,12 @@ func run(cfg appConfig, stdout io.Writer) error {
 		if err := writeMetrics(cfg.metricsOut, mc, out); err != nil {
 			return fmt.Errorf("writing metrics: %w", err)
 		}
+	}
+	if tr != nil {
+		if err := writeTrace(cfg.traceOut, tr); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		fmt.Fprintf(out, "trace written to %s (open in https://ui.perfetto.dev)\n", cfg.traceOut)
 	}
 	return out.err
 }
@@ -202,6 +217,20 @@ func writeMetrics(path string, mc *cncount.Metrics, stdout io.Writer) error {
 	return f.Close()
 }
 
+// writeTrace writes the Chrome trace-event timeline, surfacing write and
+// close errors.
+func writeTrace(path string, tr *cncount.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // errWriter latches the first write error so every ignored fmt.Fprintf
 // result still surfaces as a non-zero exit at the end of the run.
 type errWriter struct {
@@ -220,16 +249,17 @@ func (w *errWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-func loadOrGenerate(path, profile string, scale float64, mc *cncount.Metrics) (*cncount.Graph, string, error) {
+func loadOrGenerate(path, profile string, scale float64, mc *cncount.Metrics, tr *cncount.Tracer) (*cncount.Graph, string, error) {
 	switch {
 	case path != "" && profile != "":
 		return nil, "", fmt.Errorf("pass either -graph or -profile, not both")
 	case path != "":
-		g, err := cncount.LoadGraphMetrics(path, mc)
+		g, err := cncount.LoadGraphObserved(path, mc, tr)
 		return g, path, err
 	case profile != "":
-		stop := mc.StartPhase("generate")
+		stop, span := mc.StartPhase("generate"), tr.Span("generate")
 		g, err := cncount.GenerateProfile(profile, scale)
+		span()
 		stop()
 		return g, profile, err
 	default:

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"cncount"
+	"cncount/internal/trace"
 )
 
 func TestParseAlgo(t *testing.T) {
@@ -53,13 +54,13 @@ func TestParseProcessor(t *testing.T) {
 }
 
 func TestLoadOrGenerate(t *testing.T) {
-	if _, _, err := loadOrGenerate("x.txt", "TW", 1, nil); err == nil {
+	if _, _, err := loadOrGenerate("x.txt", "TW", 1, nil, nil); err == nil {
 		t.Error("both -graph and -profile accepted")
 	}
-	if _, _, err := loadOrGenerate("", "", 1, nil); err == nil {
+	if _, _, err := loadOrGenerate("", "", 1, nil, nil); err == nil {
 		t.Error("neither -graph nor -profile accepted")
 	}
-	g, name, err := loadOrGenerate("", "LJ", 0.05, nil)
+	g, name, err := loadOrGenerate("", "LJ", 0.05, nil, nil)
 	if err != nil {
 		t.Fatalf("profile generation: %v", err)
 	}
@@ -71,7 +72,7 @@ func TestLoadOrGenerate(t *testing.T) {
 	if err := cncount.SaveGraph(path, g); err != nil {
 		t.Fatal(err)
 	}
-	g2, name2, err := loadOrGenerate(path, "", 1, nil)
+	g2, name2, err := loadOrGenerate(path, "", 1, nil, nil)
 	if err != nil {
 		t.Fatalf("file load: %v", err)
 	}
@@ -165,6 +166,70 @@ func TestRunMetricsFileCreateErrorExitsNonZero(t *testing.T) {
 	cfg.metricsOut = filepath.Join(t.TempDir(), "missing-dir", "metrics.json")
 	if err := run(cfg, io.Discard); err == nil {
 		t.Error("unwritable metrics path did not fail the run")
+	}
+}
+
+// TestRunTraceFile drives `cnc -graph saved.bin -trace out.json` end to
+// end on a generated-then-saved graph and schema-checks the timeline:
+// valid Chrome trace-event JSON, at least one span per sched worker, and
+// all three Count phases.
+func TestRunTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	g, err := cncount.GenerateProfile("WI", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A text edge list exercises both graph.parse and graph.build (binary
+	// CSR decodes directly and records only the parse span).
+	graphPath := filepath.Join(dir, "g.txt")
+	if err := cncount.SaveGraph(graphPath, g); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := smallRun()
+	cfg.profile = ""
+	cfg.graphPath = graphPath
+	cfg.traceOut = filepath.Join(dir, "out.json")
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "trace written to") {
+		t.Error("trace path not announced")
+	}
+
+	data, err := os.ReadFile(cfg.traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Validate(data); err != nil {
+		t.Fatalf("trace fails schema check: %v\n%s", err, data)
+	}
+	perTid, names, err := trace.SpanCount(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// threads=2 → sched workers 0 and 1 → trace rows tid 1 and 2, each
+	// with at least one task span.
+	for w := 0; w < cfg.threads; w++ {
+		if perTid[w+1] == 0 {
+			t.Errorf("sched worker %d (tid %d) has no spans; per-tid: %v", w, w+1, perTid)
+		}
+	}
+	for _, phase := range []string{"graph.parse", "graph.build", "core.setup", "core.count", "core.reduce", "reorder", "map_counts"} {
+		if names[phase] == 0 {
+			t.Errorf("phase span %q missing from trace; spans: %v", phase, names)
+		}
+	}
+}
+
+// TestRunTraceFileCreateErrorExitsNonZero pins the exit contract for an
+// unwritable -trace path.
+func TestRunTraceFileCreateErrorExitsNonZero(t *testing.T) {
+	cfg := smallRun()
+	cfg.traceOut = filepath.Join(t.TempDir(), "missing-dir", "out.json")
+	if err := run(cfg, io.Discard); err == nil {
+		t.Error("unwritable trace path did not fail the run")
 	}
 }
 

@@ -7,13 +7,18 @@
 //	experiments -experiment fig10          # one table or figure
 //	experiments -experiment all -out EXPERIMENTS.md
 //	experiments -experiment all -metrics metrics.json
+//	experiments -experiment fig5 -trace-dir traces/
 //
 // With -metrics, each experiment additionally emits a JSON metrics
 // snapshot (phase timings, per-worker scheduler tallies, imbalance
 // summary) so the tables' results can be attributed to the paper's
-// Algorithm 3 phases. Snapshots reflect work actually performed: cached
-// graphs and counting runs shared with earlier experiments record
-// nothing on reuse.
+// Algorithm 3 phases. With -trace-dir, each experiment writes a
+// Perfetto-loadable Chrome trace-event timeline trace_<id>.json into the
+// directory. Both reflect work actually performed: cached graphs and
+// counting runs shared with earlier experiments record nothing on reuse.
+//
+// experiments exits 0 only when every experiment and every output write
+// succeeded.
 package main
 
 import (
@@ -23,11 +28,13 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"cncount/internal/experiments"
 	"cncount/internal/metrics"
+	"cncount/internal/trace"
 )
 
 // experimentMetrics pairs one experiment's id with its metrics snapshot.
@@ -36,92 +43,149 @@ type experimentMetrics struct {
 	Snapshot   metrics.Snapshot `json:"snapshot"`
 }
 
+// appConfig mirrors the flag set so the whole run is testable without
+// touching globals or os.Exit.
+type appConfig struct {
+	id         string
+	scale      float64
+	out        string
+	list       bool
+	metricsOut string
+	traceDir   string
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 
-	var (
-		id         = flag.String("experiment", "all", "experiment id (table1..table7, fig3..fig10) or 'all'")
-		scale      = flag.Float64("scale", 1.0, "dataset profile scale")
-		out        = flag.String("out", "", "write output to this file instead of stdout")
-		list       = flag.Bool("list", false, "list experiment ids and exit")
-		metricsOut = flag.String("metrics", "", `write per-experiment metrics snapshots as a JSON array ("-" = stdout)`)
-	)
+	var cfg appConfig
+	flag.StringVar(&cfg.id, "experiment", "all", "experiment id (table1..table7, fig3..fig10) or 'all'")
+	flag.Float64Var(&cfg.scale, "scale", 1.0, "dataset profile scale")
+	flag.StringVar(&cfg.out, "out", "", "write output to this file instead of stdout")
+	flag.BoolVar(&cfg.list, "list", false, "list experiment ids and exit")
+	flag.StringVar(&cfg.metricsOut, "metrics", "", `write per-experiment metrics snapshots as a JSON array ("-" = stdout)`)
+	flag.StringVar(&cfg.traceDir, "trace-dir", "", "write a Chrome trace-event timeline trace_<id>.json per experiment into this directory")
 	flag.Parse()
 
-	if *list {
+	if err := run(cfg, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes one invocation. Every failure — a failed experiment, an
+// unwritable -out/-metrics/-trace-dir path, or an output I/O error — is
+// returned so main can exit non-zero.
+func run(cfg appConfig, stdout io.Writer) error {
+	out := &errWriter{w: stdout}
+	if cfg.list {
 		for _, e := range experiments.All {
-			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+			fmt.Fprintf(out, "%-8s %s\n", e.ID, e.Title)
 		}
-		return
+		return out.err
 	}
 
-	var w io.Writer = os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	var w io.Writer = out
+	var outFile *os.File
+	if cfg.out != "" {
+		f, err := os.Create(cfg.out)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		defer func() {
-			if err := f.Close(); err != nil {
-				log.Fatal(err)
-			}
-		}()
+		outFile = f
 		w = f
+	}
+	err := runExperiments(cfg, w, out)
+	if outFile != nil {
+		if cerr := outFile.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	return out.err
+}
+
+// runExperiments runs the selected experiments, writing report text to w
+// and any -metrics "-" snapshot to stdout.
+func runExperiments(cfg appConfig, w io.Writer, stdout io.Writer) error {
+	if cfg.traceDir != "" {
+		if err := os.MkdirAll(cfg.traceDir, 0o755); err != nil {
+			return fmt.Errorf("trace dir: %w", err)
+		}
 	}
 
 	ctx := experiments.NewContext()
-	ctx.Scale = *scale
-	ctx.CapacityScale = 0.001 * *scale
+	ctx.Scale = cfg.scale
+	ctx.CapacityScale = 0.001 * cfg.scale
 
 	var snaps []experimentMetrics
-	run := func(e experiments.Experiment) {
-		if *metricsOut != "" {
+	runOne := func(e experiments.Experiment) error {
+		if cfg.metricsOut != "" {
 			ctx.Metrics = metrics.New()
+		}
+		if cfg.traceDir != "" {
+			ctx.Trace = trace.New()
 		}
 		start := time.Now()
 		text, err := e.Run(ctx)
 		if err != nil {
-			log.Fatalf("%s: %v", e.ID, err)
+			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		fmt.Fprintf(w, "## %s\n\n```\n%s```\n\n", e.Title, text)
+		if _, err := fmt.Fprintf(w, "## %s\n\n```\n%s```\n\n", e.Title, text); err != nil {
+			return err
+		}
 		log.Printf("%s done in %v", e.ID, time.Since(start).Round(time.Millisecond))
-		if *metricsOut != "" {
+		if cfg.metricsOut != "" {
 			snaps = append(snaps, experimentMetrics{Experiment: e.ID, Snapshot: ctx.Metrics.Snapshot()})
 		}
+		if cfg.traceDir != "" {
+			path := filepath.Join(cfg.traceDir, "trace_"+e.ID+".json")
+			if err := writeTrace(path, ctx.Trace); err != nil {
+				return fmt.Errorf("writing trace for %s: %w", e.ID, err)
+			}
+		}
+		return nil
 	}
 
-	if strings.EqualFold(*id, "all") {
-		fmt.Fprintf(w, "# Experiment results (profile scale %g, capacity scale %g)\n\n",
-			ctx.Scale, ctx.CapacityScale)
+	if strings.EqualFold(cfg.id, "all") {
+		if _, err := fmt.Fprintf(w, "# Experiment results (profile scale %g, capacity scale %g)\n\n",
+			ctx.Scale, ctx.CapacityScale); err != nil {
+			return err
+		}
 		for _, e := range experiments.All {
-			run(e)
+			if err := runOne(e); err != nil {
+				return err
+			}
 		}
 	} else {
-		e, err := experiments.ByID(*id)
+		e, err := experiments.ByID(cfg.id)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		run(e)
+		if err := runOne(e); err != nil {
+			return err
+		}
 	}
 
-	if *metricsOut != "" {
-		if err := writeSnapshots(*metricsOut, snaps); err != nil {
-			log.Fatalf("writing metrics: %v", err)
+	if cfg.metricsOut != "" {
+		if err := writeSnapshots(cfg.metricsOut, snaps, stdout); err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
 		}
 	}
+	return nil
 }
 
 // writeSnapshots writes the per-experiment snapshots as one JSON array,
 // surfacing write and close errors.
-func writeSnapshots(path string, snaps []experimentMetrics) error {
+func writeSnapshots(path string, snaps []experimentMetrics, stdout io.Writer) error {
 	b, err := json.Marshal(snaps)
 	if err != nil {
 		return err
 	}
 	b = append(b, '\n')
 	if path == "-" {
-		_, err := os.Stdout.Write(b)
+		_, err := stdout.Write(b)
 		return err
 	}
 	f, err := os.Create(path)
@@ -133,4 +197,36 @@ func writeSnapshots(path string, snaps []experimentMetrics) error {
 		return err
 	}
 	return f.Close()
+}
+
+// writeTrace writes the experiment's timeline, surfacing write and close
+// errors.
+func writeTrace(path string, tr *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// errWriter latches the first write error so every ignored fmt.Fprintf
+// result still surfaces as a non-zero exit at the end of the run.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	n, err := w.w.Write(p)
+	if err != nil {
+		w.err = err
+	}
+	return n, err
 }

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cncount/internal/trace"
+)
+
+func TestRunListWritesIDs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(appConfig{list: true}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"table1", "fig10", "ablations"} {
+		if !strings.Contains(buf.String(), id) {
+			t.Errorf("list output missing %q:\n%s", id, buf.String())
+		}
+	}
+}
+
+// TestRunSingleExperimentWithTraceAndMetrics drives one counting
+// experiment end to end with both observers: the per-experiment trace
+// file must pass the Chrome trace-event schema check and contain the
+// generation and counting spans, and the metrics array must parse.
+func TestRunSingleExperimentWithTraceAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	cfg := appConfig{id: "fig3", scale: 0.05, metricsOut: "-", traceDir: filepath.Join(dir, "traces")}
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+
+	data, err := os.ReadFile(filepath.Join(cfg.traceDir, "trace_fig3.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Validate(data); err != nil {
+		t.Fatalf("experiment trace fails schema check: %v", err)
+	}
+	_, names, err := trace.SpanCount(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hasGen, hasCount bool
+	for name := range names {
+		if strings.HasPrefix(name, "gen.") {
+			hasGen = true
+		}
+		if name == "core.count" {
+			hasCount = true
+		}
+	}
+	if !hasGen || !hasCount {
+		t.Errorf("trace missing gen/count spans: %v", names)
+	}
+
+	// The metrics snapshot array is the line starting with '[' on stdout.
+	var jsonLine string
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "[") {
+			jsonLine = line
+			break
+		}
+	}
+	if jsonLine == "" {
+		t.Fatalf("no metrics array in output:\n%s", buf.String())
+	}
+	var snaps []experimentMetrics
+	if err := json.Unmarshal([]byte(jsonLine), &snaps); err != nil {
+		t.Fatalf("metrics array is not valid JSON: %v", err)
+	}
+	if len(snaps) != 1 || snaps[0].Experiment != "fig3" {
+		t.Errorf("snapshots = %+v, want one for fig3", snaps)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run(appConfig{id: "fig999"}, io.Discard); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunUnwritableOutExitsNonZero(t *testing.T) {
+	cfg := appConfig{id: "table1", scale: 0.05, out: filepath.Join(t.TempDir(), "missing-dir", "out.md")}
+	if err := run(cfg, io.Discard); err == nil {
+		t.Error("unwritable -out path did not fail the run")
+	}
+}
+
+func TestRunUnwritableTraceDirExitsNonZero(t *testing.T) {
+	dir := t.TempDir()
+	// A file where the trace directory should be makes MkdirAll fail.
+	blocker := filepath.Join(dir, "blocker")
+	if err := os.WriteFile(blocker, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := appConfig{id: "table1", scale: 0.05, traceDir: filepath.Join(blocker, "traces")}
+	if err := run(cfg, io.Discard); err == nil {
+		t.Error("unwritable -trace-dir did not fail the run")
+	}
+}
+
+func TestRunOutputErrorExitsNonZero(t *testing.T) {
+	cfg := appConfig{id: "table1", scale: 0.05}
+	if err := run(cfg, failWriter{}); err == nil {
+		t.Error("output write failure did not fail the run")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) {
+	return 0, io.ErrClosedPipe
+}

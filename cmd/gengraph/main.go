@@ -6,12 +6,18 @@
 //	gengraph -profile TW -scale 1.0 -out tw.bin
 //	gengraph -model rmat -rmatscale 16 -edgefactor 16 -out rmat.txt
 //	gengraph -model er -vertices 10000 -edges 150000 -out er.bin
+//
+// gengraph exits 0 only when generation, the graph write, and the printed
+// summary all succeeded.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"strings"
 
 	"cncount"
@@ -19,47 +25,93 @@ import (
 	"cncount/internal/graph"
 )
 
+// appConfig mirrors the flag set so the whole run is testable without
+// touching globals or os.Exit.
+type appConfig struct {
+	profile    string
+	scale      float64
+	model      string
+	vertices   int
+	edges      int
+	rmatScale  int
+	edgeFactor int
+	seed       int64
+	out        string
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gengraph: ")
 
-	var (
-		profile    = flag.String("profile", "", "dataset profile: "+strings.Join(cncount.ProfileNames(), ", "))
-		scale      = flag.Float64("scale", 1.0, "profile scale")
-		model      = flag.String("model", "", "raw model instead of a profile: er, rmat")
-		vertices   = flag.Int("vertices", 10000, "er: vertex count")
-		edges      = flag.Int("edges", 100000, "er: undirected edge count")
-		rmatScale  = flag.Int("rmatscale", 14, "rmat: log2 vertex count")
-		edgeFactor = flag.Int("edgefactor", 16, "rmat: edges per vertex")
-		seed       = flag.Int64("seed", 42, "random seed")
-		out        = flag.String("out", "", "output path (.bin = binary CSR, else text edge list)")
-	)
+	var cfg appConfig
+	flag.StringVar(&cfg.profile, "profile", "", "dataset profile: "+strings.Join(cncount.ProfileNames(), ", "))
+	flag.Float64Var(&cfg.scale, "scale", 1.0, "profile scale")
+	flag.StringVar(&cfg.model, "model", "", "raw model instead of a profile: er, rmat")
+	flag.IntVar(&cfg.vertices, "vertices", 10000, "er: vertex count")
+	flag.IntVar(&cfg.edges, "edges", 100000, "er: undirected edge count")
+	flag.IntVar(&cfg.rmatScale, "rmatscale", 14, "rmat: log2 vertex count")
+	flag.IntVar(&cfg.edgeFactor, "edgefactor", 16, "rmat: edges per vertex")
+	flag.Int64Var(&cfg.seed, "seed", 42, "random seed")
+	flag.StringVar(&cfg.out, "out", "", "output path (.bin = binary CSR, else text edge list)")
 	flag.Parse()
-	if *out == "" {
-		log.Fatal("missing -out path")
-	}
 
-	var g *graph.CSR
-	var err error
-	switch {
-	case *profile != "" && *model != "":
-		log.Fatal("pass either -profile or -model, not both")
-	case *profile != "":
-		g, err = cncount.GenerateProfile(*profile, *scale)
-	case *model == "er":
-		g, err = gen.ErdosRenyi(*vertices, *edges, *seed)
-	case *model == "rmat":
-		g, err = gen.RMAT(*rmatScale, *edgeFactor, 0.57, 0.19, 0.19, *seed)
-	default:
-		log.Fatal("pass -profile or -model (er, rmat)")
+	if err := run(cfg, os.Stdout); err != nil {
+		log.Fatal(err)
 	}
+}
+
+// run executes one generation. Every failure — bad flags, generation,
+// the graph write, or the printed summary — is returned so main can exit
+// non-zero.
+func run(cfg appConfig, stdout io.Writer) error {
+	if cfg.out == "" {
+		return errors.New("missing -out path")
+	}
+	g, err := generate(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	if err := cncount.SaveGraph(*out, g); err != nil {
-		log.Fatal(err)
+	if err := cncount.SaveGraph(cfg.out, g); err != nil {
+		return err
 	}
-	s := cncount.Summarize(*out, g)
-	fmt.Println(s)
-	fmt.Printf("skewed intersections (>50x): %.2f%%\n", cncount.SkewPercent(g, 50))
+	out := &errWriter{w: stdout}
+	fmt.Fprintln(out, cncount.Summarize(cfg.out, g))
+	fmt.Fprintf(out, "skewed intersections (>50x): %.2f%%\n", cncount.SkewPercent(g, 50))
+	return out.err
+}
+
+// generate builds the requested graph from the profile or raw model.
+func generate(cfg appConfig) (*graph.CSR, error) {
+	switch {
+	case cfg.profile != "" && cfg.model != "":
+		return nil, errors.New("pass either -profile or -model, not both")
+	case cfg.profile != "":
+		return cncount.GenerateProfile(cfg.profile, cfg.scale)
+	case cfg.model == "er":
+		return gen.ErdosRenyi(cfg.vertices, cfg.edges, cfg.seed)
+	case cfg.model == "rmat":
+		return gen.RMAT(cfg.rmatScale, cfg.edgeFactor, 0.57, 0.19, 0.19, cfg.seed)
+	case cfg.model != "":
+		return nil, fmt.Errorf("unknown model %q (want er, rmat)", cfg.model)
+	default:
+		return nil, errors.New("pass -profile or -model (er, rmat)")
+	}
+}
+
+// errWriter latches the first write error so every ignored fmt.Fprintf
+// result still surfaces as a non-zero exit at the end of the run.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	n, err := w.w.Write(p)
+	if err != nil {
+		w.err = err
+	}
+	return n, err
 }

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cncount"
+)
+
+func TestRunProfileWritesGraph(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "wi.bin")
+	cfg := appConfig{profile: "WI", scale: 0.05, out: out}
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	g, err := cncount.LoadGraph(out)
+	if err != nil {
+		t.Fatalf("written graph unreadable: %v", err)
+	}
+	if g.NumEdges() == 0 {
+		t.Error("written graph is empty")
+	}
+	if !strings.Contains(buf.String(), "skewed intersections") {
+		t.Errorf("summary missing:\n%s", buf.String())
+	}
+}
+
+func TestRunModels(t *testing.T) {
+	dir := t.TempDir()
+	for name, cfg := range map[string]appConfig{
+		"er":   {model: "er", vertices: 500, edges: 2000, seed: 1, out: filepath.Join(dir, "er.bin")},
+		"rmat": {model: "rmat", rmatScale: 8, edgeFactor: 4, seed: 1, out: filepath.Join(dir, "rmat.txt")},
+	} {
+		if err := run(cfg, io.Discard); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.bin")
+	for name, cfg := range map[string]appConfig{
+		"missing out":     {profile: "WI", scale: 0.05},
+		"both sources":    {profile: "WI", model: "er", out: out},
+		"neither source":  {out: out},
+		"unknown model":   {model: "quantum", out: out},
+		"unknown profile": {profile: "NOPE", out: out},
+		"unwritable out":  {profile: "WI", scale: 0.05, out: filepath.Join(t.TempDir(), "missing-dir", "g.bin")},
+	} {
+		if err := run(cfg, io.Discard); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestRunOutputErrorExitsNonZero(t *testing.T) {
+	cfg := appConfig{profile: "WI", scale: 0.05, out: filepath.Join(t.TempDir(), "g.bin")}
+	if err := run(cfg, failWriter{}); err == nil {
+		t.Error("output write failure did not fail the run")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) {
+	return 0, io.ErrClosedPipe
+}

@@ -9,11 +9,16 @@
 // Strategies: "pruned" evaluates similarities on demand with pSCAN pruning
 // (best for a single query); "counts" first runs the batch all-edge
 // counting and derives the clustering from it (best when sweeping ε/μ).
+//
+// scan exits 0 only when the whole run — loading, clustering, and the
+// printed report — succeeded.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
@@ -23,49 +28,74 @@ import (
 	"cncount/internal/scan"
 )
 
+// appConfig mirrors the flag set so the whole run is testable without
+// touching globals or os.Exit.
+type appConfig struct {
+	graphPath string
+	profile   string
+	scale     float64
+	eps       float64
+	mu        int
+	strategy  string
+	top       int
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("scan: ")
 
-	var (
-		graphPath = flag.String("graph", "", "graph file (text edge list or binary CSR)")
-		profile   = flag.String("profile", "", "generate a dataset profile instead: "+strings.Join(cncount.ProfileNames(), ", "))
-		scale     = flag.Float64("scale", 1.0, "profile scale")
-		eps       = flag.Float64("eps", 0.6, "similarity threshold ε in (0,1]")
-		mu        = flag.Int("mu", 4, "core threshold μ ≥ 2")
-		strategy  = flag.String("strategy", "pruned", "similarity strategy: pruned, counts")
-		top       = flag.Int("top", 10, "print the largest N clusters")
-	)
+	var cfg appConfig
+	flag.StringVar(&cfg.graphPath, "graph", "", "graph file (text edge list or binary CSR)")
+	flag.StringVar(&cfg.profile, "profile", "", "generate a dataset profile instead: "+strings.Join(cncount.ProfileNames(), ", "))
+	flag.Float64Var(&cfg.scale, "scale", 1.0, "profile scale")
+	flag.Float64Var(&cfg.eps, "eps", 0.6, "similarity threshold ε in (0,1]")
+	flag.IntVar(&cfg.mu, "mu", 4, "core threshold μ ≥ 2")
+	flag.StringVar(&cfg.strategy, "strategy", "pruned", "similarity strategy: pruned, counts")
+	flag.IntVar(&cfg.top, "top", 10, "print the largest N clusters")
 	flag.Parse()
 
-	g, err := load(*graphPath, *profile, *scale)
-	if err != nil {
+	if cfg.graphPath == "" && cfg.profile == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(cfg, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(cncount.Summarize("input", g))
+}
+
+// run executes one clustering run. Every failure — bad flags, loading,
+// clustering, or an output I/O error — is returned so main can exit
+// non-zero.
+func run(cfg appConfig, stdout io.Writer) error {
+	g, err := load(cfg.graphPath, cfg.profile, cfg.scale)
+	if err != nil {
+		return err
+	}
+	out := &errWriter{w: stdout}
+	fmt.Fprintln(out, cncount.Summarize("input", g))
 
 	var res *scan.Result
-	switch *strategy {
+	switch cfg.strategy {
 	case "pruned":
-		res, err = scan.Run(g, scan.Params{Eps: *eps, Mu: *mu})
+		res, err = scan.Run(g, scan.Params{Eps: cfg.eps, Mu: cfg.mu})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("pruning: %d of %d edges needed an intersection (%.1f%%)\n",
+		fmt.Fprintf(out, "pruning: %d of %d edges needed an intersection (%.1f%%)\n",
 			res.SimilarityChecks, res.EdgesTotal,
 			100*float64(res.SimilarityChecks)/float64(max(res.EdgesTotal, 1)))
 	case "counts":
 		cres, err := cncount.Count(g, cncount.Options{Algorithm: cncount.AlgoBMP, Reorder: true})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("batch counting: %v\n", cres.Elapsed)
-		res, err = scan.FromCounts(g, cres.Counts, scan.Params{Eps: *eps, Mu: *mu})
+		fmt.Fprintf(out, "batch counting: %v\n", cres.Elapsed)
+		res, err = scan.FromCounts(g, cres.Counts, scan.Params{Eps: cfg.eps, Mu: cfg.mu})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 	default:
-		log.Fatalf("unknown strategy %q (want pruned, counts)", *strategy)
+		return fmt.Errorf("unknown strategy %q (want pruned, counts)", cfg.strategy)
 	}
 
 	cores, hubs, outliers := 0, 0, 0
@@ -79,8 +109,8 @@ func main() {
 			outliers++
 		}
 	}
-	fmt.Printf("SCAN(ε=%.2f, μ=%d): %d clusters, %d cores, %d hubs, %d outliers\n",
-		*eps, *mu, res.NumClusters, cores, hubs, outliers)
+	fmt.Fprintf(out, "SCAN(ε=%.2f, μ=%d): %d clusters, %d cores, %d hubs, %d outliers\n",
+		cfg.eps, cfg.mu, res.NumClusters, cores, hubs, outliers)
 
 	sizes := make(map[int32]int)
 	for _, c := range res.ClusterOf {
@@ -103,11 +133,12 @@ func main() {
 		return ranked[i].id < ranked[j].id
 	})
 	for i, c := range ranked {
-		if i >= *top {
+		if i >= cfg.top {
 			break
 		}
-		fmt.Printf("  cluster %-6d %d vertices\n", c.id, c.size)
+		fmt.Fprintf(out, "  cluster %-6d %d vertices\n", c.id, c.size)
 	}
+	return out.err
 }
 
 func load(path, profile string, scale float64) (*cncount.Graph, error) {
@@ -119,9 +150,7 @@ func load(path, profile string, scale float64) (*cncount.Graph, error) {
 	case profile != "":
 		return cncount.GenerateProfile(profile, scale)
 	default:
-		flag.Usage()
-		os.Exit(2)
-		return nil, nil
+		return nil, errors.New("pass -graph or -profile")
 	}
 }
 
@@ -130,4 +159,22 @@ func max(a, b int64) int64 {
 		return a
 	}
 	return b
+}
+
+// errWriter latches the first write error so every ignored fmt.Fprintf
+// result still surfaces as a non-zero exit at the end of the run.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	n, err := w.w.Write(p)
+	if err != nil {
+		w.err = err
+	}
+	return n, err
 }

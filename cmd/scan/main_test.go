@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func smallRun() appConfig {
+	return appConfig{profile: "WI", scale: 0.05, eps: 0.5, mu: 3, strategy: "pruned", top: 5}
+}
+
+func TestRunStrategies(t *testing.T) {
+	for _, strategy := range []string{"pruned", "counts"} {
+		cfg := smallRun()
+		cfg.strategy = strategy
+		var buf bytes.Buffer
+		if err := run(cfg, &buf); err != nil {
+			t.Fatalf("%s: %v\n%s", strategy, err, buf.String())
+		}
+		if !strings.Contains(buf.String(), "SCAN(") {
+			t.Errorf("%s: clustering summary missing:\n%s", strategy, buf.String())
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for name, mutate := range map[string]func(*appConfig){
+		"both sources":     func(c *appConfig) { c.graphPath = "x.txt" },
+		"unknown strategy": func(c *appConfig) { c.strategy = "psychic" },
+		"unknown profile":  func(c *appConfig) { c.profile = "NOPE" },
+		"missing graph":    func(c *appConfig) { c.profile = ""; c.graphPath = "/nonexistent/g.txt" },
+	} {
+		cfg := smallRun()
+		mutate(&cfg)
+		if err := run(cfg, io.Discard); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestRunOutputErrorExitsNonZero(t *testing.T) {
+	if err := run(smallRun(), failWriter{}); err == nil {
+		t.Error("output write failure did not fail the run")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) {
+	return 0, io.ErrClosedPipe
+}

@@ -33,6 +33,7 @@ import (
 	"cncount/internal/gen"
 	"cncount/internal/graph"
 	"cncount/internal/metrics"
+	"cncount/internal/trace"
 )
 
 // Metrics is the runtime observability collector: phase timings, counters,
@@ -45,6 +46,16 @@ type MetricsSnapshot = metrics.Snapshot
 
 // NewMetrics returns an enabled metrics collector.
 func NewMetrics() *Metrics { return metrics.New() }
+
+// Tracer is the span-level execution tracer: named spans on a per-worker
+// timeline, serialized as Chrome trace-event JSON loadable in Perfetto or
+// chrome://tracing. A nil *Tracer disables all tracing; see Options.Trace
+// and (*Tracer).WriteJSON.
+type Tracer = trace.Tracer
+
+// NewTracer returns an enabled execution tracer whose epoch (timeline
+// zero) is the moment of the call.
+func NewTracer() *Tracer { return trace.New() }
 
 // Graph is an undirected graph in CSR form. Both directions of every edge
 // are stored and adjacency lists are sorted ascending; see
@@ -120,6 +131,12 @@ func LoadGraph(path string) (*Graph, error) { return graph.LoadFile(path) }
 // mc (nil disables collection).
 func LoadGraphMetrics(path string, mc *Metrics) (*Graph, error) {
 	return graph.LoadFileMetrics(path, mc)
+}
+
+// LoadGraphObserved is LoadGraphMetrics additionally emitting parse/build
+// spans onto the tracer's timeline (either observer may be nil).
+func LoadGraphObserved(path string, mc *Metrics, tr *Tracer) (*Graph, error) {
+	return graph.LoadFileObserved(path, mc, tr)
 }
 
 // NewGraphParallelMetrics is NewGraphParallel recording per-stage build
@@ -216,6 +233,13 @@ type Options struct {
 	// scheduler tallies with an imbalance summary. Nil disables all
 	// collection at negligible cost.
 	Metrics *Metrics
+
+	// Trace, when non-nil, receives execution spans: coarse phases
+	// (reorder, setup, count, reduce, count mapping) on the main timeline
+	// row and one span per scheduled task on each worker's row. Write the
+	// result with (*Tracer).WriteJSON and open it in Perfetto. Nil
+	// disables all tracing at negligible cost.
+	Trace *Tracer
 }
 
 // Result is a counting run's outcome.
@@ -233,19 +257,22 @@ func Count(g *Graph, opts Options) (*Result, error) {
 		RangeScale:    opts.RangeScale,
 		CollectWork:   opts.CollectWork,
 		Metrics:       opts.Metrics,
+		Trace:         opts.Trace,
 	}
 	if !opts.Reorder {
 		return core.Count(g, coreOpts)
 	}
-	stop := opts.Metrics.StartPhase("reorder")
+	stop, span := opts.Metrics.StartPhase("reorder"), opts.Trace.Span("reorder")
 	rg, r := graph.ReorderByDegree(g)
+	span()
 	stop()
 	res, err := core.Count(rg, coreOpts)
 	if err != nil {
 		return nil, err
 	}
-	stop = opts.Metrics.StartPhase("map_counts")
+	stop, span = opts.Metrics.StartPhase("map_counts"), opts.Trace.Span("map_counts")
 	res.Counts = graph.MapCounts(g, rg, r, res.Counts)
+	span()
 	stop()
 	return res, nil
 }

@@ -1,0 +1,198 @@
+// Package benchfmt defines the schema-versioned benchmark report format
+// (BENCH_*.json) written by cmd/benchrun, and the regression diff between
+// two reports. It is the persistence layer of the continuous benchmark
+// trajectory: every run appends a comparable, self-describing snapshot of
+// ns/edge across the graph × algorithm × worker matrix, and Diff turns two
+// snapshots into a pass/fail regression verdict.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Schema identifies the report format. Bump the version suffix on any
+// incompatible change; Load rejects unknown schemas so a diff never
+// silently compares incomparable files.
+const Schema = "cncount-bench/v1"
+
+// Report is one benchmark run of the full matrix.
+type Report struct {
+	// Schema is always the package Schema constant.
+	Schema string `json:"schema"`
+	// Label names the run ("local", a commit hash, a machine name).
+	Label string `json:"label"`
+	// CreatedUnix is the run's completion time (seconds since epoch).
+	CreatedUnix int64 `json:"created_unix"`
+	// GoVersion and GOMAXPROCS describe the environment, since ns/edge is
+	// only comparable across runs on like hardware.
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Results holds one entry per matrix cell.
+	Results []Result `json:"results"`
+}
+
+// Result is one matrix cell: a (graph, algorithm, workers) combination.
+type Result struct {
+	Graph   string  `json:"graph"`
+	Scale   float64 `json:"scale"`
+	Algo    string  `json:"algo"`
+	Workers int     `json:"workers"`
+	// Edges is the directed edge count of the (reordered) input graph.
+	Edges int64 `json:"edges"`
+	// Reps is how many repetitions ran; ElapsedNanos is the best (min).
+	Reps         int   `json:"reps"`
+	ElapsedNanos int64 `json:"elapsed_nanos"`
+	// NsPerEdge is the headline figure: best elapsed over directed edges.
+	NsPerEdge float64 `json:"ns_per_edge"`
+	// SpeedupVs1 is elapsed(workers=1) / elapsed(this), 0 when the
+	// 1-worker cell is absent from the matrix.
+	SpeedupVs1 float64 `json:"speedup_vs_1,omitempty"`
+	// ImbalanceRatio is max/mean worker busy time of the best rep.
+	ImbalanceRatio float64 `json:"imbalance_ratio,omitempty"`
+	// TaskP50/P95/P99Nanos are the task-duration quantile estimates of
+	// the best rep's scheduler histogram.
+	TaskP50Nanos uint64 `json:"task_p50_nanos,omitempty"`
+	TaskP95Nanos uint64 `json:"task_p95_nanos,omitempty"`
+	TaskP99Nanos uint64 `json:"task_p99_nanos,omitempty"`
+	// Counters carries selected metrics-collector counters (kernel calls,
+	// edges scanned) of the best rep.
+	Counters map[string]uint64 `json:"counters,omitempty"`
+}
+
+// Key identifies a matrix cell across reports (scale intentionally
+// excluded: it is pinned by the harness flags and checked by Diff).
+type Key struct {
+	Graph   string
+	Algo    string
+	Workers int
+}
+
+// Key returns the cell's cross-report identity.
+func (r Result) Key() Key { return Key{Graph: r.Graph, Algo: r.Algo, Workers: r.Workers} }
+
+func (k Key) String() string { return fmt.Sprintf("%s/%s/w%d", k.Graph, k.Algo, k.Workers) }
+
+// Write serializes the report as indented JSON followed by a newline.
+func (r *Report) Write(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteFile writes the report to path, surfacing write and close errors.
+func WriteFile(path string, r *Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read parses and schema-checks a report.
+func Read(rd io.Reader) (*Report, error) {
+	var r Report
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("benchfmt: %w", err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("benchfmt: schema %q, want %q", r.Schema, Schema)
+	}
+	return &r, nil
+}
+
+// LoadFile reads and schema-checks a report file.
+func LoadFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Delta compares one matrix cell across two reports. Ratio is
+// head/base ns-per-edge: 1.0 unchanged, above 1 slower.
+type Delta struct {
+	Key           Key
+	BaseNsPerEdge float64
+	HeadNsPerEdge float64
+	Ratio         float64
+	// Regressed marks Ratio > 1 + threshold.
+	Regressed bool
+}
+
+// DiffReport is the outcome of comparing two reports.
+type DiffReport struct {
+	// Threshold is the relative slowdown past which a cell regresses.
+	Threshold float64
+	// Deltas lists matched cells in deterministic key order.
+	Deltas []Delta
+	// MissingInHead / MissingInBase list unmatched cells; missing head
+	// cells count as regressions (a benchmark silently disappearing must
+	// not pass).
+	MissingInHead []Key
+	MissingInBase []Key
+	// Regressions counts regressed deltas plus cells missing in head.
+	Regressions int
+}
+
+// Diff compares head against base: a cell regresses when its ns/edge grew
+// by more than threshold (e.g. 0.10 = +10%). Cells present only in base
+// count as regressions; cells present only in head are reported but pass
+// (new coverage is not a fault).
+func Diff(base, head *Report, threshold float64) DiffReport {
+	d := DiffReport{Threshold: threshold}
+	headByKey := make(map[Key]Result, len(head.Results))
+	for _, r := range head.Results {
+		headByKey[r.Key()] = r
+	}
+	baseKeys := make(map[Key]bool, len(base.Results))
+	for _, b := range base.Results {
+		key := b.Key()
+		baseKeys[key] = true
+		h, ok := headByKey[key]
+		if !ok {
+			d.MissingInHead = append(d.MissingInHead, key)
+			d.Regressions++
+			continue
+		}
+		delta := Delta{Key: key, BaseNsPerEdge: b.NsPerEdge, HeadNsPerEdge: h.NsPerEdge}
+		if b.NsPerEdge > 0 {
+			delta.Ratio = h.NsPerEdge / b.NsPerEdge
+		}
+		if delta.Ratio > 1+threshold {
+			delta.Regressed = true
+			d.Regressions++
+		}
+		d.Deltas = append(d.Deltas, delta)
+	}
+	for _, h := range head.Results {
+		if !baseKeys[h.Key()] {
+			d.MissingInBase = append(d.MissingInBase, h.Key())
+		}
+	}
+	sortKeys := func(ks []Key) {
+		sort.Slice(ks, func(i, j int) bool { return ks[i].String() < ks[j].String() })
+	}
+	sort.Slice(d.Deltas, func(i, j int) bool { return d.Deltas[i].Key.String() < d.Deltas[j].Key.String() })
+	sortKeys(d.MissingInHead)
+	sortKeys(d.MissingInBase)
+	return d
+}

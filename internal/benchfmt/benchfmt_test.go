@@ -1,0 +1,113 @@
+package benchfmt
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleReport(label string, nsPerEdge float64) *Report {
+	return &Report{
+		Schema: Schema, Label: label, CreatedUnix: 1754300000,
+		GoVersion: "go1.22", GOMAXPROCS: 8,
+		Results: []Result{
+			{Graph: "WI", Scale: 0.2, Algo: "BMP", Workers: 1, Edges: 1000, Reps: 3,
+				ElapsedNanos: int64(nsPerEdge * 1000), NsPerEdge: nsPerEdge},
+			{Graph: "WI", Scale: 0.2, Algo: "BMP", Workers: 4, Edges: 1000, Reps: 3,
+				ElapsedNanos: int64(nsPerEdge * 250), NsPerEdge: nsPerEdge / 4, SpeedupVs1: 4},
+		},
+	}
+}
+
+// TestRoundTrip writes a report to disk and loads it back unchanged.
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	want := sampleReport("test", 12.5)
+	if err := WriteFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != "test" || len(got.Results) != 2 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if got.Results[0].NsPerEdge != 12.5 {
+		t.Errorf("ns_per_edge = %g, want 12.5", got.Results[0].NsPerEdge)
+	}
+}
+
+// TestReadRejectsWrongSchema pins the schema gate: version drift must be
+// an error, not a silent comparison of incomparable files.
+func TestReadRejectsWrongSchema(t *testing.T) {
+	r := sampleReport("bad", 1)
+	r.Schema = "cncount-bench/v999"
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("wrong schema accepted: %v", err)
+	}
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+// TestDiffDetectsInjectedRegression slows one head cell past the
+// threshold and checks Diff flags exactly it.
+func TestDiffDetectsInjectedRegression(t *testing.T) {
+	base := sampleReport("base", 10)
+	head := sampleReport("head", 10)
+	head.Results[1].NsPerEdge *= 1.25 // inject +25% on WI/BMP/w4
+
+	d := Diff(base, head, 0.10)
+	if d.Regressions != 1 {
+		t.Fatalf("regressions = %d, want 1\n%+v", d.Regressions, d)
+	}
+	for _, delta := range d.Deltas {
+		want := delta.Key == (Key{Graph: "WI", Algo: "BMP", Workers: 4})
+		if delta.Regressed != want {
+			t.Errorf("%v regressed=%v, want %v (ratio %g)", delta.Key, delta.Regressed, want, delta.Ratio)
+		}
+	}
+}
+
+// TestDiffWithinThresholdPasses allows noise below the threshold.
+func TestDiffWithinThresholdPasses(t *testing.T) {
+	base := sampleReport("base", 10)
+	head := sampleReport("head", 10)
+	head.Results[0].NsPerEdge *= 1.08 // +8% < 10%
+	d := Diff(base, head, 0.10)
+	if d.Regressions != 0 {
+		t.Errorf("regressions = %d, want 0: %+v", d.Regressions, d.Deltas)
+	}
+	// Improvements never regress.
+	head.Results[0].NsPerEdge = 5
+	if d := Diff(base, head, 0.10); d.Regressions != 0 {
+		t.Errorf("speedup counted as regression: %+v", d.Deltas)
+	}
+}
+
+// TestDiffMissingCells pins the asymmetric missing-cell policy: a cell
+// dropped from head regresses, a new head cell passes.
+func TestDiffMissingCells(t *testing.T) {
+	base := sampleReport("base", 10)
+	head := sampleReport("head", 10)
+	head.Results = head.Results[:1] // drop WI/BMP/w4
+
+	d := Diff(base, head, 0.10)
+	if d.Regressions != 1 || len(d.MissingInHead) != 1 {
+		t.Errorf("dropped cell not a regression: %+v", d)
+	}
+
+	// Extra head coverage is fine.
+	head = sampleReport("head", 10)
+	head.Results = append(head.Results, Result{Graph: "LJ", Algo: "MPS", Workers: 2, NsPerEdge: 3})
+	d = Diff(base, head, 0.10)
+	if d.Regressions != 0 || len(d.MissingInBase) != 1 {
+		t.Errorf("new cell handling wrong: %+v", d)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"cncount/internal/gen"
 	"cncount/internal/graph"
 	"cncount/internal/metrics"
+	"cncount/internal/trace"
 )
 
 // BenchmarkCountMetricsGuard is the overhead guard for the observability
@@ -39,4 +40,37 @@ func BenchmarkCountMetricsGuard(b *testing.B) {
 	}
 	b.Run("off", func(b *testing.B) { run(b, nil) })
 	b.Run("on", func(b *testing.B) { run(b, metrics.New()) })
+}
+
+// BenchmarkCountTraceGuard is the overhead guard for the tracing layer:
+// the "off" variant runs the production code path with tracing disabled
+// (nil tracer) and must stay within ~2% of BenchmarkCountMetricsGuard/off,
+// because a nil tracer adds only a nil-receiver branch per phase and per
+// scheduler task — never per edge. The "on" variant shows the enabled
+// cost: two ring pushes per claimed task, no locks.
+//
+//	go test -bench BenchmarkCountTraceGuard -count 10 ./internal/core/
+func BenchmarkCountTraceGuard(b *testing.B) {
+	p, err := gen.ProfileByName("TW")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g0, err := p.Generate(0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, _ := graph.ReorderByDegree(g0)
+
+	run := func(b *testing.B, tr *trace.Tracer) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Count(g, Options{Algorithm: AlgoBMP, Trace: tr}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(g.NumEdges()/2)*float64(b.N)/b.Elapsed().Seconds(), "intersections/s")
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) { run(b, trace.New()) })
 }

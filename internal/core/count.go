@@ -68,10 +68,12 @@ func Count(g *graph.CSR, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 
 	mc := opts.Metrics
+	tr := opts.Trace
 
 	// Phase "core.setup" is Algorithm 3's per-thread context construction
 	// (lines 1-5): SrcFinder state and the static thread-local bitmaps.
 	stopSetup := mc.StartPhase("core.setup")
+	stopSetupSpan := tr.Span("core.setup")
 	numEdges := g.NumEdges()
 	counts := make([]uint32, numEdges)
 	contexts := make([]workerCtx, opts.Threads)
@@ -86,23 +88,33 @@ func Count(g *graph.CSR, opts Options) (*Result, error) {
 			contexts[i].rf = bitmap.NewRangeFiltered(numV, opts.RangeScale)
 		}
 	}
+	stopSetupSpan()
 	stopSetup()
 
 	// Phase "core.count" is the dynamically scheduled all-edge loop
 	// (Algorithm 3 lines 6-27); the recorder captures each worker's
-	// claimed tasks and busy time for the imbalance summary.
-	rec := mc.SchedRecorder("core.count", opts.Threads)
+	// claimed tasks, busy and queue-wait time for the imbalance summary,
+	// and the tracer one span per claimed task on the worker's row,
+	// named after the kernel path (MPS merge vs BMP bitmap probes).
+	obs := sched.Obs{
+		Rec:   mc.SchedRecorder("core.count", opts.Threads),
+		Trace: tr,
+		Scope: "core.count." + opts.Algorithm.String(),
+	}
 	start := time.Now()
 	body := makeBody(g, counts, contexts, opts)
 	stopCount := mc.StartPhase("core.count")
-	sched.DynamicRecorded(numEdges, opts.TaskSize, opts.Threads, rec, body)
+	stopCountSpan := tr.Span("core.count")
+	sched.DynamicObserved(numEdges, opts.TaskSize, opts.Threads, obs, body)
+	stopCountSpan()
 	stopCount()
 	elapsed := time.Since(start)
-	rec.Commit()
+	obs.Rec.Commit()
 
 	// Phase "core.reduce" aggregates the per-worker tallies (the work
 	// reduction after the parallel region).
 	stopReduce := mc.StartPhase("core.reduce")
+	stopReduceSpan := tr.Span("core.reduce")
 	res := &Result{Counts: counts, Elapsed: elapsed, Threads: opts.Threads}
 	if opts.CollectWork {
 		for i := range contexts {
@@ -118,6 +130,7 @@ func Count(g *graph.CSR, opts Options) (*Result, error) {
 		mc.Add("core.kernel_calls_"+opts.Algorithm.String(), kernels)
 		mc.Add("core.symmetric_assignments", kernels)
 	}
+	stopReduceSpan()
 	stopReduce()
 	return res, nil
 }

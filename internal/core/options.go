@@ -25,6 +25,7 @@ import (
 	"cncount/internal/intersect"
 	"cncount/internal/metrics"
 	"cncount/internal/sched"
+	"cncount/internal/trace"
 )
 
 // Algorithm selects the counting algorithm.
@@ -98,6 +99,12 @@ type Options struct {
 	// scheduler tallies with their imbalance summary. Nil disables all
 	// collection at negligible cost.
 	Metrics *metrics.Collector
+
+	// Trace, when non-nil, receives execution spans: the three Count
+	// phases on the main timeline row and one span per scheduled task
+	// (named "core.count.<algorithm>", with its queue-wait split) on each
+	// worker's row. Nil disables all tracing at negligible cost.
+	Trace *trace.Tracer
 }
 
 // withDefaults returns a copy of o with all unset fields defaulted.

@@ -23,6 +23,7 @@ import (
 	"cncount/internal/gen"
 	"cncount/internal/graph"
 	"cncount/internal/metrics"
+	"cncount/internal/trace"
 )
 
 // Context caches generated graphs and instrumented counting runs across
@@ -45,6 +46,11 @@ type Context struct {
 	// from the work behind each experiment. Cached graphs and runs record
 	// nothing on reuse, so a snapshot reflects work actually performed.
 	Metrics *metrics.Collector
+
+	// Trace, when non-nil, receives spans mirroring the Metrics phases
+	// (generation, reordering, counting) plus per-task scheduler spans.
+	// Like Metrics, cached graphs and runs emit nothing on reuse.
+	Trace *trace.Tracer
 
 	mu     sync.Mutex
 	graphs map[string]*graph.CSR
@@ -93,14 +99,16 @@ func (c *Context) Graph(name string) (*graph.CSR, error) {
 	if err != nil {
 		return nil, err
 	}
-	stop := c.Metrics.StartPhase("gen." + name)
+	stop, span := c.Metrics.StartPhase("gen."+name), c.Trace.Span("gen."+name)
 	g0, err := p.Generate(c.Scale)
+	span()
 	stop()
 	if err != nil {
 		return nil, err
 	}
-	stop = c.Metrics.StartPhase("reorder." + name)
+	stop, span = c.Metrics.StartPhase("reorder."+name), c.Trace.Span("reorder."+name)
 	g, _ := graph.ReorderByDegree(g0)
+	span()
 	stop()
 	c.graphs[name] = g
 	return g, nil
@@ -128,6 +136,7 @@ func (c *Context) run(dataset string, algo core.Algorithm, lanes int) (*core.Res
 		RangeScale:  c.RangeScale,
 		CollectWork: true,
 		Metrics:     c.Metrics,
+		Trace:       c.Trace,
 	})
 	if err != nil {
 		return nil, err

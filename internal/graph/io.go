@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"cncount/internal/metrics"
+	"cncount/internal/trace"
 )
 
 // ReadEdgeList parses a whitespace-separated text edge list ("u v" per
@@ -179,6 +180,13 @@ func LoadFile(path string) (*CSR, error) {
 // sample for CSR construction (binary CSR files decode directly and record
 // only the parse phase). A nil collector records nothing.
 func LoadFileMetrics(path string, mc *metrics.Collector) (*CSR, error) {
+	return LoadFileObserved(path, mc, nil)
+}
+
+// LoadFileObserved is LoadFileMetrics additionally emitting "graph.parse"
+// and "graph.build" spans onto tr's main timeline row. Either observer
+// may be nil.
+func LoadFileObserved(path string, mc *metrics.Collector, tr *trace.Tracer) (*CSR, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -186,24 +194,28 @@ func LoadFileMetrics(path string, mc *metrics.Collector) (*CSR, error) {
 	defer f.Close()
 	switch {
 	case strings.HasSuffix(path, ".bin"):
-		stop := mc.StartPhase("graph.parse")
+		stop, span := mc.StartPhase("graph.parse"), tr.Span("graph.parse")
 		g, err := ReadBinary(f)
+		span()
 		stop()
 		return g, err
 	case strings.HasSuffix(path, ".metis"), strings.HasSuffix(path, ".graph"):
-		stop := mc.StartPhase("graph.parse")
+		stop, span := mc.StartPhase("graph.parse"), tr.Span("graph.parse")
 		g, err := ReadMETIS(f)
+		span()
 		stop()
 		return g, err
 	}
-	stop := mc.StartPhase("graph.parse")
+	stop, span := mc.StartPhase("graph.parse"), tr.Span("graph.parse")
 	n, edges, err := ReadEdgeList(f)
+	span()
 	stop()
 	if err != nil {
 		return nil, err
 	}
-	stop = mc.StartPhase("graph.build")
+	stop, span = mc.StartPhase("graph.build"), tr.Span("graph.build")
 	g, err := FromEdges(n, edges)
+	span()
 	stop()
 	return g, err
 }

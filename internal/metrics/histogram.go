@@ -32,7 +32,8 @@ func (h *Histogram) Observe(d time.Duration) {
 }
 
 // Snapshot returns the non-empty buckets with their exclusive upper bounds
-// in nanoseconds.
+// in nanoseconds, plus p50/p95/p99 estimates interpolated from the bucket
+// counts.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	var s HistogramSnapshot
 	for i := 0; i < histBuckets; i++ {
@@ -43,6 +44,9 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s.Buckets = append(s.Buckets, HistogramBucket{UpperNanos: uint64(1) << i, Count: n})
 		s.Count += n
 	}
+	s.P50Nanos = s.Quantile(0.50)
+	s.P95Nanos = s.Quantile(0.95)
+	s.P99Nanos = s.Quantile(0.99)
 	return s
 }
 
@@ -53,6 +57,43 @@ type HistogramSnapshot struct {
 	Buckets []HistogramBucket `json:"buckets,omitempty"`
 	// Count is the total number of observations.
 	Count uint64 `json:"count"`
+	// P50Nanos, P95Nanos and P99Nanos are quantile estimates computed by
+	// Quantile at snapshot time. Being derived from power-of-two buckets
+	// they carry up to ~2x resolution error, which is exactly the bucket
+	// guarantee; they rank task-size skew, they do not time individual
+	// tasks.
+	P50Nanos uint64 `json:"p50_nanos,omitempty"`
+	P95Nanos uint64 `json:"p95_nanos,omitempty"`
+	P99Nanos uint64 `json:"p99_nanos,omitempty"`
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) in nanoseconds by linear
+// interpolation inside the bucket holding the target rank: with C
+// observations below the bucket and n inside it, the estimate is
+// lo + (q·Count − C)/n · (hi − lo), where [lo, hi) are the bucket bounds
+// (lo = hi/2, except the first bucket whose lo is 0). It returns 0 for an
+// empty histogram or out-of-range q.
+func (s HistogramSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 || q <= 0 || q > 1 {
+		return 0
+	}
+	target := q * float64(s.Count)
+	var below uint64
+	for _, b := range s.Buckets {
+		if float64(below+b.Count) >= target {
+			hi := float64(b.UpperNanos)
+			lo := hi / 2
+			if b.UpperNanos <= 1 {
+				lo = 0
+			}
+			frac := (target - float64(below)) / float64(b.Count)
+			return uint64(lo + frac*(hi-lo))
+		}
+		below += b.Count
+	}
+	// Floating-point rounding can leave target a hair above the last
+	// cumulative count; clamp to the last bucket's upper bound.
+	return s.Buckets[len(s.Buckets)-1].UpperNanos
 }
 
 // HistogramBucket is one non-empty histogram bucket.

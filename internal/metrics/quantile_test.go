@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestQuantileSingleBucket pins the interpolation formula on a known
+// distribution: 100 observations of 100ns all land in the [64, 128)
+// bucket, so the q-quantile estimate is 64 + q·64.
+func TestQuantileSingleBucket(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(100 * time.Nanosecond)
+	}
+	s := h.Snapshot()
+	cases := map[float64]uint64{
+		0.50: 96,  // 64 + 0.50*64
+		0.95: 124, // 64 + 0.95*64
+		0.99: 127, // 64 + 0.99*64 = 127.36, truncated
+		1.00: 128,
+	}
+	for q, want := range cases {
+		if got := s.Quantile(q); got != want {
+			t.Errorf("Quantile(%g) = %d, want %d", q, got, want)
+		}
+	}
+	if s.P50Nanos != 96 || s.P95Nanos != 124 || s.P99Nanos != 127 {
+		t.Errorf("snapshot quantiles = %d/%d/%d, want 96/124/127",
+			s.P50Nanos, s.P95Nanos, s.P99Nanos)
+	}
+}
+
+// TestQuantileTwoBuckets pins rank targeting across buckets: 90
+// observations in [64, 128) and 10 in [512, 1024) put p50 in the first
+// bucket and p99 in the second.
+func TestQuantileTwoBuckets(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(80 * time.Nanosecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(600 * time.Nanosecond)
+	}
+	s := h.Snapshot()
+	// p50: target rank 50 of 90 in [64,128): 64 + (50/90)*64 = 99.55 → 99.
+	if got := s.Quantile(0.50); got != 99 {
+		t.Errorf("p50 = %d, want 99", got)
+	}
+	// p95: target rank 95; 90 below, 5 of 10 into [512,1024):
+	// 512 + 0.5*512 = 768.
+	if got := s.Quantile(0.95); got != 768 {
+		t.Errorf("p95 = %d, want 768", got)
+	}
+	// p99: target rank 99; 9 of 10 into [512,1024): 512 + 0.9*512 = 972…
+	if got := s.Quantile(0.99); got != 972 {
+		t.Errorf("p99 = %d, want 972", got)
+	}
+}
+
+// TestQuantileOrdering checks monotonicity in q and sane bounds on a
+// spread-out distribution.
+func TestQuantileOrdering(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if !(s.P50Nanos <= s.P95Nanos && s.P95Nanos <= s.P99Nanos) {
+		t.Errorf("quantiles not ordered: p50=%d p95=%d p99=%d",
+			s.P50Nanos, s.P95Nanos, s.P99Nanos)
+	}
+	// True p50 is 500µs; the power-of-two estimate must land within the
+	// enclosing bucket [262144, 524288) ∪ [524288, 1048576).
+	if s.P50Nanos < 262144 || s.P50Nanos > 1048576 {
+		t.Errorf("p50 = %dns, outside the 2x bucket band around 500µs", s.P50Nanos)
+	}
+}
+
+// TestQuantileEdgeCases covers the empty histogram, out-of-range q, and
+// the zero-duration bucket whose lower bound is 0.
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %d", got)
+	}
+	var h Histogram
+	h.Observe(0) // bucket [0,1)
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got != 0 {
+		t.Errorf("zero-duration p50 = %d, want 0", got)
+	}
+	if got := s.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %d, want 0", got)
+	}
+	if got := s.Quantile(1.5); got != 0 {
+		t.Errorf("Quantile(1.5) = %d, want 0", got)
+	}
+}
+
+// TestQuantilesInJSONSnapshot checks the estimates ride along in the
+// serialized collector snapshot.
+func TestQuantilesInJSONSnapshot(t *testing.T) {
+	c := New()
+	rec := c.SchedRecorder("s", 1)
+	for i := 0; i < 10; i++ {
+		rec.ObserveTask(100 * time.Nanosecond)
+	}
+	rec.Commit()
+	b, err := json.Marshal(c.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"p50_nanos"`, `"p95_nanos"`, `"p99_nanos"`} {
+		if !strings.Contains(string(b), key) {
+			t.Errorf("snapshot JSON missing %s:\n%s", key, b)
+		}
+	}
+}

@@ -11,8 +11,11 @@
 // Each scheduler has a *Recorded variant that tallies per-worker
 // tasks-claimed / units-processed / busy-time into a
 // metrics.SchedRecorder, the substrate for the per-worker load-balance
-// breakdowns of the evaluation. The plain entry points pass a nil recorder
-// and keep the uninstrumented hot loop.
+// breakdowns of the evaluation, and an *Observed variant that additionally
+// (or instead) emits one trace span per task — split into queue-wait
+// (submit→start) and run time — onto the worker's timeline row. The plain
+// entry points pass an empty observer and keep the uninstrumented hot
+// loop.
 package sched
 
 import (
@@ -23,6 +26,7 @@ import (
 	"time"
 
 	"cncount/internal/metrics"
+	"cncount/internal/trace"
 )
 
 // DefaultTaskSize is the default number of units |T| per dynamically
@@ -90,6 +94,83 @@ func (b *panicBox) rethrow() {
 	}
 }
 
+// Obs bundles the per-region observers a scheduler threads into its
+// workers: a metrics recorder (tallies + task histogram), a tracer (one
+// span per task on the worker's timeline row), and the span name to emit.
+// The zero Obs observes nothing and keeps the uninstrumented loop.
+type Obs struct {
+	// Rec receives per-worker tallies and the task-duration histogram;
+	// nil records nothing.
+	Rec *metrics.SchedRecorder
+	// Trace receives one complete span per task named Scope, preceded by
+	// a Scope+".wait" span covering the submit→start queue wait; nil
+	// records nothing.
+	Trace *trace.Tracer
+	// Scope names the trace spans (e.g. "core.count.BMP"); empty means
+	// "task".
+	Scope string
+}
+
+// workerObs is one worker's observation state: its tally slot, its trace
+// ring, and the resolved span names. The zero value observes nothing.
+type workerObs struct {
+	tally    *metrics.WorkerTally
+	rec      *metrics.SchedRecorder
+	ring     *trace.Ring
+	span     string
+	waitSpan string
+}
+
+// worker resolves the observer for worker w (registering its trace ring),
+// returning an inactive workerObs when nothing is enabled.
+func (o Obs) worker(w int) workerObs {
+	wo := workerObs{rec: o.Rec, tally: o.Rec.Tally(w)}
+	if o.Trace.Enabled() {
+		wo.ring = o.Trace.WorkerRing(w)
+		wo.span = o.Scope
+		if wo.span == "" {
+			wo.span = "task"
+		}
+		wo.waitSpan = wo.span + ".wait"
+	}
+	return wo
+}
+
+// active reports whether per-task timestamps need to be taken at all.
+func (wo *workerObs) active() bool { return wo.tally != nil || wo.ring != nil }
+
+// lifetime opens the worker's region-lifetime span (Scope+".worker"),
+// closed when the worker exits the region. Claim-based schedulers emit it
+// so every sched worker contributes at least one span to its timeline row
+// even when dynamic claiming starves it of tasks (a short range can be
+// fully consumed before a late-starting worker claims anything). Returns
+// a no-op when tracing is disabled.
+func (wo *workerObs) lifetime() func() {
+	if wo.ring == nil {
+		return func() {}
+	}
+	name := wo.span + ".worker"
+	start := time.Now()
+	return func() { wo.ring.Complete(name, start, time.Since(start)) }
+}
+
+// record logs one claimed task: claimAt is when the worker started seeking
+// the task (submit), start when its body began, d the body duration.
+func (wo *workerObs) record(claimAt, start time.Time, d time.Duration, units int64) {
+	wait := start.Sub(claimAt)
+	if wo.tally != nil {
+		wo.tally.TasksClaimed++
+		wo.tally.UnitsProcessed += uint64(units)
+		wo.tally.BusyNanos += uint64(d)
+		wo.tally.WaitNanos += uint64(wait)
+		wo.rec.ObserveTask(d)
+	}
+	if wo.ring != nil {
+		wo.ring.Complete(wo.waitSpan, claimAt, wait)
+		wo.ring.Complete(wo.span, start, d)
+	}
+}
+
 // Dynamic runs body over the half-open range [0, n) split into
 // ceil(n/taskSize) chunks claimed dynamically by `workers` goroutines.
 // body(worker, lo, hi) processes [lo, hi); the worker index is stable for
@@ -98,14 +179,20 @@ func (b *panicBox) rethrow() {
 // A panic in any worker is captured and re-panicked in the caller's
 // goroutine after all workers stop, wrapped in *PanicError.
 func Dynamic(n int64, taskSize, workers int, body func(worker int, lo, hi int64)) {
-	DynamicRecorded(n, taskSize, workers, nil, body)
+	DynamicObserved(n, taskSize, workers, Obs{}, body)
 }
 
 // DynamicRecorded is Dynamic with per-worker metrics: each claimed task
-// adds to the worker's tally (tasks, units, busy time) and to the
-// recorder's task-duration histogram. A nil recorder records nothing and
-// keeps the uninstrumented loop.
+// adds to the worker's tally (tasks, units, busy and queue-wait time) and
+// to the recorder's task-duration histogram. A nil recorder records
+// nothing and keeps the uninstrumented loop.
 func DynamicRecorded(n int64, taskSize, workers int, rec *metrics.SchedRecorder, body func(worker int, lo, hi int64)) {
+	DynamicObserved(n, taskSize, workers, Obs{Rec: rec}, body)
+}
+
+// DynamicObserved is Dynamic observed by obs: metrics tallies and/or one
+// trace span per task with its queue-wait split.
+func DynamicObserved(n int64, taskSize, workers int, obs Obs, body func(worker int, lo, hi int64)) {
 	if n <= 0 {
 		return
 	}
@@ -114,7 +201,7 @@ func DynamicRecorded(n int64, taskSize, workers int, rec *metrics.SchedRecorder,
 	}
 	workers = Workers(workers)
 	if workers == 1 {
-		runSequential(n, rec, body)
+		runSequential(n, obs, body)
 		return
 	}
 
@@ -126,7 +213,24 @@ func DynamicRecorded(n int64, taskSize, workers int, rec *metrics.SchedRecorder,
 		go func(worker int) {
 			defer wg.Done()
 			defer box.capture()
-			tally := rec.Tally(worker)
+			wo := obs.worker(worker)
+			if wo.active() {
+				defer wo.lifetime()()
+				for {
+					claimAt := time.Now()
+					lo := cursor.Add(int64(taskSize)) - int64(taskSize)
+					if lo >= n {
+						return
+					}
+					hi := lo + int64(taskSize)
+					if hi > n {
+						hi = n
+					}
+					start := time.Now()
+					body(worker, lo, hi)
+					wo.record(claimAt, start, time.Since(start), hi-lo)
+				}
+			}
 			for {
 				lo := cursor.Add(int64(taskSize)) - int64(taskSize)
 				if lo >= n {
@@ -136,17 +240,7 @@ func DynamicRecorded(n int64, taskSize, workers int, rec *metrics.SchedRecorder,
 				if hi > n {
 					hi = n
 				}
-				if tally != nil {
-					start := time.Now()
-					body(worker, lo, hi)
-					d := time.Since(start)
-					tally.TasksClaimed++
-					tally.UnitsProcessed += uint64(hi - lo)
-					tally.BusyNanos += uint64(d)
-					rec.ObserveTask(d)
-				} else {
-					body(worker, lo, hi)
-				}
+				body(worker, lo, hi)
 			}
 		}(w)
 	}
@@ -157,19 +251,16 @@ func DynamicRecorded(n int64, taskSize, workers int, rec *metrics.SchedRecorder,
 // runSequential is the workers == 1 fast path shared by all schedulers:
 // one body call covers the whole range on the caller's goroutine (so a
 // panic propagates unwrapped, exactly as a plain loop would).
-func runSequential(n int64, rec *metrics.SchedRecorder, body func(worker int, lo, hi int64)) {
-	if rec == nil {
+func runSequential(n int64, obs Obs, body func(worker int, lo, hi int64)) {
+	wo := obs.worker(0)
+	if !wo.active() {
 		body(0, 0, n)
 		return
 	}
-	tally := rec.Tally(0)
+	claimAt := time.Now()
 	start := time.Now()
 	body(0, 0, n)
-	d := time.Since(start)
-	tally.TasksClaimed++
-	tally.UnitsProcessed += uint64(n)
-	tally.BusyNanos += uint64(d)
-	rec.ObserveTask(d)
+	wo.record(claimAt, start, time.Since(start), n)
 }
 
 // Guided runs body over [0, n) with OpenMP guided scheduling: each worker
@@ -180,11 +271,16 @@ func runSequential(n int64, rec *metrics.SchedRecorder, body func(worker int, lo
 // per-unit cost is skewed (exactly the situation on hub-heavy graphs, which
 // is why the paper — and core — use plain fixed-size dynamic chunks).
 func Guided(n int64, minChunk, workers int, body func(worker int, lo, hi int64)) {
-	GuidedRecorded(n, minChunk, workers, nil, body)
+	GuidedObserved(n, minChunk, workers, Obs{}, body)
 }
 
 // GuidedRecorded is Guided with per-worker metrics; see DynamicRecorded.
 func GuidedRecorded(n int64, minChunk, workers int, rec *metrics.SchedRecorder, body func(worker int, lo, hi int64)) {
+	GuidedObserved(n, minChunk, workers, Obs{Rec: rec}, body)
+}
+
+// GuidedObserved is Guided observed by obs; see DynamicObserved.
+func GuidedObserved(n int64, minChunk, workers int, obs Obs, body func(worker int, lo, hi int64)) {
 	if n <= 0 {
 		return
 	}
@@ -193,7 +289,7 @@ func GuidedRecorded(n int64, minChunk, workers int, rec *metrics.SchedRecorder, 
 	}
 	workers = Workers(workers)
 	if workers == 1 {
-		runSequential(n, rec, body)
+		runSequential(n, obs, body)
 		return
 	}
 
@@ -226,20 +322,23 @@ func GuidedRecorded(n int64, minChunk, workers int, rec *metrics.SchedRecorder, 
 		go func(worker int) {
 			defer wg.Done()
 			defer box.capture()
-			tally := rec.Tally(worker)
+			wo := obs.worker(worker)
+			if wo.active() {
+				defer wo.lifetime()()
+			}
 			for {
+				var claimAt time.Time
+				if wo.active() {
+					claimAt = time.Now()
+				}
 				lo, hi, ok := claim()
 				if !ok {
 					return
 				}
-				if tally != nil {
+				if wo.active() {
 					start := time.Now()
 					body(worker, lo, hi)
-					d := time.Since(start)
-					tally.TasksClaimed++
-					tally.UnitsProcessed += uint64(hi - lo)
-					tally.BusyNanos += uint64(d)
-					rec.ObserveTask(d)
+					wo.record(claimAt, start, time.Since(start), hi-lo)
 				} else {
 					body(worker, lo, hi)
 				}
@@ -254,17 +353,23 @@ func GuidedRecorded(n int64, minChunk, workers int, rec *metrics.SchedRecorder, 
 // per worker (OpenMP static schedule). Used where dynamic scheduling buys
 // nothing (e.g. the reverse-offset assignment postprocessing).
 func Static(n int64, workers int, body func(worker int, lo, hi int64)) {
-	StaticRecorded(n, workers, nil, body)
+	StaticObserved(n, workers, Obs{}, body)
 }
 
 // StaticRecorded is Static with per-worker metrics; see DynamicRecorded.
 func StaticRecorded(n int64, workers int, rec *metrics.SchedRecorder, body func(worker int, lo, hi int64)) {
+	StaticObserved(n, workers, Obs{Rec: rec}, body)
+}
+
+// StaticObserved is Static observed by obs; see DynamicObserved. The
+// queue wait of a static slab is just goroutine startup latency.
+func StaticObserved(n int64, workers int, obs Obs, body func(worker int, lo, hi int64)) {
 	if n <= 0 {
 		return
 	}
 	workers = Workers(workers)
 	if workers == 1 {
-		runSequential(n, rec, body)
+		runSequential(n, obs, body)
 		return
 	}
 	if int64(workers) > n {
@@ -272,6 +377,7 @@ func StaticRecorded(n int64, workers int, rec *metrics.SchedRecorder, body func(
 	}
 	var wg sync.WaitGroup
 	var box panicBox
+	submit := time.Now()
 	per := n / int64(workers)
 	rem := n % int64(workers)
 	lo := int64(0)
@@ -284,14 +390,11 @@ func StaticRecorded(n int64, workers int, rec *metrics.SchedRecorder, body func(
 		go func(worker int, lo, hi int64) {
 			defer wg.Done()
 			defer box.capture()
-			if tally := rec.Tally(worker); tally != nil {
+			wo := obs.worker(worker)
+			if wo.active() {
 				start := time.Now()
 				body(worker, lo, hi)
-				d := time.Since(start)
-				tally.TasksClaimed++
-				tally.UnitsProcessed += uint64(hi - lo)
-				tally.BusyNanos += uint64(d)
-				rec.ObserveTask(d)
+				wo.record(submit, start, time.Since(start), hi-lo)
 			} else {
 				body(worker, lo, hi)
 			}

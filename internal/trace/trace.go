@@ -1,0 +1,315 @@
+// Package trace is the span-level execution tracer: named spans and
+// instant events recorded into per-worker ring buffers and serialized as
+// Chrome trace-event JSON, loadable in Perfetto (https://ui.perfetto.dev)
+// or chrome://tracing. Where internal/metrics answers "how much time went
+// where in aggregate", trace answers "when, on which worker" — the
+// timeline view behind the paper's per-phase breakdowns (Algorithm 3,
+// Figure 7) and the scheduler-imbalance diagnosis.
+//
+// The contract mirrors internal/metrics:
+//
+//   - A nil *Tracer is the disabled tracer. Every method (and every method
+//     of the nil *Ring it hands out) is nil-safe and reduces to one
+//     always-taken branch, so instrumented code calls straight through
+//     (see BenchmarkCountTraceGuard).
+//   - Hot-path recording takes no locks and does not allocate: each
+//     scheduler worker owns a Ring and writes events with plain stores.
+//     Rings have fixed capacity; when one fills, the oldest events are
+//     overwritten and counted as dropped, bounding memory for arbitrarily
+//     long runs.
+//   - Everything coarse (ring registration, thread names, serialization)
+//     goes through a mutex; those paths run once per parallel region, not
+//     per task.
+//
+// Timeline layout: pid is always 1 ("cncount"), tid 0 is the caller's
+// goroutine ("main", coarse phase spans), and tid w+1 is scheduler worker
+// w — one row per sched worker, shared by every parallel region so a whole
+// run reads as a single timeline.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultRingEvents is the per-ring event capacity: at the default task
+// size, 1<<14 spans cover ~33M edge offsets per worker before the ring
+// wraps, far past the profile-scale graphs; beyond that the newest events
+// win (the tail of the run is usually what a timeline is opened for).
+const DefaultRingEvents = 1 << 14
+
+// tracePID is the single pid all events report; the tracer models one
+// process with one row per scheduler worker.
+const tracePID = 1
+
+// MainTID is the tid of the caller's goroutine row; scheduler worker w
+// records on tid w+1 (see WorkerRing).
+const MainTID = 0
+
+// phase identifiers of the Chrome trace-event format.
+const (
+	phComplete = "X" // complete event: ts + dur
+	phInstant  = "i" // instant event
+	phMetadata = "M" // metadata (process/thread names)
+)
+
+// Tracer collects spans and instant events. A nil *Tracer is valid and
+// records nothing; construct with New to enable tracing.
+type Tracer struct {
+	epoch    time.Time
+	ringCap  int
+	mu       sync.Mutex
+	rings    []*Ring
+	tidNames map[int]string
+	main     *Ring
+}
+
+// New returns an enabled tracer with the default per-ring capacity. The
+// trace epoch (ts 0) is the moment of the call.
+func New() *Tracer { return NewWithCapacity(DefaultRingEvents) }
+
+// NewWithCapacity is New with an explicit per-ring event capacity
+// (values < 1 use 1).
+func NewWithCapacity(perRing int) *Tracer {
+	if perRing < 1 {
+		perRing = 1
+	}
+	t := &Tracer{
+		epoch:    time.Now(),
+		ringCap:  perRing,
+		tidNames: map[int]string{MainTID: "main"},
+	}
+	t.main = t.Ring(MainTID)
+	return t
+}
+
+// Enabled reports whether the tracer records anything.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Ring registers and returns a new ring bound to tid, or nil on the
+// disabled tracer. A Ring is single-writer: exactly one goroutine may
+// record into it (no synchronization is performed on writes). Multiple
+// rings may share a tid — their events merge onto one timeline row.
+func (t *Tracer) Ring(tid int) *Ring {
+	if t == nil {
+		return nil
+	}
+	r := &Ring{tid: tid, epoch: t.epoch, events: make([]event, t.ringCap)}
+	t.mu.Lock()
+	t.rings = append(t.rings, r)
+	t.mu.Unlock()
+	return r
+}
+
+// WorkerRing registers a ring on scheduler worker w's row (tid w+1) and
+// names the row. It is the per-parallel-region entry point for sched
+// workers; nil tracer returns nil.
+func (t *Tracer) WorkerRing(w int) *Ring {
+	if t == nil {
+		return nil
+	}
+	t.NameThread(w+1, fmt.Sprintf("worker %d", w))
+	return t.Ring(w + 1)
+}
+
+// NameThread sets the display name of a timeline row (emitted as a
+// thread_name metadata event). Renaming an already-named tid keeps the
+// first name.
+func (t *Tracer) NameThread(tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if _, ok := t.tidNames[tid]; !ok {
+		t.tidNames[tid] = name
+	}
+	t.mu.Unlock()
+}
+
+// noopStop is returned by Span on the disabled tracer.
+var noopStop = func() {}
+
+// Span starts a named span on the main row and returns the function that
+// ends it — the coarse-phase analogue of metrics.StartPhase. It must only
+// be used from one goroutine at a time (the main ring is single-writer);
+// scheduler workers use their WorkerRing instead.
+func (t *Tracer) Span(name string) (stop func()) {
+	if t == nil {
+		return noopStop
+	}
+	start := time.Now()
+	return func() { t.main.Complete(name, start, time.Since(start)) }
+}
+
+// Instant records an instant event on the main row.
+func (t *Tracer) Instant(name string) {
+	if t == nil {
+		return
+	}
+	t.main.Instant(name, time.Now())
+}
+
+// event is one recorded trace event. Start carries Go's monotonic clock
+// reading, so ts computation at serialization time is immune to wall-clock
+// steps.
+type event struct {
+	name  string
+	ph    string
+	start time.Time
+	dur   time.Duration
+}
+
+// Ring is a fixed-capacity single-writer event buffer owned by one
+// goroutine. A nil *Ring is valid and records nothing. When the ring is
+// full the oldest event is overwritten and counted as dropped.
+type Ring struct {
+	tid    int
+	epoch  time.Time
+	events []event
+	next   int    // write cursor
+	count  int    // events held, ≤ len(events)
+	drop   uint64 // events overwritten
+}
+
+// Complete records a complete span [start, start+dur) — one event, the
+// cheapest span encoding of the trace-event format.
+func (r *Ring) Complete(name string, start time.Time, dur time.Duration) {
+	if r == nil {
+		return
+	}
+	r.push(event{name: name, ph: phComplete, start: start, dur: dur})
+}
+
+// Instant records an instant event at the given time.
+func (r *Ring) Instant(name string, at time.Time) {
+	if r == nil {
+		return
+	}
+	r.push(event{name: name, ph: phInstant, start: at})
+}
+
+func (r *Ring) push(ev event) {
+	r.events[r.next] = ev
+	r.next++
+	if r.next == len(r.events) {
+		r.next = 0
+	}
+	if r.count < len(r.events) {
+		r.count++
+	} else {
+		r.drop++
+	}
+}
+
+// chronological returns the held events oldest-first (undoing the wrap).
+func (r *Ring) chronological() []event {
+	out := make([]event, 0, r.count)
+	if r.count == len(r.events) { // wrapped: oldest is at the cursor
+		out = append(out, r.events[r.next:]...)
+		out = append(out, r.events[:r.next]...)
+		return out
+	}
+	return append(out, r.events[:r.count]...)
+}
+
+// Dropped returns the total number of events overwritten across all rings.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var n uint64
+	for _, r := range t.rings {
+		n += r.drop
+	}
+	return n
+}
+
+// jsonEvent is the trace-event wire format. Ts and Dur are microseconds
+// (the format's unit) with fractional nanosecond precision.
+type jsonEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`    // instant-event scope
+	Args map[string]any `json:"args,omitempty"` // metadata payload
+}
+
+// file is the trace-event JSON object format, which Perfetto and
+// chrome://tracing both load.
+type file struct {
+	TraceEvents     []jsonEvent    `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteJSON serializes everything recorded so far as one Chrome
+// trace-event JSON object followed by a newline. It may be called while
+// recording continues only if every ring's writer has quiesced (in
+// practice: after the scheduler joins). Events are emitted in
+// non-decreasing ts order per tid. On the disabled tracer it writes an
+// empty trace.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	f := file{TraceEvents: []jsonEvent{}, DisplayTimeUnit: "ms"}
+	if t != nil {
+		t.mu.Lock()
+		// Metadata first: the process name and one thread_name per row.
+		f.TraceEvents = append(f.TraceEvents, jsonEvent{
+			Name: "process_name", Ph: phMetadata, Pid: tracePID, Tid: MainTID,
+			Args: map[string]any{"name": "cncount"},
+		})
+		tids := make([]int, 0, len(t.tidNames))
+		for tid := range t.tidNames {
+			tids = append(tids, tid)
+		}
+		sort.Ints(tids)
+		for _, tid := range tids {
+			f.TraceEvents = append(f.TraceEvents, jsonEvent{
+				Name: "thread_name", Ph: phMetadata, Pid: tracePID, Tid: tid,
+				Args: map[string]any{"name": t.tidNames[tid]},
+			})
+		}
+		var evs []jsonEvent
+		var dropped uint64
+		for _, r := range t.rings {
+			dropped += r.drop
+			for _, ev := range r.chronological() {
+				je := jsonEvent{
+					Name: ev.name,
+					Ph:   ev.ph,
+					Ts:   float64(ev.start.Sub(t.epoch).Nanoseconds()) / 1e3,
+					Pid:  tracePID,
+					Tid:  r.tid,
+				}
+				if ev.ph == phComplete {
+					je.Dur = float64(ev.dur.Nanoseconds()) / 1e3
+				}
+				if ev.ph == phInstant {
+					je.S = "t" // thread-scoped instant
+				}
+				evs = append(evs, je)
+			}
+		}
+		t.mu.Unlock()
+		// Rings sharing a tid (successive parallel regions) interleave;
+		// a stable ts sort restores per-row chronological order.
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].Ts < evs[j].Ts })
+		f.TraceEvents = append(f.TraceEvents, evs...)
+		f.OtherData = map[string]any{"generator": "cncount", "droppedEvents": dropped}
+	}
+	b, err := json.Marshal(f)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNilTracerIsSafe drives every entry point through the nil tracer and
+// nil ring; none may panic and the output must be an empty valid trace.
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer reports enabled")
+	}
+	tr.Span("phase")()
+	tr.Instant("tick")
+	tr.NameThread(3, "nope")
+	if got := tr.Dropped(); got != 0 {
+		t.Errorf("nil tracer dropped = %d", got)
+	}
+	r := tr.WorkerRing(0)
+	if r != nil {
+		t.Fatal("nil tracer handed out a ring")
+	}
+	r.Complete("task", time.Now(), time.Millisecond)
+	r.Instant("tick", time.Now())
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(buf.Bytes()); err != nil {
+		t.Errorf("nil tracer output fails validation: %v", err)
+	}
+}
+
+// TestWriteJSONSchema records a realistic mix — coarse main spans, two
+// worker rings, instants — and validates the serialized form end to end.
+func TestWriteJSONSchema(t *testing.T) {
+	tr := New()
+	stop := tr.Span("graph.parse")
+	time.Sleep(time.Millisecond)
+	stop()
+	tr.Instant("join")
+	for w := 0; w < 2; w++ {
+		r := tr.WorkerRing(w)
+		start := time.Now()
+		for i := 0; i < 3; i++ {
+			r.Complete("core.count.task", start, time.Microsecond)
+			start = start.Add(10 * time.Microsecond)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(buf.Bytes()); err != nil {
+		t.Fatalf("emitted trace fails schema validation: %v\n%s", err, buf.String())
+	}
+	perTid, names, err := SpanCount(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perTid[MainTID] != 1 || perTid[1] != 3 || perTid[2] != 3 {
+		t.Errorf("span counts per tid = %v, want 1/3/3", perTid)
+	}
+	if names["graph.parse"] != 1 || names["core.count.task"] != 6 {
+		t.Errorf("span names = %v", names)
+	}
+	if !strings.Contains(buf.String(), `"thread_name"`) {
+		t.Error("no thread_name metadata emitted")
+	}
+	if !strings.Contains(buf.String(), `"worker 1"`) {
+		t.Error("worker row not named")
+	}
+}
+
+// TestRingWrapKeepsNewest fills a tiny ring past capacity and checks the
+// survivors are the newest events, still emitted in chronological order.
+func TestRingWrapKeepsNewest(t *testing.T) {
+	tr := NewWithCapacity(4)
+	r := tr.Ring(7)
+	base := time.Now()
+	for i := 0; i < 10; i++ {
+		r.Complete("e", base.Add(time.Duration(i)*time.Millisecond), time.Microsecond)
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Errorf("dropped = %d, want 6", got)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(buf.Bytes()); err != nil {
+		t.Fatalf("wrapped ring fails validation (ts order broken at the seam?): %v", err)
+	}
+	perTid, _, err := SpanCount(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perTid[7] != 4 {
+		t.Errorf("surviving spans = %d, want capacity 4", perTid[7])
+	}
+}
+
+// TestValidateRejectsMalformed feeds Validate hand-built violations of
+// each schema rule it enforces.
+func TestValidateRejectsMalformed(t *testing.T) {
+	mk := func(events string) []byte {
+		return []byte(`{"traceEvents":[` + events + `]}`)
+	}
+	cases := map[string][]byte{
+		"not json":       []byte(`[`),
+		"no traceEvents": []byte(`{}`),
+		"missing ph":     mk(`{"ts":1,"pid":1,"tid":0,"name":"a"}`),
+		"missing ts":     mk(`{"ph":"X","pid":1,"tid":0,"name":"a"}`),
+		"missing pid":    mk(`{"ph":"X","ts":1,"tid":0,"name":"a"}`),
+		"missing tid":    mk(`{"ph":"X","ts":1,"pid":1,"name":"a"}`),
+		"missing name":   mk(`{"ph":"X","ts":1,"pid":1,"tid":0}`),
+		"empty name":     mk(`{"ph":"X","ts":1,"pid":1,"tid":0,"name":""}`),
+		"unknown phase":  mk(`{"ph":"Z","ts":1,"pid":1,"tid":0,"name":"a"}`),
+		"negative ts":    mk(`{"ph":"X","ts":-1,"pid":1,"tid":0,"name":"a"}`),
+		"negative dur":   mk(`{"ph":"X","ts":1,"dur":-2,"pid":1,"tid":0,"name":"a"}`),
+		"ts regression": mk(`{"ph":"X","ts":5,"pid":1,"tid":0,"name":"a"},` +
+			`{"ph":"X","ts":3,"pid":1,"tid":0,"name":"b"}`),
+	}
+	for label, data := range cases {
+		if err := Validate(data); err == nil {
+			t.Errorf("%s: accepted", label)
+		}
+	}
+	// Regressions on different tids are independent rows and must pass.
+	ok := mk(`{"ph":"X","ts":5,"pid":1,"tid":0,"name":"a"},` +
+		`{"ph":"X","ts":3,"pid":1,"tid":1,"name":"b"}`)
+	if err := Validate(ok); err != nil {
+		t.Errorf("cross-tid ts order rejected: %v", err)
+	}
+}
+
+// TestEpochRelativeTimestamps pins that ts is measured from the tracer's
+// construction, in microseconds.
+func TestEpochRelativeTimestamps(t *testing.T) {
+	tr := New()
+	stop := tr.Span("p")
+	time.Sleep(2 * time.Millisecond)
+	stop()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Ph  string  `json:"ph"`
+			Ts  float64 `json:"ts"`
+			Dur float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range f.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if ev.Ts < 0 || ev.Ts > 1e6 {
+			t.Errorf("span ts = %g µs, want small epoch-relative offset", ev.Ts)
+		}
+		if ev.Dur < 2000 {
+			t.Errorf("span dur = %g µs, want ≥ 2000 (slept 2ms)", ev.Dur)
+		}
+		return
+	}
+	t.Fatal("no complete span in output")
+}

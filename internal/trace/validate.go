@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Validate checks data against the Chrome trace-event schema subset this
+// package emits: a JSON object whose "traceEvents" array entries all carry
+// the required keys (ph, ts, pid, tid, name) with sane types, known phase
+// identifiers, non-negative ts/dur, and non-decreasing ts per tid. It is
+// the shared schema gate for the tracer's own tests and for CLI tests that
+// read a written -trace file back.
+func Validate(data []byte) error {
+	var f struct {
+		TraceEvents []map[string]json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("trace: not a JSON object: %w", err)
+	}
+	if f.TraceEvents == nil {
+		return fmt.Errorf("trace: missing traceEvents array")
+	}
+	lastTs := make(map[int]float64)
+	for i, ev := range f.TraceEvents {
+		for _, key := range []string{"ph", "ts", "pid", "tid", "name"} {
+			if _, ok := ev[key]; !ok {
+				return fmt.Errorf("trace: event %d missing required key %q", i, key)
+			}
+		}
+		var ph, name string
+		if err := json.Unmarshal(ev["ph"], &ph); err != nil {
+			return fmt.Errorf("trace: event %d: ph: %w", i, err)
+		}
+		if err := json.Unmarshal(ev["name"], &name); err != nil {
+			return fmt.Errorf("trace: event %d: name: %w", i, err)
+		}
+		if name == "" {
+			return fmt.Errorf("trace: event %d has an empty name", i)
+		}
+		switch ph {
+		case phComplete, phInstant, phMetadata:
+		default:
+			return fmt.Errorf("trace: event %d has unknown phase %q", i, ph)
+		}
+		var ts float64
+		if err := json.Unmarshal(ev["ts"], &ts); err != nil {
+			return fmt.Errorf("trace: event %d: ts: %w", i, err)
+		}
+		if ts < 0 {
+			return fmt.Errorf("trace: event %d has negative ts %g", i, ts)
+		}
+		var pid, tid int
+		if err := json.Unmarshal(ev["pid"], &pid); err != nil {
+			return fmt.Errorf("trace: event %d: pid: %w", i, err)
+		}
+		if err := json.Unmarshal(ev["tid"], &tid); err != nil {
+			return fmt.Errorf("trace: event %d: tid: %w", i, err)
+		}
+		if raw, ok := ev["dur"]; ok {
+			var dur float64
+			if err := json.Unmarshal(raw, &dur); err != nil {
+				return fmt.Errorf("trace: event %d: dur: %w", i, err)
+			}
+			if dur < 0 {
+				return fmt.Errorf("trace: event %d has negative dur %g", i, dur)
+			}
+		}
+		if ph == phMetadata {
+			continue // metadata carries ts 0; it does not advance the row clock
+		}
+		if prev, ok := lastTs[tid]; ok && ts < prev {
+			return fmt.Errorf("trace: event %d (tid %d) ts %g precedes previous %g", i, tid, ts, prev)
+		}
+		lastTs[tid] = ts
+	}
+	return nil
+}
+
+// SpanCount returns, for each tid, the number of complete ("X") spans in
+// the serialized trace, plus the set of span names seen. A convenience for
+// tests asserting coverage ("≥ one span per worker", "all three phases").
+func SpanCount(data []byte) (perTid map[int]int, names map[string]int, err error) {
+	var f struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, nil, err
+	}
+	perTid = make(map[int]int)
+	names = make(map[string]int)
+	for _, ev := range f.TraceEvents {
+		if ev.Ph != phComplete {
+			continue
+		}
+		perTid[ev.Tid]++
+		names[ev.Name]++
+	}
+	return perTid, names, nil
+}

@@ -93,6 +93,11 @@ type SimOptions struct {
 	// CapacityScale overrides DefaultCapacityScale; use 1.0 when modeling a
 	// full-size dataset.
 	CapacityScale float64
+
+	// Trace, when non-nil, receives a span per estimation pass
+	// ("archsim.model.CPU", "archsim.model.KNL", "gpusim.run") on the
+	// main timeline row, plus the instrumented counting run's own spans.
+	Trace *Tracer
 }
 
 // SimResult is a modeled run: exact counts plus modeled elapsed time.
@@ -146,18 +151,22 @@ func Simulate(g *Graph, opts SimOptions) (*SimResult, error) {
 			TaskSize:      opts.TaskSize,
 			Lanes:         lanes,
 			RangeScale:    rangeScale,
+			Trace:         opts.Trace,
 		}
+		span := opts.Trace.Span("archsim.model." + opts.Processor.String())
 		res, bd, err := archsim.ModelRun(g, coreOpts, spec, archsim.RunConfig{
 			Threads: threads,
 			Lanes:   lanes,
 			MemMode: opts.MemMode,
 		})
+		span()
 		if err != nil {
 			return nil, err
 		}
 		return &SimResult{Counts: res.Counts, Modeled: bd.Total, Breakdown: bd}, nil
 
 	case ProcGPU:
+		span := opts.Trace.Span("gpusim.run")
 		rep, err := gpusim.Run(g, gpusim.Config{
 			Algorithm:     opts.Algorithm,
 			CapacityScale: capScale,
@@ -167,6 +176,7 @@ func Simulate(g *Graph, opts SimOptions) (*SimResult, error) {
 			RangeScale:    rangeScale,
 			CoProcessing:  opts.CoProcessing,
 		})
+		span()
 		if err != nil {
 			return nil, err
 		}
