@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check fuzz bench benchdiff microbench experiments examples clean
+.PHONY: all build vet test race check benchsmoke fuzz bench benchdiff microbench experiments examples clean
 
 # The default verify path is `make check`: build + vet + tests + the race
 # detector on the small-graph packages.
@@ -23,7 +23,15 @@ test:
 race:
 	$(GO) test -race ./internal/core/ ./internal/sched/ ./internal/gpusim/ ./internal/graph/ ./internal/scan/ ./internal/metrics/ ./internal/trace/ ./internal/benchfmt/ ./cmd/cnc/ ./cmd/benchrun/
 
-check: build test race
+# Tiny end-to-end benchmark matrix (~seconds): exercises the full
+# generate → count → record pipeline under the work-stealing scheduler,
+# including a multi-worker cell, and discards the report. Catches wiring
+# breakage (schema, metrics plumbing, scheduler hangs) that unit tests on
+# isolated packages miss.
+benchsmoke:
+	$(GO) run ./cmd/benchrun -label smoke -profiles WI -scale 0.05 -algos bmp -workers 1,2 -reps 1 -out /dev/null
+
+check: build test race benchsmoke
 
 # Short fuzzing pass over every fuzz target.
 fuzz:

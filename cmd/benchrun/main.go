@@ -203,8 +203,8 @@ func runMatrix(cfg appConfig, out *errWriter) (*benchfmt.Report, error) {
 					res.SpeedupVs1 = float64(one) / float64(res.ElapsedNanos)
 				}
 				report.Results = append(report.Results, *res)
-				fmt.Fprintf(out, "%-4s %-6s w%-2d  %9.2f ns/edge  speedup %.2fx  imbalance %.2f\n",
-					profile, res.Algo, w, res.NsPerEdge, res.SpeedupVs1, res.ImbalanceRatio)
+				fmt.Fprintf(out, "%-4s %-6s w%-2d  %9.2f ns/edge  speedup %.2fx  imbalance %.2f  steals %d\n",
+					profile, res.Algo, w, res.NsPerEdge, res.SpeedupVs1, res.ImbalanceRatio, res.Steals)
 			}
 		}
 	}
@@ -241,9 +241,13 @@ func runCell(rg *cncount.Graph, algo cncount.Algorithm, workers, reps int) (*ben
 		if len(snap.Sched) > 0 {
 			sc := snap.Sched[0]
 			res.ImbalanceRatio = sc.Imbalance.Ratio
+			res.MaxBusyNanos = sc.Imbalance.MaxBusyNanos
+			res.MeanBusyNanos = sc.Imbalance.MeanBusyNanos
 			res.TaskP50Nanos = sc.TaskNanos.P50Nanos
 			res.TaskP95Nanos = sc.TaskNanos.P95Nanos
 			res.TaskP99Nanos = sc.TaskNanos.P99Nanos
+			res.Steals = sc.Steals
+			res.StealNanos = sc.StealNanos
 		}
 	}
 	if res.Edges > 0 {

@@ -153,6 +153,7 @@ func run(cfg appConfig, stdout io.Writer) error {
 			Processor:    proc,
 			Algorithm:    algo,
 			CoProcessing: true,
+			Metrics:      mc,
 			Trace:        tr,
 		})
 		if err != nil {

@@ -58,6 +58,15 @@ type Result struct {
 	TaskP50Nanos uint64 `json:"task_p50_nanos,omitempty"`
 	TaskP95Nanos uint64 `json:"task_p95_nanos,omitempty"`
 	TaskP99Nanos uint64 `json:"task_p99_nanos,omitempty"`
+	// Steals and StealNanos aggregate the work-stealing scheduler's
+	// cross-deque range migrations in the best rep (0 for workers=1 and
+	// perfectly balanced runs).
+	Steals     uint64 `json:"steals,omitempty"`
+	StealNanos uint64 `json:"steal_nanos,omitempty"`
+	// MaxBusyNanos and MeanBusyNanos are the imbalance summary behind
+	// ImbalanceRatio, kept so diffs can compare absolute straggler time.
+	MaxBusyNanos  uint64 `json:"max_busy_nanos,omitempty"`
+	MeanBusyNanos uint64 `json:"mean_busy_nanos,omitempty"`
 	// Counters carries selected metrics-collector counters (kernel calls,
 	// edges scanned) of the best rep.
 	Counters map[string]uint64 `json:"counters,omitempty"`

@@ -91,10 +91,13 @@ func Count(g *graph.CSR, opts Options) (*Result, error) {
 	stopSetupSpan()
 	stopSetup()
 
-	// Phase "core.count" is the dynamically scheduled all-edge loop
-	// (Algorithm 3 lines 6-27); the recorder captures each worker's
-	// claimed tasks, busy and queue-wait time for the imbalance summary,
-	// and the tracer one span per claimed task on the worker's row,
+	// Phase "core.count" is the scheduled all-edge loop (Algorithm 3
+	// lines 6-27), run under the work-stealing scheduler: each worker
+	// drains a contiguous slab of edge offsets (keeping its SrcFinder
+	// stash and bitmap warm) and steals from the fullest victim when it
+	// runs dry. The recorder captures each worker's tasks, busy,
+	// queue-wait and steal tallies for the imbalance summary, and the
+	// tracer one span per task (plus one per steal) on the worker's row,
 	// named after the kernel path (MPS merge vs BMP bitmap probes).
 	obs := sched.Obs{
 		Rec:   mc.SchedRecorder("core.count", opts.Threads),

@@ -302,3 +302,34 @@ func TestAlgorithmString(t *testing.T) {
 		t.Error("unknown algorithm stringer empty")
 	}
 }
+
+// TestCountSymmetryUnderStealing forces heavy cross-deque stealing — a tiny
+// task size over many workers on one physical core — and asserts the
+// symmetric assignment cnt[e(u,v)] == cnt[e(v,u)] still holds with exact
+// counts. Run with -race this pins that steal-migrated edge ranges never
+// double-write or skip the reverse offset.
+func TestCountSymmetryUnderStealing(t *testing.T) {
+	for _, algo := range []Algorithm{AlgoMPS, AlgoBMP} {
+		g := randomGraph(t, 7, 300, 3000)
+		res, err := Count(g, Options{Algorithm: algo, Threads: 8, TaskSize: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := verify.CheckCounts(g, res.Counts); err != nil {
+			t.Fatalf("%s under stealing: %v", algo, err)
+		}
+		for u := 0; u < g.NumVertices(); u++ {
+			for i := g.Off[u]; i < g.Off[u+1]; i++ {
+				v := g.Dst[i]
+				rev, ok := g.EdgeOffset(v, graph.VertexID(u))
+				if !ok {
+					t.Fatalf("missing reverse edge (%d,%d)", v, u)
+				}
+				if res.Counts[i] != res.Counts[rev] {
+					t.Fatalf("%s: cnt[e(%d,%d)]=%d != cnt[e(%d,%d)]=%d",
+						algo, u, v, res.Counts[i], v, u, res.Counts[rev])
+				}
+			}
+		}
+	}
+}

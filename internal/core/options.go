@@ -102,8 +102,9 @@ type Options struct {
 
 	// Trace, when non-nil, receives execution spans: the three Count
 	// phases on the main timeline row and one span per scheduled task
-	// (named "core.count.<algorithm>", with its queue-wait split) on each
-	// worker's row. Nil disables all tracing at negligible cost.
+	// (named "core.count.<algorithm>", with its queue-wait split and a
+	// ".steal" span per cross-deque steal) on each worker's row. Nil
+	// disables all tracing at negligible cost.
 	Trace *trace.Tracer
 }
 

@@ -20,6 +20,8 @@ import (
 	"cncount/internal/bitmap"
 	"cncount/internal/core"
 	"cncount/internal/graph"
+	"cncount/internal/metrics"
+	"cncount/internal/trace"
 )
 
 const (
@@ -89,6 +91,16 @@ type Config struct {
 	// HostThreads is the CPU-side worker count for the post-processing
 	// phase; < 1 means GOMAXPROCS.
 	HostThreads int
+
+	// Metrics, when non-nil, receives the kernel passes' per-worker
+	// scheduler tallies (including steal counts) under scope
+	// "gpusim.kernel". Nil records nothing.
+	Metrics *metrics.Collector
+
+	// Trace, when non-nil, receives one span per simulated thread-block
+	// task (and per steal) on each host worker's timeline row, named
+	// "gpusim.kernel". Nil records nothing.
+	Trace *trace.Tracer
 }
 
 // withDefaults fills unset fields.

@@ -257,10 +257,15 @@ func runKernels(g *graph.CSR, counts []uint32, cfg Config, passes, hostThreads i
 	// Algorithm 6 lines 22-26).
 	var poolCAS atomic.Int64
 
+	// One recorder spans all passes: the per-worker tallies (and steal
+	// counts) accumulate across them into a single "gpusim.kernel"
+	// snapshot.
+	rec := cfg.Metrics.SchedRecorder("gpusim.kernel", hostThreads)
+	obs := sched.Obs{Rec: rec, Trace: cfg.Trace, Scope: "gpusim.kernel"}
 	for p := 0; p < passes; p++ {
 		vLo := uint32(int64(p) * int64(n) / int64(passes))
 		vHi := uint32(int64(p+1) * int64(n) / int64(passes))
-		sched.Dynamic(int64(n), 64, hostThreads, func(worker int, lo, hi int64) {
+		sched.DynamicObserved(int64(n), 64, hostThreads, obs, func(worker int, lo, hi int64) {
 			w := &workers[worker]
 			for ui := lo; ui < hi; ui++ {
 				u := uint32(ui)
@@ -273,6 +278,8 @@ func runKernels(g *graph.CSR, counts []uint32, cfg Config, passes, hostThreads i
 			}
 		})
 	}
+
+	rec.Commit()
 
 	var total gpuWork
 	for i := range workers {

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -46,6 +47,13 @@ func ReadEdgeList(r io.Reader) (numVertices int, edges []Edge, err error) {
 		v, err := strconv.ParseUint(fields[1], 10, 32)
 		if err != nil {
 			return 0, nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		// IDs up to MaxUint32-1 are representable; MaxUint32 itself is not,
+		// because the vertex count maxID+1 would be 2³², which wraps the
+		// uint32 cardinality used by VertexID and the bitmap indexes.
+		if u >= math.MaxUint32 || v >= math.MaxUint32 {
+			return 0, nil, fmt.Errorf("graph: line %d: vertex ID %d out of range (max %d)",
+				lineNo, max(u, v), uint64(math.MaxUint32-1))
 		}
 		edges = append(edges, Edge{VertexID(u), VertexID(v)})
 		if int(u) > maxID {
@@ -119,6 +127,12 @@ func ReadBinary(r io.Reader) (*CSR, error) {
 	const maxCount = 1 << 40 // bytes of either array, far beyond any real graph
 	if hdr[1] >= maxCount/8 || hdr[2] >= maxCount/4 {
 		return nil, fmt.Errorf("graph: implausible header (|V|=%d, dst len=%d)", hdr[1], hdr[2])
+	}
+	// Vertex IDs are uint32, so a count past MaxUint32 would wrap VertexID
+	// and the bitmap cardinality exactly like an oversized text-input ID.
+	if hdr[1] > math.MaxUint32 {
+		return nil, fmt.Errorf("graph: vertex count %d exceeds the uint32 ID space (max %d)",
+			hdr[1], uint64(math.MaxUint32))
 	}
 	n, m := int(hdr[1]), int(hdr[2])
 

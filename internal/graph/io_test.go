@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"path/filepath"
 	"reflect"
@@ -125,4 +126,54 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// TestReadEdgeListIDOverflow pins the uint32 cardinality guard: ID
+// 4294967295 (MaxUint32) parses as a uint32 but implies a vertex count of
+// 2^32, which wraps the uint32 counts used by VertexID and the bitmap
+// indexes. The loader must reject it with the offending line number, and
+// accept the largest representable ID right below it.
+func TestReadEdgeListIDOverflow(t *testing.T) {
+	in := "0 1\n2 4294967295\n"
+	_, _, err := ReadEdgeList(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("ID 4294967295 accepted; vertex count would wrap uint32")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error %q does not name the offending line", err)
+	}
+	if !strings.Contains(err.Error(), "4294967295") {
+		t.Errorf("error %q does not name the offending ID", err)
+	}
+
+	// The boundary ID MaxUint32-1 is fine: numVertices = MaxUint32 fits.
+	n, edges, err := ReadEdgeList(strings.NewReader("0 4294967294\n"))
+	if err != nil {
+		t.Fatalf("boundary ID 4294967294 rejected: %v", err)
+	}
+	if n != 4294967295 {
+		t.Errorf("numVertices = %d, want 4294967295", n)
+	}
+	if len(edges) != 1 || edges[0] != (Edge{0, 4294967294}) {
+		t.Errorf("edges = %v", edges)
+	}
+}
+
+// TestReadBinaryRejectsOversizedVertexCount hand-crafts a binary header
+// claiming |V| = 2^32 — past the uint32 ID space but under the plausibility
+// byte cap — and checks ReadBinary refuses it before allocating arrays.
+func TestReadBinaryRejectsOversizedVertexCount(t *testing.T) {
+	var buf bytes.Buffer
+	for _, h := range []uint64{0x434e4352, 1 << 32, 0} {
+		if err := binary.Write(&buf, binary.LittleEndian, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := ReadBinary(&buf)
+	if err == nil {
+		t.Fatal("ReadBinary accepted |V| past the uint32 ID space")
+	}
+	if !strings.Contains(err.Error(), "uint32") {
+		t.Errorf("error %q does not mention the uint32 ID space", err)
+	}
 }

@@ -160,13 +160,19 @@ type WorkerTally struct {
 	// claim overhead plus contention. Per worker, wait + busy never
 	// exceeds the parallel region's wall time.
 	WaitNanos uint64 `json:"wait_nanos"`
+	// Steals is how many ranges the worker took from other workers'
+	// deques after draining its own (work-stealing schedulers only).
+	Steals uint64 `json:"steals,omitempty"`
+	// StealNanos is the wall time the worker spent hunting victims across
+	// its successful steals; it is a subset of WaitNanos.
+	StealNanos uint64 `json:"steal_nanos,omitempty"`
 }
 
 // paddedTally pads each worker's slot to a full cache line so concurrent
 // per-task writes from adjacent workers never contend on one line.
 type paddedTally struct {
 	WorkerTally
-	_ [128 - 32%128]byte
+	_ [128 - 48%128]byte
 }
 
 // SchedRecorder collects per-worker tallies and a task-duration histogram
@@ -225,6 +231,8 @@ func (r *SchedRecorder) Commit() {
 		snap.Workers[i] = t
 		sum += t.BusyNanos
 		waitSum += t.WaitNanos
+		snap.Steals += t.Steals
+		snap.StealNanos += t.StealNanos
 		if t.BusyNanos > snap.Imbalance.MaxBusyNanos {
 			snap.Imbalance.MaxBusyNanos = t.BusyNanos
 		}
@@ -250,6 +258,11 @@ type SchedSnapshot struct {
 	Workers   []WorkerTally     `json:"workers"`
 	Imbalance Imbalance         `json:"imbalance"`
 	TaskNanos HistogramSnapshot `json:"task_nanos"`
+	// Steals and StealNanos aggregate the per-worker steal tallies: how
+	// many ranges moved between deques and how long the hunts took. Zero
+	// for non-stealing schedulers (Static, Guided) and balanced runs.
+	Steals     uint64 `json:"steals,omitempty"`
+	StealNanos uint64 `json:"steal_nanos,omitempty"`
 }
 
 // Imbalance summarizes worker busy-time skew: Ratio is max/mean busy time,

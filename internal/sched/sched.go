@@ -1,21 +1,35 @@
 // Package sched provides the task-level parallel skeleton of the paper's
-// Algorithm 3: the iteration space is split into fixed-size chunks
-// (|T| units per task) that worker goroutines claim dynamically from an
-// atomic cursor, reproducing OpenMP's `parallel for schedule(dynamic, |T|)`
-// including its two key properties — load balance from small tasks and
-// negligible queue-maintenance cost from chunking — and its thread-local
-// state (each worker owns a context that persists across the tasks it
-// claims, which is what makes the stashed-source-vertex and thread-local
-// bitmap amortizations work).
+// Algorithm 3: the iteration space is split into |T|-unit tasks executed
+// by worker goroutines, reproducing OpenMP's `parallel for
+// schedule(dynamic, |T|)` — load balance from small tasks, negligible
+// queue-maintenance cost from chunking — and its thread-local state (each
+// worker owns a context that persists across the tasks it runs, which is
+// what makes the stashed-source-vertex and thread-local bitmap
+// amortizations work).
+//
+// Dynamic is implemented as a work-stealing scheduler rather than the
+// shared-cursor claim loop the OpenMP clause suggests: a single atomic
+// cursor puts every task claim of every worker on one contended cache
+// line. Instead, each worker owns a deque of contiguous index ranges
+// seeded by a locality-aware static partition of [0, n) — worker w's
+// deque initially holds the w-th contiguous slab, so the tasks it pops
+// cover adjacent CSR regions and its SrcFinder/bitmap context stays warm.
+// Workers pop |T|-sized tasks from the bottom (low end) of their own
+// deque, and when empty steal from the top (high end) of the victim with
+// the largest remaining chunk, halving stolen ranges adaptively down to
+// |T| so tail tasks shrink as the run drains. The result is the same
+// |T|-granular task stream with the same worker-local-context guarantees,
+// minus the shared claim line and minus the cold-start of processing a
+// stranger's CSR region.
 //
 // Each scheduler has a *Recorded variant that tallies per-worker
-// tasks-claimed / units-processed / busy-time into a
+// tasks-claimed / units-processed / busy-time / steals into a
 // metrics.SchedRecorder, the substrate for the per-worker load-balance
 // breakdowns of the evaluation, and an *Observed variant that additionally
 // (or instead) emits one trace span per task — split into queue-wait
-// (submit→start) and run time — onto the worker's timeline row. The plain
-// entry points pass an empty observer and keep the uninstrumented hot
-// loop.
+// (submit→start) and run time, plus one span per successful steal — onto
+// the worker's timeline row. The plain entry points pass an empty observer
+// and keep the uninstrumented hot loop.
 package sched
 
 import (
@@ -29,11 +43,10 @@ import (
 	"cncount/internal/trace"
 )
 
-// DefaultTaskSize is the default number of units |T| per dynamically
-// scheduled task. The paper groups "a fixed number of neighbor set
-// intersections" per task; 2048 edge offsets keeps scheduling overhead
-// negligible while preserving load balance on skewed graphs (see
-// BenchmarkAblationTaskSize).
+// DefaultTaskSize is the default number of units |T| per scheduled task.
+// The paper groups "a fixed number of neighbor set intersections" per
+// task; 2048 edge offsets keeps scheduling overhead negligible while
+// preserving load balance on skewed graphs (see BenchmarkAblationTaskSize).
 const DefaultTaskSize = 2048
 
 // Workers normalizes a requested worker count: values < 1 mean
@@ -103,8 +116,8 @@ type Obs struct {
 	// nil records nothing.
 	Rec *metrics.SchedRecorder
 	// Trace receives one complete span per task named Scope, preceded by
-	// a Scope+".wait" span covering the submit→start queue wait; nil
-	// records nothing.
+	// a Scope+".wait" span covering the submit→start queue wait, and one
+	// Scope+".steal" span per successful steal; nil records nothing.
 	Trace *trace.Tracer
 	// Scope names the trace spans (e.g. "core.count.BMP"); empty means
 	// "task".
@@ -114,11 +127,12 @@ type Obs struct {
 // workerObs is one worker's observation state: its tally slot, its trace
 // ring, and the resolved span names. The zero value observes nothing.
 type workerObs struct {
-	tally    *metrics.WorkerTally
-	rec      *metrics.SchedRecorder
-	ring     *trace.Ring
-	span     string
-	waitSpan string
+	tally     *metrics.WorkerTally
+	rec       *metrics.SchedRecorder
+	ring      *trace.Ring
+	span      string
+	waitSpan  string
+	stealSpan string
 }
 
 // worker resolves the observer for worker w (registering its trace ring),
@@ -132,6 +146,7 @@ func (o Obs) worker(w int) workerObs {
 			wo.span = "task"
 		}
 		wo.waitSpan = wo.span + ".wait"
+		wo.stealSpan = wo.span + ".steal"
 	}
 	return wo
 }
@@ -142,9 +157,8 @@ func (wo *workerObs) active() bool { return wo.tally != nil || wo.ring != nil }
 // lifetime opens the worker's region-lifetime span (Scope+".worker"),
 // closed when the worker exits the region. Claim-based schedulers emit it
 // so every sched worker contributes at least one span to its timeline row
-// even when dynamic claiming starves it of tasks (a short range can be
-// fully consumed before a late-starting worker claims anything). Returns
-// a no-op when tracing is disabled.
+// even when a short range is fully consumed before a late-starting worker
+// runs anything. Returns a no-op when tracing is disabled.
 func (wo *workerObs) lifetime() func() {
 	if wo.ring == nil {
 		return func() {}
@@ -154,7 +168,7 @@ func (wo *workerObs) lifetime() func() {
 	return func() { wo.ring.Complete(name, start, time.Since(start)) }
 }
 
-// record logs one claimed task: claimAt is when the worker started seeking
+// record logs one executed task: claimAt is when the worker started seeking
 // the task (submit), start when its body began, d the body duration.
 func (wo *workerObs) record(claimAt, start time.Time, d time.Duration, units int64) {
 	wait := start.Sub(claimAt)
@@ -171,27 +185,212 @@ func (wo *workerObs) record(claimAt, start time.Time, d time.Duration, units int
 	}
 }
 
-// Dynamic runs body over the half-open range [0, n) split into
-// ceil(n/taskSize) chunks claimed dynamically by `workers` goroutines.
-// body(worker, lo, hi) processes [lo, hi); the worker index is stable for
-// the lifetime of the call, so worker-indexed state is goroutine-local.
+// recordSteal logs one successful steal: start is when the worker began
+// hunting for a victim, d how long the hunt took.
+func (wo *workerObs) recordSteal(start time.Time, d time.Duration) {
+	if wo.tally != nil {
+		wo.tally.Steals++
+		wo.tally.StealNanos += uint64(d)
+	}
+	if wo.ring != nil {
+		wo.ring.Complete(wo.stealSpan, start, d)
+	}
+}
+
+// span is one contiguous half-open index range [lo, hi).
+type span struct{ lo, hi int64 }
+
+// deque is one worker's range deque. The owner pops |T|-sized tasks from
+// the bottom (spans[0], the low end); thieves remove or halve the top
+// (spans[len-1], the high end). A mutex guards the tiny critical sections:
+// the owner's lock is uncontended except while a thief is probing it, and
+// both paths run once per task (≥ |T| units), never per unit — so unlike
+// the shared cursor this line is worker-private in the steady state.
+type deque struct {
+	mu    sync.Mutex
+	spans []span
+	_     [64]byte // keep adjacent deques off one cache line
+}
+
+// popBottom removes up to taskSize units from the low end. Owner-only.
+func (d *deque) popBottom(taskSize int64) (lo, hi int64, ok bool) {
+	d.mu.Lock()
+	if len(d.spans) == 0 {
+		d.mu.Unlock()
+		return 0, 0, false
+	}
+	s := d.spans[0]
+	if s.hi-s.lo <= taskSize {
+		d.spans = d.spans[1:]
+		d.mu.Unlock()
+		return s.lo, s.hi, true
+	}
+	d.spans[0].lo = s.lo + taskSize
+	d.mu.Unlock()
+	return s.lo, s.lo + taskSize, true
+}
+
+// push appends a range. Used by a thief to bank a stolen range in its own
+// (empty) deque, where it becomes stealable again.
+func (d *deque) push(lo, hi int64) {
+	d.mu.Lock()
+	d.spans = append(d.spans, span{lo, hi})
+	d.mu.Unlock()
+}
+
+// topSize returns the size of the top (steal-end) chunk, 0 when empty.
+func (d *deque) topSize() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.spans) == 0 {
+		return 0
+	}
+	s := d.spans[len(d.spans)-1]
+	return s.hi - s.lo
+}
+
+// stealTop removes work from the high end: the whole top chunk when it is
+// already small, otherwise its upper half — the adaptive split that makes
+// tail tasks shrink toward taskSize as the run drains.
+func (d *deque) stealTop(taskSize int64) (lo, hi int64, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.spans)
+	if n == 0 {
+		return 0, 0, false
+	}
+	s := d.spans[n-1]
+	if s.hi-s.lo <= 2*taskSize {
+		d.spans = d.spans[:n-1]
+		return s.lo, s.hi, true
+	}
+	mid := s.lo + (s.hi-s.lo)/2
+	d.spans[n-1].hi = mid
+	return mid, s.hi, true
+}
+
+// wsRun is one work-stealing parallel region.
+type wsRun struct {
+	deques   []deque
+	taskSize int64
+	workers  int
+	// remaining counts units not yet handed to a body call. It only hits 0
+	// when every index is owned by a running (or finished) task, so idle
+	// thieves spin on steals — not exit — while ranges are in flight
+	// between a victim's deque and a thief's.
+	remaining atomic.Int64
+}
+
+// newWSRun seeds the deques with the locality-aware static partition:
+// worker w's deque holds the w-th contiguous slab of [0, n).
+func newWSRun(n int64, taskSize int64, workers int) *wsRun {
+	s := &wsRun{deques: make([]deque, workers), taskSize: taskSize, workers: workers}
+	s.remaining.Store(n)
+	per := n / int64(workers)
+	rem := n % int64(workers)
+	lo := int64(0)
+	for w := 0; w < workers; w++ {
+		hi := lo + per
+		if int64(w) < rem {
+			hi++
+		}
+		if hi > lo {
+			s.deques[w].spans = append(s.deques[w].spans, span{lo, hi})
+		}
+		lo = hi
+	}
+	return s
+}
+
+// steal moves work from the victim with the largest top chunk into worker
+// self's deque. It returns false only when no unclaimed work remains
+// anywhere (the region is draining its final in-flight tasks).
+func (s *wsRun) steal(self int) bool {
+	for {
+		if s.remaining.Load() <= 0 {
+			return false
+		}
+		best, bestSize := -1, int64(0)
+		for i := 1; i < s.workers; i++ {
+			v := (self + i) % s.workers
+			if sz := s.deques[v].topSize(); sz > bestSize {
+				best, bestSize = v, sz
+			}
+		}
+		if best >= 0 {
+			if lo, hi, ok := s.deques[best].stealTop(s.taskSize); ok {
+				s.deques[self].push(lo, hi)
+				return true
+			}
+		}
+		// Everything visible is claimed or in flight; yield and re-check.
+		runtime.Gosched()
+	}
+}
+
+// runWorker is one worker's claim loop: drain the own deque bottom-first,
+// steal when it runs dry, exit when no unclaimed work remains.
+func (s *wsRun) runWorker(worker int, wo workerObs, body func(worker int, lo, hi int64)) {
+	d := &s.deques[worker]
+	active := wo.active()
+	var claimAt time.Time
+	if active {
+		claimAt = time.Now()
+	}
+	for {
+		lo, hi, ok := d.popBottom(s.taskSize)
+		if !ok {
+			var stealAt time.Time
+			if active {
+				stealAt = time.Now()
+			}
+			if !s.steal(worker) {
+				return
+			}
+			if active {
+				wo.recordSteal(stealAt, time.Since(stealAt))
+			}
+			continue
+		}
+		s.remaining.Add(lo - hi)
+		if active {
+			start := time.Now()
+			body(worker, lo, hi)
+			wo.record(claimAt, start, time.Since(start), hi-lo)
+			claimAt = time.Now()
+		} else {
+			body(worker, lo, hi)
+		}
+	}
+}
+
+// Dynamic runs body over the half-open range [0, n) split into tasks of at
+// most taskSize units executed by `workers` goroutines under the
+// work-stealing scheduler. body(worker, lo, hi) processes [lo, hi); the
+// worker index is stable for the lifetime of the call, so worker-indexed
+// state is goroutine-local. Workers start on a contiguous slab of the
+// range (ascending order, adjacent CSR regions) and steal from the
+// fullest victim when their slab drains.
 //
 // A panic in any worker is captured and re-panicked in the caller's
-// goroutine after all workers stop, wrapped in *PanicError.
+// goroutine after all workers stop, wrapped in *PanicError; the surviving
+// workers finish the remaining range first (a dead worker's deque is
+// drained by thieves, so no index is lost).
 func Dynamic(n int64, taskSize, workers int, body func(worker int, lo, hi int64)) {
 	DynamicObserved(n, taskSize, workers, Obs{}, body)
 }
 
-// DynamicRecorded is Dynamic with per-worker metrics: each claimed task
-// adds to the worker's tally (tasks, units, busy and queue-wait time) and
-// to the recorder's task-duration histogram. A nil recorder records
-// nothing and keeps the uninstrumented loop.
+// DynamicRecorded is Dynamic with per-worker metrics: each executed task
+// adds to the worker's tally (tasks, units, busy and queue-wait time,
+// steals) and to the recorder's task-duration histogram. A nil recorder
+// records nothing and keeps the uninstrumented loop.
 func DynamicRecorded(n int64, taskSize, workers int, rec *metrics.SchedRecorder, body func(worker int, lo, hi int64)) {
 	DynamicObserved(n, taskSize, workers, Obs{Rec: rec}, body)
 }
 
 // DynamicObserved is Dynamic observed by obs: metrics tallies and/or one
-// trace span per task with its queue-wait split.
+// trace span per task with its queue-wait split, plus one steal span per
+// successful steal.
 func DynamicObserved(n int64, taskSize, workers int, obs Obs, body func(worker int, lo, hi int64)) {
 	if n <= 0 {
 		return
@@ -205,7 +404,7 @@ func DynamicObserved(n int64, taskSize, workers int, obs Obs, body func(worker i
 		return
 	}
 
-	var cursor atomic.Int64
+	run := newWSRun(n, int64(taskSize), workers)
 	var wg sync.WaitGroup
 	var box panicBox
 	for w := 0; w < workers; w++ {
@@ -216,32 +415,8 @@ func DynamicObserved(n int64, taskSize, workers int, obs Obs, body func(worker i
 			wo := obs.worker(worker)
 			if wo.active() {
 				defer wo.lifetime()()
-				for {
-					claimAt := time.Now()
-					lo := cursor.Add(int64(taskSize)) - int64(taskSize)
-					if lo >= n {
-						return
-					}
-					hi := lo + int64(taskSize)
-					if hi > n {
-						hi = n
-					}
-					start := time.Now()
-					body(worker, lo, hi)
-					wo.record(claimAt, start, time.Since(start), hi-lo)
-				}
 			}
-			for {
-				lo := cursor.Add(int64(taskSize)) - int64(taskSize)
-				if lo >= n {
-					return
-				}
-				hi := lo + int64(taskSize)
-				if hi > n {
-					hi = n
-				}
-				body(worker, lo, hi)
-			}
+			run.runWorker(worker, wo, body)
 		}(w)
 	}
 	wg.Wait()
@@ -263,13 +438,29 @@ func runSequential(n int64, obs Obs, body func(worker int, lo, hi int64)) {
 	wo.record(claimAt, start, time.Since(start), n)
 }
 
-// Guided runs body over [0, n) with OpenMP guided scheduling: each worker
-// claims half of the remaining range divided by the worker count, shrinking
-// toward minChunk. Compared against Dynamic in the scheduling ablation
-// benchmark: guided amortizes cursor traffic early while keeping small
-// tasks for the tail, at the cost of giant first chunks that straggle when
-// per-unit cost is skewed (exactly the situation on hub-heavy graphs, which
-// is why the paper — and core — use plain fixed-size dynamic chunks).
+// GuidedMaxChunk returns the first-chunk cap of the guided scheduler:
+// max(minChunk, n/(4·workers²)). Uncapped OpenMP-style guided hands the
+// first claimer remaining/(2·workers) units — on a skewed graph that one
+// task covers the heaviest prefix and straggles past the join. The cap
+// bounds any single task to a sliver of the range while still amortizing
+// claim traffic early.
+func GuidedMaxChunk(n int64, minChunk, workers int) int64 {
+	maxChunk := n / int64(4*workers*workers)
+	if maxChunk < int64(minChunk) {
+		maxChunk = int64(minChunk)
+	}
+	return maxChunk
+}
+
+// Guided runs body over [0, n) with capped guided scheduling: each worker
+// claims half of the remaining range divided by the worker count, bounded
+// by GuidedMaxChunk and shrinking toward minChunk. Claims go through a
+// lock-free CAS loop on the cursor. Compared against Dynamic in the
+// scheduling ablation benchmark: guided amortizes cursor traffic early
+// while keeping small tasks for the tail; the cap exists because the
+// uncapped variant's giant first chunks straggle when per-unit cost is
+// skewed (exactly the situation on hub-heavy graphs, which is why the
+// paper — and core — use fixed-size dynamic tasks).
 func Guided(n int64, minChunk, workers int, body func(worker int, lo, hi int64)) {
 	GuidedObserved(n, minChunk, workers, Obs{}, body)
 }
@@ -293,26 +484,29 @@ func GuidedObserved(n int64, minChunk, workers int, obs Obs, body func(worker in
 		return
 	}
 
-	var mu sync.Mutex
-	cursor := int64(0)
+	maxChunk := GuidedMaxChunk(n, minChunk, workers)
+	var cursor atomic.Int64
 	claim := func() (lo, hi int64, ok bool) {
-		mu.Lock()
-		defer mu.Unlock()
-		if cursor >= n {
-			return 0, 0, false
+		for {
+			cur := cursor.Load()
+			if cur >= n {
+				return 0, 0, false
+			}
+			chunk := (n - cur) / int64(2*workers)
+			if chunk > maxChunk {
+				chunk = maxChunk
+			}
+			if chunk < int64(minChunk) {
+				chunk = int64(minChunk)
+			}
+			hi = cur + chunk
+			if hi > n {
+				hi = n
+			}
+			if cursor.CompareAndSwap(cur, hi) {
+				return cur, hi, true
+			}
 		}
-		remaining := n - cursor
-		chunk := remaining / int64(2*workers)
-		if chunk < int64(minChunk) {
-			chunk = int64(minChunk)
-		}
-		lo = cursor
-		hi = lo + chunk
-		if hi > n {
-			hi = n
-		}
-		cursor = hi
-		return lo, hi, true
 	}
 
 	var wg sync.WaitGroup

@@ -77,15 +77,23 @@ func TestDynamicWorkerIndexStable(t *testing.T) {
 }
 
 func TestDynamicDefaultTaskSize(t *testing.T) {
-	var chunks atomic.Int64
-	Dynamic(int64(DefaultTaskSize)*3, 0, 2, func(_ int, lo, hi int64) {
+	// Every executed task is at most DefaultTaskSize units; the exact task
+	// count depends on the slab partition and stealing, but it can never
+	// fall below ceil(n / DefaultTaskSize).
+	n := int64(DefaultTaskSize) * 3
+	var chunks, units atomic.Int64
+	Dynamic(n, 0, 2, func(_ int, lo, hi int64) {
 		chunks.Add(1)
+		units.Add(hi - lo)
 		if hi-lo > int64(DefaultTaskSize) {
 			t.Errorf("chunk size %d exceeds default %d", hi-lo, DefaultTaskSize)
 		}
 	})
-	if chunks.Load() != 3 {
-		t.Errorf("chunks = %d, want 3", chunks.Load())
+	if units.Load() != n {
+		t.Errorf("units = %d, want %d", units.Load(), n)
+	}
+	if chunks.Load() < 3 {
+		t.Errorf("chunks = %d, want >= 3", chunks.Load())
 	}
 }
 
@@ -193,15 +201,17 @@ func TestDynamicRecorded(t *testing.T) {
 		tasks += w.TasksClaimed
 		units += w.UnitsProcessed
 	}
-	wantTasks := uint64((n + taskSize - 1) / taskSize)
-	if tasks != wantTasks {
-		t.Errorf("tasks claimed = %d, want %d", tasks, wantTasks)
+	// Stealing can split ranges beyond the minimal task count, but never
+	// below it (every task is at most taskSize units).
+	minTasks := uint64((n + taskSize - 1) / taskSize)
+	if tasks < minTasks {
+		t.Errorf("tasks claimed = %d, want >= %d", tasks, minTasks)
 	}
 	if units != n {
 		t.Errorf("units processed = %d, want %d", units, n)
 	}
-	if sc.TaskNanos.Count != wantTasks {
-		t.Errorf("task histogram count = %d, want %d", sc.TaskNanos.Count, wantTasks)
+	if sc.TaskNanos.Count != tasks {
+		t.Errorf("task histogram count = %d, want %d", sc.TaskNanos.Count, tasks)
 	}
 }
 

@@ -57,6 +57,13 @@ const (
 	phMetadata = "M" // metadata (process/thread names)
 )
 
+// DroppedEventsName is the metadata event name under which WriteJSON
+// reports each timeline row's overwritten-span count (args.count). Its
+// presence with a nonzero count means the row is truncated — the oldest
+// spans were overwritten when the worker's ring filled — and Validate
+// flags it so a truncated timeline is never mistaken for an idle worker.
+const DroppedEventsName = "dropped_events"
+
 // Tracer collects spans and instant events. A nil *Tracer is valid and
 // records nothing; construct with New to enable tracing.
 type Tracer struct {
@@ -279,8 +286,10 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 		}
 		var evs []jsonEvent
 		var dropped uint64
+		droppedPerTid := make(map[int]uint64)
 		for _, r := range t.rings {
 			dropped += r.drop
+			droppedPerTid[r.tid] += r.drop
 			for _, ev := range r.chronological() {
 				je := jsonEvent{
 					Name: ev.name,
@@ -297,6 +306,22 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 				}
 				evs = append(evs, je)
 			}
+		}
+		// Rows that overwrote events announce it as a DroppedEventsName
+		// metadata event, so a truncated timeline is never misread as an
+		// idle worker (Validate flags these; see validate.go).
+		dropTids := make([]int, 0, len(droppedPerTid))
+		for tid, n := range droppedPerTid {
+			if n > 0 {
+				dropTids = append(dropTids, tid)
+			}
+		}
+		sort.Ints(dropTids)
+		for _, tid := range dropTids {
+			f.TraceEvents = append(f.TraceEvents, jsonEvent{
+				Name: DroppedEventsName, Ph: phMetadata, Pid: tracePID, Tid: tid,
+				Args: map[string]any{"count": droppedPerTid[tid]},
+			})
 		}
 		t.mu.Unlock()
 		// Rings sharing a tid (successive parallel regions) interleave;

@@ -95,8 +95,22 @@ func TestRingWrapKeepsNewest(t *testing.T) {
 	if err := tr.WriteJSON(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if err := Validate(buf.Bytes()); err != nil {
-		t.Fatalf("wrapped ring fails validation (ts order broken at the seam?): %v", err)
+	// The events themselves stay schema-clean (chronological at the seam),
+	// but the full validation must flag the truncation instead of letting
+	// the trace pass as a complete timeline.
+	if err := validateSchema(buf.Bytes()); err != nil {
+		t.Fatalf("wrapped ring fails schema validation (ts order broken at the seam?): %v", err)
+	}
+	err := Validate(buf.Bytes())
+	if err == nil || !strings.Contains(err.Error(), "dropped") {
+		t.Errorf("Validate did not flag the truncated row: %v", err)
+	}
+	perTidDrops, err := Dropped(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perTidDrops[7] != 6 {
+		t.Errorf("reported drops for tid 7 = %d, want 6", perTidDrops[7])
 	}
 	perTid, _, err := SpanCount(buf.Bytes())
 	if err != nil {

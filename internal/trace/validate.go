@@ -11,7 +11,56 @@ import (
 // identifiers, non-negative ts/dur, and non-decreasing ts per tid. It is
 // the shared schema gate for the tracer's own tests and for CLI tests that
 // read a written -trace file back.
+//
+// Validate also fails traces that report dropped events (a nonzero
+// DroppedEventsName metadata count on any row): such a timeline is
+// truncated — the ring overwrote its oldest spans — and reading it as
+// complete misattributes the missing spans to idle workers. Use Dropped to
+// inspect the counts without failing.
 func Validate(data []byte) error {
+	if err := validateSchema(data); err != nil {
+		return err
+	}
+	perTid, err := Dropped(data)
+	if err != nil {
+		return err
+	}
+	for tid, n := range perTid {
+		if n > 0 {
+			return fmt.Errorf("trace: tid %d dropped %d events (ring overflowed; timeline truncated)", tid, n)
+		}
+	}
+	return nil
+}
+
+// Dropped returns each row's reported dropped-event count (the
+// DroppedEventsName metadata events WriteJSON emits). Rows that dropped
+// nothing are absent.
+func Dropped(data []byte) (perTid map[int]uint64, err error) {
+	var f struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Tid  int    `json:"tid"`
+			Args struct {
+				Count uint64 `json:"count"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("trace: not a JSON object: %w", err)
+	}
+	perTid = make(map[int]uint64)
+	for _, ev := range f.TraceEvents {
+		if ev.Ph == phMetadata && ev.Name == DroppedEventsName {
+			perTid[ev.Tid] += ev.Args.Count
+		}
+	}
+	return perTid, nil
+}
+
+// validateSchema is the structural half of Validate.
+func validateSchema(data []byte) error {
 	var f struct {
 		TraceEvents []map[string]json.RawMessage `json:"traceEvents"`
 	}

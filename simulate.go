@@ -96,8 +96,14 @@ type SimOptions struct {
 
 	// Trace, when non-nil, receives a span per estimation pass
 	// ("archsim.model.CPU", "archsim.model.KNL", "gpusim.run") on the
-	// main timeline row, plus the instrumented counting run's own spans.
+	// main timeline row, plus the instrumented counting run's own spans —
+	// for the GPU, per-task and per-steal "gpusim.kernel" spans on each
+	// host worker's row.
 	Trace *Tracer
+
+	// Metrics, when non-nil, receives the GPU kernel passes' per-worker
+	// scheduler tallies (scope "gpusim.kernel", including steal counts).
+	Metrics *Metrics
 }
 
 // SimResult is a modeled run: exact counts plus modeled elapsed time.
@@ -175,6 +181,8 @@ func Simulate(g *Graph, opts SimOptions) (*SimResult, error) {
 			SkewThreshold: opts.SkewThreshold,
 			RangeScale:    rangeScale,
 			CoProcessing:  opts.CoProcessing,
+			Metrics:       opts.Metrics,
+			Trace:         opts.Trace,
 		})
 		span()
 		if err != nil {
