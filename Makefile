@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check benchsmoke fuzz bench benchdiff microbench experiments examples clean
+.PHONY: all build vet test race check benchsmoke obssmoke fuzz bench benchdiff microbench experiments examples clean
 
 # The default verify path is `make check`: build + vet + tests + the race
 # detector on the small-graph packages.
@@ -21,7 +21,7 @@ test:
 # Race detection runs on the packages whose tests use small graphs; the
 # full profile-scale workloads are too slow under the race detector.
 race:
-	$(GO) test -race ./internal/core/ ./internal/sched/ ./internal/gpusim/ ./internal/graph/ ./internal/scan/ ./internal/metrics/ ./internal/trace/ ./internal/benchfmt/ ./cmd/cnc/ ./cmd/benchrun/
+	$(GO) test -race ./internal/core/ ./internal/sched/ ./internal/gpusim/ ./internal/graph/ ./internal/scan/ ./internal/metrics/ ./internal/trace/ ./internal/obs/ ./internal/benchfmt/ ./cmd/cnc/ ./cmd/benchrun/
 
 # Tiny end-to-end benchmark matrix (~seconds): exercises the full
 # generate → count → record pipeline under the work-stealing scheduler,
@@ -31,7 +31,13 @@ race:
 benchsmoke:
 	$(GO) run ./cmd/benchrun -label smoke -profiles WI -scale 0.05 -algos bmp -workers 1,2 -reps 1 -out /dev/null
 
-check: build test race benchsmoke
+# End-to-end smoke of the observability plane: build cnc, run a tiny
+# profile with -http on an ephemeral port, scrape /healthz, /metrics and
+# /progress, and validate the responses (see scripts/obssmoke.sh).
+obssmoke:
+	sh scripts/obssmoke.sh
+
+check: build test race benchsmoke obssmoke
 
 # Short fuzzing pass over every fuzz target.
 fuzz:

@@ -11,6 +11,7 @@
 //	benchrun -profiles WI,LJ -scale 0.2 -workers 1,2,4 -reps 3
 //	benchrun -baseline BENCH_main.json -input BENCH_pr.json -threshold 0.10
 //	benchrun -baseline BENCH_main.json           # run matrix, diff against base
+//	benchrun -http 127.0.0.1:8080                # watch the live matrix at /progress
 //
 // benchrun exits 0 only when the whole run succeeded and, in -baseline
 // mode, no regression exceeded the threshold.
@@ -25,10 +26,13 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"cncount"
 	"cncount/internal/benchfmt"
+	"cncount/internal/metrics"
+	"cncount/internal/obs"
 )
 
 // appConfig mirrors the flag set so the whole run is testable without
@@ -44,6 +48,21 @@ type appConfig struct {
 	baseline  string
 	input     string
 	threshold float64
+	httpAddr  string
+}
+
+// resolvedConfig records the harness knobs that shape the measurement,
+// for the report manifest (and hence for -baseline comparability checks).
+func (cfg appConfig) resolvedConfig() map[string]string {
+	return map[string]string{
+		"harness":  "benchrun",
+		"label":    cfg.label,
+		"profiles": cfg.profiles,
+		"scale":    strconv.FormatFloat(cfg.scale, 'g', -1, 64),
+		"algos":    cfg.algos,
+		"workers":  cfg.workers,
+		"reps":     strconv.Itoa(cfg.reps),
+	}
 }
 
 func main() {
@@ -61,6 +80,7 @@ func main() {
 	flag.StringVar(&cfg.baseline, "baseline", "", "diff mode: baseline BENCH_*.json to compare against")
 	flag.StringVar(&cfg.input, "input", "", "diff mode: head BENCH_*.json (empty = run the matrix)")
 	flag.Float64Var(&cfg.threshold, "threshold", 0.10, "relative ns/edge slowdown that fails the diff")
+	flag.StringVar(&cfg.httpAddr, "http", "", "serve the observability plane (/metrics, /progress, ...) on this address while the matrix runs")
 	flag.Parse()
 
 	if err := run(cfg, os.Stdout); err != nil {
@@ -68,19 +88,65 @@ func main() {
 	}
 }
 
+// liveObs is the optional observability hookup shared across matrix
+// cells when -http is set: one Progress spanning every cell's parallel
+// region, and the collector of the rep currently running so /metrics
+// scrapes always see live tallies. A nil *liveObs disables both.
+type liveObs struct {
+	prog *cncount.Progress
+	mc   atomic.Pointer[cncount.Metrics]
+}
+
+func (l *liveObs) progress() *cncount.Progress {
+	if l == nil {
+		return nil
+	}
+	return l.prog
+}
+
+func (l *liveObs) snapshot() metrics.Snapshot {
+	if mc := l.mc.Load(); mc != nil {
+		return mc.Snapshot()
+	}
+	return metrics.Snapshot{}
+}
+
 // run executes one harness invocation. Every failure — a bad flag, a
 // failed counting run, an output write error, or a past-threshold
 // regression in -baseline mode — is returned so main can exit non-zero.
 func run(cfg appConfig, stdout io.Writer) error {
 	out := &errWriter{w: stdout}
+	manifest := cncount.NewManifest(cfg.resolvedConfig())
+
+	var live *liveObs
+	if cfg.httpAddr != "" {
+		live = &liveObs{prog: cncount.NewProgress()}
+		plane := obs.New(obs.Options{
+			Snapshot: live.snapshot,
+			Progress: live.prog,
+			Manifest: &manifest,
+			Logf:     log.Printf,
+		})
+		addr, err := plane.Start(cfg.httpAddr)
+		if err != nil {
+			return fmt.Errorf("observability plane: %w", err)
+		}
+		log.Printf("observability plane listening on http://%s/", addr)
+		defer func() {
+			if err := plane.Close(); err != nil {
+				log.Printf("observability plane shutdown: %v", err)
+			}
+		}()
+	}
+
 	if cfg.baseline != "" {
-		if err := runDiff(cfg, out); err != nil {
+		if err := runDiff(cfg, out, manifest, live); err != nil {
 			return err
 		}
 		return out.err
 	}
 
-	report, err := runMatrix(cfg, out)
+	report, err := runMatrix(cfg, out, manifest, live)
 	if err != nil {
 		return err
 	}
@@ -102,8 +168,11 @@ func run(cfg appConfig, stdout io.Writer) error {
 }
 
 // runDiff loads base and head (running the matrix when no -input file is
-// given), prints the comparison, and fails on regressions.
-func runDiff(cfg appConfig, out *errWriter) error {
+// given), prints the comparison, and fails on regressions. Manifest
+// divergence between the reports is warned about but never fails the
+// diff: comparing across revisions is the point of -baseline, comparing
+// across machines or toolchains usually is not.
+func runDiff(cfg appConfig, out *errWriter, manifest cncount.Manifest, live *liveObs) error {
 	base, err := benchfmt.LoadFile(cfg.baseline)
 	if err != nil {
 		return fmt.Errorf("baseline: %w", err)
@@ -115,12 +184,15 @@ func runDiff(cfg appConfig, out *errWriter) error {
 			return fmt.Errorf("input: %w", err)
 		}
 	} else {
-		head, err = runMatrix(cfg, out)
+		head, err = runMatrix(cfg, out, manifest, live)
 		if err != nil {
 			return err
 		}
 	}
 
+	for _, w := range benchfmt.ManifestWarnings(base, head) {
+		fmt.Fprintf(out, "warning: %s\n", w)
+	}
 	d := benchfmt.Diff(base, head, cfg.threshold)
 	fmt.Fprintf(out, "diff %s (base) vs %s (head), threshold +%.0f%%\n",
 		base.Label, head.Label, 100*cfg.threshold)
@@ -152,7 +224,7 @@ func runDiff(cfg appConfig, out *errWriter) error {
 // runs cfg.reps times and keeps the best elapsed time, as the paper's
 // methodology (and benchmarking practice generally) prescribes for
 // noise-prone wall-clock measurements.
-func runMatrix(cfg appConfig, out *errWriter) (*benchfmt.Report, error) {
+func runMatrix(cfg appConfig, out *errWriter, manifest cncount.Manifest, live *liveObs) (*benchfmt.Report, error) {
 	profiles, err := splitList(cfg.profiles)
 	if err != nil {
 		return nil, err
@@ -180,6 +252,7 @@ func runMatrix(cfg appConfig, out *errWriter) (*benchfmt.Report, error) {
 		Label:      cfg.label,
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Manifest:   &manifest,
 	}
 	for _, profile := range profiles {
 		g, err := cncount.GenerateProfile(profile, cfg.scale)
@@ -192,10 +265,17 @@ func runMatrix(cfg appConfig, out *errWriter) (*benchfmt.Report, error) {
 		for _, algo := range algos {
 			base := make(map[int]int64) // workers -> best elapsed
 			for _, w := range workers {
-				res, err := runCell(rg, algo, w, cfg.reps)
+				// Heartbeat lines go to the log (stderr), not the report
+				// stream: a long matrix stays watchable under 2>&1-less
+				// redirection without polluting `-out -` JSON on stdout.
+				log.Printf("cell %s/%s/w%d started (%d reps)", profile, algo, w, cfg.reps)
+				cellStart := time.Now()
+				res, err := runCell(rg, algo, w, cfg.reps, live)
 				if err != nil {
 					return nil, err
 				}
+				log.Printf("cell %s/%s/w%d finished in %v (best %.2f ns/edge)",
+					profile, algo, w, time.Since(cellStart).Round(time.Millisecond), res.NsPerEdge)
 				res.Graph = profile
 				res.Scale = cfg.scale
 				base[w] = res.ElapsedNanos
@@ -214,7 +294,7 @@ func runMatrix(cfg appConfig, out *errWriter) (*benchfmt.Report, error) {
 
 // runCell measures one matrix cell: reps counting runs on the already
 // reordered graph, keeping the best and its metrics snapshot.
-func runCell(rg *cncount.Graph, algo cncount.Algorithm, workers, reps int) (*benchfmt.Result, error) {
+func runCell(rg *cncount.Graph, algo cncount.Algorithm, workers, reps int, live *liveObs) (*benchfmt.Result, error) {
 	res := &benchfmt.Result{
 		Algo:    algo.String(),
 		Workers: workers,
@@ -223,11 +303,15 @@ func runCell(rg *cncount.Graph, algo cncount.Algorithm, workers, reps int) (*ben
 	}
 	for rep := 0; rep < reps; rep++ {
 		mc := cncount.NewMetrics()
+		if live != nil {
+			live.mc.Store(mc)
+		}
 		r, err := cncount.Count(rg, cncount.Options{
 			Algorithm: algo,
 			Threads:   workers,
 			Reorder:   false, // measured graph is pre-reordered
 			Metrics:   mc,
+			Progress:  live.progress(),
 		})
 		if err != nil {
 			return nil, err

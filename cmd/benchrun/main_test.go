@@ -3,8 +3,11 @@ package main
 import (
 	"bytes"
 	"io"
+	"log"
+	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"cncount/internal/benchfmt"
@@ -54,6 +57,112 @@ func TestRunWritesSchemaVersionedReport(t *testing.T) {
 	if len(seen) != 4 {
 		t.Errorf("duplicate cells: %v", seen)
 	}
+	if rep.Manifest == nil {
+		t.Fatal("report carries no manifest")
+	}
+	if rep.Manifest.GoVersion == "" || rep.Manifest.GOMAXPROCS < 1 {
+		t.Errorf("manifest environment empty: %+v", rep.Manifest)
+	}
+	for key, want := range map[string]string{
+		"harness": "benchrun", "profiles": "WI", "workers": "1,2", "reps": "1",
+	} {
+		if got := rep.Manifest.Config[key]; got != want {
+			t.Errorf("manifest config %s = %q, want %q", key, got, want)
+		}
+	}
+}
+
+// TestRunEmitsHeartbeats checks each matrix cell logs started/finished
+// heartbeat lines so a long run redirected to a file stays watchable on
+// stderr.
+func TestRunEmitsHeartbeats(t *testing.T) {
+	var logBuf syncBuffer
+	log.SetOutput(&logBuf)
+	defer log.SetOutput(os.Stderr)
+
+	if err := run(tinyRun(filepath.Join(t.TempDir(), "out.json")), io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	logs := logBuf.String()
+	for _, want := range []string{
+		"cell WI/MPS/w1 started", "cell WI/MPS/w1 finished in",
+		"cell WI/BMP/w2 started", "cell WI/BMP/w2 finished in",
+	} {
+		if !strings.Contains(logs, want) {
+			t.Errorf("heartbeat %q missing in:\n%s", want, logs)
+		}
+	}
+}
+
+// TestBaselineDiffWarnsOnManifestDivergence checks a cross-environment
+// diff prints manifest warnings without failing the comparison.
+func TestBaselineDiffWarnsOnManifestDivergence(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "BENCH_base.json")
+	if err := run(tinyRun(basePath), io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	head, err := benchfmt.LoadFile(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head.Label = "head"
+	head.Manifest.VCSRevision = "0000000000000000000000000000000000000000"
+	head.Manifest.GOMAXPROCS++
+	headPath := filepath.Join(dir, "BENCH_head.json")
+	if err := benchfmt.WriteFile(headPath, head); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	cfg := appConfig{baseline: basePath, input: headPath, threshold: 0.10}
+	if err := run(cfg, &buf); err != nil {
+		t.Fatalf("divergence warnings failed the diff: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "warning: manifests diverge on gomaxprocs") ||
+		!strings.Contains(out, "vcs_revision") {
+		t.Errorf("divergence warnings missing:\n%s", out)
+	}
+	if !strings.Contains(out, "no regressions") {
+		t.Errorf("diff verdict missing:\n%s", out)
+	}
+}
+
+// TestRunHTTPPlaneServes checks -http mounts the plane for the duration
+// of the run: the report still writes, and the harness logs the bound
+// address. (Endpoint behavior itself is covered in internal/obs.)
+func TestRunHTTPPlaneServes(t *testing.T) {
+	var logBuf syncBuffer
+	log.SetOutput(&logBuf)
+	defer log.SetOutput(os.Stderr)
+
+	cfg := tinyRun(filepath.Join(t.TempDir(), "out.json"))
+	cfg.httpAddr = "127.0.0.1:0"
+	if err := run(cfg, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(logBuf.String(), "observability plane listening on") {
+		t.Errorf("plane address not logged:\n%s", logBuf.String())
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing log output.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }
 
 // TestBaselineDiffDetectsInjectedRegression writes a report, injects a

@@ -8,7 +8,14 @@
 //	cnc -profile LJ -processor knl -algo mps    # modeled KNL time
 //	cnc -profile TW -algo bmp -metrics -        # JSON metrics snapshot
 //	cnc -profile TW -algo bmp -trace out.json   # Perfetto-loadable timeline
-//	cnc -profile FR -pprof localhost:6060       # live pprof while counting
+//	cnc -profile FR -http localhost:6060        # live observability plane
+//
+// With -http, cnc mounts the observability plane (internal/obs) for the
+// lifetime of the run: /metrics (Prometheus text exposition), /progress
+// (percent complete, units/sec, ETA, per-worker stall flags), /healthz,
+// /trace.json (live timeline snapshot when -trace is also set), and
+// /debug/pprof/* — all on a dedicated mux. The deprecated -pprof flag is
+// an alias for -http.
 //
 // cnc exits 0 only when the whole run succeeded: a -verify mismatch, a
 // failed metrics or trace write, or an output I/O error all exit non-zero.
@@ -20,13 +27,13 @@ import (
 	"fmt"
 	"io"
 	"log"
-	"net"
-	"net/http"
-	_ "net/http/pprof" // registers profiling handlers on DefaultServeMux
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"cncount"
+	"cncount/internal/obs"
 )
 
 // appConfig mirrors the flag set so the whole run is testable without
@@ -47,7 +54,9 @@ type appConfig struct {
 	verify     bool
 	metricsOut string
 	traceOut   string
-	pprofAddr  string
+	httpAddr   string
+	pprofAddr  string // deprecated alias for httpAddr
+	httpWait   time.Duration
 }
 
 func main() {
@@ -70,7 +79,9 @@ func main() {
 	flag.BoolVar(&cfg.verify, "verify", false, "cross-check against the reference counter (slow)")
 	flag.StringVar(&cfg.metricsOut, "metrics", "", `write a JSON metrics snapshot (phase timings, scheduler tallies) to this file ("-" = stdout)`)
 	flag.StringVar(&cfg.traceOut, "trace", "", "write a Chrome trace-event JSON timeline (open in Perfetto) to this file")
-	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve net/http/pprof on this address while running (e.g. localhost:6060)")
+	flag.StringVar(&cfg.httpAddr, "http", "", "serve the live observability plane (/metrics, /progress, /healthz, /trace.json, /debug/pprof/) on this address while running (e.g. localhost:6060)")
+	flag.StringVar(&cfg.pprofAddr, "pprof", "", "deprecated alias for -http")
+	flag.DurationVar(&cfg.httpWait, "httpwait", 0, "keep the -http plane serving this long after the run completes (lets short runs be scraped)")
 	flag.Parse()
 
 	if cfg.graphPath == "" && cfg.profile == "" {
@@ -83,11 +94,19 @@ func main() {
 }
 
 // run executes one counting run. Every failure — including a -verify
-// mismatch and any error writing the printed output or the metrics
-// snapshot — is returned so main can exit non-zero.
+// mismatch, an unbindable -http address, and any error writing the
+// printed output or the metrics snapshot — is returned so main can exit
+// non-zero.
 func run(cfg appConfig, stdout io.Writer) error {
+	if cfg.httpAddr == "" && cfg.pprofAddr != "" {
+		log.Printf("warning: -pprof is deprecated, use -http (serving the full observability plane)")
+		cfg.httpAddr = cfg.pprofAddr
+	}
+
+	// The observability plane needs a live collector and progress source
+	// even when no -metrics file was requested.
 	var mc *cncount.Metrics
-	if cfg.metricsOut != "" {
+	if cfg.metricsOut != "" || cfg.httpAddr != "" {
 		mc = cncount.NewMetrics()
 	}
 	var tr *cncount.Tracer
@@ -96,14 +115,38 @@ func run(cfg appConfig, stdout io.Writer) error {
 	}
 	out := &errWriter{w: stdout}
 
-	if cfg.pprofAddr != "" {
-		ln, err := net.Listen("tcp", cfg.pprofAddr)
-		if err != nil {
-			return fmt.Errorf("pprof listener: %w", err)
+	manifest := cncount.NewManifest(cfg.resolvedConfig())
+	mc.SetManifest(manifest)
+
+	var prog *cncount.Progress
+	var plane *obs.Plane
+	if cfg.httpAddr != "" {
+		prog = cncount.NewProgress()
+		planeOpts := obs.Options{
+			Snapshot: mc.Snapshot,
+			Progress: prog,
+			Manifest: &manifest,
+			Logf:     log.Printf,
 		}
-		defer ln.Close()
-		fmt.Fprintf(out, "pprof listening on http://%s/debug/pprof/\n", ln.Addr())
-		go func() { _ = http.Serve(ln, nil) }()
+		if tr != nil {
+			tr.SetLive()
+			planeOpts.TraceJSON = tr.WriteJSON
+		}
+		plane = obs.New(planeOpts)
+		addr, err := plane.Start(cfg.httpAddr)
+		if err != nil {
+			return fmt.Errorf("observability plane: %w", err)
+		}
+		defer func() {
+			if cfg.httpWait > 0 {
+				fmt.Fprintf(out, "holding observability plane for %v\n", cfg.httpWait)
+				time.Sleep(cfg.httpWait)
+			}
+			if err := plane.Close(); err != nil {
+				log.Printf("observability plane shutdown: %v", err)
+			}
+		}()
+		fmt.Fprintf(out, "observability plane listening on http://%s/ (metrics, progress, healthz, trace.json, debug/pprof)\n", addr)
 	}
 
 	g, name, err := loadOrGenerate(cfg.graphPath, cfg.profile, cfg.scale, mc, tr)
@@ -130,6 +173,7 @@ func run(cfg appConfig, stdout io.Writer) error {
 		CollectWork:   cfg.work,
 		Metrics:       mc,
 		Trace:         tr,
+		Progress:      prog,
 	})
 	if err != nil {
 		return err
@@ -173,7 +217,7 @@ func run(cfg appConfig, stdout io.Writer) error {
 		fmt.Fprintln(out, "verify: counts match the sequential baseline")
 	}
 
-	if mc != nil {
+	if mc != nil && cfg.metricsOut != "" {
 		if err := writeMetrics(cfg.metricsOut, mc, out); err != nil {
 			return fmt.Errorf("writing metrics: %w", err)
 		}
@@ -185,6 +229,31 @@ func run(cfg appConfig, stdout io.Writer) error {
 		fmt.Fprintf(out, "trace written to %s (open in https://ui.perfetto.dev)\n", cfg.traceOut)
 	}
 	return out.err
+}
+
+// resolvedConfig records the run configuration for the manifest, so a
+// metrics snapshot (and anything scraped from /metrics) names the exact
+// flags that produced it.
+func (cfg appConfig) resolvedConfig() map[string]string {
+	m := map[string]string{
+		"algo":    cfg.algoName,
+		"threads": strconv.Itoa(cfg.threads),
+		"reorder": strconv.FormatBool(cfg.reorder),
+	}
+	if cfg.graphPath != "" {
+		m["graph"] = cfg.graphPath
+	}
+	if cfg.profile != "" {
+		m["profile"] = cfg.profile
+		m["scale"] = strconv.FormatFloat(cfg.scale, 'g', -1, 64)
+	}
+	if cfg.taskSize != 0 {
+		m["tasksize"] = strconv.Itoa(cfg.taskSize)
+	}
+	if cfg.processor != "" {
+		m["processor"] = cfg.processor
+	}
+	return m
 }
 
 // compareCounts checks a computed count array against the reference,

@@ -5,10 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"cncount"
 	"cncount/internal/trace"
@@ -287,22 +290,137 @@ func TestRunOutputErrorExitsNonZero(t *testing.T) {
 	}
 }
 
-func TestRunBadPprofAddr(t *testing.T) {
+func TestRunBadHTTPAddr(t *testing.T) {
 	cfg := smallRun()
-	cfg.pprofAddr = "256.256.256.256:0"
+	cfg.httpAddr = "256.256.256.256:0"
 	if err := run(cfg, io.Discard); err == nil {
-		t.Error("invalid pprof address accepted")
+		t.Error("invalid -http address accepted")
 	}
 }
 
-func TestRunPprofServes(t *testing.T) {
+// TestRunDeprecatedPprofAlias pins that -pprof still works, now mounting
+// the full plane on a dedicated mux.
+func TestRunDeprecatedPprofAlias(t *testing.T) {
 	cfg := smallRun()
 	cfg.pprofAddr = "127.0.0.1:0"
 	var buf bytes.Buffer
 	if err := run(cfg, &buf); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(buf.String(), "pprof listening on") {
-		t.Error("pprof address not announced")
+	if !strings.Contains(buf.String(), "observability plane listening on") {
+		t.Error("plane address not announced")
+	}
+}
+
+// syncBuffer is a bytes.Buffer safe for one writer and one poller.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestRunHTTPPlaneServesLive drives `cnc -http 127.0.0.1:0 -httpwait` and
+// scrapes the plane while it is held open: /healthz answers ok, /metrics
+// is non-empty Prometheus text with the run's phase series, /progress is
+// JSON reporting the whole region done.
+func TestRunHTTPPlaneServesLive(t *testing.T) {
+	cfg := smallRun()
+	cfg.httpAddr = "127.0.0.1:0"
+	cfg.httpWait = 2 * time.Second
+	var buf syncBuffer
+	errc := make(chan error, 1)
+	go func() { errc <- run(cfg, &buf) }()
+
+	// The plane outlives the run by -httpwait; find its address.
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("plane address never announced:\n%s", buf.String())
+		}
+		for _, line := range strings.Split(buf.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "observability plane listening on "); ok {
+				base = strings.TrimSuffix(strings.Fields(rest)[0], "/")
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Wait for the run itself to finish (the hold message) so /progress
+	// reads the final state.
+	for !strings.Contains(buf.String(), "holding observability plane") {
+		if time.Now().After(deadline) {
+			t.Fatalf("run never finished:\n%s", buf.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	get := func(path string) string {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d\n%s", path, resp.StatusCode, body)
+		}
+		return string(body)
+	}
+	if got := get("/healthz"); !strings.Contains(got, "ok") {
+		t.Errorf("/healthz = %q", got)
+	}
+	metricsBody := get("/metrics")
+	for _, series := range []string{
+		"cncount_phase_seconds_total{phase=\"core.count\"}",
+		"cncount_sched_worker_units_total",
+		"cncount_progress_remaining_units 0",
+		"cncount_build_info",
+	} {
+		if !strings.Contains(metricsBody, series) {
+			t.Errorf("/metrics missing %q:\n%s", series, metricsBody)
+		}
+	}
+	var status struct {
+		TotalUnits     int64 `json:"total_units"`
+		RemainingUnits int64 `json:"remaining_units"`
+		Runs           uint64
+	}
+	if err := json.Unmarshal([]byte(get("/progress")), &status); err != nil {
+		t.Fatalf("/progress is not JSON: %v", err)
+	}
+	if status.TotalUnits == 0 || status.RemainingUnits != 0 {
+		t.Errorf("/progress after run = %+v, want done", status)
+	}
+	if got := get("/debug/pprof/cmdline"); got == "" {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+
+	// /trace.json is 404 without -trace.
+	resp, err := http.Get(base + "/trace.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/trace.json without -trace: status %d, want 404", resp.StatusCode)
+	}
+
+	// Wait out the hold so the deferred plane shutdown is exercised too.
+	if err := <-errc; err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
 	}
 }

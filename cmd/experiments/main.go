@@ -8,6 +8,7 @@
 //	experiments -experiment all -out EXPERIMENTS.md
 //	experiments -experiment all -metrics metrics.json
 //	experiments -experiment fig5 -trace-dir traces/
+//	experiments -experiment all -http 127.0.0.1:8080
 //
 // With -metrics, each experiment additionally emits a JSON metrics
 // snapshot (phase timings, per-worker scheduler tallies, imbalance
@@ -29,11 +30,15 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"cncount/internal/experiments"
 	"cncount/internal/metrics"
+	"cncount/internal/obs"
+	"cncount/internal/sched"
 	"cncount/internal/trace"
 )
 
@@ -52,6 +57,7 @@ type appConfig struct {
 	list       bool
 	metricsOut string
 	traceDir   string
+	httpAddr   string
 }
 
 func main() {
@@ -65,6 +71,7 @@ func main() {
 	flag.BoolVar(&cfg.list, "list", false, "list experiment ids and exit")
 	flag.StringVar(&cfg.metricsOut, "metrics", "", `write per-experiment metrics snapshots as a JSON array ("-" = stdout)`)
 	flag.StringVar(&cfg.traceDir, "trace-dir", "", "write a Chrome trace-event timeline trace_<id>.json per experiment into this directory")
+	flag.StringVar(&cfg.httpAddr, "http", "", "serve the observability plane (/metrics, /progress, ...) on this address while experiments run")
 	flag.Parse()
 
 	if err := run(cfg, os.Stdout); err != nil {
@@ -119,10 +126,54 @@ func runExperiments(cfg appConfig, w io.Writer, stdout io.Writer) error {
 	ctx.Scale = cfg.scale
 	ctx.CapacityScale = 0.001 * cfg.scale
 
+	manifest := metrics.NewManifest(map[string]string{
+		"harness":    "experiments",
+		"experiment": cfg.id,
+		"scale":      strconv.FormatFloat(cfg.scale, 'g', -1, 64),
+	})
+
+	// With -http, the observability plane scrapes whichever collector the
+	// currently running experiment records into; liveMC tracks it across
+	// the per-experiment resets that -metrics performs.
+	var liveMC atomic.Pointer[metrics.Collector]
+	if cfg.httpAddr != "" {
+		ctx.Progress = sched.NewProgress()
+		if cfg.metricsOut == "" {
+			// Nothing else asked for metrics; keep one collector for the
+			// whole run so /metrics still has phase timings to show.
+			ctx.Metrics = metrics.New()
+			ctx.Metrics.SetManifest(manifest)
+			liveMC.Store(ctx.Metrics)
+		}
+		plane := obs.New(obs.Options{
+			Snapshot: func() metrics.Snapshot {
+				if mc := liveMC.Load(); mc != nil {
+					return mc.Snapshot()
+				}
+				return metrics.Snapshot{}
+			},
+			Progress: ctx.Progress,
+			Manifest: &manifest,
+			Logf:     log.Printf,
+		})
+		addr, err := plane.Start(cfg.httpAddr)
+		if err != nil {
+			return fmt.Errorf("observability plane: %w", err)
+		}
+		log.Printf("observability plane listening on http://%s/", addr)
+		defer func() {
+			if err := plane.Close(); err != nil {
+				log.Printf("observability plane shutdown: %v", err)
+			}
+		}()
+	}
+
 	var snaps []experimentMetrics
 	runOne := func(e experiments.Experiment) error {
 		if cfg.metricsOut != "" {
 			ctx.Metrics = metrics.New()
+			ctx.Metrics.SetManifest(manifest)
+			liveMC.Store(ctx.Metrics)
 		}
 		if cfg.traceDir != "" {
 			ctx.Trace = trace.New()

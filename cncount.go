@@ -33,6 +33,7 @@ import (
 	"cncount/internal/gen"
 	"cncount/internal/graph"
 	"cncount/internal/metrics"
+	"cncount/internal/sched"
 	"cncount/internal/trace"
 )
 
@@ -46,6 +47,28 @@ type MetricsSnapshot = metrics.Snapshot
 
 // NewMetrics returns an enabled metrics collector.
 func NewMetrics() *Metrics { return metrics.New() }
+
+// Progress is a live progress source for a counting run: remaining units
+// and per-worker heartbeats, sampled while the run is in flight. Pass one
+// through Options.Progress and serve it with the observability plane
+// (internal/obs) or poll (*Progress).Sample directly. A nil *Progress
+// disables progress recording; see Options.Progress.
+type Progress = sched.Progress
+
+// ProgressSample is one point-in-time reading of a Progress source.
+type ProgressSample = sched.ProgressSample
+
+// NewProgress returns an enabled progress source.
+func NewProgress() *Progress { return sched.NewProgress() }
+
+// Manifest records the build, environment and resolved configuration a
+// run executed under; embed it into metrics snapshots with
+// (*Metrics).SetManifest. See metrics.Manifest.
+type Manifest = metrics.Manifest
+
+// NewManifest collects the build/environment manifest, attaching the
+// given resolved run config (may be nil).
+func NewManifest(config map[string]string) Manifest { return metrics.NewManifest(config) }
 
 // Tracer is the span-level execution tracer: named spans on a per-worker
 // timeline, serialized as Chrome trace-event JSON loadable in Perfetto or
@@ -240,6 +263,12 @@ type Options struct {
 	// result with (*Tracer).WriteJSON and open it in Perfetto. Nil
 	// disables all tracing at negligible cost.
 	Trace *Tracer
+
+	// Progress, when non-nil, receives live progress from the counting
+	// region (remaining units, per-worker heartbeats) for the
+	// observability plane's /progress endpoint. Nil disables it at
+	// negligible cost.
+	Progress *Progress
 }
 
 // Result is a counting run's outcome.
@@ -258,6 +287,7 @@ func Count(g *Graph, opts Options) (*Result, error) {
 		CollectWork:   opts.CollectWork,
 		Metrics:       opts.Metrics,
 		Trace:         opts.Trace,
+		Progress:      opts.Progress,
 	}
 	if !opts.Reorder {
 		return core.Count(g, coreOpts)

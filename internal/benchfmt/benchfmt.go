@@ -12,6 +12,8 @@ import (
 	"io"
 	"os"
 	"sort"
+
+	"cncount/internal/metrics"
 )
 
 // Schema identifies the report format. Bump the version suffix on any
@@ -28,9 +30,15 @@ type Report struct {
 	// CreatedUnix is the run's completion time (seconds since epoch).
 	CreatedUnix int64 `json:"created_unix"`
 	// GoVersion and GOMAXPROCS describe the environment, since ns/edge is
-	// only comparable across runs on like hardware.
+	// only comparable across runs on like hardware. They predate Manifest
+	// and are kept for compatibility with v1 readers.
 	GoVersion  string `json:"go_version"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Manifest is the full build/environment/config record of the run
+	// (VCS revision, toolchain, host shape, harness flags), making the
+	// report self-describing; ManifestWarnings checks two reports'
+	// manifests for comparability before a diff.
+	Manifest *metrics.Manifest `json:"manifest,omitempty"`
 	// Results holds one entry per matrix cell.
 	Results []Result `json:"results"`
 }
@@ -134,6 +142,28 @@ func LoadFile(path string) (*Report, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return r, nil
+}
+
+// ManifestWarnings lists human-readable comparability warnings between
+// two reports' manifests: diverging environment fields, or a manifest
+// missing on either side (pre-manifest reports). Nil means the reports
+// are comparable as far as their manifests can tell. Warnings never fail
+// a diff — a cross-revision comparison is exactly what -baseline is for —
+// they make sure it is a conscious one.
+func ManifestWarnings(base, head *Report) []string {
+	switch {
+	case base.Manifest == nil && head.Manifest == nil:
+		return []string{"neither report carries a manifest; comparability unknown"}
+	case base.Manifest == nil:
+		return []string{fmt.Sprintf("base report %q carries no manifest; comparability unknown", base.Label)}
+	case head.Manifest == nil:
+		return []string{fmt.Sprintf("head report %q carries no manifest; comparability unknown", head.Label)}
+	}
+	var out []string
+	for _, d := range base.Manifest.Diverges(head.Manifest) {
+		out = append(out, "manifests diverge on "+d)
+	}
+	return out
 }
 
 // Delta compares one matrix cell across two reports. Ratio is

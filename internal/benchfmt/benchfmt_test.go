@@ -5,12 +5,19 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"cncount/internal/metrics"
 )
 
 func sampleReport(label string, nsPerEdge float64) *Report {
 	return &Report{
 		Schema: Schema, Label: label, CreatedUnix: 1754300000,
 		GoVersion: "go1.22", GOMAXPROCS: 8,
+		Manifest: &metrics.Manifest{
+			GoVersion: "go1.22", GOOS: "linux", GOARCH: "amd64",
+			GOMAXPROCS: 8, NumCPU: 8, VCSRevision: "abc123",
+			Config: map[string]string{"label": label},
+		},
 		Results: []Result{
 			{Graph: "WI", Scale: 0.2, Algo: "BMP", Workers: 1, Edges: 1000, Reps: 3,
 				ElapsedNanos: int64(nsPerEdge * 1000), NsPerEdge: nsPerEdge},
@@ -36,6 +43,43 @@ func TestRoundTrip(t *testing.T) {
 	}
 	if got.Results[0].NsPerEdge != 12.5 {
 		t.Errorf("ns_per_edge = %g, want 12.5", got.Results[0].NsPerEdge)
+	}
+	if got.Manifest == nil || got.Manifest.VCSRevision != "abc123" ||
+		got.Manifest.Config["label"] != "test" {
+		t.Errorf("manifest lost in round trip: %+v", got.Manifest)
+	}
+}
+
+// TestManifestWarnings pins the comparability check between two reports:
+// silent on matching manifests, explicit on divergence or absence, and
+// never an error (warnings must not fail a deliberate cross-env diff).
+func TestManifestWarnings(t *testing.T) {
+	base := sampleReport("base", 10)
+	head := sampleReport("head", 10)
+	if w := ManifestWarnings(base, head); w != nil {
+		t.Errorf("matching manifests warned: %v", w)
+	}
+
+	head.Manifest.VCSRevision = "def456"
+	head.Manifest.GoVersion = "go1.23"
+	w := ManifestWarnings(base, head)
+	if len(w) != 2 {
+		t.Fatalf("warnings = %v, want 2", w)
+	}
+	joined := strings.Join(w, "\n")
+	for _, want := range []string{"vcs_revision", "go_version", "diverge"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("warnings lack %q: %q", want, joined)
+		}
+	}
+
+	head.Manifest = nil
+	if w := ManifestWarnings(base, head); len(w) != 1 || !strings.Contains(w[0], "head") {
+		t.Errorf("missing head manifest: %v", w)
+	}
+	base.Manifest = nil
+	if w := ManifestWarnings(base, head); len(w) != 1 || !strings.Contains(w[0], "neither") {
+		t.Errorf("missing both manifests: %v", w)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"cncount/internal/gen"
 	"cncount/internal/graph"
 	"cncount/internal/metrics"
+	"cncount/internal/sched"
 	"cncount/internal/trace"
 )
 
@@ -73,4 +74,38 @@ func BenchmarkCountTraceGuard(b *testing.B) {
 	}
 	b.Run("off", func(b *testing.B) { run(b, nil) })
 	b.Run("on", func(b *testing.B) { run(b, trace.New()) })
+}
+
+// BenchmarkCountProgressGuard is the overhead guard for the live progress
+// source behind the observability plane's /progress endpoint: the "off"
+// variant runs the production code path with progress disabled (nil
+// source) and must stay within ~2% of BenchmarkCountMetricsGuard/off,
+// because a nil source adds only a nil-receiver branch per scheduler
+// task — never per edge. The "on" variant shows the enabled cost: one
+// atomic add and one atomic store per completed task.
+//
+//	go test -bench BenchmarkCountProgressGuard -count 10 ./internal/core/
+func BenchmarkCountProgressGuard(b *testing.B) {
+	p, err := gen.ProfileByName("TW")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g0, err := p.Generate(0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, _ := graph.ReorderByDegree(g0)
+
+	run := func(b *testing.B, prog *sched.Progress) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Count(g, Options{Algorithm: AlgoBMP, Progress: prog}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(g.NumEdges()/2)*float64(b.N)/b.Elapsed().Seconds(), "intersections/s")
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) { run(b, sched.NewProgress()) })
 }

@@ -103,6 +103,7 @@ func Count(g *graph.CSR, opts Options) (*Result, error) {
 		Rec:   mc.SchedRecorder("core.count", opts.Threads),
 		Trace: tr,
 		Scope: "core.count." + opts.Algorithm.String(),
+		Prog:  opts.Progress,
 	}
 	start := time.Now()
 	body := makeBody(g, counts, contexts, opts)

@@ -106,6 +106,12 @@ type Options struct {
 	// ".steal" span per cross-deque steal) on each worker's row. Nil
 	// disables all tracing at negligible cost.
 	Trace *trace.Tracer
+
+	// Progress, when non-nil, receives live progress from the counting
+	// region: remaining edge offsets and per-worker heartbeats, the feed
+	// behind the observability plane's /progress endpoint. Nil disables
+	// it at negligible cost.
+	Progress *sched.Progress
 }
 
 // withDefaults returns a copy of o with all unset fields defaulted.

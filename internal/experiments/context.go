@@ -23,6 +23,7 @@ import (
 	"cncount/internal/gen"
 	"cncount/internal/graph"
 	"cncount/internal/metrics"
+	"cncount/internal/sched"
 	"cncount/internal/trace"
 )
 
@@ -51,6 +52,11 @@ type Context struct {
 	// (generation, reordering, counting) plus per-task scheduler spans.
 	// Like Metrics, cached graphs and runs emit nothing on reuse.
 	Trace *trace.Tracer
+
+	// Progress, when non-nil, is fed by each instrumented counting run's
+	// parallel region so a live /progress endpoint can watch the sweep.
+	// Cached runs, being instantaneous, report nothing on reuse.
+	Progress *sched.Progress
 
 	mu     sync.Mutex
 	graphs map[string]*graph.CSR
@@ -137,6 +143,7 @@ func (c *Context) run(dataset string, algo core.Algorithm, lanes int) (*core.Res
 		CollectWork: true,
 		Metrics:     c.Metrics,
 		Trace:       c.Trace,
+		Progress:    c.Progress,
 	})
 	if err != nil {
 		return nil, err

@@ -26,6 +26,7 @@ import (
 	"io"
 	"sync"
 	"time"
+	"unsafe"
 )
 
 // Collector accumulates phase timings, counters and scheduler snapshots.
@@ -36,6 +37,7 @@ type Collector struct {
 	phases   []PhaseSample
 	counters map[string]uint64
 	sched    []SchedSnapshot
+	manifest *Manifest
 }
 
 // New returns an enabled collector.
@@ -71,6 +73,17 @@ func (c *Collector) RecordPhase(name string, d time.Duration) {
 	c.mu.Unlock()
 }
 
+// SetManifest attaches the build/environment manifest to every snapshot
+// the collector produces. Nil-safe like every recording method.
+func (c *Collector) SetManifest(m Manifest) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.manifest = &m
+	c.mu.Unlock()
+}
+
 // Add increments the named counter by n.
 func (c *Collector) Add(name string, n uint64) {
 	if c == nil {
@@ -93,6 +106,10 @@ func (c *Collector) Snapshot() Snapshot {
 	s := Snapshot{
 		Phases: append([]PhaseSample(nil), c.phases...),
 		Sched:  append([]SchedSnapshot(nil), c.sched...),
+	}
+	if c.manifest != nil {
+		m := *c.manifest
+		s.Manifest = &m
 	}
 	if len(c.counters) > 0 {
 		s.Counters = make(map[string]uint64, len(c.counters))
@@ -123,6 +140,9 @@ type Snapshot struct {
 	Counters map[string]uint64 `json:"counters,omitempty"`
 	// Sched holds one entry per committed scheduler recorder.
 	Sched []SchedSnapshot `json:"sched,omitempty"`
+	// Manifest describes the build and environment that produced the
+	// snapshot, when the collector had one attached (SetManifest).
+	Manifest *Manifest `json:"manifest,omitempty"`
 }
 
 // Phase returns the total nanoseconds recorded under name (a phase may
@@ -168,11 +188,18 @@ type WorkerTally struct {
 	StealNanos uint64 `json:"steal_nanos,omitempty"`
 }
 
-// paddedTally pads each worker's slot to a full cache line so concurrent
-// per-task writes from adjacent workers never contend on one line.
+// tallyLine is the alignment unit for per-worker tally slots: two 64-byte
+// cache lines, covering the adjacent-line prefetcher on x86.
+const tallyLine = 128
+
+// paddedTally pads each worker's slot to a multiple of tallyLine so
+// concurrent per-task writes from adjacent workers never contend on one
+// line. The pad is derived from the struct size, so adding a WorkerTally
+// field cannot silently reintroduce false sharing; the alignment claim is
+// pinned by TestPaddedTallyAlignment.
 type paddedTally struct {
 	WorkerTally
-	_ [128 - 48%128]byte
+	_ [(tallyLine - unsafe.Sizeof(WorkerTally{})%tallyLine) % tallyLine]byte
 }
 
 // SchedRecorder collects per-worker tallies and a task-duration histogram

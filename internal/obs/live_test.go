@@ -1,0 +1,158 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"cncount/internal/core"
+	"cncount/internal/gen"
+	"cncount/internal/metrics"
+	"cncount/internal/obs"
+	"cncount/internal/sched"
+	"cncount/internal/trace"
+)
+
+// TestPlaneScrapesLiveRun mounts the plane over a real collector,
+// progress source and live tracer, then scrapes every endpoint
+// continuously while core.Count runs. Under -race (the Makefile race
+// gate includes this package) it proves the plane's read paths are safe
+// against the hot-path writers; in any mode it checks the invariants the
+// issue pins: remaining units never increase across scrapes, and the
+// final scrape reports a finished region.
+func TestPlaneScrapesLiveRun(t *testing.T) {
+	p, err := gen.ProfileByName("WI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := p.Generate(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mc := metrics.New()
+	prog := sched.NewProgress()
+	tr := trace.New()
+	tr.SetLive()
+	plane := obs.New(obs.Options{
+		Snapshot:  mc.Snapshot,
+		Progress:  prog,
+		TraceJSON: tr.WriteJSON,
+	})
+	ts := httptest.NewServer(plane.Handler())
+	defer ts.Close()
+
+	scrape := func(path string) (string, bool) {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Errorf("GET %s: %v", path, err)
+			return "", false
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d, %v", path, resp.StatusCode, err)
+			return "", false
+		}
+		return string(body), true
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		prevRemaining := int64(-1)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, ok := scrape("/metrics"); !ok {
+				return
+			}
+			body, ok := scrape("/progress")
+			if !ok {
+				return
+			}
+			var st obs.ProgressStatus
+			if err := json.Unmarshal([]byte(body), &st); err != nil {
+				t.Errorf("/progress: %v", err)
+				return
+			}
+			// Within one region, remaining only ever decreases. Runs can
+			// only be 0 or 1 here (a single Count call), so no turnover
+			// reset can legitimately raise it.
+			if prevRemaining >= 0 && st.Runs == 1 && st.RemainingUnits > prevRemaining {
+				t.Errorf("remaining units increased: %d -> %d", prevRemaining, st.RemainingUnits)
+				return
+			}
+			if st.Runs == 1 {
+				prevRemaining = st.RemainingUnits
+			}
+			if _, ok := scrape("/trace.json"); !ok {
+				return
+			}
+		}
+	}()
+
+	res, err := core.Count(g, core.Options{
+		Algorithm: core.AlgoBMP,
+		Threads:   4,
+		Metrics:   mc,
+		Trace:     tr,
+		Progress:  prog,
+	})
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TriangleCount() == 0 {
+		t.Error("counting produced nothing; scrape test proved nothing")
+	}
+
+	// Post-run scrapes see the settled state.
+	body, ok := scrape("/progress")
+	if !ok {
+		t.FailNow()
+	}
+	var st obs.ProgressStatus
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Active || st.RemainingUnits != 0 || st.TotalUnits != g.NumEdges() {
+		t.Errorf("final progress = %+v, want inactive 0/%d remaining", st, g.NumEdges())
+	}
+	metricsBody, ok := scrape("/metrics")
+	if !ok {
+		t.FailNow()
+	}
+	for _, series := range []string{
+		`cncount_phase_seconds_total{phase="core.count"}`,
+		"cncount_sched_worker_units_total",
+		"cncount_progress_remaining_units 0",
+	} {
+		if !strings.Contains(metricsBody, series) {
+			t.Errorf("final /metrics lacks %q", series)
+		}
+	}
+	traceBody, ok := scrape("/trace.json")
+	if !ok {
+		t.FailNow()
+	}
+	var tj struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(traceBody), &tj); err != nil {
+		t.Fatalf("/trace.json: %v", err)
+	}
+	if len(tj.TraceEvents) == 0 {
+		t.Error("live trace snapshot empty after a traced run")
+	}
+}

@@ -1,0 +1,195 @@
+// Package obs is the live observability plane: an embeddable HTTP server
+// any long-running command mounts with one `-http addr` flag. Where
+// internal/metrics and internal/trace explain a run after it finishes,
+// obs answers the operational questions while it runs — "how far along is
+// it", "is it stuck or just slow", "what is it doing right now" — the
+// same live-profiling stance the paper's evaluation takes with hardware
+// counters, applied to GBBS-scale inputs where a counting run is a
+// multi-minute job.
+//
+// The plane serves, on one dedicated mux (never http.DefaultServeMux):
+//
+//	/healthz      liveness ("ok")
+//	/metrics      Prometheus text exposition of the live metrics.Collector
+//	/progress     JSON progress of the in-flight parallel region:
+//	              percent done, units/sec, ETA, per-worker stall flags
+//	/trace.json   point-in-time snapshot of the live trace rings
+//	/debug/pprof/ the standard runtime profiles
+//
+// Everything is pull-based and read-only: handlers snapshot the
+// collector (mutex-guarded, histogram reads atomic), sample the progress
+// source (atomic loads), and serialize live-mode trace rings (per-ring
+// mutex) — none of it perturbs the hot path, which pays only the nil
+// checks it already paid for metrics and tracing.
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"cncount/internal/metrics"
+	"cncount/internal/sched"
+)
+
+// Manifest is the build/environment manifest embedded in snapshots and
+// benchmark reports; see metrics.Manifest.
+type Manifest = metrics.Manifest
+
+// NewManifest collects the manifest; see metrics.NewManifest.
+func NewManifest(config map[string]string) Manifest { return metrics.NewManifest(config) }
+
+// DefaultStallAfter is the default per-worker heartbeat age past which
+// /progress flags a worker as stalled. Tasks are |T| units, so on any
+// healthy run heartbeats arrive orders of magnitude faster than this.
+const DefaultStallAfter = 5 * time.Second
+
+// Options configures a Plane. All fields are optional; the zero Options
+// serves /healthz and empty /metrics and /progress.
+type Options struct {
+	// Snapshot supplies the live metrics view rendered by /metrics —
+	// typically (*metrics.Collector).Snapshot as a method value (nil-safe
+	// on a nil collector). nil serves the zero snapshot.
+	Snapshot func() metrics.Snapshot
+	// Progress is the in-flight region's progress source. nil serves an
+	// inactive /progress.
+	Progress *sched.Progress
+	// TraceJSON writes the live trace snapshot — typically
+	// (*trace.Tracer).WriteJSON of a tracer in live mode (SetLive). nil
+	// makes /trace.json respond 404.
+	TraceJSON func(io.Writer) error
+	// Manifest is served under /metrics as cncount_build_info and used as
+	// the fallback when the snapshot carries none.
+	Manifest *Manifest
+	// StallAfter is the heartbeat age that flags a worker stalled;
+	// 0 uses DefaultStallAfter, negative disables stall detection.
+	StallAfter time.Duration
+	// Logf receives serve errors and lifecycle messages; nil discards.
+	Logf func(format string, args ...any)
+}
+
+// Plane is the mounted observability server. The zero value is not
+// usable; construct with New. A nil *Plane is the disabled plane: Start
+// and Close are no-ops, so callers thread one pointer unconditionally.
+type Plane struct {
+	opts Options
+	mux  *http.ServeMux
+	srv  *http.Server
+	ln   net.Listener
+	done chan struct{}
+}
+
+// New builds a plane serving the given sources on a dedicated mux.
+func New(opts Options) *Plane {
+	if opts.StallAfter == 0 {
+		opts.StallAfter = DefaultStallAfter
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	p := &Plane{opts: opts, mux: http.NewServeMux()}
+	p.mux.HandleFunc("/healthz", p.handleHealthz)
+	p.mux.HandleFunc("/metrics", p.handleMetrics)
+	p.mux.HandleFunc("/progress", p.handleProgress)
+	p.mux.HandleFunc("/trace.json", p.handleTrace)
+	p.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	p.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	p.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	p.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	p.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return p
+}
+
+// Handler exposes the plane's mux, for embedding and tests.
+func (p *Plane) Handler() http.Handler { return p.mux }
+
+// Start listens on addr (e.g. "127.0.0.1:6060", ":0" for an ephemeral
+// port) and serves in a background goroutine, returning the bound
+// address. Serve errors are logged through Options.Logf, never silently
+// discarded. Nil-safe: the nil plane returns a nil address.
+func (p *Plane) Start(addr string) (net.Addr, error) {
+	if p == nil {
+		return nil, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p.ln = ln
+	p.done = make(chan struct{})
+	p.srv = &http.Server{Handler: p.mux}
+	go func() {
+		defer close(p.done)
+		if err := p.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			p.opts.Logf("obs: serve error on %s: %v", ln.Addr(), err)
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// Close shuts the listener down cleanly, draining in-flight requests for
+// up to one second before force-closing, and waits for the serve
+// goroutine to exit. Safe on the nil or never-started plane.
+func (p *Plane) Close() error {
+	if p == nil || p.srv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	err := p.srv.Shutdown(ctx)
+	if err != nil {
+		err = p.srv.Close()
+	}
+	<-p.done
+	return err
+}
+
+func (p *Plane) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (p *Plane) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var snap metrics.Snapshot
+	if p.opts.Snapshot != nil {
+		snap = p.opts.Snapshot()
+	}
+	if snap.Manifest == nil {
+		snap.Manifest = p.opts.Manifest
+	}
+	var prog *ProgressStatus
+	if p.opts.Progress != nil {
+		ps := BuildProgress(p.opts.Progress.Sample(), p.opts.StallAfter)
+		prog = &ps
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := WriteProm(w, snap, prog); err != nil {
+		p.opts.Logf("obs: /metrics write: %v", err)
+	}
+}
+
+func (p *Plane) handleProgress(w http.ResponseWriter, _ *http.Request) {
+	status := BuildProgress(p.opts.Progress.Sample(), p.opts.StallAfter)
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(status); err != nil {
+		p.opts.Logf("obs: /progress write: %v", err)
+	}
+}
+
+func (p *Plane) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	if p.opts.TraceJSON == nil {
+		http.Error(w, "tracing not enabled for this run (pass -trace)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := p.opts.TraceJSON(w); err != nil {
+		p.opts.Logf("obs: /trace.json write: %v", err)
+	}
+}

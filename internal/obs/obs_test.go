@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cncount/internal/metrics"
+	"cncount/internal/sched"
+)
+
+// get fetches a path from the test server and returns status, content
+// type and body.
+func get(t *testing.T, ts *httptest.Server, path string) (int, string, string) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+}
+
+// TestPlaneEndpoints exercises every route of a fully wired plane via
+// its handler.
+func TestPlaneEndpoints(t *testing.T) {
+	c := metrics.New()
+	c.RecordPhase("core.count", 1e9)
+	prog := sched.NewProgress()
+	prog.Begin("core.count.BMP", 100, 2)
+	prog.TaskDone(0, 40)
+	manifest := NewManifest(map[string]string{"algo": "bmp"})
+	plane := New(Options{
+		Snapshot:  c.Snapshot,
+		Progress:  prog,
+		Manifest:  &manifest,
+		TraceJSON: func(w io.Writer) error { _, err := io.WriteString(w, `{"traceEvents":[]}`); return err },
+	})
+	ts := httptest.NewServer(plane.Handler())
+	defer ts.Close()
+
+	status, ct, body := get(t, ts, "/healthz")
+	if status != http.StatusOK || body != "ok\n" {
+		t.Errorf("/healthz = %d %q", status, body)
+	}
+	_ = ct
+
+	status, ct, body = get(t, ts, "/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics = %d", status)
+	}
+	if !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	samples, _ := parseProm(t, body)
+	if samples[`cncount_phase_seconds_total{phase="core.count"}`] != 1 {
+		t.Errorf("phase series missing:\n%s", body)
+	}
+	if samples[`cncount_progress_remaining_units`] != 60 {
+		t.Errorf("progress gauge = %g, want 60", samples[`cncount_progress_remaining_units`])
+	}
+
+	status, ct, body = get(t, ts, "/progress")
+	if status != http.StatusOK || !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("/progress = %d %q", status, ct)
+	}
+	var st ProgressStatus
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/progress not JSON: %v\n%s", err, body)
+	}
+	if !st.Active || st.TotalUnits != 100 || st.RemainingUnits != 60 || st.PercentDone != 40 {
+		t.Errorf("/progress = %+v", st)
+	}
+
+	status, ct, body = get(t, ts, "/trace.json")
+	if status != http.StatusOK || !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("/trace.json = %d %q", status, ct)
+	}
+	if body != `{"traceEvents":[]}` {
+		t.Errorf("/trace.json = %q", body)
+	}
+
+	status, _, body = get(t, ts, "/debug/pprof/cmdline")
+	if status != http.StatusOK || body == "" {
+		t.Errorf("/debug/pprof/cmdline = %d, %d bytes", status, len(body))
+	}
+}
+
+// TestPlaneZeroOptions checks the plane degrades gracefully with no
+// sources wired: healthz up, metrics empty-but-valid, progress inactive,
+// trace 404 with a hint.
+func TestPlaneZeroOptions(t *testing.T) {
+	ts := httptest.NewServer(New(Options{}).Handler())
+	defer ts.Close()
+
+	if status, _, body := get(t, ts, "/healthz"); status != 200 || body != "ok\n" {
+		t.Errorf("/healthz = %d %q", status, body)
+	}
+	status, _, body := get(t, ts, "/metrics")
+	if status != 200 {
+		t.Errorf("/metrics = %d", status)
+	}
+	parseProm(t, body)
+
+	status, _, body = get(t, ts, "/progress")
+	if status != 200 {
+		t.Fatalf("/progress = %d", status)
+	}
+	var st ProgressStatus
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Active || st.TotalUnits != 0 {
+		t.Errorf("zero-source progress = %+v", st)
+	}
+
+	status, _, body = get(t, ts, "/trace.json")
+	if status != http.StatusNotFound || !strings.Contains(body, "-trace") {
+		t.Errorf("/trace.json = %d %q, want 404 with -trace hint", status, body)
+	}
+}
+
+// TestPlaneMetricsManifestFallback checks /metrics serves build info from
+// Options.Manifest when the snapshot carries none.
+func TestPlaneMetricsManifestFallback(t *testing.T) {
+	manifest := NewManifest(nil)
+	plane := New(Options{
+		Snapshot: func() metrics.Snapshot { return metrics.Snapshot{} },
+		Manifest: &manifest,
+	})
+	rec := httptest.NewRecorder()
+	plane.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "cncount_build_info{") {
+		t.Errorf("fallback manifest not served:\n%s", rec.Body.String())
+	}
+}
+
+// TestPlaneStartClose covers the network lifecycle: ephemeral bind,
+// live scrape, clean shutdown, and nil-plane no-ops.
+func TestPlaneStartClose(t *testing.T) {
+	plane := New(Options{})
+	addr, err := plane.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr.String() + "/healthz")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d", resp.StatusCode)
+	}
+	if err := plane.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if _, err := http.Get("http://" + addr.String() + "/healthz"); err == nil {
+		t.Error("plane still serving after Close")
+	}
+
+	var nilPlane *Plane
+	if a, err := nilPlane.Start("127.0.0.1:0"); a != nil || err != nil {
+		t.Errorf("nil Start = %v, %v", a, err)
+	}
+	if err := nilPlane.Close(); err != nil {
+		t.Errorf("nil Close = %v", err)
+	}
+}
+
+// TestPlaneStartBadAddr checks bind failures surface as errors rather
+// than a dead background goroutine.
+func TestPlaneStartBadAddr(t *testing.T) {
+	if _, err := New(Options{}).Start("256.256.256.256:0"); err == nil {
+		t.Error("bad address accepted")
+	}
+}

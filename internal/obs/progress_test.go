@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"cncount/internal/sched"
+)
+
+// syntheticSample is a mid-run reading: 750 of 1000 units done after 3
+// seconds, worker 0 freshly beating, worker 1 silent for 6.1 seconds.
+func syntheticSample() sched.ProgressSample {
+	return sched.ProgressSample{
+		Active:         true,
+		Scope:          "core.count.BMP",
+		Runs:           1,
+		Workers:        2,
+		TotalUnits:     1000,
+		RemainingUnits: 250,
+		DoneUnits:      750,
+		ElapsedNanos:   3_000_000_000,
+		BeatAgeNanos:   []int64{100_000_000, 6_100_000_000},
+	}
+}
+
+// TestBuildProgressDerivations checks the percent/rate/ETA arithmetic on
+// the synthetic mid-run sample.
+func TestBuildProgressDerivations(t *testing.T) {
+	st := BuildProgress(syntheticSample(), 5*time.Second)
+	if st.PercentDone != 75 {
+		t.Errorf("percent = %g, want 75", st.PercentDone)
+	}
+	if st.UnitsPerSec != 250 {
+		t.Errorf("units/sec = %g, want 250 (750 over 3s)", st.UnitsPerSec)
+	}
+	if st.ETASeconds != 1 {
+		t.Errorf("eta = %g, want 1 (250 remaining at 250/s)", st.ETASeconds)
+	}
+	if st.ElapsedSeconds != 3 {
+		t.Errorf("elapsed = %g, want 3", st.ElapsedSeconds)
+	}
+	if st.StallAfterSeconds != 5 {
+		t.Errorf("stall threshold = %g, want 5", st.StallAfterSeconds)
+	}
+}
+
+// TestBuildProgressStallFlags checks the stall verdicts: only workers
+// whose heartbeat age exceeds the threshold while the region is active
+// and unfinished are flagged.
+func TestBuildProgressStallFlags(t *testing.T) {
+	st := BuildProgress(syntheticSample(), 5*time.Second)
+	if len(st.Workers) != 2 {
+		t.Fatalf("workers = %+v", st.Workers)
+	}
+	if st.Workers[0].Stalled {
+		t.Error("fresh worker 0 flagged stalled")
+	}
+	if !st.Workers[1].Stalled {
+		t.Error("6.1s-silent worker 1 not flagged at 5s threshold")
+	}
+	if st.StalledWorkers != 1 {
+		t.Errorf("stalled count = %d, want 1", st.StalledWorkers)
+	}
+	if got := st.Workers[1].LastBeatSecondsAgo; math.Abs(got-6.1) > 1e-9 {
+		t.Errorf("worker 1 beat age = %g, want 6.1", got)
+	}
+
+	// A finished region never stalls, however old the beats.
+	done := syntheticSample()
+	done.RemainingUnits, done.DoneUnits = 0, done.TotalUnits
+	if st := BuildProgress(done, 5*time.Second); st.StalledWorkers != 0 {
+		t.Errorf("finished region reports %d stalled workers", st.StalledWorkers)
+	}
+
+	// An inactive source never stalls.
+	idle := syntheticSample()
+	idle.Active = false
+	if st := BuildProgress(idle, 5*time.Second); st.StalledWorkers != 0 {
+		t.Errorf("inactive region reports %d stalled workers", st.StalledWorkers)
+	}
+
+	// A non-positive threshold disables stall detection.
+	if st := BuildProgress(syntheticSample(), -1); st.StalledWorkers != 0 {
+		t.Errorf("disabled threshold reports %d stalled workers", st.StalledWorkers)
+	}
+}
+
+// TestBuildProgressAlwaysFinite checks degenerate samples (no work, no
+// elapsed time, done) never yield Inf or NaN rates and ETAs — the JSON
+// encoder would reject them.
+func TestBuildProgressAlwaysFinite(t *testing.T) {
+	cases := map[string]sched.ProgressSample{
+		"zero":        {},
+		"no-elapsed":  {Active: true, TotalUnits: 10, RemainingUnits: 5, DoneUnits: 5},
+		"no-progress": {Active: true, TotalUnits: 10, RemainingUnits: 10, ElapsedNanos: 1e9},
+		"done":        {TotalUnits: 10, DoneUnits: 10, ElapsedNanos: 1e9},
+	}
+	for name, s := range cases {
+		st := BuildProgress(s, DefaultStallAfter)
+		for field, v := range map[string]float64{
+			"percent": st.PercentDone, "rate": st.UnitsPerSec,
+			"eta": st.ETASeconds, "elapsed": st.ElapsedSeconds,
+		} {
+			if math.IsInf(v, 0) || math.IsNaN(v) {
+				t.Errorf("%s: %s = %g, want finite", name, field, v)
+			}
+		}
+		if name == "no-progress" && st.ETASeconds != 0 {
+			t.Errorf("no-progress eta = %g, want 0 (unknown)", st.ETASeconds)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"bufio"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"cncount/internal/metrics"
+)
+
+// promLine matches one exposition sample: name, optional {labels}, value.
+// Label values may contain backslash escapes but not raw quotes/newlines.
+var promLine = regexp.MustCompile(
+	`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(?:[a-zA-Z_][a-zA-Z0-9_]*="(?:\\.|[^"\\])*",?)*\})? (\S+)$`)
+
+// parseProm validates every line of an exposition body and returns the
+// samples keyed by name{labels}, plus the set of TYPE-declared families.
+func parseProm(t *testing.T, body string) (map[string]float64, map[string]bool) {
+	t.Helper()
+	samples := map[string]float64{}
+	typed := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if f, ok := strings.CutPrefix(line, "# TYPE "); ok {
+				typed[strings.Fields(f)[0]] = true
+			} else if !strings.HasPrefix(line, "# HELP ") {
+				t.Errorf("malformed comment line %q", line)
+			}
+			continue
+		}
+		m := promLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("malformed sample line %q", line)
+			continue
+		}
+		val, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			t.Errorf("unparseable value in %q: %v", line, err)
+			continue
+		}
+		key := m[1] + m[2]
+		if _, dup := samples[key]; dup {
+			t.Errorf("duplicate series %q", key)
+		}
+		samples[key] = val
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return samples, typed
+}
+
+// testSnapshot builds a collector with one of everything: repeated
+// phases, a counter, a manifest, and a committed 2-worker sched recorder.
+func testSnapshot(t *testing.T) metrics.Snapshot {
+	t.Helper()
+	c := metrics.New()
+	c.RecordPhase("core.count", 2*time.Second)
+	c.RecordPhase("core.count", time.Second)
+	c.RecordPhase("core.setup", 10*time.Millisecond)
+	c.Add("core.edges_scanned", 42)
+
+	rec := c.SchedRecorder("core.count.BMP", 2)
+	t0 := rec.Tally(0)
+	t0.TasksClaimed, t0.UnitsProcessed, t0.BusyNanos, t0.WaitNanos = 3, 300, 1000, 10
+	t1 := rec.Tally(1)
+	t1.TasksClaimed, t1.UnitsProcessed, t1.Steals, t1.StealNanos = 2, 200, 1, 5
+	rec.ObserveTask(100 * time.Nanosecond)
+	rec.ObserveTask(100 * time.Nanosecond)
+	rec.ObserveTask(10 * time.Microsecond)
+	rec.Commit()
+
+	m := metrics.NewManifest(map[string]string{"algo": "bmp"})
+	c.SetManifest(m)
+	return c.Snapshot()
+}
+
+// TestWritePromExposition pins the exposition output: every line parses,
+// every family is TYPE-declared, and the series carry the snapshot's
+// numbers under the documented names.
+func TestWritePromExposition(t *testing.T) {
+	snap := testSnapshot(t)
+	prog := BuildProgress(syntheticSample(), 5*time.Second)
+
+	var b strings.Builder
+	if err := WriteProm(&b, snap, &prog); err != nil {
+		t.Fatal(err)
+	}
+	samples, typed := parseProm(t, b.String())
+
+	for series, want := range map[string]float64{
+		`cncount_phase_seconds_total{phase="core.count"}`:                          3,
+		`cncount_phase_samples_total{phase="core.count"}`:                          2,
+		`cncount_phase_samples_total{phase="core.setup"}`:                          1,
+		`cncount_counter_total{name="core.edges_scanned"}`:                         42,
+		`cncount_sched_worker_tasks_total{scope="core.count.BMP",worker="0"}`:      3,
+		`cncount_sched_worker_units_total{scope="core.count.BMP",worker="1"}`:      200,
+		`cncount_sched_worker_busy_nanos_total{scope="core.count.BMP",worker="0"}`: 1000,
+		`cncount_sched_worker_steals_total{scope="core.count.BMP",worker="1"}`:     1,
+		`cncount_sched_task_nanos_count{scope="core.count.BMP"}`:                   3,
+		`cncount_sched_task_nanos_bucket{scope="core.count.BMP",le="+Inf"}`:        3,
+		`cncount_progress_total_units`:                                             1000,
+		`cncount_progress_remaining_units`:                                         250,
+		`cncount_progress_active`:                                                  1,
+		`cncount_progress_stalled_workers`:                                         1,
+		`cncount_progress_worker_stalled{worker="1"}`:                              1,
+	} {
+		if got, ok := samples[series]; !ok {
+			t.Errorf("series %s missing", series)
+		} else if got != want {
+			t.Errorf("%s = %g, want %g", series, got, want)
+		}
+	}
+
+	if _, ok := samples[`cncount_gomaxprocs`]; !ok {
+		t.Error("cncount_gomaxprocs missing")
+	}
+	foundInfo := false
+	for series, v := range samples {
+		if strings.HasPrefix(series, "cncount_build_info{") {
+			foundInfo = true
+			if v != 1 {
+				t.Errorf("%s = %g, want 1", series, v)
+			}
+			if !strings.Contains(series, `go_version="go`) {
+				t.Errorf("build info lacks go_version: %s", series)
+			}
+		}
+	}
+	if !foundInfo {
+		t.Error("cncount_build_info missing")
+	}
+
+	for name := range samples {
+		family := name
+		if i := strings.IndexByte(family, '{'); i >= 0 {
+			family = family[:i]
+		}
+		family = strings.TrimSuffix(family, "_bucket")
+		family = strings.TrimSuffix(family, "_count")
+		if !typed[family] && !typed[family+"_total"] {
+			t.Errorf("series %s has no TYPE declaration (families: %v)", name, typed)
+		}
+	}
+}
+
+// TestWritePromHistogramCumulative checks the bucket series is cumulative
+// and ends at the +Inf count, as the exposition format requires.
+func TestWritePromHistogramCumulative(t *testing.T) {
+	var b strings.Builder
+	if err := WriteProm(&b, testSnapshot(t), nil); err != nil {
+		t.Fatal(err)
+	}
+	type bucket struct {
+		le  float64
+		val float64
+	}
+	var buckets []bucket
+	var inf, count float64
+	for _, line := range strings.Split(b.String(), "\n") {
+		if !strings.HasPrefix(line, "cncount_sched_task_nanos") {
+			continue
+		}
+		m := promLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed %q", line)
+		}
+		v, _ := strconv.ParseFloat(m[3], 64)
+		switch {
+		case strings.Contains(line, `le="+Inf"`):
+			inf = v
+		case strings.HasPrefix(line, "cncount_sched_task_nanos_bucket"):
+			le := regexp.MustCompile(`le="(\d+)"`).FindStringSubmatch(line)
+			lev, _ := strconv.ParseFloat(le[1], 64)
+			buckets = append(buckets, bucket{lev, v})
+		case strings.HasPrefix(line, "cncount_sched_task_nanos_count"):
+			count = v
+		}
+	}
+	if len(buckets) == 0 {
+		t.Fatal("no finite buckets emitted")
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i].le <= buckets[i-1].le {
+			t.Errorf("bucket bounds not increasing: %v", buckets)
+		}
+		if buckets[i].val < buckets[i-1].val {
+			t.Errorf("bucket counts not cumulative: %v", buckets)
+		}
+	}
+	if last := buckets[len(buckets)-1].val; last > inf {
+		t.Errorf("last bucket %g exceeds +Inf %g", last, inf)
+	}
+	if inf != count || count != 3 {
+		t.Errorf("+Inf = %g, _count = %g, want both 3", inf, count)
+	}
+}
+
+// TestWritePromAggregatesScopes checks repeated snapshots under one scope
+// sum into one series set instead of emitting duplicates.
+func TestWritePromAggregatesScopes(t *testing.T) {
+	c := metrics.New()
+	for i := 0; i < 2; i++ {
+		rec := c.SchedRecorder("s", 1)
+		rec.Tally(0).UnitsProcessed = 10
+		rec.ObserveTask(time.Microsecond)
+		rec.Commit()
+	}
+	var b strings.Builder
+	if err := WriteProm(&b, c.Snapshot(), nil); err != nil {
+		t.Fatal(err)
+	}
+	samples, _ := parseProm(t, b.String()) // parseProm rejects duplicates
+	if got := samples[`cncount_sched_worker_units_total{scope="s",worker="0"}`]; got != 20 {
+		t.Errorf("aggregated units = %g, want 20", got)
+	}
+	if got := samples[`cncount_sched_task_nanos_count{scope="s"}`]; got != 2 {
+		t.Errorf("aggregated count = %g, want 2", got)
+	}
+}
+
+// TestWritePromEmptySnapshot checks the zero snapshot yields an empty
+// (but valid) exposition rather than malformed stub lines.
+func TestWritePromEmptySnapshot(t *testing.T) {
+	var b strings.Builder
+	if err := WriteProm(&b, metrics.Snapshot{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	parseProm(t, b.String())
+}
+
+// TestEscapeLabel pins the exposition label escaping rules.
+func TestEscapeLabel(t *testing.T) {
+	got := escapeLabel("a\"b\\c\nd")
+	want := `a\"b\\c\nd`
+	if got != want {
+		t.Errorf("escapeLabel = %q, want %q", got, want)
+	}
+	// Escaped values must survive the parser's label grammar.
+	line := `m{l="` + got + `"} 1`
+	if !promLine.MatchString(line) {
+		t.Errorf("escaped label does not parse: %s", line)
+	}
+}

@@ -1,0 +1,162 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is the live progress source of a parallel region: the total and
+// remaining unit counts plus a per-worker last-heartbeat timestamp written
+// from the task loop. It is the substrate of the observability plane's
+// /progress endpoint — "is it stuck or just slow?" answered while the run
+// is in flight, without waiting for the join.
+//
+// A Progress is attached to a region through Obs.Prog. Workers update it
+// once per completed task (one atomic add and one atomic store, both on
+// worker-owned or uncontended words), so the cost is amortized over |T|
+// units exactly like the tally and trace writes. A nil *Progress is the
+// disabled source: every method is nil-safe and records nothing.
+//
+// One Progress observes one region at a time; a new Begin resets it for
+// the next region while Sample keeps serving the final state of the last
+// one in between (so a scrape after the run still reads 100% done).
+type Progress struct {
+	mu      sync.Mutex
+	scope   string
+	total   int64
+	workers int
+	// startNanos/endNanos are unix nanos; endNanos is 0 while the region
+	// is active.
+	startNanos int64
+	endNanos   int64
+	runs       uint64
+
+	remaining atomic.Int64
+	// beats points at the per-worker last-heartbeat slots (unix nanos) of
+	// the current region; swapped wholesale by Begin so a concurrent
+	// Sample never reads a half-built slice.
+	beats atomic.Pointer[[]atomic.Int64]
+}
+
+// NewProgress returns an enabled progress source.
+func NewProgress() *Progress { return &Progress{} }
+
+// Begin resets the source for a region of `total` units run by `workers`
+// workers under the given scope name. Called by the scheduler entry points
+// before any worker starts.
+func (p *Progress) Begin(scope string, total int64, workers int) {
+	if p == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	beats := make([]atomic.Int64, workers)
+	for i := range beats {
+		beats[i].Store(now)
+	}
+	p.mu.Lock()
+	p.scope = scope
+	p.total = total
+	p.workers = workers
+	p.startNanos = now
+	p.endNanos = 0
+	p.runs++
+	p.mu.Unlock()
+	p.remaining.Store(total)
+	p.beats.Store(&beats)
+}
+
+// TaskDone records `units` finished by `worker`: the remaining count drops
+// and the worker's heartbeat advances to now.
+func (p *Progress) TaskDone(worker int, units int64) {
+	if p == nil {
+		return
+	}
+	p.remaining.Add(-units)
+	if beats := p.beats.Load(); beats != nil && worker < len(*beats) {
+		(*beats)[worker].Store(time.Now().UnixNano())
+	}
+}
+
+// End marks the region finished. Sample keeps serving its final state.
+func (p *Progress) End() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.endNanos = time.Now().UnixNano()
+	p.mu.Unlock()
+}
+
+// ProgressSample is one point-in-time reading of a Progress source. It
+// carries the raw facts; rates, ETA and stall verdicts are derived by the
+// consumer (internal/obs), which owns the stall threshold.
+type ProgressSample struct {
+	// Active reports whether a region is between Begin and End.
+	Active bool `json:"active"`
+	// Scope names the observed region (e.g. "core.count.BMP").
+	Scope string `json:"scope,omitempty"`
+	// Runs counts Begin calls, so a poller can detect region turnover.
+	Runs uint64 `json:"runs"`
+	// Workers is the region's worker count.
+	Workers int `json:"workers"`
+	// TotalUnits, RemainingUnits and DoneUnits partition the iteration
+	// space; RemainingUnits only ever decreases within one region.
+	TotalUnits     int64 `json:"total_units"`
+	RemainingUnits int64 `json:"remaining_units"`
+	DoneUnits      int64 `json:"done_units"`
+	// ElapsedNanos is time since Begin (frozen at End for finished
+	// regions).
+	ElapsedNanos int64 `json:"elapsed_nanos"`
+	// BeatAgeNanos[w] is how long ago worker w last completed a task
+	// (capped below at 0); nil when no region has begun.
+	BeatAgeNanos []int64 `json:"beat_age_nanos,omitempty"`
+}
+
+// Sample reads the source. Safe to call concurrently with workers
+// recording; the reading is consistent enough for monitoring (remaining
+// and heartbeats are each atomically read, not mutually snapshotted). The
+// nil source returns the zero sample.
+func (p *Progress) Sample() ProgressSample {
+	if p == nil {
+		return ProgressSample{}
+	}
+	now := time.Now().UnixNano()
+	p.mu.Lock()
+	s := ProgressSample{
+		Active:     p.runs > 0 && p.endNanos == 0,
+		Scope:      p.scope,
+		Runs:       p.runs,
+		Workers:    p.workers,
+		TotalUnits: p.total,
+	}
+	if p.runs > 0 {
+		end := p.endNanos
+		if end == 0 {
+			end = now
+		}
+		s.ElapsedNanos = end - p.startNanos
+	}
+	p.mu.Unlock()
+
+	rem := p.remaining.Load()
+	if rem < 0 {
+		rem = 0
+	}
+	if rem > s.TotalUnits {
+		rem = s.TotalUnits
+	}
+	s.RemainingUnits = rem
+	s.DoneUnits = s.TotalUnits - rem
+	if beats := p.beats.Load(); beats != nil {
+		s.BeatAgeNanos = make([]int64, len(*beats))
+		for i := range *beats {
+			age := now - (*beats)[i].Load()
+			if age < 0 {
+				age = 0
+			}
+			s.BeatAgeNanos[i] = age
+		}
+	}
+	return s
+}

@@ -122,6 +122,9 @@ type Obs struct {
 	// Scope names the trace spans (e.g. "core.count.BMP"); empty means
 	// "task".
 	Scope string
+	// Prog receives live progress: remaining units and per-worker
+	// heartbeats, updated once per completed task. nil records nothing.
+	Prog *Progress
 }
 
 // workerObs is one worker's observation state: its tally slot, its trace
@@ -130,6 +133,8 @@ type workerObs struct {
 	tally     *metrics.WorkerTally
 	rec       *metrics.SchedRecorder
 	ring      *trace.Ring
+	prog      *Progress
+	worker    int
 	span      string
 	waitSpan  string
 	stealSpan string
@@ -138,7 +143,7 @@ type workerObs struct {
 // worker resolves the observer for worker w (registering its trace ring),
 // returning an inactive workerObs when nothing is enabled.
 func (o Obs) worker(w int) workerObs {
-	wo := workerObs{rec: o.Rec, tally: o.Rec.Tally(w)}
+	wo := workerObs{rec: o.Rec, tally: o.Rec.Tally(w), prog: o.Prog, worker: w}
 	if o.Trace.Enabled() {
 		wo.ring = o.Trace.WorkerRing(w)
 		wo.span = o.Scope
@@ -152,7 +157,9 @@ func (o Obs) worker(w int) workerObs {
 }
 
 // active reports whether per-task timestamps need to be taken at all.
-func (wo *workerObs) active() bool { return wo.tally != nil || wo.ring != nil }
+func (wo *workerObs) active() bool {
+	return wo.tally != nil || wo.ring != nil || wo.prog != nil
+}
 
 // lifetime opens the worker's region-lifetime span (Scope+".worker"),
 // closed when the worker exits the region. Claim-based schedulers emit it
@@ -183,6 +190,7 @@ func (wo *workerObs) record(claimAt, start time.Time, d time.Duration, units int
 		wo.ring.Complete(wo.waitSpan, claimAt, wait)
 		wo.ring.Complete(wo.span, start, d)
 	}
+	wo.prog.TaskDone(wo.worker, units)
 }
 
 // recordSteal logs one successful steal: start is when the worker began
@@ -403,6 +411,8 @@ func DynamicObserved(n int64, taskSize, workers int, obs Obs, body func(worker i
 		runSequential(n, obs, body)
 		return
 	}
+	obs.Prog.Begin(obs.Scope, n, workers)
+	defer obs.Prog.End()
 
 	run := newWSRun(n, int64(taskSize), workers)
 	var wg sync.WaitGroup
@@ -432,6 +442,8 @@ func runSequential(n int64, obs Obs, body func(worker int, lo, hi int64)) {
 		body(0, 0, n)
 		return
 	}
+	obs.Prog.Begin(obs.Scope, n, 1)
+	defer obs.Prog.End()
 	claimAt := time.Now()
 	start := time.Now()
 	body(0, 0, n)
@@ -483,6 +495,8 @@ func GuidedObserved(n int64, minChunk, workers int, obs Obs, body func(worker in
 		runSequential(n, obs, body)
 		return
 	}
+	obs.Prog.Begin(obs.Scope, n, workers)
+	defer obs.Prog.End()
 
 	maxChunk := GuidedMaxChunk(n, minChunk, workers)
 	var cursor atomic.Int64
@@ -569,6 +583,8 @@ func StaticObserved(n int64, workers int, obs Obs, body func(worker int, lo, hi 
 	if int64(workers) > n {
 		workers = int(n)
 	}
+	obs.Prog.Begin(obs.Scope, n, workers)
+	defer obs.Prog.End()
 	var wg sync.WaitGroup
 	var box panicBox
 	submit := time.Now()

@@ -73,6 +73,7 @@ type Tracer struct {
 	rings    []*Ring
 	tidNames map[int]string
 	main     *Ring
+	live     bool
 }
 
 // New returns an enabled tracer with the default per-ring capacity. The
@@ -97,6 +98,27 @@ func NewWithCapacity(perRing int) *Tracer {
 // Enabled reports whether the tracer records anything.
 func (t *Tracer) Enabled() bool { return t != nil }
 
+// SetLive switches the tracer into live-snapshot mode: rings registered
+// afterwards guard their writes with a per-ring mutex, so WriteJSON may
+// run concurrently with recording (the observability plane's /trace.json
+// endpoint). The per-push cost is one uncontended lock — amortized over a
+// whole |T|-unit task, and only paid when live snapshots were requested.
+// Call it before any recording starts (rings created earlier stay
+// lock-free and must be quiesced before serialization). Nil-safe.
+func (t *Tracer) SetLive() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.live = true
+	for _, r := range t.rings {
+		if r.mu == nil {
+			r.mu = new(sync.Mutex)
+		}
+	}
+	t.mu.Unlock()
+}
+
 // Ring registers and returns a new ring bound to tid, or nil on the
 // disabled tracer. A Ring is single-writer: exactly one goroutine may
 // record into it (no synchronization is performed on writes). Multiple
@@ -107,6 +129,9 @@ func (t *Tracer) Ring(tid int) *Ring {
 	}
 	r := &Ring{tid: tid, epoch: t.epoch, events: make([]event, t.ringCap)}
 	t.mu.Lock()
+	if t.live {
+		r.mu = new(sync.Mutex)
+	}
 	t.rings = append(t.rings, r)
 	t.mu.Unlock()
 	return r
@@ -180,6 +205,9 @@ type Ring struct {
 	next   int    // write cursor
 	count  int    // events held, ≤ len(events)
 	drop   uint64 // events overwritten
+	// mu, when non-nil (tracer in live-snapshot mode), guards the ring
+	// state so WriteJSON can read it while the owner records.
+	mu *sync.Mutex
 }
 
 // Complete records a complete span [start, start+dur) — one event, the
@@ -200,6 +228,10 @@ func (r *Ring) Instant(name string, at time.Time) {
 }
 
 func (r *Ring) push(ev event) {
+	if r.mu != nil {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+	}
 	r.events[r.next] = ev
 	r.next++
 	if r.next == len(r.events) {
@@ -232,7 +264,13 @@ func (t *Tracer) Dropped() uint64 {
 	defer t.mu.Unlock()
 	var n uint64
 	for _, r := range t.rings {
+		if r.mu != nil {
+			r.mu.Lock()
+		}
 		n += r.drop
+		if r.mu != nil {
+			r.mu.Unlock()
+		}
 	}
 	return n
 }
@@ -288,9 +326,16 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 		var dropped uint64
 		droppedPerTid := make(map[int]uint64)
 		for _, r := range t.rings {
-			dropped += r.drop
-			droppedPerTid[r.tid] += r.drop
-			for _, ev := range r.chronological() {
+			if r.mu != nil {
+				r.mu.Lock()
+			}
+			drop, chron := r.drop, r.chronological()
+			if r.mu != nil {
+				r.mu.Unlock()
+			}
+			dropped += drop
+			droppedPerTid[r.tid] += drop
+			for _, ev := range chron {
 				je := jsonEvent{
 					Name: ev.name,
 					Ph:   ev.ph,

@@ -1,0 +1,80 @@
+#!/bin/sh
+# obssmoke: end-to-end smoke test of the live observability plane.
+#
+# Builds cnc, runs a tiny profile with the plane mounted on an ephemeral
+# port and held open after the run (-httpwait), scrapes /healthz,
+# /metrics and /progress, and validates the responses: liveness, valid
+# Prometheus exposition with the expected series, and a finished
+# progress payload. Exits non-zero on any failure. Run from the repo
+# root (the Makefile's `make obssmoke` does).
+set -eu
+
+GO=${GO:-go}
+TMP=$(mktemp -d)
+CNC_PID=""
+
+fail() {
+	echo "obssmoke: FAIL: $*" >&2
+	[ -f "$TMP/out.log" ] && sed 's/^/obssmoke:   cnc: /' "$TMP/out.log" >&2
+	exit 1
+}
+
+cleanup() {
+	[ -n "$CNC_PID" ] && kill "$CNC_PID" 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+$GO build -o "$TMP/cnc" ./cmd/cnc
+
+# -httpwait holds the plane open after the (sub-second) run so the
+# scrapes below race nothing; the trap kills cnc long before 60s.
+"$TMP/cnc" -profile WI -scale 0.05 -http 127.0.0.1:0 -httpwait 60s \
+	>"$TMP/out.log" 2>&1 &
+CNC_PID=$!
+
+# Wait for the plane address, then for the run to complete (the holding
+# line prints after counting finishes, so /metrics and /progress are
+# settled when we scrape).
+ADDR=""
+i=0
+while [ $i -lt 300 ]; do
+	ADDR=$(sed -n 's#.*observability plane listening on http://\([^/]*\)/.*#\1#p' "$TMP/out.log")
+	if [ -n "$ADDR" ] && grep -q "holding observability plane" "$TMP/out.log"; then
+		break
+	fi
+	kill -0 "$CNC_PID" 2>/dev/null || fail "cnc exited before the plane came up"
+	i=$((i + 1))
+	sleep 0.1
+done
+[ -n "$ADDR" ] || fail "plane address never appeared in cnc output"
+grep -q "holding observability plane" "$TMP/out.log" || fail "run never completed"
+
+# /healthz: liveness.
+HEALTH=$(curl -fsS "http://$ADDR/healthz") || fail "/healthz unreachable"
+[ "$HEALTH" = "ok" ] || fail "/healthz = '$HEALTH', want 'ok'"
+
+# /metrics: Prometheus exposition with the run's series, run finished.
+curl -fsS "http://$ADDR/metrics" >"$TMP/metrics.prom" || fail "/metrics unreachable"
+for series in \
+	'cncount_build_info{' \
+	'cncount_phase_seconds_total{phase="core.count"}' \
+	'cncount_sched_worker_units_total{' \
+	'cncount_progress_remaining_units 0'; do
+	grep -qF "$series" "$TMP/metrics.prom" || fail "/metrics lacks $series"
+done
+# Every non-comment line must look like `name{labels} value`.
+if grep -vE '^(#|[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? [^ ]+$)' "$TMP/metrics.prom" | grep -q .; then
+	fail "/metrics has malformed exposition lines"
+fi
+
+# /progress: JSON of a finished region.
+curl -fsS "http://$ADDR/progress" >"$TMP/progress.json" || fail "/progress unreachable"
+grep -q '"total_units"' "$TMP/progress.json" || fail "/progress lacks total_units"
+grep -q '"remaining_units": 0' "$TMP/progress.json" || fail "/progress remaining != 0"
+grep -q '"active": false' "$TMP/progress.json" || fail "/progress still active after run"
+
+kill "$CNC_PID"
+wait "$CNC_PID" 2>/dev/null || true
+CNC_PID=""
+echo "obssmoke: ok (scraped http://$ADDR/)"
