@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check benchsmoke obssmoke fuzz bench benchdiff microbench experiments examples clean
+.PHONY: all build vet test race check benchsmoke obssmoke chaossmoke fuzz bench benchdiff microbench experiments examples clean
 
 # The default verify path is `make check`: build + vet + tests + the race
 # detector on the small-graph packages.
@@ -21,7 +21,7 @@ test:
 # Race detection runs on the packages whose tests use small graphs; the
 # full profile-scale workloads are too slow under the race detector.
 race:
-	$(GO) test -race ./internal/core/ ./internal/sched/ ./internal/gpusim/ ./internal/graph/ ./internal/scan/ ./internal/metrics/ ./internal/trace/ ./internal/obs/ ./internal/benchfmt/ ./cmd/cnc/ ./cmd/benchrun/
+	$(GO) test -race ./internal/core/ ./internal/sched/ ./internal/gpusim/ ./internal/graph/ ./internal/scan/ ./internal/metrics/ ./internal/trace/ ./internal/obs/ ./internal/benchfmt/ ./internal/chaos/ ./cmd/cnc/ ./cmd/benchrun/
 
 # Tiny end-to-end benchmark matrix (~seconds): exercises the full
 # generate → count → record pipeline under the work-stealing scheduler,
@@ -37,13 +37,21 @@ benchsmoke:
 obssmoke:
 	sh scripts/obssmoke.sh
 
-check: build test race benchsmoke obssmoke
+# Seeded chaos stress under the race detector: deterministic fault
+# schedules (worker panics, injected delays and stalls, loader read
+# errors) driven through the scheduler, watchdog and cancellation paths.
+# -count=1 defeats test caching so every check reruns the stress.
+chaossmoke:
+	$(GO) test -race -count=1 -run 'TestSeededStress|TestWatchdogAbortsStalledRun|TestPanicDrain|TestCancellationUnderChaos|TestLoaderReadFault' ./internal/chaos/
+
+check: build test race benchsmoke obssmoke chaossmoke
 
 # Short fuzzing pass over every fuzz target.
 fuzz:
 	$(GO) test -fuzz FuzzKernelsAgree -fuzztime 30s ./internal/intersect/
 	$(GO) test -fuzz FuzzReadEdgeList -fuzztime 30s ./internal/graph/
 	$(GO) test -fuzz FuzzReadBinary -fuzztime 30s ./internal/graph/
+	$(GO) test -fuzz FuzzReadMETIS -fuzztime 30s ./internal/graph/
 
 # Continuous benchmark harness: run the graph × algorithm × workers
 # matrix and write a schema-versioned BENCH_local.json (~seconds, not

@@ -18,15 +18,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"cncount"
@@ -49,6 +52,10 @@ type appConfig struct {
 	input     string
 	threshold float64
 	httpAddr  string
+	// timeout bounds the whole invocation; cellTimeout bounds each cell
+	// attempt (a cell gets two attempts before it is recorded as failed).
+	timeout     time.Duration
+	cellTimeout time.Duration
 }
 
 // resolvedConfig records the harness knobs that shape the measurement,
@@ -81,9 +88,17 @@ func main() {
 	flag.StringVar(&cfg.input, "input", "", "diff mode: head BENCH_*.json (empty = run the matrix)")
 	flag.Float64Var(&cfg.threshold, "threshold", 0.10, "relative ns/edge slowdown that fails the diff")
 	flag.StringVar(&cfg.httpAddr, "http", "", "serve the observability plane (/metrics, /progress, ...) on this address while the matrix runs")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, "abort the whole run after this long (0 = no limit)")
+	flag.DurationVar(&cfg.cellTimeout, "celltimeout", 0, "time limit per cell attempt; a cell is retried once, then recorded as failed (0 = no limit)")
 	flag.Parse()
 
-	if err := run(cfg, os.Stdout); err != nil {
+	// SIGINT/SIGTERM cancel the matrix cooperatively: the current cell's
+	// counting run stops at the next task boundary, the partially filled
+	// report is still written, and the exit code is non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, cfg, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -112,11 +127,23 @@ func (l *liveObs) snapshot() metrics.Snapshot {
 }
 
 // run executes one harness invocation. Every failure — a bad flag, a
-// failed counting run, an output write error, or a past-threshold
-// regression in -baseline mode — is returned so main can exit non-zero.
-func run(cfg appConfig, stdout io.Writer) error {
+// cell recorded as failed, an aborted matrix, an output write error, or a
+// past-threshold regression in -baseline mode — is returned so main can
+// exit non-zero. A matrix aborted by -timeout or a signal still writes
+// whatever cells it completed before returning the abort error.
+func run(ctx context.Context, cfg appConfig, stdout io.Writer) error {
 	out := &errWriter{w: stdout}
 	manifest := cncount.NewManifest(cfg.resolvedConfig())
+
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+	// A run-scoped cancel guarantees ctx.Done() fires by the time run
+	// returns, bounding the plane's drain watcher below.
+	ctx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
 
 	var live *liveObs
 	if cfg.httpAddr != "" {
@@ -132,6 +159,13 @@ func run(cfg appConfig, stdout io.Writer) error {
 			return fmt.Errorf("observability plane: %w", err)
 		}
 		log.Printf("observability plane listening on http://%s/", addr)
+		// Flip /healthz to "draining" the moment the run is canceled, so
+		// pollers see the shutdown before the listener goes away. The
+		// watcher always exits: cancelRun fires when run returns.
+		go func() {
+			<-ctx.Done()
+			plane.BeginDrain()
+		}()
 		defer func() {
 			if err := plane.Close(); err != nil {
 				log.Printf("observability plane shutdown: %v", err)
@@ -140,15 +174,15 @@ func run(cfg appConfig, stdout io.Writer) error {
 	}
 
 	if cfg.baseline != "" {
-		if err := runDiff(cfg, out, manifest, live); err != nil {
+		if err := runDiff(ctx, cfg, out, manifest, live); err != nil {
 			return err
 		}
 		return out.err
 	}
 
-	report, err := runMatrix(cfg, out, manifest, live)
-	if err != nil {
-		return err
+	report, runErr := runMatrix(ctx, cfg, out, manifest, live)
+	if report == nil {
+		return runErr
 	}
 	path := cfg.out
 	if path == "" {
@@ -164,7 +198,24 @@ func run(cfg appConfig, stdout io.Writer) error {
 		}
 		fmt.Fprintf(out, "wrote %s (%d results)\n", path, len(report.Results))
 	}
+	if runErr != nil {
+		return runErr
+	}
+	if n := countFailed(report); n > 0 {
+		return fmt.Errorf("%d of %d cells failed", n, len(report.Results))
+	}
 	return out.err
+}
+
+// countFailed tallies cells recorded as failed in a report.
+func countFailed(r *benchfmt.Report) int {
+	n := 0
+	for _, res := range r.Results {
+		if res.Failed {
+			n++
+		}
+	}
+	return n
 }
 
 // runDiff loads base and head (running the matrix when no -input file is
@@ -172,7 +223,7 @@ func run(cfg appConfig, stdout io.Writer) error {
 // divergence between the reports is warned about but never fails the
 // diff: comparing across revisions is the point of -baseline, comparing
 // across machines or toolchains usually is not.
-func runDiff(cfg appConfig, out *errWriter, manifest cncount.Manifest, live *liveObs) error {
+func runDiff(ctx context.Context, cfg appConfig, out *errWriter, manifest cncount.Manifest, live *liveObs) error {
 	base, err := benchfmt.LoadFile(cfg.baseline)
 	if err != nil {
 		return fmt.Errorf("baseline: %w", err)
@@ -184,7 +235,7 @@ func runDiff(cfg appConfig, out *errWriter, manifest cncount.Manifest, live *liv
 			return fmt.Errorf("input: %w", err)
 		}
 	} else {
-		head, err = runMatrix(cfg, out, manifest, live)
+		head, err = runMatrix(ctx, cfg, out, manifest, live)
 		if err != nil {
 			return err
 		}
@@ -208,6 +259,9 @@ func runDiff(cfg appConfig, out *errWriter, manifest cncount.Manifest, live *liv
 	for _, k := range d.MissingInHead {
 		fmt.Fprintf(out, "  %-16s missing in head  REGRESSED\n", k)
 	}
+	for _, k := range d.FailedInHead {
+		fmt.Fprintf(out, "  %-16s failed in head  REGRESSED\n", k)
+	}
 	for _, k := range d.MissingInBase {
 		fmt.Fprintf(out, "  %-16s new in head\n", k)
 	}
@@ -224,7 +278,7 @@ func runDiff(cfg appConfig, out *errWriter, manifest cncount.Manifest, live *liv
 // runs cfg.reps times and keeps the best elapsed time, as the paper's
 // methodology (and benchmarking practice generally) prescribes for
 // noise-prone wall-clock measurements.
-func runMatrix(cfg appConfig, out *errWriter, manifest cncount.Manifest, live *liveObs) (*benchfmt.Report, error) {
+func runMatrix(ctx context.Context, cfg appConfig, out *errWriter, manifest cncount.Manifest, live *liveObs) (*benchfmt.Report, error) {
 	profiles, err := splitList(cfg.profiles)
 	if err != nil {
 		return nil, err
@@ -265,19 +319,36 @@ func runMatrix(cfg appConfig, out *errWriter, manifest cncount.Manifest, live *l
 		for _, algo := range algos {
 			base := make(map[int]int64) // workers -> best elapsed
 			for _, w := range workers {
+				if err := ctx.Err(); err != nil {
+					// The invocation itself was canceled (signal or
+					// -timeout): stop scheduling cells, hand back what
+					// completed so run can still write the partial report.
+					report.CreatedUnix = time.Now().Unix()
+					return report, fmt.Errorf("matrix aborted before cell %s/%s/w%d: %w", profile, algo, w, err)
+				}
 				// Heartbeat lines go to the log (stderr), not the report
 				// stream: a long matrix stays watchable under 2>&1-less
 				// redirection without polluting `-out -` JSON on stdout.
 				log.Printf("cell %s/%s/w%d started (%d reps)", profile, algo, w, cfg.reps)
 				cellStart := time.Now()
-				res, err := runCell(rg, algo, w, cfg.reps, live)
+				res, err := runCellAttempts(ctx, cfg, rg, profile, algo, w, live)
 				if err != nil {
-					return nil, err
+					report.CreatedUnix = time.Now().Unix()
+					return report, fmt.Errorf("matrix aborted at cell %s/%s/w%d: %w", profile, algo, w, err)
+				}
+				res.Graph = profile
+				res.Scale = cfg.scale
+				if res.Failed {
+					// The cell failed both attempts for a reason of its
+					// own (not a dying parent context): record it and move
+					// on — one broken cell must not hide the rest of the
+					// matrix.
+					report.Results = append(report.Results, *res)
+					fmt.Fprintf(out, "%-4s %-6s w%-2d  FAILED: %s\n", profile, res.Algo, w, res.Error)
+					continue
 				}
 				log.Printf("cell %s/%s/w%d finished in %v (best %.2f ns/edge)",
 					profile, algo, w, time.Since(cellStart).Round(time.Millisecond), res.NsPerEdge)
-				res.Graph = profile
-				res.Scale = cfg.scale
 				base[w] = res.ElapsedNanos
 				if one, ok := base[1]; ok && res.ElapsedNanos > 0 {
 					res.SpeedupVs1 = float64(one) / float64(res.ElapsedNanos)
@@ -292,9 +363,45 @@ func runMatrix(cfg appConfig, out *errWriter, manifest cncount.Manifest, live *l
 	return report, nil
 }
 
+// runCellAttempts gives a cell two chances before recording it as failed.
+// A transient fault (one bad rep, one per-cell timeout) costs a retry; a
+// second failure comes back as a Result with Failed set so the matrix
+// continues. Only a dying parent context — the whole invocation canceled
+// or timed out — returns an error, which aborts the matrix.
+func runCellAttempts(ctx context.Context, cfg appConfig, rg *cncount.Graph, profile string, algo cncount.Algorithm, workers int, live *liveObs) (*benchfmt.Result, error) {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		cellCtx, cancel := ctx, context.CancelFunc(func() {})
+		if cfg.cellTimeout > 0 {
+			cellCtx, cancel = context.WithTimeout(ctx, cfg.cellTimeout)
+		}
+		res, err := runCell(cellCtx, rg, algo, workers, cfg.reps, live)
+		cancel()
+		if err == nil {
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		lastErr = err
+		if attempt == 0 {
+			log.Printf("cell %s/%s/w%d attempt 1 failed (%v); retrying once", profile, algo, workers, err)
+		}
+	}
+	log.Printf("cell %s/%s/w%d failed after retry: %v", profile, algo, workers, lastErr)
+	return &benchfmt.Result{
+		Algo:    algo.String(),
+		Workers: workers,
+		Edges:   rg.NumEdges(),
+		Reps:    cfg.reps,
+		Failed:  true,
+		Error:   lastErr.Error(),
+	}, nil
+}
+
 // runCell measures one matrix cell: reps counting runs on the already
 // reordered graph, keeping the best and its metrics snapshot.
-func runCell(rg *cncount.Graph, algo cncount.Algorithm, workers, reps int, live *liveObs) (*benchfmt.Result, error) {
+func runCell(ctx context.Context, rg *cncount.Graph, algo cncount.Algorithm, workers, reps int, live *liveObs) (*benchfmt.Result, error) {
 	res := &benchfmt.Result{
 		Algo:    algo.String(),
 		Workers: workers,
@@ -312,6 +419,7 @@ func runCell(rg *cncount.Graph, algo cncount.Algorithm, workers, reps int, live 
 			Reorder:   false, // measured graph is pre-reordered
 			Metrics:   mc,
 			Progress:  live.progress(),
+			Context:   ctx,
 		})
 		if err != nil {
 			return nil, err

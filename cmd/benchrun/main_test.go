@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"log"
 	"os"
@@ -9,6 +10,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"cncount/internal/benchfmt"
 )
@@ -28,7 +30,7 @@ func tinyRun(out string) appConfig {
 func TestRunWritesSchemaVersionedReport(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_test.json")
 	var buf bytes.Buffer
-	if err := run(tinyRun(path), &buf); err != nil {
+	if err := run(context.Background(), tinyRun(path), &buf); err != nil {
 		t.Fatalf("run: %v\n%s", err, buf.String())
 	}
 	rep, err := benchfmt.LoadFile(path)
@@ -80,7 +82,7 @@ func TestRunEmitsHeartbeats(t *testing.T) {
 	log.SetOutput(&logBuf)
 	defer log.SetOutput(os.Stderr)
 
-	if err := run(tinyRun(filepath.Join(t.TempDir(), "out.json")), io.Discard); err != nil {
+	if err := run(context.Background(), tinyRun(filepath.Join(t.TempDir(), "out.json")), io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	logs := logBuf.String()
@@ -99,7 +101,7 @@ func TestRunEmitsHeartbeats(t *testing.T) {
 func TestBaselineDiffWarnsOnManifestDivergence(t *testing.T) {
 	dir := t.TempDir()
 	basePath := filepath.Join(dir, "BENCH_base.json")
-	if err := run(tinyRun(basePath), io.Discard); err != nil {
+	if err := run(context.Background(), tinyRun(basePath), io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	head, err := benchfmt.LoadFile(basePath)
@@ -116,7 +118,7 @@ func TestBaselineDiffWarnsOnManifestDivergence(t *testing.T) {
 
 	var buf bytes.Buffer
 	cfg := appConfig{baseline: basePath, input: headPath, threshold: 0.10}
-	if err := run(cfg, &buf); err != nil {
+	if err := run(context.Background(), cfg, &buf); err != nil {
 		t.Fatalf("divergence warnings failed the diff: %v\n%s", err, buf.String())
 	}
 	out := buf.String()
@@ -139,7 +141,7 @@ func TestRunHTTPPlaneServes(t *testing.T) {
 
 	cfg := tinyRun(filepath.Join(t.TempDir(), "out.json"))
 	cfg.httpAddr = "127.0.0.1:0"
-	if err := run(cfg, io.Discard); err != nil {
+	if err := run(context.Background(), cfg, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(logBuf.String(), "observability plane listening on") {
@@ -171,7 +173,7 @@ func TestBaselineDiffDetectsInjectedRegression(t *testing.T) {
 	dir := t.TempDir()
 	basePath := filepath.Join(dir, "BENCH_base.json")
 	var buf bytes.Buffer
-	if err := run(tinyRun(basePath), &buf); err != nil {
+	if err := run(context.Background(), tinyRun(basePath), &buf); err != nil {
 		t.Fatal(err)
 	}
 
@@ -188,7 +190,7 @@ func TestBaselineDiffDetectsInjectedRegression(t *testing.T) {
 
 	cfg := appConfig{baseline: basePath, input: headPath, threshold: 0.10}
 	buf.Reset()
-	err = run(cfg, &buf)
+	err = run(context.Background(), cfg, &buf)
 	if err == nil {
 		t.Fatalf("injected regression passed the diff:\n%s", buf.String())
 	}
@@ -203,12 +205,12 @@ func TestBaselineDiffDetectsInjectedRegression(t *testing.T) {
 // TestBaselineDiffIdenticalPasses diffs a report against itself.
 func TestBaselineDiffIdenticalPasses(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_base.json")
-	if err := run(tinyRun(path), io.Discard); err != nil {
+	if err := run(context.Background(), tinyRun(path), io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	cfg := appConfig{baseline: path, input: path, threshold: 0.10}
 	var buf bytes.Buffer
-	if err := run(cfg, &buf); err != nil {
+	if err := run(context.Background(), cfg, &buf); err != nil {
 		t.Fatalf("self-diff failed: %v\n%s", err, buf.String())
 	}
 	if !strings.Contains(buf.String(), "no regressions") {
@@ -228,16 +230,115 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	} {
 		cfg := tinyRun(filepath.Join(t.TempDir(), "out.json"))
 		mutate(&cfg)
-		if err := run(cfg, io.Discard); err == nil {
+		if err := run(context.Background(), cfg, io.Discard); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
+	}
+}
+
+// TestRunCellTimeoutRecordsFailedCells forces every cell attempt to time
+// out: each cell must be retried once, then recorded as failed (with the
+// error string) in the written report, the matrix must still cover every
+// cell, and the run must exit non-zero because cells failed.
+func TestRunCellTimeoutRecordsFailedCells(t *testing.T) {
+	var logBuf syncBuffer
+	log.SetOutput(&logBuf)
+	defer log.SetOutput(os.Stderr)
+
+	path := filepath.Join(t.TempDir(), "BENCH_fail.json")
+	cfg := tinyRun(path)
+	cfg.cellTimeout = 1 * time.Nanosecond
+	var buf bytes.Buffer
+	err := run(context.Background(), cfg, &buf)
+	if err == nil || !strings.Contains(err.Error(), "cells failed") {
+		t.Fatalf("run err = %v, want failed-cell verdict\n%s", err, buf.String())
+	}
+	if !strings.Contains(err.Error(), "4 of 4") {
+		t.Errorf("verdict = %v, want all 4 cells failed", err)
+	}
+	if !strings.Contains(logBuf.String(), "retrying once") {
+		t.Errorf("retry heartbeat missing:\n%s", logBuf.String())
+	}
+
+	rep, lerr := benchfmt.LoadFile(path)
+	if lerr != nil {
+		t.Fatalf("failed-cell report not written: %v", lerr)
+	}
+	if len(rep.Results) != 4 {
+		t.Fatalf("results = %d, want all 4 cells recorded", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if !r.Failed {
+			t.Errorf("%v: not marked failed: %+v", r.Key(), r)
+		}
+		if !strings.Contains(r.Error, "deadline") && !strings.Contains(r.Error, "canceled") {
+			t.Errorf("%v: error string %q lacks cause", r.Key(), r.Error)
+		}
+		if r.Graph == "" || r.Algo == "" {
+			t.Errorf("failed cell lost identity: %+v", r)
+		}
+	}
+	if !strings.Contains(buf.String(), "FAILED") {
+		t.Errorf("failed cells not reported on stdout:\n%s", buf.String())
+	}
+}
+
+// TestRunTimeoutAbortsMatrixButWritesPartialReport cancels the whole
+// invocation up front: the matrix aborts rather than grinding through
+// cells, yet a (possibly empty) report is still written and the error
+// names the abort.
+func TestRunTimeoutAbortsMatrixButWritesPartialReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_abort.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before the first cell
+	err := run(ctx, tinyRun(path), io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "matrix aborted") {
+		t.Fatalf("run err = %v, want matrix abort", err)
+	}
+	rep, lerr := benchfmt.LoadFile(path)
+	if lerr != nil {
+		t.Fatalf("partial report not written: %v", lerr)
+	}
+	if len(rep.Results) != 0 {
+		t.Errorf("pre-canceled run measured %d cells", len(rep.Results))
+	}
+}
+
+// TestBaselineDiffFlagsFailedHeadCells injects a failed cell into a head
+// report copy and checks the diff run fails and names it.
+func TestBaselineDiffFlagsFailedHeadCells(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "BENCH_base.json")
+	if err := run(context.Background(), tinyRun(basePath), io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	head, err := benchfmt.LoadFile(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head.Label = "head"
+	head.Results[0].Failed = true
+	head.Results[0].Error = "injected failure"
+	headPath := filepath.Join(dir, "BENCH_head.json")
+	if err := benchfmt.WriteFile(headPath, head); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	cfg := appConfig{baseline: basePath, input: headPath, threshold: 0.10}
+	err = run(context.Background(), cfg, &buf)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("failed head cell passed the diff: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "failed in head  REGRESSED") {
+		t.Errorf("failed cell not reported:\n%s", buf.String())
 	}
 }
 
 // TestRunOutputErrorExitsNonZero models a broken stdout pipe.
 func TestRunOutputErrorExitsNonZero(t *testing.T) {
 	cfg := tinyRun("-") // report to stdout, which fails immediately
-	if err := run(cfg, failWriter{}); err == nil {
+	if err := run(context.Background(), cfg, failWriter{}); err == nil {
 		t.Error("output write failure did not fail the run")
 	}
 }

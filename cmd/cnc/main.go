@@ -22,14 +22,17 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"cncount"
@@ -57,6 +60,10 @@ type appConfig struct {
 	httpAddr   string
 	pprofAddr  string // deprecated alias for httpAddr
 	httpWait   time.Duration
+	timeout    time.Duration
+	watchdog   time.Duration
+	memBudget  int64
+	bundleDir  string
 }
 
 func main() {
@@ -82,26 +89,47 @@ func main() {
 	flag.StringVar(&cfg.httpAddr, "http", "", "serve the live observability plane (/metrics, /progress, /healthz, /trace.json, /debug/pprof/) on this address while running (e.g. localhost:6060)")
 	flag.StringVar(&cfg.pprofAddr, "pprof", "", "deprecated alias for -http")
 	flag.DurationVar(&cfg.httpWait, "httpwait", 0, "keep the -http plane serving this long after the run completes (lets short runs be scraped)")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, "abort the run after this long (0 = no deadline); a timed-out run flushes its final metrics/trace snapshot and exits non-zero")
+	flag.DurationVar(&cfg.watchdog, "watchdog", 0, "abort the run when no worker heartbeat arrives for this long (0 = disabled); a stall writes a diagnostic bundle and exits non-zero")
+	flag.Int64Var(&cfg.memBudget, "membudget", 0, "memory budget in bytes for the bitmap index; a BMP/BMP-RF run exceeding it downgrades to MPS (0 = unlimited)")
+	flag.StringVar(&cfg.bundleDir, "bundledir", "", "directory for the watchdog's diagnostic bundle (default: a fresh temp dir)")
 	flag.Parse()
 
 	if cfg.graphPath == "" && cfg.profile == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(cfg, os.Stdout); err != nil {
+	// SIGINT/SIGTERM cancel the run's context: workers stop at the next
+	// task boundary, the final metrics/trace snapshot is flushed, and cnc
+	// exits non-zero. A second signal kills the process the hard way
+	// (NotifyContext restores default handling after the first).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }
 
 // run executes one counting run. Every failure — including a -verify
-// mismatch, an unbindable -http address, and any error writing the
-// printed output or the metrics snapshot — is returned so main can exit
-// non-zero.
-func run(cfg appConfig, stdout io.Writer) error {
+// mismatch, an unbindable -http address, a canceled or timed-out run,
+// and any error writing the printed output or the metrics snapshot — is
+// returned so main can exit non-zero. Cancellation of ctx (SIGINT,
+// SIGTERM, or test-driven) stops the count cooperatively and still
+// flushes the requested metrics/trace outputs from the partial run.
+func run(ctx context.Context, cfg appConfig, stdout io.Writer) error {
 	if cfg.httpAddr == "" && cfg.pprofAddr != "" {
 		log.Printf("warning: -pprof is deprecated, use -http (serving the full observability plane)")
 		cfg.httpAddr = cfg.pprofAddr
 	}
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+	// runCtx is the context the count actually runs under; abort lets the
+	// watchdog cancel it independently of signals and -timeout.
+	runCtx, abort := context.WithCancel(ctx)
+	defer abort()
 
 	// The observability plane needs a live collector and progress source
 	// even when no -metrics file was requested.
@@ -119,9 +147,11 @@ func run(cfg appConfig, stdout io.Writer) error {
 	mc.SetManifest(manifest)
 
 	var prog *cncount.Progress
+	if cfg.httpAddr != "" || cfg.watchdog > 0 {
+		prog = cncount.NewProgress()
+	}
 	var plane *obs.Plane
 	if cfg.httpAddr != "" {
-		prog = cncount.NewProgress()
 		planeOpts := obs.Options{
 			Snapshot: mc.Snapshot,
 			Progress: prog,
@@ -147,6 +177,48 @@ func run(cfg appConfig, stdout io.Writer) error {
 			}
 		}()
 		fmt.Fprintf(out, "observability plane listening on http://%s/ (metrics, progress, healthz, trace.json, debug/pprof)\n", addr)
+		// On cancellation, flip /healthz to "draining" while the final
+		// metrics/progress flush happens; the goroutine exits via the
+		// deferred abort at the latest.
+		go func() {
+			<-runCtx.Done()
+			plane.BeginDrain()
+		}()
+	}
+
+	// The watchdog aborts a wedged run: when no worker heartbeat arrives
+	// for -watchdog, it writes a diagnostic bundle (progress + metrics +
+	// live trace snapshot) and cancels runCtx, so the run unwinds through
+	// the same cooperative-cancellation path as SIGINT.
+	if cfg.watchdog > 0 {
+		wdOpts := obs.WatchdogOptions{
+			Progress:   prog,
+			StallAfter: cfg.watchdog,
+			Snapshot:   mc.Snapshot,
+			Logf:       log.Printf,
+		}
+		if tr != nil {
+			wdOpts.TraceJSON = tr.WriteJSON
+		}
+		bundleDir := cfg.bundleDir
+		wdOpts.OnStall = func(r obs.StallReport) {
+			dir := bundleDir
+			if dir == "" {
+				if d, err := os.MkdirTemp("", "cnc-stall-"); err == nil {
+					dir = d
+				}
+			}
+			if dir != "" {
+				if err := r.WriteBundle(dir); err != nil {
+					log.Printf("watchdog bundle: %v", err)
+				} else {
+					log.Printf("watchdog bundle written to %s", dir)
+				}
+			}
+			abort()
+		}
+		wd := obs.StartWatchdog(wdOpts)
+		defer wd.Stop()
 	}
 
 	g, name, err := loadOrGenerate(cfg.graphPath, cfg.profile, cfg.scale, mc, tr)
@@ -163,20 +235,45 @@ func run(cfg appConfig, stdout io.Writer) error {
 	fmt.Fprintf(out, "skewed intersections (>50x): %.2f%%\n", cncount.SkewPercent(g, 50))
 
 	res, err := cncount.Count(g, cncount.Options{
-		Algorithm:     algo,
-		Threads:       cfg.threads,
-		TaskSize:      cfg.taskSize,
-		Lanes:         cfg.lanes,
-		SkewThreshold: cfg.skew,
-		RangeScale:    cfg.rangeScale,
-		Reorder:       cfg.reorder,
-		CollectWork:   cfg.work,
-		Metrics:       mc,
-		Trace:         tr,
-		Progress:      prog,
+		Algorithm:         algo,
+		Context:           runCtx,
+		MemoryBudgetBytes: cfg.memBudget,
+		Threads:           cfg.threads,
+		TaskSize:          cfg.taskSize,
+		Lanes:             cfg.lanes,
+		SkewThreshold:     cfg.skew,
+		RangeScale:        cfg.rangeScale,
+		Reorder:           cfg.reorder,
+		CollectWork:       cfg.work,
+		Metrics:           mc,
+		Trace:             tr,
+		Progress:          prog,
 	})
 	if err != nil {
+		// An interrupted run still flushes its final snapshots: the plane
+		// is already draining (healthz 503), and the partial metrics and
+		// trace go wherever -metrics/-trace pointed, so the abort is
+		// diagnosable after the process exits.
+		var ce *cncount.CanceledError
+		if errors.As(err, &ce) {
+			plane.BeginDrain()
+			reason := "canceled"
+			if errors.Is(err, cncount.ErrDeadline) {
+				reason = "timed out after " + cfg.timeout.String()
+			}
+			log.Printf("run %s: %v", reason, err)
+			if ce.Partial != nil {
+				fmt.Fprintf(out, "run %s with %d of %d edge offsets unprocessed (elapsed %v)\n",
+					reason, ce.Err.RemainingUnits, ce.Err.TotalUnits, ce.Partial.Elapsed)
+			}
+			if flushErr := flushOutputs(cfg, mc, tr, out); flushErr != nil {
+				log.Printf("final flush: %v", flushErr)
+			}
+		}
 		return err
+	}
+	if res.Downgraded {
+		fmt.Fprintf(out, "memory budget %d B: %v downgraded to %v\n", cfg.memBudget, algo, res.Algorithm)
 	}
 	var sum uint64
 	for _, c := range res.Counts {
@@ -217,6 +314,16 @@ func run(cfg appConfig, stdout io.Writer) error {
 		fmt.Fprintln(out, "verify: counts match the sequential baseline")
 	}
 
+	if err := flushOutputs(cfg, mc, tr, out); err != nil {
+		return err
+	}
+	return out.err
+}
+
+// flushOutputs writes the -metrics and -trace files. It runs both on
+// success and after a canceled run, so an interrupted cnc still leaves
+// its final snapshots behind.
+func flushOutputs(cfg appConfig, mc *cncount.Metrics, tr *cncount.Tracer, out *errWriter) error {
 	if mc != nil && cfg.metricsOut != "" {
 		if err := writeMetrics(cfg.metricsOut, mc, out); err != nil {
 			return fmt.Errorf("writing metrics: %w", err)
@@ -228,7 +335,7 @@ func run(cfg appConfig, stdout io.Writer) error {
 		}
 		fmt.Fprintf(out, "trace written to %s (open in https://ui.perfetto.dev)\n", cfg.traceOut)
 	}
-	return out.err
+	return nil
 }
 
 // resolvedConfig records the run configuration for the manifest, so a

@@ -2,11 +2,13 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"io"
 	"net/http"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -96,7 +98,7 @@ func TestRunMetricsSnapshotToStdout(t *testing.T) {
 	cfg := smallRun()
 	cfg.metricsOut = "-"
 	var buf bytes.Buffer
-	if err := run(cfg, &buf); err != nil {
+	if err := run(context.Background(), cfg, &buf); err != nil {
 		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
 	}
 
@@ -148,7 +150,7 @@ func TestRunMetricsSnapshotToFile(t *testing.T) {
 	cfg := smallRun()
 	cfg.metricsOut = filepath.Join(t.TempDir(), "metrics.json")
 	var buf bytes.Buffer
-	if err := run(cfg, &buf); err != nil {
+	if err := run(context.Background(), cfg, &buf); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(cfg.metricsOut)
@@ -167,7 +169,7 @@ func TestRunMetricsSnapshotToFile(t *testing.T) {
 func TestRunMetricsFileCreateErrorExitsNonZero(t *testing.T) {
 	cfg := smallRun()
 	cfg.metricsOut = filepath.Join(t.TempDir(), "missing-dir", "metrics.json")
-	if err := run(cfg, io.Discard); err == nil {
+	if err := run(context.Background(), cfg, io.Discard); err == nil {
 		t.Error("unwritable metrics path did not fail the run")
 	}
 }
@@ -194,7 +196,7 @@ func TestRunTraceFile(t *testing.T) {
 	cfg.graphPath = graphPath
 	cfg.traceOut = filepath.Join(dir, "out.json")
 	var buf bytes.Buffer
-	if err := run(cfg, &buf); err != nil {
+	if err := run(context.Background(), cfg, &buf); err != nil {
 		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
 	}
 	if !strings.Contains(buf.String(), "trace written to") {
@@ -231,7 +233,7 @@ func TestRunTraceFile(t *testing.T) {
 func TestRunTraceFileCreateErrorExitsNonZero(t *testing.T) {
 	cfg := smallRun()
 	cfg.traceOut = filepath.Join(t.TempDir(), "missing-dir", "out.json")
-	if err := run(cfg, io.Discard); err == nil {
+	if err := run(context.Background(), cfg, io.Discard); err == nil {
 		t.Error("unwritable trace path did not fail the run")
 	}
 }
@@ -240,7 +242,7 @@ func TestRunVerifyPasses(t *testing.T) {
 	cfg := smallRun()
 	cfg.verify = true
 	var buf bytes.Buffer
-	if err := run(cfg, &buf); err != nil {
+	if err := run(context.Background(), cfg, &buf); err != nil {
 		t.Fatalf("verify on a correct run failed: %v", err)
 	}
 	if !strings.Contains(buf.String(), "verify: counts match") {
@@ -281,7 +283,7 @@ func (w *failAfterWriter) Write(p []byte) (int, error) {
 
 func TestRunOutputErrorExitsNonZero(t *testing.T) {
 	cfg := smallRun()
-	err := run(cfg, &failAfterWriter{n: 10})
+	err := run(context.Background(), cfg, &failAfterWriter{n: 10})
 	if err == nil {
 		t.Fatal("output write failure did not fail the run")
 	}
@@ -293,7 +295,7 @@ func TestRunOutputErrorExitsNonZero(t *testing.T) {
 func TestRunBadHTTPAddr(t *testing.T) {
 	cfg := smallRun()
 	cfg.httpAddr = "256.256.256.256:0"
-	if err := run(cfg, io.Discard); err == nil {
+	if err := run(context.Background(), cfg, io.Discard); err == nil {
 		t.Error("invalid -http address accepted")
 	}
 }
@@ -304,7 +306,7 @@ func TestRunDeprecatedPprofAlias(t *testing.T) {
 	cfg := smallRun()
 	cfg.pprofAddr = "127.0.0.1:0"
 	var buf bytes.Buffer
-	if err := run(cfg, &buf); err != nil {
+	if err := run(context.Background(), cfg, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "observability plane listening on") {
@@ -340,7 +342,7 @@ func TestRunHTTPPlaneServesLive(t *testing.T) {
 	cfg.httpWait = 2 * time.Second
 	var buf syncBuffer
 	errc := make(chan error, 1)
-	go func() { errc <- run(cfg, &buf) }()
+	go func() { errc <- run(context.Background(), cfg, &buf) }()
 
 	// The plane outlives the run by -httpwait; find its address.
 	var base string
@@ -422,5 +424,125 @@ func TestRunHTTPPlaneServesLive(t *testing.T) {
 	// Wait out the hold so the deferred plane shutdown is exercised too.
 	if err := <-errc; err != nil {
 		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+}
+
+// TestRunTimeoutFlushesAndFails: an expired -timeout aborts the run with
+// a typed cancellation, yet the -metrics snapshot is still flushed so the
+// abort is diagnosable — the acceptance contract for interrupted runs.
+func TestRunTimeoutFlushesAndFails(t *testing.T) {
+	cfg := smallRun()
+	cfg.timeout = time.Nanosecond // expires before the count starts
+	cfg.metricsOut = filepath.Join(t.TempDir(), "metrics.json")
+	var buf bytes.Buffer
+	err := run(context.Background(), cfg, &buf)
+	if err == nil {
+		t.Fatalf("timed-out run returned nil\noutput:\n%s", buf.String())
+	}
+	if !errors.Is(err, cncount.ErrDeadline) {
+		t.Errorf("err = %v, want ErrDeadline", err)
+	}
+	b, rerr := os.ReadFile(cfg.metricsOut)
+	if rerr != nil {
+		t.Fatalf("timed-out run did not flush metrics: %v", rerr)
+	}
+	var snap map[string]any
+	if jerr := json.Unmarshal(b, &snap); jerr != nil {
+		t.Fatalf("flushed metrics not JSON: %v", jerr)
+	}
+}
+
+// TestRunCanceledContext: cancellation through the caller's context (the
+// SIGINT path minus the signal) fails the run with ErrCanceled and still
+// flushes the trace file.
+func TestRunCanceledContext(t *testing.T) {
+	cfg := smallRun()
+	cfg.traceOut = filepath.Join(t.TempDir(), "trace.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	err := run(ctx, cfg, &buf)
+	if !errors.Is(err, cncount.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled\noutput:\n%s", err, buf.String())
+	}
+	if _, serr := os.Stat(cfg.traceOut); serr != nil {
+		t.Errorf("canceled run did not flush trace: %v", serr)
+	}
+}
+
+// TestRunWatchdogFlagHealthy: a healthy run under -watchdog completes
+// normally — the watchdog must never abort a live run.
+func TestRunWatchdogFlagHealthy(t *testing.T) {
+	cfg := smallRun()
+	cfg.watchdog = 30 * time.Second
+	var buf bytes.Buffer
+	if err := run(context.Background(), cfg, &buf); err != nil {
+		t.Fatalf("run under watchdog: %v\noutput:\n%s", err, buf.String())
+	}
+}
+
+// TestRunMemoryBudgetDowngrade: -membudget 1 forces the BMP→MPS
+// downgrade and the run reports it and still succeeds.
+func TestRunMemoryBudgetDowngrade(t *testing.T) {
+	cfg := smallRun()
+	cfg.memBudget = 1
+	var buf bytes.Buffer
+	if err := run(context.Background(), cfg, &buf); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "downgraded to MPS") {
+		t.Errorf("downgrade not reported:\n%s", buf.String())
+	}
+}
+
+// TestSIGINTMidRunFlushesAndExitsNonZero pins the end-to-end signal
+// contract on the real binary: SIGINT mid-count exits non-zero after
+// flushing the final metrics snapshot.
+func TestSIGINTMidRunFlushesAndExitsNonZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and interrupts the real binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "cnc")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	metricsPath := filepath.Join(dir, "metrics.json")
+	cmd := exec.Command(bin,
+		"-profile", "TW", "-scale", "2", "-algo", "m", "-threads", "2",
+		"-reorder=false", "-metrics", metricsPath)
+	var out syncBuffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the count phase has started (the skew line prints just
+	// before Count), then interrupt mid-run.
+	deadline := time.Now().Add(30 * time.Second)
+	for !strings.Contains(out.String(), "skewed intersections") {
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatalf("count never started:\n%s", out.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	time.Sleep(200 * time.Millisecond) // well inside the ~3s count
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	if err == nil {
+		t.Fatalf("SIGINT-ed run exited zero:\n%s", out.String())
+	}
+	var snap map[string]any
+	b, rerr := os.ReadFile(metricsPath)
+	if rerr != nil {
+		t.Fatalf("no final metrics snapshot after SIGINT: %v\noutput:\n%s", rerr, out.String())
+	}
+	if jerr := json.Unmarshal(b, &snap); jerr != nil {
+		t.Fatalf("flushed snapshot not JSON: %v", jerr)
+	}
+	if !strings.Contains(out.String(), "unprocessed") {
+		t.Errorf("no partial-progress report:\n%s", out.String())
 	}
 }

@@ -23,16 +23,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"cncount/internal/experiments"
@@ -58,6 +61,7 @@ type appConfig struct {
 	metricsOut string
 	traceDir   string
 	httpAddr   string
+	timeout    time.Duration
 }
 
 func main() {
@@ -72,9 +76,15 @@ func main() {
 	flag.StringVar(&cfg.metricsOut, "metrics", "", `write per-experiment metrics snapshots as a JSON array ("-" = stdout)`)
 	flag.StringVar(&cfg.traceDir, "trace-dir", "", "write a Chrome trace-event timeline trace_<id>.json per experiment into this directory")
 	flag.StringVar(&cfg.httpAddr, "http", "", "serve the observability plane (/metrics, /progress, ...) on this address while experiments run")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, "abort the run after this long (0 = no limit)")
 	flag.Parse()
 
-	if err := run(cfg, os.Stdout); err != nil {
+	// SIGINT/SIGTERM cancel the sweep cooperatively: the current counting
+	// run stops at the next task boundary and the exit code is non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, cfg, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -82,13 +92,19 @@ func main() {
 // run executes one invocation. Every failure — a failed experiment, an
 // unwritable -out/-metrics/-trace-dir path, or an output I/O error — is
 // returned so main can exit non-zero.
-func run(cfg appConfig, stdout io.Writer) error {
+func run(runCtx context.Context, cfg appConfig, stdout io.Writer) error {
 	out := &errWriter{w: stdout}
 	if cfg.list {
 		for _, e := range experiments.All {
 			fmt.Fprintf(out, "%-8s %s\n", e.ID, e.Title)
 		}
 		return out.err
+	}
+
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(runCtx, cfg.timeout)
+		defer cancel()
 	}
 
 	var w io.Writer = out
@@ -101,7 +117,7 @@ func run(cfg appConfig, stdout io.Writer) error {
 		outFile = f
 		w = f
 	}
-	err := runExperiments(cfg, w, out)
+	err := runExperiments(runCtx, cfg, w, out)
 	if outFile != nil {
 		if cerr := outFile.Close(); err == nil && cerr != nil {
 			err = cerr
@@ -115,16 +131,22 @@ func run(cfg appConfig, stdout io.Writer) error {
 
 // runExperiments runs the selected experiments, writing report text to w
 // and any -metrics "-" snapshot to stdout.
-func runExperiments(cfg appConfig, w io.Writer, stdout io.Writer) error {
+func runExperiments(runCtx context.Context, cfg appConfig, w io.Writer, stdout io.Writer) error {
 	if cfg.traceDir != "" {
 		if err := os.MkdirAll(cfg.traceDir, 0o755); err != nil {
 			return fmt.Errorf("trace dir: %w", err)
 		}
 	}
 
+	// A run-scoped cancel guarantees runCtx.Done() fires by the time this
+	// function returns, bounding the plane's drain watcher below.
+	runCtx, cancelRun := context.WithCancel(runCtx)
+	defer cancelRun()
+
 	ctx := experiments.NewContext()
 	ctx.Scale = cfg.scale
 	ctx.CapacityScale = 0.001 * cfg.scale
+	ctx.Ctx = runCtx
 
 	manifest := metrics.NewManifest(map[string]string{
 		"harness":    "experiments",
@@ -161,6 +183,13 @@ func runExperiments(cfg appConfig, w io.Writer, stdout io.Writer) error {
 			return fmt.Errorf("observability plane: %w", err)
 		}
 		log.Printf("observability plane listening on http://%s/", addr)
+		// Flip /healthz to "draining" the moment the run is canceled, so
+		// pollers see the shutdown before the listener goes away. The
+		// watcher always exits: cancelRun fires on return.
+		go func() {
+			<-runCtx.Done()
+			plane.BeginDrain()
+		}()
 		defer func() {
 			if err := plane.Close(); err != nil {
 				log.Printf("observability plane shutdown: %v", err)
@@ -170,6 +199,12 @@ func runExperiments(cfg appConfig, w io.Writer, stdout io.Writer) error {
 
 	var snaps []experimentMetrics
 	runOne := func(e experiments.Experiment) error {
+		// A canceled or timed-out invocation stops between experiments;
+		// mid-experiment cancellation surfaces from the counting run
+		// itself as a CanceledError.
+		if err := runCtx.Err(); err != nil {
+			return fmt.Errorf("aborted before %s: %w", e.ID, err)
+		}
 		if cfg.metricsOut != "" {
 			ctx.Metrics = metrics.New()
 			ctx.Metrics.SetManifest(manifest)

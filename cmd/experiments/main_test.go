@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"os"
@@ -14,7 +15,7 @@ import (
 
 func TestRunListWritesIDs(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(appConfig{list: true}, &buf); err != nil {
+	if err := run(context.Background(), appConfig{list: true}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	for _, id := range []string{"table1", "fig10", "ablations"} {
@@ -32,7 +33,7 @@ func TestRunSingleExperimentWithTraceAndMetrics(t *testing.T) {
 	dir := t.TempDir()
 	cfg := appConfig{id: "fig3", scale: 0.05, metricsOut: "-", traceDir: filepath.Join(dir, "traces")}
 	var buf bytes.Buffer
-	if err := run(cfg, &buf); err != nil {
+	if err := run(context.Background(), cfg, &buf); err != nil {
 		t.Fatalf("run: %v\n%s", err, buf.String())
 	}
 
@@ -81,14 +82,14 @@ func TestRunSingleExperimentWithTraceAndMetrics(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run(appConfig{id: "fig999"}, io.Discard); err == nil {
+	if err := run(context.Background(), appConfig{id: "fig999"}, io.Discard); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
 
 func TestRunUnwritableOutExitsNonZero(t *testing.T) {
 	cfg := appConfig{id: "table1", scale: 0.05, out: filepath.Join(t.TempDir(), "missing-dir", "out.md")}
-	if err := run(cfg, io.Discard); err == nil {
+	if err := run(context.Background(), cfg, io.Discard); err == nil {
 		t.Error("unwritable -out path did not fail the run")
 	}
 }
@@ -101,14 +102,37 @@ func TestRunUnwritableTraceDirExitsNonZero(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := appConfig{id: "table1", scale: 0.05, traceDir: filepath.Join(blocker, "traces")}
-	if err := run(cfg, io.Discard); err == nil {
+	if err := run(context.Background(), cfg, io.Discard); err == nil {
 		t.Error("unwritable -trace-dir did not fail the run")
+	}
+}
+
+// TestRunCanceledContextAborts pins the cooperative-cancel contract: a
+// dead context stops the sweep before the first experiment and surfaces
+// as a non-zero exit naming the abort point.
+func TestRunCanceledContextAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := appConfig{id: "table1", scale: 0.05}
+	err := run(ctx, cfg, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "aborted before table1") {
+		t.Fatalf("run err = %v, want pre-experiment abort", err)
+	}
+}
+
+// TestRunTimeoutFlagAborts exercises the -timeout wrapping: an
+// already-expired deadline must abort the run with a deadline cause.
+func TestRunTimeoutFlagAborts(t *testing.T) {
+	cfg := appConfig{id: "table1", scale: 0.05, timeout: 1}
+	err := run(context.Background(), cfg, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("run err = %v, want deadline abort", err)
 	}
 }
 
 func TestRunOutputErrorExitsNonZero(t *testing.T) {
 	cfg := appConfig{id: "table1", scale: 0.05}
-	if err := run(cfg, failWriter{}); err == nil {
+	if err := run(context.Background(), cfg, failWriter{}); err == nil {
 		t.Error("output write failure did not fail the run")
 	}
 }

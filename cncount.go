@@ -27,6 +27,8 @@
 package cncount
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"cncount/internal/core"
@@ -224,6 +226,21 @@ type Options struct {
 	// Algorithm is the counting algorithm (default AlgoM).
 	Algorithm Algorithm
 
+	// Context, when non-nil, cancels the run cooperatively: workers check
+	// it at task-pop and steal boundaries, stop within one task, and join
+	// before Count returns a *CanceledError wrapping the partial result.
+	// errors.Is against ErrCanceled/ErrDeadline distinguishes an explicit
+	// cancel (SIGINT, CancelFunc) from an expired deadline (-timeout). Nil
+	// disables cancellation at negligible cost.
+	Context context.Context
+
+	// MemoryBudgetBytes, when > 0, bounds the per-run index allocation of
+	// the bitmap algorithms: a BMP/BMP-RF run whose thread-local bitmaps
+	// would exceed the budget downgrades to MPS (Result.Downgraded, metric
+	// core.bmp_downgrades) instead of allocating unboundedly. 0 = no
+	// budget.
+	MemoryBudgetBytes int64
+
 	// Threads is the worker count; < 1 means all cores, 1 is sequential.
 	Threads int
 
@@ -274,20 +291,36 @@ type Options struct {
 // Result is a counting run's outcome.
 type Result = core.Result
 
+// ErrCanceled and ErrDeadline classify an interrupted Count: ErrCanceled
+// when Options.Context was canceled outright (SIGINT, a watchdog abort,
+// an explicit CancelFunc), ErrDeadline when its deadline expired. Test
+// with errors.Is against the error Count returned.
+var (
+	ErrCanceled = sched.ErrCanceled
+	ErrDeadline = sched.ErrDeadline
+)
+
+// CanceledError is the typed error an interrupted Count returns; its
+// Partial field holds the run's partial result (finished counts, elapsed
+// time, committed scheduler tallies). Retrieve it with errors.As.
+type CanceledError = core.CanceledError
+
 // Count computes cnt[e] = |N(u) ∩ N(v)| for every directed edge offset e of
 // g. The count array is symmetric: cnt[e(u,v)] == cnt[e(v,u)].
 func Count(g *Graph, opts Options) (*Result, error) {
 	coreOpts := core.Options{
-		Algorithm:     opts.Algorithm,
-		Threads:       opts.Threads,
-		TaskSize:      opts.TaskSize,
-		SkewThreshold: opts.SkewThreshold,
-		Lanes:         opts.Lanes,
-		RangeScale:    opts.RangeScale,
-		CollectWork:   opts.CollectWork,
-		Metrics:       opts.Metrics,
-		Trace:         opts.Trace,
-		Progress:      opts.Progress,
+		Algorithm:         opts.Algorithm,
+		Context:           opts.Context,
+		MemoryBudgetBytes: opts.MemoryBudgetBytes,
+		Threads:           opts.Threads,
+		TaskSize:          opts.TaskSize,
+		SkewThreshold:     opts.SkewThreshold,
+		Lanes:             opts.Lanes,
+		RangeScale:        opts.RangeScale,
+		CollectWork:       opts.CollectWork,
+		Metrics:           opts.Metrics,
+		Trace:             opts.Trace,
+		Progress:          opts.Progress,
 	}
 	if !opts.Reorder {
 		return core.Count(g, coreOpts)
@@ -298,6 +331,13 @@ func Count(g *Graph, opts Options) (*Result, error) {
 	stop()
 	res, err := core.Count(rg, coreOpts)
 	if err != nil {
+		// A canceled run computed its partial counts on the reordered
+		// graph; map them back so the caller's partial result uses the
+		// original edge offsets like a completed one would.
+		var ce *CanceledError
+		if errors.As(err, &ce) && ce.Partial != nil {
+			ce.Partial.Counts = graph.MapCounts(g, rg, r, ce.Partial.Counts)
+		}
 		return nil, err
 	}
 	stop, span = opts.Metrics.StartPhase("map_counts"), opts.Trace.Span("map_counts")

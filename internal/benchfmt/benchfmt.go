@@ -78,6 +78,13 @@ type Result struct {
 	// Counters carries selected metrics-collector counters (kernel calls,
 	// edges scanned) of the best rep.
 	Counters map[string]uint64 `json:"counters,omitempty"`
+	// Failed marks a cell whose measurement did not complete (a counting
+	// error, a per-cell timeout, or a run canceled mid-cell after the one
+	// retry the harness allows). Error carries the final attempt's error
+	// string. A failed cell keeps its identity fields so diffs can match
+	// it, but its timing fields are meaningless and left zero.
+	Failed bool   `json:"failed,omitempty"`
+	Error  string `json:"error,omitempty"`
 }
 
 // Key identifies a matrix cell across reports (scale intentionally
@@ -188,14 +195,21 @@ type DiffReport struct {
 	// not pass).
 	MissingInHead []Key
 	MissingInBase []Key
-	// Regressions counts regressed deltas plus cells missing in head.
+	// FailedInHead lists cells the head run recorded as Failed. Each
+	// counts as a regression: a benchmark that stopped completing is
+	// strictly worse than one that got slower.
+	FailedInHead []Key
+	// Regressions counts regressed deltas plus cells missing or failed
+	// in head.
 	Regressions int
 }
 
 // Diff compares head against base: a cell regresses when its ns/edge grew
 // by more than threshold (e.g. 0.10 = +10%). Cells present only in base
-// count as regressions; cells present only in head are reported but pass
-// (new coverage is not a fault).
+// count as regressions, as do cells the head run recorded as failed;
+// cells present only in head are reported but pass (new coverage is not
+// a fault), and a cell that failed in base but completed in head passes
+// without a ratio (recovery has no meaningful baseline).
 func Diff(base, head *Report, threshold float64) DiffReport {
 	d := DiffReport{Threshold: threshold}
 	headByKey := make(map[Key]Result, len(head.Results))
@@ -212,7 +226,17 @@ func Diff(base, head *Report, threshold float64) DiffReport {
 			d.Regressions++
 			continue
 		}
+		if h.Failed {
+			d.FailedInHead = append(d.FailedInHead, key)
+			d.Regressions++
+			continue
+		}
 		delta := Delta{Key: key, BaseNsPerEdge: b.NsPerEdge, HeadNsPerEdge: h.NsPerEdge}
+		if b.Failed {
+			// Head recovered a cell base could not measure: pass with no
+			// ratio (BaseNsPerEdge is zero, so Ratio stays 0 below).
+			delta.BaseNsPerEdge = 0
+		}
 		if b.NsPerEdge > 0 {
 			delta.Ratio = h.NsPerEdge / b.NsPerEdge
 		}
@@ -233,5 +257,6 @@ func Diff(base, head *Report, threshold float64) DiffReport {
 	sort.Slice(d.Deltas, func(i, j int) bool { return d.Deltas[i].Key.String() < d.Deltas[j].Key.String() })
 	sortKeys(d.MissingInHead)
 	sortKeys(d.MissingInBase)
+	sortKeys(d.FailedInHead)
 	return d
 }

@@ -155,3 +155,61 @@ func TestDiffMissingCells(t *testing.T) {
 		t.Errorf("new cell handling wrong: %+v", d)
 	}
 }
+
+// TestDiffFailedCells pins the failed-cell policy: a cell the head run
+// recorded as failed regresses (it never gets a ratio), while a cell that
+// failed in base but completed in head passes as a recovery.
+func TestDiffFailedCells(t *testing.T) {
+	base := sampleReport("base", 10)
+	head := sampleReport("head", 10)
+	head.Results[1].Failed = true
+	head.Results[1].Error = "cell timed out after 1ns"
+	head.Results[1].NsPerEdge = 0
+
+	d := Diff(base, head, 0.10)
+	if d.Regressions != 1 || len(d.FailedInHead) != 1 {
+		t.Fatalf("failed head cell not a regression: %+v", d)
+	}
+	if want := (Key{Graph: "WI", Algo: "BMP", Workers: 4}); d.FailedInHead[0] != want {
+		t.Errorf("FailedInHead = %v, want %v", d.FailedInHead[0], want)
+	}
+	// The failed cell must not also appear as a delta.
+	if len(d.Deltas) != 1 {
+		t.Errorf("deltas = %+v, want only the surviving cell", d.Deltas)
+	}
+
+	// Recovery: base failed, head completed — passes without a ratio even
+	// though base's (meaningless) zero timing would otherwise divide.
+	base = sampleReport("base", 10)
+	head = sampleReport("head", 10)
+	base.Results[0].Failed = true
+	base.Results[0].Error = "injected"
+	base.Results[0].NsPerEdge = 0
+	d = Diff(base, head, 0.10)
+	if d.Regressions != 0 {
+		t.Errorf("recovered cell counted as regression: %+v", d)
+	}
+	for _, delta := range d.Deltas {
+		if delta.Key == base.Results[0].Key() && delta.Ratio != 0 {
+			t.Errorf("recovered cell has ratio %g, want 0", delta.Ratio)
+		}
+	}
+}
+
+// TestFailedCellRoundTrip keeps failed-cell records stable on disk.
+func TestFailedCellRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_fail.json")
+	r := sampleReport("fail", 10)
+	r.Results[0].Failed = true
+	r.Results[0].Error = "sched: core.count.bmp deadline exceeded"
+	if err := WriteFile(path, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Results[0].Failed || !strings.Contains(got.Results[0].Error, "deadline") {
+		t.Errorf("failed cell lost in round trip: %+v", got.Results[0])
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"cncount/internal/gen"
@@ -108,4 +109,42 @@ func BenchmarkCountProgressGuard(b *testing.B) {
 	}
 	b.Run("off", func(b *testing.B) { run(b, nil) })
 	b.Run("on", func(b *testing.B) { run(b, sched.NewProgress()) })
+}
+
+// BenchmarkCountCancelGuard is the overhead guard for cooperative
+// cancellation: the "off" variant runs with no context (the production
+// default), which must stay within noise of the pre-cancellation
+// scheduler because an absent context costs one nil check per task. The
+// "on" variant attaches a live cancelable context, whose cost is one
+// watcher goroutine per region plus one uncontended atomic load per
+// task-pop and steal — still never per edge.
+//
+//	go test -bench BenchmarkCountCancelGuard -count 10 ./internal/core/
+func BenchmarkCountCancelGuard(b *testing.B) {
+	p, err := gen.ProfileByName("TW")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g0, err := p.Generate(0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, _ := graph.ReorderByDegree(g0)
+
+	run := func(b *testing.B, ctx context.Context) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Count(g, Options{Algorithm: AlgoBMP, Context: ctx}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(g.NumEdges()/2)*float64(b.N)/b.Elapsed().Seconds(), "intersections/s")
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		run(b, ctx)
+	})
 }

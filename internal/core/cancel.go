@@ -1,0 +1,28 @@
+package core
+
+import "cncount/internal/sched"
+
+// CanceledError reports a Count run stopped by Options.Context before all
+// edges were processed. Partial is the run's result so far — Counts holds
+// the finished offsets (untouched ones are zero), Elapsed and Threads are
+// filled, and the scheduler tallies were still committed to Metrics — so
+// an interrupted run can flush a coherent final snapshot. Partial is nil
+// only when the context was already canceled before setup allocated
+// anything.
+//
+// errors.Is recognizes sched.ErrCanceled, sched.ErrDeadline, and the
+// underlying context error through the wrapped *sched.CancelError.
+type CanceledError struct {
+	// Partial is the incomplete result; see the type comment for which
+	// fields are meaningful.
+	Partial *Result
+	// Err carries the canceled region's scope and unit accounting.
+	Err *sched.CancelError
+}
+
+// Error reports the canceled region and its unprocessed remainder.
+func (e *CanceledError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the scheduler's CancelError (and through it the
+// ErrCanceled/ErrDeadline sentinels) to errors.Is/As.
+func (e *CanceledError) Unwrap() error { return e.Err }

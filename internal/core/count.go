@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"time"
 
 	"cncount/internal/bitmap"
@@ -26,6 +27,15 @@ type Result struct {
 
 	// Threads is the resolved worker count.
 	Threads int
+
+	// Algorithm is the algorithm that actually ran, which differs from
+	// Options.Algorithm when a memory-budget downgrade fired.
+	Algorithm Algorithm
+
+	// Downgraded reports that the requested bitmap algorithm was demoted
+	// to MPS because its index would have exceeded
+	// Options.MemoryBudgetBytes.
+	Downgraded bool
 }
 
 // TriangleCount returns Σcnt/6, the exact triangle count of the graph
@@ -70,6 +80,30 @@ func Count(g *graph.CSR, opts Options) (*Result, error) {
 	mc := opts.Metrics
 	tr := opts.Trace
 
+	numEdgesTotal := g.NumEdges()
+	if ctx := opts.Context; ctx != nil && ctx.Err() != nil {
+		// Canceled before setup: skip the count-array allocation entirely.
+		return nil, &CanceledError{Err: &sched.CancelError{
+			Scope:          "core.count." + opts.Algorithm.String(),
+			Cause:          ctx.Err(),
+			RemainingUnits: numEdgesTotal,
+			TotalUnits:     numEdgesTotal,
+		}}
+	}
+
+	// BMP graceful degradation: the bitmap algorithms allocate index state
+	// per worker, so their footprint scales with Threads × |V|. When a
+	// budget is set and would be exceeded, demote to MPS — correct on any
+	// graph, no index allocation — rather than allocating unboundedly.
+	downgraded := false
+	if opts.MemoryBudgetBytes > 0 {
+		if need := indexBytes(opts, int64(g.NumVertices())); need > opts.MemoryBudgetBytes {
+			opts.Algorithm = AlgoMPS
+			downgraded = true
+			mc.Add("core.bmp_downgrades", 1)
+		}
+	}
+
 	// Phase "core.setup" is Algorithm 3's per-thread context construction
 	// (lines 1-5): SrcFinder state and the static thread-local bitmaps.
 	stopSetup := mc.StartPhase("core.setup")
@@ -100,6 +134,7 @@ func Count(g *graph.CSR, opts Options) (*Result, error) {
 	// tracer one span per task (plus one per steal) on the worker's row,
 	// named after the kernel path (MPS merge vs BMP bitmap probes).
 	obs := sched.Obs{
+		Ctx:   opts.Context,
 		Rec:   mc.SchedRecorder("core.count", opts.Threads),
 		Trace: tr,
 		Scope: "core.count." + opts.Algorithm.String(),
@@ -109,17 +144,24 @@ func Count(g *graph.CSR, opts Options) (*Result, error) {
 	body := makeBody(g, counts, contexts, opts)
 	stopCount := mc.StartPhase("core.count")
 	stopCountSpan := tr.Span("core.count")
-	sched.DynamicObserved(numEdges, opts.TaskSize, opts.Threads, obs, body)
+	schedErr := sched.DynamicObserved(numEdges, opts.TaskSize, opts.Threads, obs, body)
 	stopCountSpan()
 	stopCount()
 	elapsed := time.Since(start)
 	obs.Rec.Commit()
 
 	// Phase "core.reduce" aggregates the per-worker tallies (the work
-	// reduction after the parallel region).
+	// reduction after the parallel region). A canceled run still reduces:
+	// the partial result must carry coherent tallies for the final flush.
 	stopReduce := mc.StartPhase("core.reduce")
 	stopReduceSpan := tr.Span("core.reduce")
-	res := &Result{Counts: counts, Elapsed: elapsed, Threads: opts.Threads}
+	res := &Result{
+		Counts:     counts,
+		Elapsed:    elapsed,
+		Threads:    opts.Threads,
+		Algorithm:  opts.Algorithm,
+		Downgraded: downgraded,
+	}
 	if opts.CollectWork {
 		for i := range contexts {
 			res.Work.Add(contexts[i].work)
@@ -136,7 +178,32 @@ func Count(g *graph.CSR, opts Options) (*Result, error) {
 	}
 	stopReduceSpan()
 	stopReduce()
+	if schedErr != nil {
+		var ce *sched.CancelError
+		if errors.As(schedErr, &ce) {
+			return nil, &CanceledError{Partial: res, Err: ce}
+		}
+		return nil, schedErr
+	}
 	return res, nil
+}
+
+// indexBytes returns the thread-local index footprint of the bitmap
+// algorithms for n vertices under the resolved options: BMP allocates one
+// |V|-bit bitmap per worker; BMP-RF adds the range-filter bitmap and its
+// uint16 per-range counters. The merge algorithms allocate no index.
+func indexBytes(o Options, n int64) int64 {
+	words := func(bits int64) int64 { return (bits + 63) / 64 }
+	switch o.Algorithm {
+	case AlgoBMP:
+		return int64(o.Threads) * words(n) * 8
+	case AlgoBMPRF:
+		ranges := (n + int64(o.RangeScale) - 1) / int64(o.RangeScale)
+		perWorker := words(n)*8 + words(ranges)*8 + ranges*2
+		return int64(o.Threads) * perWorker
+	default:
+		return 0
+	}
 }
 
 // makeBody builds the per-chunk edge loop of Algorithm 3 for the selected

@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"cncount/internal/bitmap"
@@ -67,6 +68,20 @@ var Algorithms = []Algorithm{AlgoM, AlgoMPS, AlgoBMP, AlgoBMPRF}
 type Options struct {
 	// Algorithm is the counting algorithm.
 	Algorithm Algorithm
+
+	// Context, when non-nil, cancels the run cooperatively: workers check
+	// it at task-pop and steal boundaries, so a canceled run stops within
+	// one task, joins all workers, and Count returns a *CanceledError
+	// wrapping the partial result. Nil (or a never-canceled context) adds
+	// no hot-path cost beyond a per-task nil check.
+	Context context.Context
+
+	// MemoryBudgetBytes, when > 0, caps the per-run index allocation of
+	// the bitmap algorithms: if BMP/BMP-RF would allocate more than this
+	// many bytes of thread-local bitmap state, the run downgrades to MPS
+	// (recorded in Result.Downgraded and the core.bmp_downgrades metric)
+	// instead of allocating unboundedly. 0 means no budget.
+	MemoryBudgetBytes int64
 
 	// Threads is the worker count; < 1 means GOMAXPROCS. Threads == 1 runs
 	// the strictly sequential implementation.

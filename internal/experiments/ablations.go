@@ -31,6 +31,7 @@ func (c *Context) Ablations() (string, error) {
 			Lanes:         8,
 			RangeScale:    c.RangeScale,
 			CollectWork:   true,
+			Context:       c.Ctx,
 		})
 		if err != nil {
 			return "", err
@@ -56,6 +57,7 @@ func (c *Context) Ablations() (string, error) {
 			Algorithm:   core.AlgoBMPRF,
 			RangeScale:  scale,
 			CollectWork: true,
+			Context:     c.Ctx,
 		})
 		if err != nil {
 			return "", err

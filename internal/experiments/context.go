@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -57,6 +58,11 @@ type Context struct {
 	// parallel region so a live /progress endpoint can watch the sweep.
 	// Cached runs, being instantaneous, report nothing on reuse.
 	Progress *sched.Progress
+
+	// Ctx, when non-nil, cancels the counting runs behind each experiment
+	// cooperatively: a canceled sweep stops at the next scheduler task
+	// boundary instead of finishing the dataset.
+	Ctx context.Context
 
 	mu     sync.Mutex
 	graphs map[string]*graph.CSR
@@ -144,6 +150,7 @@ func (c *Context) run(dataset string, algo core.Algorithm, lanes int) (*core.Res
 		Metrics:     c.Metrics,
 		Trace:       c.Trace,
 		Progress:    c.Progress,
+		Context:     c.Ctx,
 	})
 	if err != nil {
 		return nil, err

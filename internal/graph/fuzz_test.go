@@ -62,3 +62,25 @@ func FuzzReadBinary(f *testing.F) {
 		}
 	})
 }
+
+// FuzzReadMETIS exercises the METIS adjacency parser with arbitrary text:
+// it must reject corruption with a typed error, never panic or allocate
+// unboundedly from a lying header, and anything accepted must validate.
+func FuzzReadMETIS(f *testing.F) {
+	f.Add("3 2\n2 3\n1\n1\n")
+	f.Add("% comment\n4 3 0\n2\n1 3\n2 4\n3\n")
+	f.Add("2 1\n\n\n")
+	f.Add("0 0\n")
+	f.Add("3 1152921504606846976\n2\n1\n\n") // absurd claimed edge count
+	f.Add("2 1 011\n2\n1\n")                 // weighted fmt flag
+	f.Add("2 1\n3\n1\n")                     // neighbor out of range
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadMETIS(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted METIS graph invalid: %v", err)
+		}
+	})
+}

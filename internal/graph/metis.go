@@ -51,7 +51,14 @@ func ReadMETIS(r io.Reader) (*CSR, error) {
 		return nil, fmt.Errorf("graph: METIS: weighted format %q not supported", fields[2])
 	}
 
-	edges := make([]Edge, 0, m)
+	// Cap the pre-allocation against the untrusted header: a corrupt file
+	// claiming 2^60 edges must fail on validation below, not OOM here.
+	// The slice still grows to the true edge count when m is honest.
+	capEdges := m
+	if capEdges > 1<<20 {
+		capEdges = 1 << 20
+	}
+	edges := make([]Edge, 0, capEdges)
 	for u := 0; u < n; u++ {
 		line, ok := nextLine()
 		if !ok {

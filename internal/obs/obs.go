@@ -31,6 +31,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync/atomic"
 	"time"
 
 	"cncount/internal/metrics"
@@ -77,11 +78,12 @@ type Options struct {
 // usable; construct with New. A nil *Plane is the disabled plane: Start
 // and Close are no-ops, so callers thread one pointer unconditionally.
 type Plane struct {
-	opts Options
-	mux  *http.ServeMux
-	srv  *http.Server
-	ln   net.Listener
-	done chan struct{}
+	opts     Options
+	mux      *http.ServeMux
+	srv      *http.Server
+	ln       net.Listener
+	done     chan struct{}
+	draining atomic.Bool
 }
 
 // New builds a plane serving the given sources on a dedicated mux.
@@ -149,8 +151,29 @@ func (p *Plane) Close() error {
 	return err
 }
 
+// BeginDrain flips /healthz to 503 "draining" without stopping the
+// server: a shutting-down command calls it first, so orchestrators stop
+// routing to the plane while scrapers still get one final /metrics and
+// /progress read before Close. Safe on the nil plane and idempotent.
+func (p *Plane) BeginDrain() {
+	if p == nil {
+		return
+	}
+	if p.draining.CompareAndSwap(false, true) {
+		p.opts.Logf("obs: draining (healthz now 503)")
+	}
+}
+
+// Draining reports whether BeginDrain has been called. Nil-safe.
+func (p *Plane) Draining() bool { return p != nil && p.draining.Load() }
+
 func (p *Plane) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if p.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
+	}
 	io.WriteString(w, "ok\n")
 }
 

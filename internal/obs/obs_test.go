@@ -182,3 +182,39 @@ func TestPlaneStartBadAddr(t *testing.T) {
 		t.Error("bad address accepted")
 	}
 }
+
+// TestPlaneDraining: BeginDrain flips /healthz to 503 "draining" while
+// /metrics and /progress keep serving for the final flush, and the nil
+// plane tolerates both calls.
+func TestPlaneDraining(t *testing.T) {
+	prog := sched.NewProgress()
+	prog.Begin("drain", 10, 1)
+	plane := New(Options{Progress: prog})
+	ts := httptest.NewServer(plane.Handler())
+	defer ts.Close()
+
+	if status, _, body := get(t, ts, "/healthz"); status != http.StatusOK || body != "ok\n" {
+		t.Fatalf("pre-drain /healthz = %d %q", status, body)
+	}
+	plane.BeginDrain()
+	plane.BeginDrain() // idempotent
+	if !plane.Draining() {
+		t.Error("Draining() false after BeginDrain")
+	}
+	status, _, body := get(t, ts, "/healthz")
+	if status != http.StatusServiceUnavailable || body != "draining\n" {
+		t.Errorf("draining /healthz = %d %q", status, body)
+	}
+	if status, _, _ := get(t, ts, "/metrics"); status != http.StatusOK {
+		t.Errorf("/metrics unavailable while draining: %d", status)
+	}
+	if status, _, _ := get(t, ts, "/progress"); status != http.StatusOK {
+		t.Errorf("/progress unavailable while draining: %d", status)
+	}
+
+	var nilPlane *Plane
+	nilPlane.BeginDrain()
+	if nilPlane.Draining() {
+		t.Error("nil plane reports draining")
+	}
+}

@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"cncount/internal/metrics"
+	"cncount/internal/sched"
+)
+
+// WatchdogOptions configures a stall watchdog over a progress source.
+type WatchdogOptions struct {
+	// Progress is the heartbeat source the watchdog polls; required.
+	Progress *sched.Progress
+	// StallAfter is the per-worker heartbeat age that declares the region
+	// stalled; 0 uses DefaultStallAfter.
+	StallAfter time.Duration
+	// Poll is the sampling interval; 0 derives one from StallAfter
+	// (StallAfter/4, clamped to at least 10ms).
+	Poll time.Duration
+	// Snapshot supplies the metrics view embedded in the diagnostic
+	// bundle — typically (*metrics.Collector).Snapshot. Optional.
+	Snapshot func() metrics.Snapshot
+	// TraceJSON writes the live trace snapshot into the bundle —
+	// typically (*trace.Tracer).WriteJSON of a live-mode tracer. Optional.
+	TraceJSON func(io.Writer) error
+	// OnStall receives the report when a stall is detected, at most once
+	// per observed region (ProgressSample.Runs). Typical handlers write
+	// the diagnostic bundle and cancel the run's context. Required.
+	OnStall func(StallReport)
+	// Logf receives lifecycle messages; nil discards.
+	Logf func(format string, args ...any)
+}
+
+// StallReport is the watchdog's diagnosis of a wedged region, carrying
+// everything needed to explain the abort after the process dies:
+// the progress view (who stalled, how far the run got) plus closures
+// over the live metrics and trace sources for WriteBundle.
+type StallReport struct {
+	// Scope names the stalled region (e.g. "core.count.BMP").
+	Scope string
+	// Runs is the region's sequence number, identifying which run stalled.
+	Runs uint64
+	// StallAfter is the threshold that fired.
+	StallAfter time.Duration
+	// WorstBeatAge is the oldest worker heartbeat at detection time.
+	WorstBeatAge time.Duration
+	// Progress is the derived progress view at detection time.
+	Progress ProgressStatus
+
+	snapshot  func() metrics.Snapshot
+	traceJSON func(io.Writer) error
+}
+
+// Error renders the report as an operator-facing one-liner.
+func (r *StallReport) String() string {
+	scope := r.Scope
+	if scope == "" {
+		scope = "run"
+	}
+	return fmt.Sprintf("watchdog: %s stalled: no heartbeat for %v (threshold %v), %d/%d units done",
+		scope, r.WorstBeatAge.Round(time.Millisecond), r.StallAfter,
+		r.Progress.DoneUnits, r.Progress.TotalUnits)
+}
+
+// WriteBundle writes the diagnostic bundle into dir (created if needed):
+// progress.json (the report itself), metrics.json (when a snapshot source
+// was configured), and trace.json (when a live tracer was configured).
+// Partial bundles are written as far as possible; the first error is
+// returned.
+func (r *StallReport) WriteBundle(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	firstErr := func(err, prev error) error {
+		if prev != nil {
+			return prev
+		}
+		return err
+	}
+	var err error
+	pb, jerr := json.MarshalIndent(struct {
+		Scope             string         `json:"scope"`
+		Runs              uint64         `json:"runs"`
+		StallAfterSeconds float64        `json:"stall_after_seconds"`
+		WorstBeatSeconds  float64        `json:"worst_beat_seconds"`
+		Progress          ProgressStatus `json:"progress"`
+	}{r.Scope, r.Runs, r.StallAfter.Seconds(), r.WorstBeatAge.Seconds(), r.Progress}, "", "  ")
+	if jerr == nil {
+		jerr = os.WriteFile(filepath.Join(dir, "progress.json"), append(pb, '\n'), 0o644)
+	}
+	err = firstErr(jerr, err)
+	if r.snapshot != nil {
+		mb, merr := json.MarshalIndent(r.snapshot(), "", "  ")
+		if merr == nil {
+			merr = os.WriteFile(filepath.Join(dir, "metrics.json"), append(mb, '\n'), 0o644)
+		}
+		err = firstErr(merr, err)
+	}
+	if r.traceJSON != nil {
+		var buf bytes.Buffer
+		terr := r.traceJSON(&buf)
+		if terr == nil {
+			terr = os.WriteFile(filepath.Join(dir, "trace.json"), buf.Bytes(), 0o644)
+		}
+		err = firstErr(terr, err)
+	}
+	return err
+}
+
+// Watchdog polls a progress source for workers whose heartbeat has gone
+// silent. Its stall criterion is beat age alone (region active and any
+// worker's last heartbeat older than StallAfter) — deliberately not
+// RemainingUnits: units are debited when a task is handed to a body, so a
+// body wedged inside the final tasks leaves remaining at 0 while the
+// region never ends. A heartbeat only moves when tasks complete, so it
+// catches that case.
+type Watchdog struct {
+	opts     WatchdogOptions
+	quit     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// StartWatchdog begins polling in a background goroutine. The caller must
+// Stop it. Returns nil (the disabled watchdog, safe to Stop) when
+// Progress or OnStall is missing.
+func StartWatchdog(opts WatchdogOptions) *Watchdog {
+	if opts.Progress == nil || opts.OnStall == nil {
+		return nil
+	}
+	if opts.StallAfter <= 0 {
+		opts.StallAfter = DefaultStallAfter
+	}
+	if opts.Poll <= 0 {
+		opts.Poll = opts.StallAfter / 4
+		if opts.Poll < 10*time.Millisecond {
+			opts.Poll = 10 * time.Millisecond
+		}
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	w := &Watchdog{opts: opts, quit: make(chan struct{}), done: make(chan struct{})}
+	go w.loop()
+	return w
+}
+
+// Stop terminates the polling goroutine and waits for it. Safe on the nil
+// watchdog and idempotent.
+func (w *Watchdog) Stop() {
+	if w == nil {
+		return
+	}
+	w.stopOnce.Do(func() { close(w.quit) })
+	<-w.done
+}
+
+func (w *Watchdog) loop() {
+	defer close(w.done)
+	tick := time.NewTicker(w.opts.Poll)
+	defer tick.Stop()
+	var firedRun uint64
+	var fired bool
+	for {
+		select {
+		case <-w.quit:
+			return
+		case <-tick.C:
+		}
+		s := w.opts.Progress.Sample()
+		if !s.Active {
+			continue
+		}
+		if fired && s.Runs == firedRun {
+			continue // one report per region
+		}
+		var worst int64
+		for _, age := range s.BeatAgeNanos {
+			if age > worst {
+				worst = age
+			}
+		}
+		if worst <= w.opts.StallAfter.Nanoseconds() {
+			continue
+		}
+		fired, firedRun = true, s.Runs
+		report := StallReport{
+			Scope:        s.Scope,
+			Runs:         s.Runs,
+			StallAfter:   w.opts.StallAfter,
+			WorstBeatAge: time.Duration(worst),
+			Progress:     BuildProgress(s, w.opts.StallAfter),
+			snapshot:     w.opts.Snapshot,
+			traceJSON:    w.opts.TraceJSON,
+		}
+		w.opts.Logf("%s", report.String())
+		w.opts.OnStall(report)
+	}
+}

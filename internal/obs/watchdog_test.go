@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cncount/internal/metrics"
+	"cncount/internal/sched"
+)
+
+// TestWatchdogFiresOnStall pins the core contract: an active region whose
+// heartbeats stop advancing fires OnStall exactly once, with a report
+// naming the scope and the worst beat age.
+func TestWatchdogFiresOnStall(t *testing.T) {
+	prog := sched.NewProgress()
+	prog.Begin("core.count.BMP", 100, 2)
+	prog.TaskDone(0, 10)
+	// Worker heartbeats now freeze: the region is wedged.
+
+	reports := make(chan StallReport, 4)
+	wd := StartWatchdog(WatchdogOptions{
+		Progress:   prog,
+		StallAfter: 30 * time.Millisecond,
+		Poll:       5 * time.Millisecond,
+		OnStall:    func(r StallReport) { reports <- r },
+	})
+	defer wd.Stop()
+
+	var r StallReport
+	select {
+	case r = <-reports:
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog never fired on a frozen region")
+	}
+	if r.Scope != "core.count.BMP" {
+		t.Errorf("report scope = %q", r.Scope)
+	}
+	if r.WorstBeatAge < 30*time.Millisecond {
+		t.Errorf("worst beat age %v below threshold", r.WorstBeatAge)
+	}
+	if !strings.Contains(r.String(), "stalled") {
+		t.Errorf("report string %q", r.String())
+	}
+
+	// One report per region: the same wedged run must not fire again.
+	select {
+	case extra := <-reports:
+		t.Fatalf("watchdog fired twice on one region: %+v", extra)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+// TestWatchdogStallWithZeroRemaining pins the subtle case the threshold
+// must catch: `remaining` is debited when a task is handed to a body, so
+// a body wedged inside the final task leaves RemainingUnits == 0 with the
+// region still active. The watchdog keys on beat age, not remaining.
+func TestWatchdogStallWithZeroRemaining(t *testing.T) {
+	prog := sched.NewProgress()
+	prog.Begin("tail", 10, 1)
+	prog.TaskDone(0, 10) // all units handed out...
+	// ...but End never comes: the last body is stuck.
+	time.Sleep(40 * time.Millisecond)
+
+	reports := make(chan StallReport, 1)
+	wd := StartWatchdog(WatchdogOptions{
+		Progress:   prog,
+		StallAfter: 30 * time.Millisecond,
+		Poll:       5 * time.Millisecond,
+		OnStall:    func(r StallReport) { reports <- r },
+	})
+	defer wd.Stop()
+	select {
+	case r := <-reports:
+		if r.Progress.RemainingUnits != 0 {
+			t.Errorf("remaining = %d, want 0", r.Progress.RemainingUnits)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog ignored a stall with zero remaining units")
+	}
+}
+
+// TestWatchdogQuietOnHealthyRun: advancing heartbeats and ended regions
+// never fire.
+func TestWatchdogQuietOnHealthyRun(t *testing.T) {
+	prog := sched.NewProgress()
+	prog.Begin("healthy", 1000, 1)
+	fired := make(chan StallReport, 1)
+	wd := StartWatchdog(WatchdogOptions{
+		Progress:   prog,
+		StallAfter: 60 * time.Millisecond,
+		Poll:       5 * time.Millisecond,
+		OnStall:    func(r StallReport) { fired <- r },
+	})
+	defer wd.Stop()
+	for i := 0; i < 10; i++ {
+		prog.TaskDone(0, 10)
+		time.Sleep(10 * time.Millisecond)
+	}
+	prog.End()
+	time.Sleep(100 * time.Millisecond) // region over: frozen beats are fine
+	select {
+	case r := <-fired:
+		t.Fatalf("watchdog fired on a healthy run: %+v", r)
+	default:
+	}
+}
+
+// TestWatchdogRefiresOnNewRegion: a fresh Begin resets the one-shot.
+func TestWatchdogRefiresOnNewRegion(t *testing.T) {
+	prog := sched.NewProgress()
+	prog.Begin("first", 10, 1)
+	reports := make(chan StallReport, 4)
+	wd := StartWatchdog(WatchdogOptions{
+		Progress:   prog,
+		StallAfter: 20 * time.Millisecond,
+		Poll:       5 * time.Millisecond,
+		OnStall:    func(r StallReport) { reports <- r },
+	})
+	defer wd.Stop()
+	first := <-reports
+	prog.Begin("second", 10, 1)
+	select {
+	case second := <-reports:
+		if second.Runs <= first.Runs || second.Scope != "second" {
+			t.Errorf("second report = %+v after first %+v", second, first)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog did not re-arm for the next region")
+	}
+}
+
+// TestStallReportWriteBundle verifies the diagnostic bundle layout.
+func TestStallReportWriteBundle(t *testing.T) {
+	c := metrics.New()
+	c.Add("core.edges_scanned", 42)
+	r := StallReport{
+		Scope:        "core.count.BMP",
+		Runs:         3,
+		StallAfter:   time.Second,
+		WorstBeatAge: 2 * time.Second,
+		Progress:     ProgressStatus{Scope: "core.count.BMP", TotalUnits: 100, DoneUnits: 40},
+		snapshot:     c.Snapshot,
+		traceJSON: func(w io.Writer) error {
+			_, err := io.WriteString(w, `{"traceEvents":[]}`)
+			return err
+		},
+	}
+	dir := filepath.Join(t.TempDir(), "bundle")
+	if err := r.WriteBundle(dir); err != nil {
+		t.Fatalf("WriteBundle: %v", err)
+	}
+	var prog struct {
+		Scope            string  `json:"scope"`
+		WorstBeatSeconds float64 `json:"worst_beat_seconds"`
+	}
+	pb, err := os.ReadFile(filepath.Join(dir, "progress.json"))
+	if err != nil {
+		t.Fatalf("progress.json: %v", err)
+	}
+	if err := json.Unmarshal(pb, &prog); err != nil {
+		t.Fatalf("progress.json: %v", err)
+	}
+	if prog.Scope != "core.count.BMP" || prog.WorstBeatSeconds != 2 {
+		t.Errorf("progress.json = %+v", prog)
+	}
+	mb, err := os.ReadFile(filepath.Join(dir, "metrics.json"))
+	if err != nil {
+		t.Fatalf("metrics.json: %v", err)
+	}
+	if !strings.Contains(string(mb), "core.edges_scanned") {
+		t.Errorf("metrics.json missing counters: %s", mb)
+	}
+	tb, err := os.ReadFile(filepath.Join(dir, "trace.json"))
+	if err != nil {
+		t.Fatalf("trace.json: %v", err)
+	}
+	if string(tb) != `{"traceEvents":[]}` {
+		t.Errorf("trace.json = %s", tb)
+	}
+}
+
+// TestWatchdogDisabled: missing Progress or OnStall yields the nil
+// watchdog, and Stop on it is a no-op.
+func TestWatchdogDisabled(t *testing.T) {
+	if wd := StartWatchdog(WatchdogOptions{OnStall: func(StallReport) {}}); wd != nil {
+		t.Error("watchdog without Progress should be nil")
+	}
+	if wd := StartWatchdog(WatchdogOptions{Progress: sched.NewProgress()}); wd != nil {
+		t.Error("watchdog without OnStall should be nil")
+	}
+	var wd *Watchdog
+	wd.Stop() // must not panic
+}

@@ -1,0 +1,110 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrCanceled and ErrDeadline classify a cooperatively stopped parallel
+// region: ErrCanceled when the region's context was canceled outright
+// (SIGINT, a watchdog abort, an explicit CancelFunc), ErrDeadline when
+// its deadline expired (-timeout). Both are reachable through errors.Is
+// from any *CancelError, alongside the underlying context.Canceled or
+// context.DeadlineExceeded.
+var (
+	ErrCanceled = errors.New("sched: run canceled")
+	ErrDeadline = errors.New("sched: run deadline exceeded")
+)
+
+// CancelError reports a parallel region stopped by its context before the
+// range was fully processed. Workers stop at task-pop and steal
+// boundaries, so every unit is either fully processed or untouched —
+// RemainingUnits counts the untouched ones (tasks already handed to a
+// body run to completion and count as processed).
+//
+// errors.Is(err, ErrCanceled) / errors.Is(err, ErrDeadline) distinguish
+// the two stop reasons; errors.Is against context.Canceled /
+// context.DeadlineExceeded works too.
+type CancelError struct {
+	// Scope names the canceled region (Obs.Scope, e.g. "core.count.BMP").
+	Scope string
+	// Cause is the context's Err() at the time the region stopped.
+	Cause error
+	// RemainingUnits counts units never handed to a body call.
+	RemainingUnits int64
+	// TotalUnits is the region's full range size.
+	TotalUnits int64
+}
+
+// Error describes the stop reason and how much of the range was left.
+func (e *CancelError) Error() string {
+	kind := "canceled"
+	if errors.Is(e.Cause, context.DeadlineExceeded) {
+		kind = "deadline exceeded"
+	}
+	scope := e.Scope
+	if scope == "" {
+		scope = "run"
+	}
+	return fmt.Sprintf("sched: %s %s with %d of %d units unprocessed",
+		scope, kind, e.RemainingUnits, e.TotalUnits)
+}
+
+// Unwrap exposes the matching sentinel (ErrCanceled or ErrDeadline) and
+// the underlying context error to errors.Is/As.
+func (e *CancelError) Unwrap() []error {
+	sentinel := ErrCanceled
+	if errors.Is(e.Cause, context.DeadlineExceeded) {
+		sentinel = ErrDeadline
+	}
+	if e.Cause == nil {
+		return []error{sentinel}
+	}
+	return []error{sentinel, e.Cause}
+}
+
+// canceler translates a context's Done channel into one atomic flag that
+// the claim loops poll at task-pop and steal boundaries. Polling a bool
+// is what keeps cancellation off the hot path: the per-task cost is a
+// nil-pointer check when no context is attached and one uncontended
+// atomic load when one is — never a channel select.
+type canceler struct {
+	stop atomic.Bool
+	quit chan struct{}
+}
+
+// startCanceler spawns the context watcher, returning nil (the never-
+// canceled canceler) when ctx is nil or can never be canceled. The
+// caller must finish() it so the watcher goroutine joins the region.
+func startCanceler(ctx context.Context) *canceler {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	c := &canceler{quit: make(chan struct{})}
+	go func() {
+		select {
+		case <-ctx.Done():
+			c.stop.Store(true)
+		case <-c.quit:
+		}
+	}()
+	return c
+}
+
+// canceled reports whether the region should stop claiming work.
+func (c *canceler) canceled() bool { return c != nil && c.stop.Load() }
+
+// finish releases the watcher goroutine. Safe on the nil canceler and
+// after the context has fired.
+func (c *canceler) finish() {
+	if c != nil {
+		close(c.quit)
+	}
+}
+
+// cancelErr builds the region's CancelError from its final state.
+func cancelErr(ctx context.Context, scope string, remaining, total int64) *CancelError {
+	return &CancelError{Scope: scope, Cause: ctx.Err(), RemainingUnits: remaining, TotalUnits: total}
+}

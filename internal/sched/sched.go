@@ -33,6 +33,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -107,11 +108,19 @@ func (b *panicBox) rethrow() {
 	}
 }
 
-// Obs bundles the per-region observers a scheduler threads into its
-// workers: a metrics recorder (tallies + task histogram), a tracer (one
-// span per task on the worker's timeline row), and the span name to emit.
-// The zero Obs observes nothing and keeps the uninstrumented loop.
+// Obs bundles the per-region observers and controls a scheduler threads
+// into its workers: a metrics recorder (tallies + task histogram), a
+// tracer (one span per task on the worker's timeline row), the span name
+// to emit, and the cancellation context. The zero Obs observes nothing,
+// can never be canceled, and keeps the uninstrumented loop.
 type Obs struct {
+	// Ctx, when non-nil, cooperatively cancels the region: workers check
+	// it at task-pop and steal boundaries (via one shared atomic flag, so
+	// the hot path never selects on a channel), stop claiming, and join;
+	// the entry point then returns a *CancelError carrying the
+	// unprocessed-unit count. A nil Ctx (or one that can never be
+	// canceled) costs one nil check per task.
+	Ctx context.Context
 	// Rec receives per-worker tallies and the task-duration histogram;
 	// nil records nothing.
 	Rec *metrics.SchedRecorder
@@ -282,6 +291,12 @@ type wsRun struct {
 	deques   []deque
 	taskSize int64
 	workers  int
+	// cancel is the region's cooperative-cancellation flag; nil when the
+	// region has no cancelable context. Workers poll it at task-pop and
+	// steal boundaries and exit without claiming further work once set,
+	// leaving unclaimed ranges in the deques (remaining > 0 records how
+	// much was abandoned).
+	cancel *canceler
 	// remaining counts units not yet handed to a body call. It only hits 0
 	// when every index is owned by a running (or finished) task, so idle
 	// thieves spin on steals — not exit — while ranges are in flight
@@ -315,7 +330,7 @@ func newWSRun(n int64, taskSize int64, workers int) *wsRun {
 // anywhere (the region is draining its final in-flight tasks).
 func (s *wsRun) steal(self int) bool {
 	for {
-		if s.remaining.Load() <= 0 {
+		if s.remaining.Load() <= 0 || s.cancel.canceled() {
 			return false
 		}
 		best, bestSize := -1, int64(0)
@@ -346,6 +361,9 @@ func (s *wsRun) runWorker(worker int, wo workerObs, body func(worker int, lo, hi
 		claimAt = time.Now()
 	}
 	for {
+		if s.cancel.canceled() {
+			return
+		}
 		lo, hi, ok := d.popBottom(s.taskSize)
 		if !ok {
 			var stealAt time.Time
@@ -384,37 +402,50 @@ func (s *wsRun) runWorker(worker int, wo workerObs, body func(worker int, lo, hi
 // goroutine after all workers stop, wrapped in *PanicError; the surviving
 // workers finish the remaining range first (a dead worker's deque is
 // drained by thieves, so no index is lost).
-func Dynamic(n int64, taskSize, workers int, body func(worker int, lo, hi int64)) {
-	DynamicObserved(n, taskSize, workers, Obs{}, body)
+//
+// The returned error is nil unless the region was canceled through
+// Obs.Ctx, in which case it is a *CancelError; the plain entry points
+// attach no context and always return nil.
+func Dynamic(n int64, taskSize, workers int, body func(worker int, lo, hi int64)) error {
+	return DynamicObserved(n, taskSize, workers, Obs{}, body)
 }
 
 // DynamicRecorded is Dynamic with per-worker metrics: each executed task
 // adds to the worker's tally (tasks, units, busy and queue-wait time,
 // steals) and to the recorder's task-duration histogram. A nil recorder
 // records nothing and keeps the uninstrumented loop.
-func DynamicRecorded(n int64, taskSize, workers int, rec *metrics.SchedRecorder, body func(worker int, lo, hi int64)) {
-	DynamicObserved(n, taskSize, workers, Obs{Rec: rec}, body)
+func DynamicRecorded(n int64, taskSize, workers int, rec *metrics.SchedRecorder, body func(worker int, lo, hi int64)) error {
+	return DynamicObserved(n, taskSize, workers, Obs{Rec: rec}, body)
 }
 
 // DynamicObserved is Dynamic observed by obs: metrics tallies and/or one
 // trace span per task with its queue-wait split, plus one steal span per
-// successful steal.
-func DynamicObserved(n int64, taskSize, workers int, obs Obs, body func(worker int, lo, hi int64)) {
+// successful steal, with cooperative cancellation through Obs.Ctx. A
+// canceled region drains cleanly — every worker stops at its next task
+// boundary, in-flight tasks run to completion, all workers join — and a
+// *CancelError reporting the unprocessed units is returned.
+func DynamicObserved(n int64, taskSize, workers int, obs Obs, body func(worker int, lo, hi int64)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	if taskSize < 1 {
 		taskSize = DefaultTaskSize
 	}
 	workers = Workers(workers)
 	if workers == 1 {
-		runSequential(n, obs, body)
-		return
+		return runSequential(n, int64(taskSize), obs, body)
+	}
+	if obs.Ctx != nil {
+		if err := obs.Ctx.Err(); err != nil {
+			return cancelErr(obs.Ctx, obs.Scope, n, n)
+		}
 	}
 	obs.Prog.Begin(obs.Scope, n, workers)
 	defer obs.Prog.End()
 
 	run := newWSRun(n, int64(taskSize), workers)
+	run.cancel = startCanceler(obs.Ctx)
+	defer run.cancel.finish()
 	var wg sync.WaitGroup
 	var box panicBox
 	for w := 0; w < workers; w++ {
@@ -431,23 +462,49 @@ func DynamicObserved(n int64, taskSize, workers int, obs Obs, body func(worker i
 	}
 	wg.Wait()
 	box.rethrow()
+	if remaining := run.remaining.Load(); run.cancel.canceled() && remaining > 0 {
+		return cancelErr(obs.Ctx, obs.Scope, remaining, n)
+	}
+	return nil
 }
 
 // runSequential is the workers == 1 fast path shared by all schedulers:
-// one body call covers the whole range on the caller's goroutine (so a
-// panic propagates unwrapped, exactly as a plain loop would).
-func runSequential(n int64, obs Obs, body func(worker int, lo, hi int64)) {
+// with no cancelable context, one body call covers the whole range on the
+// caller's goroutine (so a panic propagates unwrapped, exactly as a plain
+// loop would). With a cancelable Obs.Ctx the range is walked in chunks of
+// `chunk` units and the context polled between chunks, giving the
+// sequential path the same task-boundary cancellation granularity as the
+// parallel ones.
+func runSequential(n, chunk int64, obs Obs, body func(worker int, lo, hi int64)) error {
+	cancellable := obs.Ctx != nil && obs.Ctx.Done() != nil
 	wo := obs.worker(0)
-	if !wo.active() {
+	if !wo.active() && !cancellable {
 		body(0, 0, n)
-		return
+		return nil
+	}
+	if !cancellable || chunk <= 0 {
+		chunk = n
 	}
 	obs.Prog.Begin(obs.Scope, n, 1)
 	defer obs.Prog.End()
-	claimAt := time.Now()
-	start := time.Now()
-	body(0, 0, n)
-	wo.record(claimAt, start, time.Since(start), n)
+	for lo := int64(0); lo < n; lo += chunk {
+		if cancellable && obs.Ctx.Err() != nil {
+			return cancelErr(obs.Ctx, obs.Scope, n-lo, n)
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if wo.active() {
+			claimAt := time.Now()
+			start := time.Now()
+			body(0, lo, hi)
+			wo.record(claimAt, start, time.Since(start), hi-lo)
+		} else {
+			body(0, lo, hi)
+		}
+	}
+	return nil
 }
 
 // GuidedMaxChunk returns the first-chunk cap of the guided scheduler:
@@ -473,37 +530,49 @@ func GuidedMaxChunk(n int64, minChunk, workers int) int64 {
 // uncapped variant's giant first chunks straggle when per-unit cost is
 // skewed (exactly the situation on hub-heavy graphs, which is why the
 // paper — and core — use fixed-size dynamic tasks).
-func Guided(n int64, minChunk, workers int, body func(worker int, lo, hi int64)) {
-	GuidedObserved(n, minChunk, workers, Obs{}, body)
+func Guided(n int64, minChunk, workers int, body func(worker int, lo, hi int64)) error {
+	return GuidedObserved(n, minChunk, workers, Obs{}, body)
 }
 
 // GuidedRecorded is Guided with per-worker metrics; see DynamicRecorded.
-func GuidedRecorded(n int64, minChunk, workers int, rec *metrics.SchedRecorder, body func(worker int, lo, hi int64)) {
-	GuidedObserved(n, minChunk, workers, Obs{Rec: rec}, body)
+func GuidedRecorded(n int64, minChunk, workers int, rec *metrics.SchedRecorder, body func(worker int, lo, hi int64)) error {
+	return GuidedObserved(n, minChunk, workers, Obs{Rec: rec}, body)
 }
 
-// GuidedObserved is Guided observed by obs; see DynamicObserved.
-func GuidedObserved(n int64, minChunk, workers int, obs Obs, body func(worker int, lo, hi int64)) {
+// GuidedObserved is Guided observed by obs; see DynamicObserved. A
+// canceled region stops claiming at the cursor, joins its workers, and
+// returns a *CancelError with the unclaimed units.
+func GuidedObserved(n int64, minChunk, workers int, obs Obs, body func(worker int, lo, hi int64)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	if minChunk < 1 {
 		minChunk = 1
 	}
 	workers = Workers(workers)
 	if workers == 1 {
-		runSequential(n, obs, body)
-		return
+		chunk := int64(minChunk)
+		if chunk < DefaultTaskSize {
+			chunk = DefaultTaskSize
+		}
+		return runSequential(n, chunk, obs, body)
+	}
+	if obs.Ctx != nil {
+		if err := obs.Ctx.Err(); err != nil {
+			return cancelErr(obs.Ctx, obs.Scope, n, n)
+		}
 	}
 	obs.Prog.Begin(obs.Scope, n, workers)
 	defer obs.Prog.End()
 
+	cancel := startCanceler(obs.Ctx)
+	defer cancel.finish()
 	maxChunk := GuidedMaxChunk(n, minChunk, workers)
 	var cursor atomic.Int64
 	claim := func() (lo, hi int64, ok bool) {
 		for {
 			cur := cursor.Load()
-			if cur >= n {
+			if cur >= n || cancel.canceled() {
 				return 0, 0, false
 			}
 			chunk := (n - cur) / int64(2*workers)
@@ -555,36 +624,51 @@ func GuidedObserved(n int64, minChunk, workers int, obs Obs, body func(worker in
 	}
 	wg.Wait()
 	box.rethrow()
+	if remaining := n - cursor.Load(); cancel.canceled() && remaining > 0 {
+		return cancelErr(obs.Ctx, obs.Scope, remaining, n)
+	}
+	return nil
 }
 
 // Static runs body over [0, n) split into `workers` contiguous slabs, one
 // per worker (OpenMP static schedule). Used where dynamic scheduling buys
 // nothing (e.g. the reverse-offset assignment postprocessing).
-func Static(n int64, workers int, body func(worker int, lo, hi int64)) {
-	StaticObserved(n, workers, Obs{}, body)
+func Static(n int64, workers int, body func(worker int, lo, hi int64)) error {
+	return StaticObserved(n, workers, Obs{}, body)
 }
 
 // StaticRecorded is Static with per-worker metrics; see DynamicRecorded.
-func StaticRecorded(n int64, workers int, rec *metrics.SchedRecorder, body func(worker int, lo, hi int64)) {
-	StaticObserved(n, workers, Obs{Rec: rec}, body)
+func StaticRecorded(n int64, workers int, rec *metrics.SchedRecorder, body func(worker int, lo, hi int64)) error {
+	return StaticObserved(n, workers, Obs{Rec: rec}, body)
 }
 
 // StaticObserved is Static observed by obs; see DynamicObserved. The
 // queue wait of a static slab is just goroutine startup latency.
-func StaticObserved(n int64, workers int, obs Obs, body func(worker int, lo, hi int64)) {
+// Cancellation granularity is one slab: a worker whose slab has not
+// started when the context fires skips it and the skipped units are
+// reported in the *CancelError; slabs already inside body run to
+// completion.
+func StaticObserved(n int64, workers int, obs Obs, body func(worker int, lo, hi int64)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	workers = Workers(workers)
 	if workers == 1 {
-		runSequential(n, obs, body)
-		return
+		return runSequential(n, n, obs, body)
 	}
 	if int64(workers) > n {
 		workers = int(n)
 	}
+	if obs.Ctx != nil {
+		if err := obs.Ctx.Err(); err != nil {
+			return cancelErr(obs.Ctx, obs.Scope, n, n)
+		}
+	}
 	obs.Prog.Begin(obs.Scope, n, workers)
 	defer obs.Prog.End()
+	cancel := startCanceler(obs.Ctx)
+	defer cancel.finish()
+	var skipped atomic.Int64
 	var wg sync.WaitGroup
 	var box panicBox
 	submit := time.Now()
@@ -600,6 +684,10 @@ func StaticObserved(n int64, workers int, obs Obs, body func(worker int, lo, hi 
 		go func(worker int, lo, hi int64) {
 			defer wg.Done()
 			defer box.capture()
+			if cancel.canceled() {
+				skipped.Add(hi - lo)
+				return
+			}
 			wo := obs.worker(worker)
 			if wo.active() {
 				start := time.Now()
@@ -613,4 +701,8 @@ func StaticObserved(n int64, workers int, obs Obs, body func(worker int, lo, hi 
 	}
 	wg.Wait()
 	box.rethrow()
+	if remaining := skipped.Load(); cancel.canceled() && remaining > 0 {
+		return cancelErr(obs.Ctx, obs.Scope, remaining, n)
+	}
+	return nil
 }
