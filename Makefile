@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check benchsmoke obssmoke chaossmoke fuzz bench benchdiff microbench experiments examples clean
+.PHONY: all build vet test race check benchsmoke calibratesmoke obssmoke chaossmoke fuzz bench benchdiff microbench experiments examples clean
 
 # The default verify path is `make check`: build + vet + tests + the race
 # detector on the small-graph packages.
@@ -21,7 +21,7 @@ test:
 # Race detection runs on the packages whose tests use small graphs; the
 # full profile-scale workloads are too slow under the race detector.
 race:
-	$(GO) test -race ./internal/core/ ./internal/sched/ ./internal/gpusim/ ./internal/graph/ ./internal/scan/ ./internal/metrics/ ./internal/trace/ ./internal/obs/ ./internal/benchfmt/ ./internal/chaos/ ./cmd/cnc/ ./cmd/benchrun/
+	$(GO) test -race ./internal/core/ ./internal/adaptive/ ./internal/sched/ ./internal/gpusim/ ./internal/graph/ ./internal/scan/ ./internal/metrics/ ./internal/trace/ ./internal/obs/ ./internal/benchfmt/ ./internal/chaos/ ./cmd/cnc/ ./cmd/benchrun/
 
 # Tiny end-to-end benchmark matrix (~seconds): exercises the full
 # generate → count → record pipeline under the work-stealing scheduler,
@@ -29,7 +29,14 @@ race:
 # breakage (schema, metrics plumbing, scheduler hangs) that unit tests on
 # isolated packages miss.
 benchsmoke:
-	$(GO) run ./cmd/benchrun -label smoke -profiles WI -scale 0.05 -algos bmp -workers 1,2 -reps 1 -out /dev/null
+	$(GO) run ./cmd/benchrun -label smoke -profiles WI -scale 0.05 -algos bmp,adaptive -workers 1,2 -reps 1 -out /dev/null
+
+# Calibration smoke: measure a real crossover table on this host, validate
+# it (every bucket populated, monotone gallop crossovers — cnc -calibrate
+# refuses to print a table that fails this), then count a tiny profile with
+# the measured table and verify against the sequential reference.
+calibratesmoke:
+	$(GO) run ./cmd/cnc -calibrate -profile WI -scale 0.05 -algo adaptive -verify > /dev/null
 
 # End-to-end smoke of the observability plane: build cnc, run a tiny
 # profile with -http on an ephemeral port, scrape /healthz, /metrics and
@@ -44,7 +51,7 @@ obssmoke:
 chaossmoke:
 	$(GO) test -race -count=1 -run 'TestSeededStress|TestWatchdogAbortsStalledRun|TestPanicDrain|TestCancellationUnderChaos|TestLoaderReadFault' ./internal/chaos/
 
-check: build test race benchsmoke obssmoke chaossmoke
+check: build test race benchsmoke calibratesmoke obssmoke chaossmoke
 
 # Short fuzzing pass over every fuzz target.
 fuzz:

@@ -96,6 +96,51 @@ func TestRunEmitsHeartbeats(t *testing.T) {
 	}
 }
 
+// TestRunMultiPassMergesCells checks -passes repeats the matrix but the
+// report still holds exactly one merged result per cell, with the pass
+// count recorded in the manifest and per-pass heartbeats in the log.
+func TestRunMultiPassMergesCells(t *testing.T) {
+	var logBuf syncBuffer
+	log.SetOutput(&logBuf)
+	defer log.SetOutput(os.Stderr)
+
+	path := filepath.Join(t.TempDir(), "BENCH_passes.json")
+	cfg := tinyRun(path)
+	cfg.passes = 2
+	var buf bytes.Buffer
+	if err := run(context.Background(), cfg, &buf); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	rep, err := benchfmt.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 4 { // 1 profile × 2 algos × 2 worker counts, merged
+		t.Fatalf("results = %d, want 4 merged cells", len(rep.Results))
+	}
+	seen := map[benchfmt.Key]bool{}
+	for _, r := range rep.Results {
+		if seen[r.Key()] {
+			t.Errorf("cell %v appears twice after merging", r.Key())
+		}
+		seen[r.Key()] = true
+		if r.Failed || r.ElapsedNanos <= 0 {
+			t.Errorf("%v: bad merged cell %+v", r.Key(), r)
+		}
+	}
+	if got := rep.Manifest.Config["passes"]; got != "2" {
+		t.Errorf("manifest passes = %q, want 2", got)
+	}
+	logs := logBuf.String()
+	for _, want := range []string{
+		"pass 1/2 cell WI/MPS/w1 started", "pass 2/2 cell WI/MPS/w1 started",
+	} {
+		if !strings.Contains(logs, want) {
+			t.Errorf("heartbeat %q missing in:\n%s", want, logs)
+		}
+	}
+}
+
 // TestBaselineDiffWarnsOnManifestDivergence checks a cross-environment
 // diff prints manifest warnings without failing the comparison.
 func TestBaselineDiffWarnsOnManifestDivergence(t *testing.T) {

@@ -1,0 +1,261 @@
+// Package adaptive is the per-edge kernel selection layer behind
+// AlgoAdaptive: a crossover table that maps an edge's (min-degree,
+// degree-ratio) pair to the cheapest intersection kernel, plus the
+// host-calibration pass that measures where the crossovers actually sit
+// (calibrate.go).
+//
+// The paper fixes one kernel per run (MPS or BMP) and its own skew data
+// (Table 2) shows why that is a compromise: the optimal intersection
+// strategy varies per edge with d_u/d_v. The table quantizes that decision
+// the same way MPS's threshold t does, but over two dimensions and five
+// kernel families instead of one scalar cut between two.
+package adaptive
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/bits"
+)
+
+// Kernel identifies one intersection kernel family of internal/intersect.
+type Kernel uint8
+
+const (
+	// KernelMerge is the scalar two-pointer merge.
+	KernelMerge Kernel = iota
+	// KernelBlock is the block-wise merge (BlockMerge, 8 lanes by default).
+	KernelBlock
+	// KernelGallop is the pivot-skip / galloping probe (PivotSkip).
+	KernelGallop
+	// KernelHash probes a per-worker open-addressing hash index of N(u).
+	KernelHash
+	// KernelBitmap probes the thread-local |V|-bit bitmap index of N(u).
+	KernelBitmap
+
+	// NumKernels bounds the enum; arrays indexed by Kernel use this size.
+	NumKernels = int(KernelBitmap) + 1
+)
+
+// kernelNames are the stable wire names used in table JSON and metric
+// counter suffixes.
+var kernelNames = [NumKernels]string{"merge", "block", "gallop", "hash", "bitmap"}
+
+// String returns the kernel's stable name.
+func (k Kernel) String() string {
+	if int(k) < NumKernels {
+		return kernelNames[k]
+	}
+	return fmt.Sprintf("Kernel(%d)", int(k))
+}
+
+// KernelByName resolves a wire name back to its Kernel.
+func KernelByName(name string) (Kernel, error) {
+	for i, n := range kernelNames {
+		if n == name {
+			return Kernel(i), nil
+		}
+	}
+	return 0, fmt.Errorf("adaptive: unknown kernel %q", name)
+}
+
+// MarshalJSON encodes the kernel as its name string.
+func (k Kernel) MarshalJSON() ([]byte, error) {
+	if int(k) >= NumKernels {
+		return nil, fmt.Errorf("adaptive: cannot encode %v", k)
+	}
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON decodes a kernel name string.
+func (k *Kernel) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	got, err := KernelByName(s)
+	if err != nil {
+		return err
+	}
+	*k = got
+	return nil
+}
+
+// Bucket geometry. Rows quantize the smaller degree of the pair, columns
+// the degree ratio, both at log2 granularity: row i covers min-degree
+// [2^i, 2^{i+1}) and column j ratio [2^j, 2^{j+1}). Both axes saturate at
+// the last bucket, so DegBuckets=16 rows reach min-degree 32768+ and
+// RatioBuckets=12 columns reach ratio 2048+ — beyond either bound the
+// crossover structure is flat (the winner at the edge keeps winning).
+const (
+	// DegBuckets is the number of log2 min-degree rows.
+	DegBuckets = 16
+	// RatioBuckets is the number of log2 degree-ratio columns.
+	RatioBuckets = 12
+)
+
+// Table maps (min-degree, degree-ratio) buckets to the kernel to run.
+// The zero value is not a valid table; obtain one from Default, Calibrate,
+// or UnmarshalJSON, and gate untrusted tables through Validate.
+type Table struct {
+	// Source records where the table came from: "default" for the built-in
+	// deterministic table, "calibrated" for a host measurement.
+	Source string
+	// Kernels is the crossover grid: Kernels[i][j] is the kernel for
+	// min-degree bucket i and ratio bucket j.
+	Kernels [DegBuckets][RatioBuckets]Kernel
+}
+
+// Lookup returns the kernel for an edge whose endpoint degrees are da and
+// db, in either order. It is division-free — two bit-length subtractions —
+// so it is cheap enough to run per edge. Degrees < 1 clamp to 1 (an empty
+// side makes every kernel trivially return 0, so the pick is moot).
+func (t *Table) Lookup(da, db int64) Kernel {
+	return t.LookupLens(DegLen(da), DegLen(db))
+}
+
+// DegLen returns the bit length of a degree for LookupLens, clamping
+// degrees < 1 to 1 (an empty side makes every kernel trivially return 0,
+// so the pick is moot). Bit length is monotone in the degree, so the
+// smaller degree always carries the smaller length and LookupLens can
+// order lengths instead of degrees.
+func DegLen(d int64) int {
+	if d < 1 {
+		d = 1
+	}
+	return bits.Len64(uint64(d))
+}
+
+// LookupLens is Lookup on precomputed DegLen values. It exists for the
+// per-edge dispatcher, which caches the source vertex's bit length across
+// the consecutive edges of one source and only computes the destination
+// side per edge.
+func (t *Table) LookupLens(la, lb int) Kernel {
+	if la > lb {
+		la, lb = lb, la
+	}
+	// floor(log2(min)) and floor(log2(max/min)) via bit lengths; the ratio
+	// bucket is the exponent gap, which brackets the true ratio within 2x —
+	// the same quantization the row axis already applies.
+	i := la - 1
+	j := lb - la
+	if i >= DegBuckets {
+		i = DegBuckets - 1
+	}
+	if j >= RatioBuckets {
+		j = RatioBuckets - 1
+	}
+	return t.Kernels[i][j]
+}
+
+// Default returns the deterministic built-in table, the reproducible
+// fallback when no calibration ran. Its shape was measured end to end on
+// the degree-reordered generator profiles, where Algorithm 3 computes each
+// edge from its higher-degree endpoint (u < v after degree-descending
+// reorder implies d_u >= d_v), so the probe side of the indexed kernels is
+// always the smaller list:
+//
+//   - tiny balanced pairs (min-degree < 4, same bit length): the scalar
+//     merge wins — it touches 2·d elements with no index to build, and
+//     skipping the build matters precisely for the leaf-heavy tail where
+//     a source contributes only a handful of edges;
+//   - everything else: the warm thread-local bitmap probe. Its build is
+//     amortized across the source's edges exactly as in BMP, each probe
+//     is O(1) on the smaller list, and on the profile graphs it beat the
+//     block merge, galloping and hash probing in every remaining bucket.
+//
+// Galloping earns no default cells for this reason — post-reorder the
+// probe side already is the smaller side — but calibrated tables may
+// place it (Validate requires gallop cells to form a row suffix, and an
+// empty suffix is valid).
+func Default() *Table {
+	t := &Table{Source: "default"}
+	for i := 0; i < DegBuckets; i++ {
+		for j := 0; j < RatioBuckets; j++ {
+			t.Kernels[i][j] = defaultKernel(i, j)
+		}
+	}
+	return t
+}
+
+func defaultKernel(i, j int) Kernel {
+	if i < 2 && j == 0 { // min-degree 1..3, same bit length
+		return KernelMerge
+	}
+	return KernelBitmap
+}
+
+// Validate checks table coherence: every bucket holds a known kernel and,
+// per min-degree row, the gallop cells form a suffix of the ratio axis
+// (possibly empty) — once the skew is extreme enough that galloping wins,
+// more skew cannot un-win it. Calibrated tables are smoothed to this
+// invariant; hand-built tables are rejected when they violate it.
+func (t *Table) Validate() error {
+	for i := 0; i < DegBuckets; i++ {
+		gallopFrom := -1
+		for j := 0; j < RatioBuckets; j++ {
+			k := t.Kernels[i][j]
+			if int(k) >= NumKernels {
+				return fmt.Errorf("adaptive: bucket (%d,%d) holds invalid kernel %d", i, j, int(k))
+			}
+			if k == KernelGallop {
+				if gallopFrom < 0 {
+					gallopFrom = j
+				}
+			} else if gallopFrom >= 0 {
+				return fmt.Errorf("adaptive: row %d is not monotone: %v at ratio bucket %d after gallop at %d",
+					i, k, j, gallopFrom)
+			}
+		}
+	}
+	return nil
+}
+
+// tableJSON is the wire form of a Table: explicit bucket counts so a
+// reader can reject a grid from a different build, and kernel names
+// instead of enum ordinals so the file survives enum reordering.
+type tableJSON struct {
+	Source       string     `json:"source"`
+	DegBuckets   int        `json:"deg_buckets"`
+	RatioBuckets int        `json:"ratio_buckets"`
+	Kernels      [][]Kernel `json:"kernels"`
+}
+
+// MarshalJSON encodes the table with kernel names and bucket geometry.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	w := tableJSON{
+		Source:       t.Source,
+		DegBuckets:   DegBuckets,
+		RatioBuckets: RatioBuckets,
+		Kernels:      make([][]Kernel, DegBuckets),
+	}
+	for i := range t.Kernels {
+		w.Kernels[i] = append([]Kernel(nil), t.Kernels[i][:]...)
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes and shape-checks a table; the result still needs
+// Validate before use if it came from an untrusted source.
+func (t *Table) UnmarshalJSON(b []byte) error {
+	var w tableJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	if w.DegBuckets != DegBuckets || w.RatioBuckets != RatioBuckets {
+		return fmt.Errorf("adaptive: table is %dx%d buckets, want %dx%d",
+			w.DegBuckets, w.RatioBuckets, DegBuckets, RatioBuckets)
+	}
+	if len(w.Kernels) != DegBuckets {
+		return fmt.Errorf("adaptive: table has %d rows, want %d", len(w.Kernels), DegBuckets)
+	}
+	var out Table
+	out.Source = w.Source
+	for i, row := range w.Kernels {
+		if len(row) != RatioBuckets {
+			return fmt.Errorf("adaptive: row %d has %d columns, want %d", i, len(row), RatioBuckets)
+		}
+		copy(out.Kernels[i][:], row)
+	}
+	*t = out
+	return nil
+}

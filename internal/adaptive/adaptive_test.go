@@ -1,0 +1,178 @@
+package adaptive
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestKernelNamesRoundTrip(t *testing.T) {
+	for k := Kernel(0); int(k) < NumKernels; k++ {
+		got, err := KernelByName(k.String())
+		if err != nil {
+			t.Fatalf("KernelByName(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Errorf("KernelByName(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if _, err := KernelByName("simd"); err == nil {
+		t.Error("KernelByName accepted an unknown name")
+	}
+	if !strings.Contains(Kernel(200).String(), "200") {
+		t.Error("out-of-range kernel stringer should name the ordinal")
+	}
+}
+
+func TestDefaultTableValidates(t *testing.T) {
+	dt := Default()
+	if err := dt.Validate(); err != nil {
+		t.Fatalf("default table invalid: %v", err)
+	}
+	if dt.Source != "default" {
+		t.Errorf("source = %q, want default", dt.Source)
+	}
+}
+
+// TestLookupBuckets pins the bucket arithmetic: degrees land in the log2
+// row of their smaller side and the log2 column of their exponent gap,
+// saturating at the grid edge, in either argument order.
+func TestLookupBuckets(t *testing.T) {
+	var tb Table
+	for i := range tb.Kernels {
+		for j := range tb.Kernels[i] {
+			// Encode the bucket coordinates into distinct kernels modulo
+			// the enum size, so a lookup landing in the wrong bucket is
+			// very likely to read a different kernel.
+			tb.Kernels[i][j] = Kernel((i*RatioBuckets + j) % NumKernels)
+		}
+	}
+	cases := []struct {
+		da, db int64
+		i, j   int
+	}{
+		{1, 1, 0, 0},
+		{0, 5, 0, 2},                          // clamped empty side, ratio 5/1 -> gap 2
+		{3, 3, 1, 0},                          // min-degree 3 -> row 1
+		{8, 8, 3, 0},                          // min 8 -> row 3
+		{8, 15, 3, 0},                         // same bit length: gap 0
+		{8, 16, 3, 1},                         // one exponent apart
+		{1 << 20, 1 << 20, DegBuckets - 1, 0}, // row saturation
+		{2, 1 << 30, 1, RatioBuckets - 1},     // column saturation
+		{1 << 30, 2, 1, RatioBuckets - 1},     // order-independent
+		{70, 300, 6, 2},                       // 70 in [64,128), gap 8-6=2
+	}
+	for _, c := range cases {
+		want := tb.Kernels[c.i][c.j]
+		if got := tb.Lookup(c.da, c.db); got != want {
+			t.Errorf("Lookup(%d,%d) = %v, want bucket (%d,%d) = %v",
+				c.da, c.db, got, c.i, c.j, want)
+		}
+		if got := tb.Lookup(c.db, c.da); got != want {
+			t.Errorf("Lookup(%d,%d) (swapped) = %v, want %v", c.db, c.da, got, want)
+		}
+	}
+}
+
+func TestValidateRejectsNonMonotoneRow(t *testing.T) {
+	tb := Default()
+	// Plant a non-gallop cell after a gallop cell in a row whose tail is
+	// gallop (row 0 ends in gallop in the default table).
+	tb.Kernels[0][RatioBuckets-2] = KernelGallop
+	tb.Kernels[0][RatioBuckets-1] = KernelMerge
+	if err := tb.Validate(); err == nil {
+		t.Fatal("Validate accepted merge after gallop in one row")
+	}
+	tb2 := Default()
+	tb2.Kernels[3][4] = Kernel(99)
+	if err := tb2.Validate(); err == nil {
+		t.Fatal("Validate accepted an out-of-range kernel")
+	}
+}
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	dt := Default()
+	b, err := json.Marshal(dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"bitmap"`) || !strings.Contains(string(b), `"deg_buckets"`) {
+		t.Fatalf("wire form missing kernel names or geometry: %s", b)
+	}
+	var got Table
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != *dt {
+		t.Error("JSON round trip changed the table")
+	}
+}
+
+func TestTableJSONRejectsWrongGeometry(t *testing.T) {
+	var tb Table
+	if err := json.Unmarshal([]byte(`{"source":"x","deg_buckets":4,"ratio_buckets":12,"kernels":[]}`), &tb); err == nil {
+		t.Error("accepted a table with foreign bucket geometry")
+	}
+	if err := json.Unmarshal([]byte(`{"source":"x"}`), &tb); err == nil {
+		t.Error("accepted a table with no grid")
+	}
+}
+
+// TestCalibrateProducesValidTable runs a tiny real calibration and checks
+// the emitted table passes the same gate cnc -calibrate relies on: every
+// bucket populated with a known kernel and monotone gallop crossovers.
+func TestCalibrateProducesValidTable(t *testing.T) {
+	tb, err := Calibrate(Options{
+		MaxDegBucket:   4,
+		MaxRatioBucket: 3,
+		MinTime:        2 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Validate(); err != nil {
+		t.Fatalf("calibrated table invalid: %v", err)
+	}
+	if tb.Source != "calibrated" {
+		t.Errorf("source = %q, want calibrated", tb.Source)
+	}
+}
+
+func TestCalibrateIsDeterministicInShape(t *testing.T) {
+	// Timing winners may vary run to run, but the grid must always be
+	// fully populated and the extrapolated region must copy the measured
+	// edge: row MaxDegBucket+1.. equals row MaxDegBucket exactly.
+	tb, err := Calibrate(Options{MaxDegBucket: 3, MaxRatioBucket: 2, MinTime: 2 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 4; i < DegBuckets; i++ {
+		if tb.Kernels[i] != tb.Kernels[3] {
+			t.Fatalf("row %d not copied from last measured row", i)
+		}
+	}
+	for i := 0; i <= 3; i++ {
+		for j := 3; j < RatioBuckets; j++ {
+			if tb.Kernels[i][j] != tb.Kernels[i][2] {
+				t.Fatalf("cell (%d,%d) = %v not extrapolated from (%d,2) = %v",
+					i, j, tb.Kernels[i][j], i, tb.Kernels[i][2])
+			}
+		}
+	}
+}
+
+func TestSmoothRowForcesGallopSuffix(t *testing.T) {
+	var row [RatioBuckets]Kernel
+	row[0] = KernelBlock
+	row[1] = KernelGallop
+	row[2] = KernelBitmap // noisy non-gallop winner after gallop
+	row[3] = KernelGallop
+	smoothRow(&row, 3)
+	want := [4]Kernel{KernelBlock, KernelGallop, KernelGallop, KernelGallop}
+	for j, k := range want {
+		if row[j] != k {
+			t.Errorf("row[%d] = %v, want %v", j, row[j], k)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package adaptive
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cncount/internal/bitmap"
+	"cncount/internal/intersect"
+)
+
+// Options tunes Calibrate. The zero value measures a grid that covers the
+// degree range of the generator profiles in well under a second.
+type Options struct {
+	// MaxDegBucket is the highest min-degree row measured directly; rows
+	// above it copy the last measured row (the crossover structure is flat
+	// in the saturated region). <= 0 uses 10 (min-degree ~1k).
+	MaxDegBucket int
+
+	// MaxRatioBucket is the highest ratio column measured directly; columns
+	// beyond it copy the last measured column per row. <= 0 uses 7
+	// (ratio ~128).
+	MaxRatioBucket int
+
+	// MinTime is the measurement budget per (bucket, kernel) cell; the
+	// timer doubles the iteration count until one batch exceeds it.
+	// <= 0 uses 30µs.
+	MinTime time.Duration
+
+	// Reuse is the assumed number of intersections amortizing one index
+	// build for the hash and bitmap kernels. In Algorithm 3 a worker drains
+	// contiguous edge slabs, so the index of source u is reused for roughly
+	// the half of u's d_u edges with u < v. <= 0 derives it per cell as
+	// dLong/2, capped at 256 for task-boundary effects.
+	Reuse int
+
+	// Seed drives the deterministic synthetic-list generator. 0 uses 1.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxDegBucket <= 0 {
+		o.MaxDegBucket = 10
+	}
+	if o.MaxDegBucket >= DegBuckets {
+		o.MaxDegBucket = DegBuckets - 1
+	}
+	if o.MaxRatioBucket <= 0 {
+		o.MaxRatioBucket = 7
+	}
+	if o.MaxRatioBucket >= RatioBuckets {
+		o.MaxRatioBucket = RatioBuckets - 1
+	}
+	if o.MinTime <= 0 {
+		o.MinTime = 30 * time.Microsecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// maxListLen caps the synthetic long-list length so a high-degree,
+// high-ratio cell cannot blow the calibration budget; cells whose nominal
+// lengths exceed it inherit the last measured neighbor instead.
+const maxListLen = 1 << 17
+
+// Sink defeats dead-code elimination of the timed kernels; the compiler
+// cannot prove the global store redundant.
+var Sink uint32
+
+// Calibrate measures the five kernels on synthetic sorted lists at each
+// (min-degree, degree-ratio) bucket, picks the cheapest per bucket, smooths
+// the winners to the gallop-suffix invariant, and extrapolates the
+// unmeasured edge of the grid. The returned table always passes Validate.
+//
+// The measurement charges the index kernels their maintenance: every
+// Reuse-th timed iteration rebuilds the hash index or flip-clears and
+// resets the bitmap, the same amortization Algorithm 3's thread-local
+// index reuse provides.
+func Calibrate(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{Source: "calibrated"}
+	rng := rand.New(rand.NewSource(o.Seed))
+
+	for i := 0; i <= o.MaxDegBucket; i++ {
+		// Midpoint of the row's min-degree range: 1.5 * 2^i.
+		dShort := 1<<uint(i) + 1<<uint(i)/2
+		if dShort < 1 {
+			dShort = 1
+		}
+		for j := 0; j <= o.MaxRatioBucket; j++ {
+			dLong := dShort << uint(j)
+			if dLong > maxListLen {
+				// Too big to measure: inherit the previous ratio column
+				// (extrapolateRow fills anything left over).
+				if j > 0 {
+					t.Kernels[i][j] = t.Kernels[i][j-1]
+				}
+				continue
+			}
+			t.Kernels[i][j] = measureCell(rng, dShort, dLong, o)
+		}
+		smoothRow(&t.Kernels[i], o.MaxRatioBucket)
+		extrapolateRow(&t.Kernels[i], o.MaxRatioBucket)
+	}
+	for i := o.MaxDegBucket + 1; i < DegBuckets; i++ {
+		t.Kernels[i] = t.Kernels[o.MaxDegBucket]
+	}
+
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("adaptive: calibration produced an invalid table: %w", err)
+	}
+	return t, nil
+}
+
+// measureCell times every kernel on one synthetic (dShort, dLong) pair and
+// returns the cheapest.
+func measureCell(rng *rand.Rand, dShort, dLong int, o Options) Kernel {
+	// Both lists are drawn from a universe 4x the long list, giving the
+	// ~25% match density of a clustered graph neighborhood; what matters
+	// for the crossovers is that every kernel sees the same pair.
+	universe := uint32(4 * dLong)
+	long := sortedList(rng, dLong, universe)
+	short := sortedList(rng, dShort, universe)
+	// The gap walk can overshoot the nominal universe; the bitmap must
+	// cover the largest value actually drawn on either side.
+	bmSize := long[len(long)-1]
+	if last := short[len(short)-1]; last > bmSize {
+		bmSize = last
+	}
+	bmSize++
+
+	reuse := o.Reuse
+	if reuse <= 0 {
+		reuse = dLong / 2
+		if reuse < 1 {
+			reuse = 1
+		}
+		if reuse > 256 {
+			reuse = 256
+		}
+	}
+
+	h := intersect.NewHashIndex(dLong)
+	bm := bitmap.New(bmSize)
+	var nanos [NumKernels]float64
+	nanos[KernelMerge] = timeOp(o.MinTime, func(int) uint32 {
+		return intersect.Merge(short, long)
+	})
+	nanos[KernelBlock] = timeOp(o.MinTime, func(int) uint32 {
+		return intersect.BlockMerge8(short, long)
+	})
+	nanos[KernelGallop] = timeOp(o.MinTime, func(int) uint32 {
+		return intersect.PivotSkip(short, long)
+	})
+	nanos[KernelHash] = timeOp(o.MinTime, func(it int) uint32 {
+		if it%reuse == 0 {
+			h.Rebuild(long)
+		}
+		return intersect.HashCount(h, short)
+	})
+	prev := []uint32(nil)
+	nanos[KernelBitmap] = timeOp(o.MinTime, func(it int) uint32 {
+		if it%reuse == 0 {
+			bm.ClearList(prev)
+			bm.SetList(long)
+			prev = long
+		}
+		return intersect.Bitmap(bm, short)
+	})
+
+	best := KernelMerge
+	for k := Kernel(1); int(k) < NumKernels; k++ {
+		if nanos[k] < nanos[best] {
+			best = k
+		}
+	}
+	return best
+}
+
+// timeOp returns the mean nanoseconds of f, doubling the batch size until
+// one batch runs at least minTime.
+func timeOp(minTime time.Duration, f func(iter int) uint32) float64 {
+	for iters := 1; ; iters *= 2 {
+		start := time.Now()
+		var sink uint32
+		for i := 0; i < iters; i++ {
+			sink += f(i)
+		}
+		elapsed := time.Since(start)
+		Sink += sink
+		if elapsed >= minTime {
+			return float64(elapsed.Nanoseconds()) / float64(iters)
+		}
+	}
+}
+
+// sortedList draws n strictly increasing uint32s spread across [0,
+// universe) by walking random gaps, the shape of a sorted adjacency list.
+func sortedList(rng *rand.Rand, n int, universe uint32) []uint32 {
+	out := make([]uint32, n)
+	maxGap := int(universe)/n + 1
+	v := 0
+	for i := range out {
+		v += 1 + rng.Intn(maxGap)
+		out[i] = uint32(v)
+	}
+	return out
+}
+
+// smoothRow forces the gallop-suffix invariant on one measured row: from
+// the first measured column where galloping won, galloping is kept for the
+// rest of the row; an isolated noisy gallop win earlier than a non-gallop
+// winner cannot occur after this pass.
+func smoothRow(row *[RatioBuckets]Kernel, maxJ int) {
+	for j := 0; j <= maxJ; j++ {
+		if row[j] == KernelGallop {
+			for ; j <= maxJ; j++ {
+				row[j] = KernelGallop
+			}
+			return
+		}
+	}
+}
+
+// extrapolateRow fills the unmeasured high-ratio columns with the last
+// measured winner, preserving the suffix invariant.
+func extrapolateRow(row *[RatioBuckets]Kernel, maxJ int) {
+	for j := maxJ + 1; j < RatioBuckets; j++ {
+		row[j] = row[maxJ]
+	}
+}

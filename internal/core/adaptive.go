@@ -1,0 +1,225 @@
+package core
+
+import (
+	"time"
+
+	"cncount/internal/adaptive"
+	"cncount/internal/graph"
+	"cncount/internal/intersect"
+	"cncount/internal/metrics"
+)
+
+// kernelSampleEvery is the sampling stride of the per-kernel timing:
+// every 256th selection of a kernel family is timed with a time.Now pair.
+// Sampling keeps the per-kernel nanos observable on /metrics without
+// paying two clock reads per edge — at ~25ns per vdso clock read, even a
+// stride of 32 costs more than a nanosecond per edge on L1-resident
+// graphs, which would sink the very win the dispatcher exists to deliver.
+// Power of two so the stride test is a mask.
+const kernelSampleEvery = 256
+
+// fastSampleSrcs is the sampling stride of the bitmap fast path: the
+// first probe of every 64th fast-path source is timed. Fast-path edges
+// never consult their selection counter (the tally is a plain increment),
+// so the sample trigger rides the per-source counter instead — the stride
+// check runs once per source, not once per edge. Power of two for the
+// mask test.
+const fastSampleSrcs = 64
+
+// makeAdaptiveKernel builds AlgoAdaptive's per-edge ComputeCnt: look the
+// edge's (min-degree, degree-ratio) pair up in the crossover table and run
+// the winning kernel, reusing the worker's thread-local bitmap and hash
+// index across consecutive edges of the same source vertex exactly as
+// Algorithm 3's BMP path does.
+func makeAdaptiveKernel(g *graph.CSR, opts Options) func(*workerCtx, uint32, uint32) uint32 {
+	table := opts.Calibration
+	lanes := opts.Lanes
+	// Precompute every vertex's degree bit length once (setup phase, O(V)).
+	// The per-edge dispatch then reads one byte per endpoint from a small
+	// read-only array instead of two 8-byte CSR offset loads plus a bit
+	// scan — on profile graphs the whole array stays cache-resident.
+	lens := make([]uint8, g.NumVertices())
+	for u := range lens {
+		lens[u] = uint8(adaptive.DegLen(g.Degree(uint32(u))))
+	}
+	// bitmapDiag[l] reports that a source vertex with degree bit length l
+	// dispatches to the bitmap probe no matter what the other endpoint's
+	// degree is — every table cell reachable from l lies on its
+	// anti-diagonal and suffix, and all of them are bitmap. Such sources
+	// (on the profile graphs, every hub) refresh the bitmap once, up
+	// front, instead of consulting the table per edge.
+	var bitmapDiag [66]bool
+	for lu := 1; lu <= 64; lu++ {
+		all := true
+		for lv := 1; lv <= 64 && all; lv++ {
+			all = table.LookupLens(lu, lv) == adaptive.KernelBitmap
+		}
+		bitmapDiag[lu] = all
+	}
+	dispatch := func(u, v uint32) adaptive.Kernel {
+		return table.LookupLens(int(lens[u]), int(lens[v]))
+	}
+	if opts.CollectWork {
+		return func(ctx *workerCtx, u, v uint32) uint32 {
+			k := dispatch(u, v)
+			ctx.kernelSel[k]++
+			return runAdaptiveStats(g, ctx, u, v, k, lanes)
+		}
+	}
+	// The hot path keys on ctx.pu, the vertex whose neighbors the
+	// worker's bitmap currently indexes: when pu == u the probe is
+	// unconditionally correct for any (u, v) — the bitmap holds exactly
+	// N(u) — and no dispatched kernel is cheaper than d_v L1-resident
+	// bit tests, so the table is not even consulted. pu is maintained by
+	// refreshBitmap itself, so the check can never go stale no matter
+	// how work stealing interleaves sources. Steady state per edge is
+	// one compare and the probe — strictly cheaper than plain BMP, which
+	// re-enters refreshBitmap on every edge just to find pu unchanged.
+	// Fast-path probes are not tallied per edge; addAdaptiveCounters
+	// recovers them as kernelCalls minus the dispatched tallies.
+	const kb = adaptive.KernelBitmap
+	if !opts.Metrics.Enabled() {
+		return func(ctx *workerCtx, u, v uint32) uint32 {
+			if ctx.pu == int64(u) {
+				return intersect.Bitmap(ctx.bm, g.Neighbors(v))
+			}
+			if bitmapDiag[lens[u]] {
+				refreshBitmap(g, ctx, u, false)
+				return intersect.Bitmap(ctx.bm, g.Neighbors(v))
+			}
+			k := dispatch(u, v)
+			if k == kb {
+				refreshBitmap(g, ctx, u, false)
+				return intersect.Bitmap(ctx.bm, g.Neighbors(v))
+			}
+			return runAdaptive(g, ctx, u, v, k, lanes)
+		}
+	}
+	return func(ctx *workerCtx, u, v uint32) uint32 {
+		if ctx.pu == int64(u) {
+			return intersect.Bitmap(ctx.bm, g.Neighbors(v))
+		}
+		if bitmapDiag[lens[u]] {
+			refreshBitmap(g, ctx, u, false)
+			ctx.fastSrcs++
+			if ctx.fastSrcs&(fastSampleSrcs-1) == 1 {
+				start := time.Now()
+				c := intersect.Bitmap(ctx.bm, g.Neighbors(v))
+				ctx.kernelSampleNanos[kb] += uint64(time.Since(start))
+				ctx.kernelSamples[kb]++
+				return c
+			}
+			return intersect.Bitmap(ctx.bm, g.Neighbors(v))
+		}
+		k := dispatch(u, v)
+		ctx.kernelSel[k]++
+		if ctx.kernelSel[k]&(kernelSampleEvery-1) == 1 {
+			start := time.Now()
+			c := runAdaptive(g, ctx, u, v, k, lanes)
+			ctx.kernelSampleNanos[k] += uint64(time.Since(start))
+			ctx.kernelSamples[k]++
+			return c
+		}
+		if k == kb {
+			refreshBitmap(g, ctx, u, false)
+			return intersect.Bitmap(ctx.bm, g.Neighbors(v))
+		}
+		return runAdaptive(g, ctx, u, v, k, lanes)
+	}
+}
+
+// runAdaptive executes one dispatched intersection.
+func runAdaptive(g *graph.CSR, ctx *workerCtx, u, v uint32, k adaptive.Kernel, lanes int) uint32 {
+	switch k {
+	case adaptive.KernelMerge:
+		return intersect.Merge(g.Neighbors(u), g.Neighbors(v))
+	case adaptive.KernelBlock:
+		if lanes == intersect.LanesAVX2 {
+			return intersect.BlockMerge8(g.Neighbors(u), g.Neighbors(v))
+		}
+		return intersect.BlockMerge(g.Neighbors(u), g.Neighbors(v), lanes)
+	case adaptive.KernelGallop:
+		return intersect.PivotSkip(g.Neighbors(u), g.Neighbors(v))
+	case adaptive.KernelHash:
+		refreshHash(g, ctx, u, false)
+		return intersect.HashCount(ctx.hash, g.Neighbors(v))
+	default: // adaptive.KernelBitmap
+		refreshBitmap(g, ctx, u, false)
+		return intersect.Bitmap(ctx.bm, g.Neighbors(v))
+	}
+}
+
+// runAdaptiveStats is runAdaptive through the instrumented kernels.
+func runAdaptiveStats(g *graph.CSR, ctx *workerCtx, u, v uint32, k adaptive.Kernel, lanes int) uint32 {
+	switch k {
+	case adaptive.KernelMerge:
+		return intersect.MergeStats(g.Neighbors(u), g.Neighbors(v), &ctx.work)
+	case adaptive.KernelBlock:
+		return intersect.BlockMergeStats(g.Neighbors(u), g.Neighbors(v), lanes, &ctx.work)
+	case adaptive.KernelGallop:
+		return intersect.PivotSkipStats(g.Neighbors(u), g.Neighbors(v), &ctx.work)
+	case adaptive.KernelHash:
+		refreshHash(g, ctx, u, true)
+		return intersect.HashCountStats(ctx.hash, g.Neighbors(v), &ctx.work)
+	default: // adaptive.KernelBitmap
+		refreshBitmap(g, ctx, u, true)
+		return intersect.BitmapStats(ctx.bm, g.Neighbors(v), &ctx.work)
+	}
+}
+
+// refreshHash is refreshBitmap for the per-worker hash index: when the
+// processed source vertex changes, rebuild the open-addressing table over
+// N(u). Unlike the bitmap's flip-clear, a rebuild rewrites the whole
+// table, but the table is only O(d_u) so the streaming cost matches one
+// pass over the neighbor list.
+func refreshHash(g *graph.CSR, ctx *workerCtx, u uint32, collect bool) {
+	if ctx.hu == int64(u) {
+		return
+	}
+	nu := g.Neighbors(u)
+	ctx.hash.Rebuild(nu)
+	if collect {
+		ctx.work.RandomAccesses += uint64(len(nu))
+		ctx.work.BytesStreamed += uint64(len(nu)) * 4
+	}
+	ctx.hu = int64(u)
+}
+
+// addAdaptiveCounters folds the per-worker dispatch tallies into the
+// collector: core.adaptive_select_<kernel> counts every executed kernel,
+// and the sample pair core.adaptive_sample_nanos_<kernel> /
+// core.adaptive_samples_<kernel> gives the sampled mean kernel cost
+// (divide the former by the latter). Kernels the table never picked on
+// this graph emit nothing. Fast-path bitmap probes are deliberately not
+// tallied per edge (the hot path is one compare and the probe); they are
+// recovered here as the worker's kernel-call count minus its dispatched
+// tallies, so the selection counters still sum exactly to
+// core.kernel_calls_ADAPT.
+func addAdaptiveCounters(mc *metrics.Collector, contexts []workerCtx) {
+	for k := 0; k < adaptive.NumKernels; k++ {
+		var sel, nanos, samples uint64
+		for i := range contexts {
+			sel += contexts[i].kernelSel[k]
+			nanos += contexts[i].kernelSampleNanos[k]
+			samples += contexts[i].kernelSamples[k]
+		}
+		if adaptive.Kernel(k) == adaptive.KernelBitmap {
+			for i := range contexts {
+				fast := contexts[i].kernelCalls
+				for j := 0; j < adaptive.NumKernels; j++ {
+					fast -= contexts[i].kernelSel[j]
+				}
+				sel += fast
+			}
+		}
+		if sel == 0 {
+			continue
+		}
+		name := adaptive.Kernel(k).String()
+		mc.Add("core.adaptive_select_"+name, sel)
+		if samples > 0 {
+			mc.Add("core.adaptive_sample_nanos_"+name, nanos)
+			mc.Add("core.adaptive_samples_"+name, samples)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"cncount/internal/adaptive"
+	"cncount/internal/gen"
+	"cncount/internal/graph"
+	"cncount/internal/metrics"
+	"cncount/internal/verify"
+)
+
+// TestAdaptiveMatchesFixedKernelsOnProfiles is the tentpole equality gate:
+// on every generator profile, the adaptive dispatcher must produce the
+// exact count array of MPS and BMP, under work stealing (small tasks, more
+// workers than cores) and on the degree-reordered graph the bitmap path
+// expects. Run under -race this also pins that the per-worker hash index
+// and bitmap never leak across workers.
+func TestAdaptiveMatchesFixedKernelsOnProfiles(t *testing.T) {
+	for _, p := range gen.Profiles {
+		g0, err := p.Generate(0.05)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		g, _ := graph.ReorderByDegree(g0)
+		opts := Options{Threads: 8, TaskSize: 32}
+
+		opts.Algorithm = AlgoMPS
+		mps, err := Count(g, opts)
+		if err != nil {
+			t.Fatalf("%s/MPS: %v", p.Name, err)
+		}
+		opts.Algorithm = AlgoBMP
+		bmp, err := Count(g, opts)
+		if err != nil {
+			t.Fatalf("%s/BMP: %v", p.Name, err)
+		}
+		opts.Algorithm = AlgoAdaptive
+		ad, err := Count(g, opts)
+		if err != nil {
+			t.Fatalf("%s/ADAPT: %v", p.Name, err)
+		}
+
+		for e := range mps.Counts {
+			if ad.Counts[e] != mps.Counts[e] || ad.Counts[e] != bmp.Counts[e] {
+				t.Fatalf("%s: cnt[%d]: adaptive %d, mps %d, bmp %d",
+					p.Name, e, ad.Counts[e], mps.Counts[e], bmp.Counts[e])
+			}
+		}
+		// Symmetry: every reverse offset carries the same count.
+		for u := 0; u < g.NumVertices(); u++ {
+			for i, v := range g.Neighbors(uint32(u)) {
+				e := g.Off[u] + int64(i)
+				rev, ok := g.EdgeOffset(v, uint32(u))
+				if !ok {
+					t.Fatalf("%s: missing reverse edge (%d,%d)", p.Name, v, u)
+				}
+				if ad.Counts[e] != ad.Counts[rev] {
+					t.Fatalf("%s: asymmetric counts at (%d,%d): %d vs %d",
+						p.Name, u, v, ad.Counts[e], ad.Counts[rev])
+				}
+			}
+		}
+	}
+}
+
+// TestAdaptiveSelectionCounters asserts the per-kernel dispatch tallies
+// reach the metrics snapshot and sum to the kernel-call count, and that
+// the sampled per-kernel timing appears for at least the dominant kernel.
+func TestAdaptiveSelectionCounters(t *testing.T) {
+	g := randomGraph(t, 7, 400, 6000)
+	mc := metrics.New()
+	res, err := Count(g, Options{Algorithm: AlgoAdaptive, Threads: 4, TaskSize: 64, Metrics: mc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.CheckCounts(g, res.Counts); err != nil {
+		t.Fatal(err)
+	}
+	snap := mc.Snapshot()
+	var sel, samples uint64
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "core.adaptive_select_") {
+			if _, err := adaptive.KernelByName(strings.TrimPrefix(name, "core.adaptive_select_")); err != nil {
+				t.Errorf("counter %q does not name a kernel: %v", name, err)
+			}
+			sel += v
+		}
+		if strings.HasPrefix(name, "core.adaptive_samples_") {
+			samples += v
+		}
+	}
+	if sel == 0 {
+		t.Fatal("no core.adaptive_select_* counters in snapshot")
+	}
+	if kernels := snap.Counters["core.kernel_calls_ADAPT"]; sel != kernels {
+		t.Errorf("selection counters sum to %d, want kernel calls %d", sel, kernels)
+	}
+	if samples == 0 {
+		t.Error("no sampled per-kernel timing recorded with metrics enabled")
+	}
+	for name := range snap.Counters {
+		if strings.HasPrefix(name, "core.adaptive_sample_nanos_") {
+			k := strings.TrimPrefix(name, "core.adaptive_sample_nanos_")
+			if snap.Counters["core.adaptive_samples_"+k] == 0 {
+				t.Errorf("nanos counter %q has no matching sample count", name)
+			}
+		}
+	}
+}
+
+// TestAdaptiveCustomTable forces every bucket to one kernel family and
+// checks counts stay exact — exercising the hash and gallop paths that the
+// default table may rarely pick on a small random graph — and that the
+// selection counter names the forced family exclusively.
+func TestAdaptiveCustomTable(t *testing.T) {
+	g := randomGraph(t, 8, 300, 4000)
+	want, err := Count(g, Options{Algorithm: AlgoM, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := adaptive.Kernel(0); int(k) < adaptive.NumKernels; k++ {
+		tb := &adaptive.Table{Source: "test"}
+		for i := range tb.Kernels {
+			for j := range tb.Kernels[i] {
+				tb.Kernels[i][j] = k
+			}
+		}
+		mc := metrics.New()
+		res, err := Count(g, Options{Algorithm: AlgoAdaptive, Calibration: tb, Threads: 3, TaskSize: 128, Metrics: mc})
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		for e := range want.Counts {
+			if res.Counts[e] != want.Counts[e] {
+				t.Fatalf("%v: cnt[%d] = %d, want %d", k, e, res.Counts[e], want.Counts[e])
+			}
+		}
+		snap := mc.Snapshot()
+		if snap.Counters["core.adaptive_select_"+k.String()] == 0 {
+			t.Errorf("%v: forced kernel has zero selections", k)
+		}
+		for other := adaptive.Kernel(0); int(other) < adaptive.NumKernels; other++ {
+			if other != k && snap.Counters["core.adaptive_select_"+other.String()] != 0 {
+				t.Errorf("%v: unexpected selections of %v", k, other)
+			}
+		}
+	}
+}
+
+// TestAdaptiveCollectWork drives the instrumented dispatch path and checks
+// it records work while preserving exact counts.
+func TestAdaptiveCollectWork(t *testing.T) {
+	g := randomGraph(t, 9, 250, 3000)
+	res, err := Count(g, Options{Algorithm: AlgoAdaptive, Threads: 2, TaskSize: 64, CollectWork: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.CheckCounts(g, res.Counts); err != nil {
+		t.Fatal(err)
+	}
+	if res.Work.Intersections == 0 {
+		t.Error("CollectWork recorded no intersections")
+	}
+}
+
+// TestAdaptiveRejectsInvalidTable: a non-monotone hand-built table must be
+// rejected by option validation, not silently dispatched.
+func TestAdaptiveRejectsInvalidTable(t *testing.T) {
+	tb := adaptive.Default()
+	tb.Kernels[0][adaptive.RatioBuckets-2] = adaptive.KernelGallop
+	tb.Kernels[0][adaptive.RatioBuckets-1] = adaptive.KernelMerge // after gallop
+	g := randomGraph(t, 10, 50, 200)
+	if _, err := Count(g, Options{Algorithm: AlgoAdaptive, Calibration: tb}); err == nil {
+		t.Fatal("Count accepted a non-monotone calibration table")
+	}
+}
+
+// TestAdaptiveBudgetDowngrade: the adaptive dispatcher carries BMP's
+// per-worker bitmap, so the memory budget demotes it to MPS the same way.
+func TestAdaptiveBudgetDowngrade(t *testing.T) {
+	g := randomGraph(t, 11, 1000, 4000)
+	res, err := Count(g, Options{Algorithm: AlgoAdaptive, Threads: 4, MemoryBudgetBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Downgraded || res.Algorithm != AlgoMPS {
+		t.Fatalf("Downgraded = %v, Algorithm = %v; want downgrade to MPS", res.Downgraded, res.Algorithm)
+	}
+	if err := verify.CheckCounts(g, res.Counts); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"time"
 
+	"cncount/internal/adaptive"
 	"cncount/internal/bitmap"
 	"cncount/internal/graph"
 	"cncount/internal/intersect"
@@ -56,11 +57,23 @@ type workerCtx struct {
 	finder *graph.SrcFinder
 	bm     *bitmap.Bitmap
 	rf     *bitmap.RangeFiltered
+	hash   *intersect.HashIndex
 	pu     int64 // last vertex whose neighbors the bitmap indexes; -1 = none
-	work   stats.Work
+	hu     int64 // last vertex whose neighbors the hash index holds; -1 = none
+	// fastSrcs counts the adaptive dispatcher's fast-path sources seen,
+	// driving the once-per-fastSampleSrcs timing sample of the bitmap
+	// probe (adaptive.go).
+	fastSrcs uint64
+	work     stats.Work
 	// kernelCalls counts intersections this worker computed (edges with
 	// u < v); tallied only when Options.Metrics is set.
 	kernelCalls uint64
+	// Adaptive dispatch tallies (AlgoAdaptive only): kernelSel counts
+	// selections per kernel family; the sample fields hold the sampled
+	// per-kernel timing described in adaptive.go.
+	kernelSel         [adaptive.NumKernels]uint64
+	kernelSampleNanos [adaptive.NumKernels]uint64
+	kernelSamples     [adaptive.NumKernels]uint64
 	// pad prevents false sharing between adjacent worker contexts in the
 	// contexts slice when workers write their work tallies.
 	_ [64]byte
@@ -115,11 +128,18 @@ func Count(g *graph.CSR, opts Options) (*Result, error) {
 	for i := range contexts {
 		contexts[i].finder = graph.NewSrcFinder(g)
 		contexts[i].pu = -1
+		contexts[i].hu = -1
 		switch opts.Algorithm {
 		case AlgoBMP:
 			contexts[i].bm = bitmap.New(numV)
 		case AlgoBMPRF:
 			contexts[i].rf = bitmap.NewRangeFiltered(numV, opts.RangeScale)
+		case AlgoAdaptive:
+			// The dispatcher may pick the bitmap or hash probe for any
+			// edge, so both indexes exist up front; the hash table starts
+			// minimal and grows to the largest indexed neighbor list.
+			contexts[i].bm = bitmap.New(numV)
+			contexts[i].hash = intersect.NewHashIndex(0)
 		}
 	}
 	stopSetupSpan()
@@ -175,6 +195,9 @@ func Count(g *graph.CSR, opts Options) (*Result, error) {
 		mc.Add("core.edges_scanned", uint64(numEdges))
 		mc.Add("core.kernel_calls_"+opts.Algorithm.String(), kernels)
 		mc.Add("core.symmetric_assignments", kernels)
+		if opts.Algorithm == AlgoAdaptive {
+			addAdaptiveCounters(mc, contexts)
+		}
 	}
 	stopReduceSpan()
 	stopReduce()
@@ -195,7 +218,10 @@ func Count(g *graph.CSR, opts Options) (*Result, error) {
 func indexBytes(o Options, n int64) int64 {
 	words := func(bits int64) int64 { return (bits + 63) / 64 }
 	switch o.Algorithm {
-	case AlgoBMP:
+	case AlgoBMP, AlgoAdaptive:
+		// Adaptive carries the same per-worker bitmap as BMP; its hash
+		// index grows only to the largest indexed neighbor list, which is
+		// noise next to the |V|-bit bitmap.
 		return int64(o.Threads) * words(n) * 8
 	case AlgoBMPRF:
 		ranges := (n + int64(o.RangeScale) - 1) / int64(o.RangeScale)
@@ -290,6 +316,9 @@ func makeKernel(g *graph.CSR, contexts []workerCtx, opts Options) func(*workerCt
 			refreshRF(g, ctx, u, false)
 			return intersect.BitmapRF(ctx.rf, g.Neighbors(v))
 		}
+
+	case AlgoAdaptive:
+		return makeAdaptiveKernel(g, opts)
 	}
 	panic("core: unreachable: options validated")
 }

@@ -292,7 +292,7 @@ func TestCountCompleteGraph(t *testing.T) {
 }
 
 func TestAlgorithmString(t *testing.T) {
-	want := map[Algorithm]string{AlgoM: "M", AlgoMPS: "MPS", AlgoBMP: "BMP", AlgoBMPRF: "BMP-RF"}
+	want := map[Algorithm]string{AlgoM: "M", AlgoMPS: "MPS", AlgoBMP: "BMP", AlgoBMPRF: "BMP-RF", AlgoAdaptive: "ADAPT"}
 	for a, s := range want {
 		if a.String() != s {
 			t.Errorf("%d.String() = %q, want %q", int(a), a.String(), s)

@@ -13,6 +13,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -124,12 +125,40 @@ func (g *CSR) Validate() error {
 	return nil
 }
 
+// VertexRangeError reports a vertex count whose ID space exceeds what the
+// uint32 VertexID can represent. The top ID MaxUint32 is additionally
+// reserved: the file loaders reject it (ReadEdgeList, ReadBinary), and the
+// in-memory constructors must match, because intersect.HashIndex uses
+// ^uint32(0) as its empty-slot sentinel — a graph holding that ID would
+// silently corrupt hash probes rather than fail loudly.
+type VertexRangeError struct {
+	// NumVertices is the rejected vertex count.
+	NumVertices int
+}
+
+func (e *VertexRangeError) Error() string {
+	return fmt.Sprintf("graph: vertex count %d out of range (max %d): vertex ID %d is reserved",
+		e.NumVertices, int64(math.MaxUint32), uint64(math.MaxUint32))
+}
+
+// checkVertexCount rejects vertex counts whose ID space would include the
+// reserved ID MaxUint32, before any count-proportional allocation happens.
+func checkVertexCount(numVertices int) error {
+	if numVertices < 0 {
+		return fmt.Errorf("graph: negative vertex count %d", numVertices)
+	}
+	if int64(numVertices) > math.MaxUint32 {
+		return &VertexRangeError{NumVertices: numVertices}
+	}
+	return nil
+}
+
 // FromEdges builds a CSR from an undirected edge list with numVertices
 // vertices. Self-loops are dropped and duplicate edges are merged. Each
 // surviving undirected edge contributes both directions.
 func FromEdges(numVertices int, edges []Edge) (*CSR, error) {
-	if numVertices < 0 {
-		return nil, fmt.Errorf("graph: negative vertex count %d", numVertices)
+	if err := checkVertexCount(numVertices); err != nil {
+		return nil, err
 	}
 	for _, e := range edges {
 		if int(e.U) >= numVertices || int(e.V) >= numVertices {

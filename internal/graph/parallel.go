@@ -26,8 +26,8 @@ func FromEdgesParallel(numVertices int, edges []Edge, workers int) (*CSR, error)
 // duration per build stage into mc ("graph.build.validate", ".degree",
 // ".scatter", ".sort_dedup", ".compact"). A nil collector records nothing.
 func FromEdgesParallelMetrics(numVertices int, edges []Edge, workers int, mc *metrics.Collector) (*CSR, error) {
-	if numVertices < 0 {
-		return nil, fmt.Errorf("graph: negative vertex count %d", numVertices)
+	if err := checkVertexCount(numVertices); err != nil {
+		return nil, err
 	}
 	stop := mc.StartPhase("graph.build.validate")
 	var bad atomic.Int64

@@ -28,6 +28,14 @@ func FuzzKernelsAgree(f *testing.F) {
 	f.Add([]byte{0, 1, 0, 2}, []byte{0, 2, 0, 3})
 	f.Add([]byte{}, []byte{1, 1})
 	f.Add([]byte{255, 255}, []byte{255, 255})
+	// Corner cases: both empty, one singleton, disjoint ranges, identical
+	// sets — the shapes where off-by-ones in window/gallop/tail handling
+	// live.
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{0, 7}, []byte{})
+	f.Add([]byte{0, 7}, []byte{0, 7})
+	f.Add([]byte{0, 1, 0, 2, 0, 3}, []byte{0, 9, 0, 10, 0, 11})
+	f.Add([]byte{0, 1, 0, 2, 0, 3, 0, 4}, []byte{0, 1, 0, 2, 0, 3, 0, 4})
 	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
 		a := decodeSet(rawA)
 		b := decodeSet(rawB)
@@ -39,6 +47,9 @@ func FuzzKernelsAgree(f *testing.F) {
 			if got := BlockMerge(a, b, lanes); got != want {
 				t.Fatalf("BlockMerge(%d) = %d, want %d", lanes, got, want)
 			}
+		}
+		if got := BlockMerge8(a, b); got != want {
+			t.Fatalf("BlockMerge8 = %d, want %d", got, want)
 		}
 		if got := PivotSkip(a, b); got != want {
 			t.Fatalf("PivotSkip = %d, want %d", got, want)

@@ -53,7 +53,10 @@ func LowerBoundWindow(a []uint32, pivot uint32, window int) int {
 	if hi >= n {
 		hi = n
 	}
-	// Stage 3: binary search in (lo, hi].
+	// Stage 3: binary search in the half-open bracket [lo, hi): a[lo-1] is
+	// known < pivot and a[hi] (when hi < n) is known >= pivot, so the
+	// answer lies in lo..hi inclusive and the standard half-open loop
+	// converges on it.
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
 		if a[mid] < pivot {

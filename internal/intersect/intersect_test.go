@@ -147,6 +147,43 @@ func TestLowerBound(t *testing.T) {
 	}
 }
 
+// TestLowerBoundWindowBoundaries pins the stage-3 bracket semantics at the
+// two edges where an off-by-one would hide: a pivot beyond every element
+// must land at len(a) for any window width (including window < 1, which
+// clamps to a single-element linear stage), and a pivot equal to a[0] must
+// return 0 even when the linear window is degenerate.
+func TestLowerBoundWindowBoundaries(t *testing.T) {
+	a := []uint32{3, 5, 9, 14, 27, 101, 300, 4096, 70000}
+	for _, window := range []int{-5, 0, 1, 2, len(a) - 1, len(a), len(a) + 7, 64} {
+		if got := LowerBoundWindow(a, 70001, window); got != len(a) {
+			t.Errorf("window %d: pivot beyond max: got %d, want %d", window, got, len(a))
+		}
+		if got := LowerBoundWindow(a, a[0], window); got != 0 {
+			t.Errorf("window %d: pivot == a[0]: got %d, want 0", window, got)
+		}
+		if got := LowerBoundWindow(a, 0, window); got != 0 {
+			t.Errorf("window %d: pivot below min: got %d, want 0", window, got)
+		}
+		if got := LowerBoundWindow(nil, 5, window); got != 0 {
+			t.Errorf("window %d: nil slice: got %d, want 0", window, got)
+		}
+	}
+	// Long input so window < 1 forces the gallop and binary stages to do
+	// all the work: answers must match across every window width.
+	long := make([]uint32, 3000)
+	for i := range long {
+		long[i] = uint32(2 * i)
+	}
+	for _, pivot := range []uint32{0, 1, 2999, 5998, 5999, 6000, 1 << 30} {
+		want := LowerBoundWindow(long, pivot, linearWindow)
+		for _, window := range []int{0, 1, 3} {
+			if got := LowerBoundWindow(long, pivot, window); got != want {
+				t.Errorf("window %d: pivot %d: got %d, want %d", window, pivot, got, want)
+			}
+		}
+	}
+}
+
 func TestLowerBoundProperty(t *testing.T) {
 	// Property: LowerBound agrees with sort.Search on long arrays, which
 	// forces the galloping and binary stages to run.
