@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check benchsmoke calibratesmoke obssmoke chaossmoke fuzz bench benchdiff microbench experiments examples clean
+.PHONY: all build vet test race check benchsmoke calibratesmoke obssmoke chaossmoke reportsmoke fuzz bench benchdiff benchreport microbench experiments examples clean
 
 # The default verify path is `make check`: build + vet + tests + the race
 # detector on the small-graph packages.
@@ -39,10 +39,17 @@ calibratesmoke:
 	$(GO) run ./cmd/cnc -calibrate -profile WI -scale 0.05 -algo adaptive -verify > /dev/null
 
 # End-to-end smoke of the observability plane: build cnc, run a tiny
-# profile with -http on an ephemeral port, scrape /healthz, /metrics and
-# /progress, and validate the responses (see scripts/obssmoke.sh).
+# profile with -http on an ephemeral port, scrape /healthz, /metrics,
+# /progress, /timeseries.json and /dashboard, and validate the
+# responses (see scripts/obssmoke.sh).
 obssmoke:
 	sh scripts/obssmoke.sh
+
+# Trend/attribution report over the committed benchmark history: proves
+# benchreport reads every committed BENCH_*.json (schema drift in either
+# direction fails here before it reaches a real analysis session).
+reportsmoke:
+	$(GO) run ./cmd/benchreport BENCH_*.json > /dev/null
 
 # Seeded chaos stress under the race detector: deterministic fault
 # schedules (worker panics, injected delays and stalls, loader read
@@ -51,7 +58,7 @@ obssmoke:
 chaossmoke:
 	$(GO) test -race -count=1 -run 'TestSeededStress|TestWatchdogAbortsStalledRun|TestPanicDrain|TestCancellationUnderChaos|TestLoaderReadFault' ./internal/chaos/
 
-check: build test race benchsmoke calibratesmoke obssmoke chaossmoke
+check: build test race benchsmoke calibratesmoke obssmoke chaossmoke reportsmoke
 
 # Short fuzzing pass over every fuzz target.
 fuzz:
@@ -73,6 +80,12 @@ BASE ?= BENCH_main.json
 HEAD ?= BENCH_local.json
 benchdiff:
 	$(GO) run ./cmd/benchrun -baseline $(BASE) -input $(HEAD)
+
+# Human-facing trend + kernel-attribution report over all committed
+# reports (a lens, not a gate — benchdiff stays the CI gate):
+# `make benchreport` prints text; add REPORT=out.html for the HTML page.
+benchreport:
+	$(GO) run ./cmd/benchreport $(if $(REPORT),-html $(REPORT)) BENCH_*.json
 
 # Go microbenchmarks (kernel and overhead-guard level).
 microbench:

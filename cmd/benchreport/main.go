@@ -1,0 +1,430 @@
+// Command benchreport turns one or more BENCH_*.json reports
+// (internal/benchfmt) into a trend and attribution report: every matrix
+// cell's ns/edge trajectory across runs ordered by creation time, with
+// past-threshold slowdowns between consecutive runs highlighted, plus a
+// per-kernel × degree-bucket cost breakdown for the newest report that
+// carries attribution matrices. Where `benchrun -baseline` is a pass/fail
+// gate between exactly two reports, benchreport is the read side of the
+// whole committed history.
+//
+// Usage:
+//
+//	benchreport BENCH_a.json BENCH_b.json ...    # trend across runs, oldest first
+//	benchreport -threshold 0.05 BENCH_*.json     # highlight slowdowns past +5%
+//	benchreport -html report.html BENCH_*.json   # also write a standalone HTML page
+//
+// benchreport never fails on a regression — it is a report, not a gate
+// (use `benchrun -baseline` for gating) — but it does exit non-zero on
+// unreadable or schema-incompatible inputs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"html"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"cncount/internal/benchfmt"
+)
+
+// appConfig mirrors the flag set so the whole run is testable without
+// touching globals or os.Exit.
+type appConfig struct {
+	threshold float64
+	htmlOut   string
+	files     []string
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchreport: ")
+
+	var cfg appConfig
+	flag.Float64Var(&cfg.threshold, "threshold", 0.10, "relative ns/edge slowdown between consecutive runs that gets highlighted")
+	flag.StringVar(&cfg.htmlOut, "html", "", "also write a standalone HTML report to this path")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchreport [flags] BENCH_a.json [BENCH_b.json ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	cfg.files = flag.Args()
+
+	if err := run(cfg, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// trendPoint is one report's measurement of one matrix cell.
+type trendPoint struct {
+	Label     string
+	NsPerEdge float64
+	Failed    bool
+	// Present distinguishes "cell absent from this report" from a zero.
+	Present bool
+}
+
+// cellTrend is one matrix cell's trajectory across all loaded reports,
+// in report (time) order.
+type cellTrend struct {
+	Key    benchfmt.Key
+	Points []trendPoint
+	// LatestDelta is latest/previous ns-per-edge ratio minus 1, computed
+	// over the last two reports where the cell completed; NaN-free: zero
+	// when fewer than two such points exist.
+	LatestDelta float64
+	// Regressed marks LatestDelta past the threshold.
+	Regressed bool
+}
+
+// attrRow is one (kernel, bucket) line of the attribution breakdown,
+// with the estimated total time extrapolated from the sampled mean.
+type attrRow struct {
+	Kernel    string
+	MinDegLen int
+	Calls     uint64
+	Samples   uint64
+	// EstNanos is mean sampled cost × calls; 0 when the bucket was never
+	// timed (its share of the estimate is unknown, not free).
+	EstNanos float64
+	// Share is EstNanos over the cell's total estimate.
+	Share float64
+}
+
+// cellAttr is the attribution breakdown of one matrix cell in the newest
+// report that carries matrices.
+type cellAttr struct {
+	Key      benchfmt.Key
+	Scope    string
+	Rows     []attrRow
+	EstTotal float64
+}
+
+// analysis is everything the renderers need, computed once.
+type analysis struct {
+	Reports   []*benchfmt.Report
+	Threshold float64
+	Trends    []cellTrend
+	// AttrLabel names the report AttrCells came from; empty when no
+	// loaded report carries attribution.
+	AttrLabel string
+	AttrCells []cellAttr
+}
+
+// run executes one invocation: load, analyze, render text, and
+// optionally render HTML.
+func run(cfg appConfig, stdout io.Writer) error {
+	if len(cfg.files) == 0 {
+		return fmt.Errorf("no report files given (usage: benchreport [flags] BENCH_*.json)")
+	}
+	reports := make([]*benchfmt.Report, 0, len(cfg.files))
+	for _, path := range cfg.files {
+		r, err := benchfmt.LoadFile(path)
+		if err != nil {
+			return err
+		}
+		reports = append(reports, r)
+	}
+	// Time order, oldest first; ties (same second) break by label so the
+	// report is deterministic regardless of argument order.
+	sort.SliceStable(reports, func(i, j int) bool {
+		if reports[i].CreatedUnix != reports[j].CreatedUnix {
+			return reports[i].CreatedUnix < reports[j].CreatedUnix
+		}
+		return reports[i].Label < reports[j].Label
+	})
+
+	a := analyze(reports, cfg.threshold)
+	writeText(stdout, a)
+	if cfg.htmlOut != "" {
+		f, err := os.Create(cfg.htmlOut)
+		if err != nil {
+			return err
+		}
+		if err := writeHTML(f, a); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", cfg.htmlOut)
+	}
+	return nil
+}
+
+// analyze folds the loaded reports into per-cell trends and the newest
+// attribution breakdown.
+func analyze(reports []*benchfmt.Report, threshold float64) analysis {
+	a := analysis{Reports: reports, Threshold: threshold}
+
+	byKey := map[benchfmt.Key]*cellTrend{}
+	var order []benchfmt.Key
+	for ri, r := range reports {
+		for _, res := range r.Results {
+			key := res.Key()
+			t := byKey[key]
+			if t == nil {
+				t = &cellTrend{Key: key, Points: make([]trendPoint, len(reports))}
+				byKey[key] = t
+				order = append(order, key)
+			}
+			t.Points[ri] = trendPoint{
+				Label:     r.Label,
+				NsPerEdge: res.NsPerEdge,
+				Failed:    res.Failed,
+				Present:   true,
+			}
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].String() < order[j].String() })
+	for _, key := range order {
+		t := byKey[key]
+		// Latest delta: the last two completed measurements.
+		var completed []float64
+		for _, p := range t.Points {
+			if p.Present && !p.Failed && p.NsPerEdge > 0 {
+				completed = append(completed, p.NsPerEdge)
+			}
+		}
+		if n := len(completed); n >= 2 {
+			t.LatestDelta = completed[n-1]/completed[n-2] - 1
+			t.Regressed = t.LatestDelta > threshold
+		}
+		a.Trends = append(a.Trends, *t)
+	}
+
+	// Attribution: the newest report where any cell carries matrices.
+	for ri := len(reports) - 1; ri >= 0; ri-- {
+		cells := attrCells(reports[ri])
+		if len(cells) > 0 {
+			a.AttrLabel = reports[ri].Label
+			a.AttrCells = cells
+			break
+		}
+	}
+	return a
+}
+
+// attrCells extracts and flattens one report's attribution matrices.
+func attrCells(r *benchfmt.Report) []cellAttr {
+	var out []cellAttr
+	for _, res := range r.Results {
+		if len(res.Attribution) == 0 {
+			continue
+		}
+		c := cellAttr{Key: res.Key()}
+		for _, row := range res.Attribution {
+			c.Scope = row.Scope
+			for _, bk := range row.Buckets {
+				ar := attrRow{
+					Kernel:    row.Kernel,
+					MinDegLen: bk.MinDegLen,
+					Calls:     bk.Count,
+					Samples:   bk.Samples,
+				}
+				if bk.Samples > 0 {
+					ar.EstNanos = float64(bk.SampledNanos) / float64(bk.Samples) * float64(bk.Count)
+				}
+				c.EstTotal += ar.EstNanos
+				c.Rows = append(c.Rows, ar)
+			}
+		}
+		if c.EstTotal > 0 {
+			for i := range c.Rows {
+				c.Rows[i].Share = c.Rows[i].EstNanos / c.EstTotal
+			}
+		}
+		// Costliest rows first; ties by (kernel, bucket) for determinism.
+		sort.Slice(c.Rows, func(i, j int) bool {
+			if c.Rows[i].EstNanos != c.Rows[j].EstNanos {
+				return c.Rows[i].EstNanos > c.Rows[j].EstNanos
+			}
+			if c.Rows[i].Kernel != c.Rows[j].Kernel {
+				return c.Rows[i].Kernel < c.Rows[j].Kernel
+			}
+			return c.Rows[i].MinDegLen < c.Rows[j].MinDegLen
+		})
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.String() < out[j].Key.String() })
+	return out
+}
+
+// kernelTotals folds a cell's rows down to per-kernel estimated shares,
+// costliest first.
+func kernelTotals(c cellAttr) []attrRow {
+	agg := map[string]*attrRow{}
+	var order []string
+	for _, r := range c.Rows {
+		t := agg[r.Kernel]
+		if t == nil {
+			t = &attrRow{Kernel: r.Kernel}
+			agg[r.Kernel] = t
+			order = append(order, r.Kernel)
+		}
+		t.Calls += r.Calls
+		t.Samples += r.Samples
+		t.EstNanos += r.EstNanos
+		t.Share += r.Share
+	}
+	out := make([]attrRow, 0, len(order))
+	for _, k := range order {
+		out = append(out, *agg[k])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].EstNanos != out[j].EstNanos {
+			return out[i].EstNanos > out[j].EstNanos
+		}
+		return out[i].Kernel < out[j].Kernel
+	})
+	return out
+}
+
+func writeText(w io.Writer, a analysis) {
+	fmt.Fprintf(w, "benchmark trend across %d report(s), oldest first:\n", len(a.Reports))
+	for _, r := range a.Reports {
+		when := time.Unix(r.CreatedUnix, 0).UTC().Format("2006-01-02 15:04")
+		fmt.Fprintf(w, "  %-20s %s  %s  %d cells\n", r.Label, when, r.GoVersion, len(r.Results))
+	}
+	fmt.Fprintln(w)
+
+	regressions := 0
+	for _, t := range a.Trends {
+		var traj []string
+		for _, p := range t.Points {
+			switch {
+			case !p.Present:
+				traj = append(traj, "·")
+			case p.Failed:
+				traj = append(traj, "FAILED")
+			default:
+				traj = append(traj, fmt.Sprintf("%.2f", p.NsPerEdge))
+			}
+		}
+		status := ""
+		if len(a.Reports) > 1 {
+			status = fmt.Sprintf("  latest %+.1f%%", 100*t.LatestDelta)
+		}
+		if t.Regressed {
+			status += "  REGRESSED"
+			regressions++
+		}
+		fmt.Fprintf(w, "  %-18s %s ns/edge%s\n", t.Key, strings.Join(traj, " -> "), status)
+	}
+	if len(a.Reports) > 1 {
+		fmt.Fprintf(w, "\n%d of %d cells slowed past +%.0f%% between their last two runs\n",
+			regressions, len(a.Trends), 100*a.Threshold)
+	}
+
+	if a.AttrLabel == "" {
+		fmt.Fprintf(w, "\nno report carries kernel attribution (re-run benchrun on this revision to record it)\n")
+		return
+	}
+	fmt.Fprintf(w, "\nkernel attribution (report %q):\n", a.AttrLabel)
+	for _, c := range a.AttrCells {
+		fmt.Fprintf(w, "  %s  scope %s\n", c.Key, c.Scope)
+		for _, k := range kernelTotals(c) {
+			fmt.Fprintf(w, "    %-8s %5.1f%% of est time  %10d calls  %6d samples\n",
+				k.Kernel, 100*k.Share, k.Calls, k.Samples)
+		}
+		// The few costliest (kernel, bucket) cells locate where the time
+		// goes on the degree axis — the paper's skew story in one table.
+		top := c.Rows
+		if len(top) > 5 {
+			top = top[:5]
+		}
+		for _, r := range top {
+			if r.EstNanos == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "      %s @ min_deg_len=%d: %.1f%% (%d calls)\n",
+				r.Kernel, r.MinDegLen, 100*r.Share, r.Calls)
+		}
+	}
+}
+
+// writeHTML renders the same analysis as a standalone page: no external
+// assets, so the file can be attached to a PR or archived next to the
+// BENCH_*.json it summarizes.
+func writeHTML(w io.Writer, a analysis) error {
+	var b strings.Builder
+	b.WriteString(`<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8"><title>cncount benchmark report</title>
+<style>
+  body { font: 14px/1.5 ui-monospace, SFMono-Regular, Menlo, Consolas, monospace;
+         margin: 2rem; color: #1c2733; }
+  h1 { font-size: 1.2rem; } h2 { font-size: 1rem; margin-top: 1.5rem; }
+  table { border-collapse: collapse; margin: .5rem 0; }
+  th, td { border: 1px solid #ccd5dd; padding: .25rem .6rem; text-align: right; }
+  th { background: #eef2f5; } td.name, th.name { text-align: left; }
+  td.regressed { background: #fde2e0; font-weight: 600; }
+  td.failed { background: #fdf0d0; }
+  .bar { display: inline-block; height: .7em; background: #4fb3d9; vertical-align: middle; }
+  .dim { color: #7b8794; }
+</style></head><body>
+<h1>cncount benchmark report</h1>
+`)
+	fmt.Fprintf(&b, "<p class=\"dim\">%d report(s), oldest first; slowdown highlight threshold +%.0f%%</p>\n",
+		len(a.Reports), 100*a.Threshold)
+
+	b.WriteString("<h2>Runs</h2>\n<table><tr><th class=\"name\">label</th><th>created (UTC)</th><th class=\"name\">go</th><th>cells</th></tr>\n")
+	for _, r := range a.Reports {
+		when := time.Unix(r.CreatedUnix, 0).UTC().Format("2006-01-02 15:04")
+		fmt.Fprintf(&b, "<tr><td class=\"name\">%s</td><td>%s</td><td class=\"name\">%s</td><td>%d</td></tr>\n",
+			html.EscapeString(r.Label), when, html.EscapeString(r.GoVersion), len(r.Results))
+	}
+	b.WriteString("</table>\n")
+
+	b.WriteString("<h2>ns/edge trend</h2>\n<table><tr><th class=\"name\">cell</th>")
+	for _, r := range a.Reports {
+		fmt.Fprintf(&b, "<th>%s</th>", html.EscapeString(r.Label))
+	}
+	b.WriteString("<th>latest Δ</th></tr>\n")
+	for _, t := range a.Trends {
+		fmt.Fprintf(&b, "<tr><td class=\"name\">%s</td>", html.EscapeString(t.Key.String()))
+		for _, p := range t.Points {
+			switch {
+			case !p.Present:
+				b.WriteString("<td class=\"dim\">·</td>")
+			case p.Failed:
+				b.WriteString("<td class=\"failed\">failed</td>")
+			default:
+				fmt.Fprintf(&b, "<td>%.2f</td>", p.NsPerEdge)
+			}
+		}
+		cls := ""
+		if t.Regressed {
+			cls = ` class="regressed"`
+		}
+		if len(a.Reports) > 1 {
+			fmt.Fprintf(&b, "<td%s>%+.1f%%</td>", cls, 100*t.LatestDelta)
+		} else {
+			b.WriteString("<td class=\"dim\">—</td>")
+		}
+		b.WriteString("</tr>\n")
+	}
+	b.WriteString("</table>\n")
+
+	if a.AttrLabel != "" {
+		fmt.Fprintf(&b, "<h2>Kernel attribution (report %s)</h2>\n", html.EscapeString(a.AttrLabel))
+		for _, c := range a.AttrCells {
+			fmt.Fprintf(&b, "<h2 class=\"dim\">%s — %s</h2>\n<table><tr><th class=\"name\">kernel</th><th>est share</th><th></th><th>calls</th><th>samples</th></tr>\n",
+				html.EscapeString(c.Key.String()), html.EscapeString(c.Scope))
+			for _, k := range kernelTotals(c) {
+				fmt.Fprintf(&b, "<tr><td class=\"name\">%s</td><td>%.1f%%</td><td class=\"name\"><span class=\"bar\" style=\"width:%.0fpx\"></span></td><td>%d</td><td>%d</td></tr>\n",
+					html.EscapeString(k.Kernel), 100*k.Share, 200*k.Share, k.Calls, k.Samples)
+			}
+			b.WriteString("</table>\n")
+		}
+	} else {
+		b.WriteString("<p class=\"dim\">no report carries kernel attribution</p>\n")
+	}
+	b.WriteString("</body></html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -12,7 +12,8 @@
 //	benchrun -algos mps,bmp,adaptive -passes 3   # interleave 3 full-matrix passes
 //	benchrun -baseline BENCH_main.json -input BENCH_pr.json -threshold 0.10
 //	benchrun -baseline BENCH_main.json           # run matrix, diff against base
-//	benchrun -http 127.0.0.1:8080                # watch the live matrix at /progress
+//	benchrun -http 127.0.0.1:8080                # watch the live matrix at /dashboard
+//	benchrun -logfmt json 2>run.jsonl            # machine-tailable heartbeat events
 //
 // benchrun exits 0 only when the whole run succeeded and, in -baseline
 // mode, no regression exceeded the threshold.
@@ -24,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
@@ -35,6 +37,7 @@ import (
 
 	"cncount"
 	"cncount/internal/benchfmt"
+	"cncount/internal/logx"
 	"cncount/internal/metrics"
 	"cncount/internal/obs"
 )
@@ -58,6 +61,11 @@ type appConfig struct {
 	// attempt (a cell gets two attempts before it is recorded as failed).
 	timeout     time.Duration
 	cellTimeout time.Duration
+	logFormat   string
+	// logger receives the structured heartbeat events (cell started /
+	// finished, retries, plane lifecycle). run() defaults a nil logger to
+	// stderr in cfg.logFormat, so test call sites need not set it.
+	logger *slog.Logger
 }
 
 // resolvedConfig records the harness knobs that shape the measurement,
@@ -94,6 +102,7 @@ func main() {
 	flag.StringVar(&cfg.httpAddr, "http", "", "serve the observability plane (/metrics, /progress, ...) on this address while the matrix runs")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "abort the whole run after this long (0 = no limit)")
 	flag.DurationVar(&cfg.cellTimeout, "celltimeout", 0, "time limit per cell attempt; a cell is retried once, then recorded as failed (0 = no limit)")
+	flag.StringVar(&cfg.logFormat, "logfmt", "text", "log output format: "+logx.Formats)
 	flag.Parse()
 
 	// SIGINT/SIGTERM cancel the matrix cooperatively: the current cell's
@@ -136,6 +145,13 @@ func (l *liveObs) snapshot() metrics.Snapshot {
 // exit non-zero. A matrix aborted by -timeout or a signal still writes
 // whatever cells it completed before returning the abort error.
 func run(ctx context.Context, cfg appConfig, stdout io.Writer) error {
+	logger := cfg.logger
+	if logger == nil {
+		var err error
+		if logger, err = logx.New(os.Stderr, cfg.logFormat, "benchrun"); err != nil {
+			return err
+		}
+	}
 	out := &errWriter{w: stdout}
 	manifest := cncount.NewManifest(cfg.resolvedConfig())
 
@@ -152,17 +168,24 @@ func run(ctx context.Context, cfg appConfig, stdout io.Writer) error {
 	var live *liveObs
 	if cfg.httpAddr != "" {
 		live = &liveObs{prog: cncount.NewProgress()}
+		// The flight recorder spans every matrix cell: /timeseries.json and
+		// /dashboard show the whole run's series, with region turnover at
+		// each cell boundary.
+		rec := obs.NewRecorder(obs.RecorderOptions{Progress: live.prog})
+		rec.Start()
+		defer rec.Stop()
 		plane := obs.New(obs.Options{
 			Snapshot: live.snapshot,
 			Progress: live.prog,
+			Recorder: rec,
 			Manifest: &manifest,
-			Logf:     log.Printf,
+			Logf:     logx.Printf(logger),
 		})
 		addr, err := plane.Start(cfg.httpAddr)
 		if err != nil {
 			return fmt.Errorf("observability plane: %w", err)
 		}
-		log.Printf("observability plane listening on http://%s/", addr)
+		logger.Info("observability plane listening on http://"+addr.String()+"/", "addr", addr.String())
 		// Flip /healthz to "draining" the moment the run is canceled, so
 		// pollers see the shutdown before the listener goes away. The
 		// watcher always exits: cancelRun fires when run returns.
@@ -172,19 +195,19 @@ func run(ctx context.Context, cfg appConfig, stdout io.Writer) error {
 		}()
 		defer func() {
 			if err := plane.Close(); err != nil {
-				log.Printf("observability plane shutdown: %v", err)
+				logger.Error("observability plane shutdown failed", "err", err)
 			}
 		}()
 	}
 
 	if cfg.baseline != "" {
-		if err := runDiff(ctx, cfg, out, manifest, live); err != nil {
+		if err := runDiff(ctx, cfg, out, manifest, live, logger); err != nil {
 			return err
 		}
 		return out.err
 	}
 
-	report, runErr := runMatrix(ctx, cfg, out, manifest, live)
+	report, runErr := runMatrix(ctx, cfg, out, manifest, live, logger)
 	if report == nil {
 		return runErr
 	}
@@ -227,7 +250,7 @@ func countFailed(r *benchfmt.Report) int {
 // divergence between the reports is warned about but never fails the
 // diff: comparing across revisions is the point of -baseline, comparing
 // across machines or toolchains usually is not.
-func runDiff(ctx context.Context, cfg appConfig, out *errWriter, manifest cncount.Manifest, live *liveObs) error {
+func runDiff(ctx context.Context, cfg appConfig, out *errWriter, manifest cncount.Manifest, live *liveObs, logger *slog.Logger) error {
 	base, err := benchfmt.LoadFile(cfg.baseline)
 	if err != nil {
 		return fmt.Errorf("baseline: %w", err)
@@ -239,7 +262,7 @@ func runDiff(ctx context.Context, cfg appConfig, out *errWriter, manifest cncoun
 			return fmt.Errorf("input: %w", err)
 		}
 	} else {
-		head, err = runMatrix(ctx, cfg, out, manifest, live)
+		head, err = runMatrix(ctx, cfg, out, manifest, live, logger)
 		if err != nil {
 			return err
 		}
@@ -297,7 +320,7 @@ type cellKey struct {
 // running then and skews the comparison; interleaved passes give every
 // cell a shot at every time slice, so the per-cell minimum converges on
 // the machine's quiet-state number for all algorithms alike.
-func runMatrix(ctx context.Context, cfg appConfig, out *errWriter, manifest cncount.Manifest, live *liveObs) (*benchfmt.Report, error) {
+func runMatrix(ctx context.Context, cfg appConfig, out *errWriter, manifest cncount.Manifest, live *liveObs, logger *slog.Logger) (*benchfmt.Report, error) {
 	profiles, err := splitList(cfg.profiles)
 	if err != nil {
 		return nil, err
@@ -391,16 +414,17 @@ func runMatrix(ctx context.Context, cfg appConfig, out *errWriter, manifest cnco
 						emit()
 						return report, fmt.Errorf("matrix aborted before cell %s/%s/w%d: %w", profile, algo, w, err)
 					}
-					// Heartbeat lines go to the log (stderr), not the report
-					// stream: a long matrix stays watchable under 2>&1-less
-					// redirection without polluting `-out -` JSON on stdout.
-					tag := fmt.Sprintf("cell %s/%s/w%d", profile, algo, w)
+					// Heartbeat events go to the structured log (stderr by
+					// default), not the report stream: a long matrix stays
+					// watchable without polluting `-out -` JSON on stdout.
+					cell := fmt.Sprintf("%s/%s/w%d", profile, algo, w)
+					cellLog := logger.With("cell", cell)
 					if passes > 1 {
-						tag = fmt.Sprintf("pass %d/%d %s", pass, passes, tag)
+						cellLog = cellLog.With("pass", pass, "passes", passes)
 					}
-					log.Printf("%s started (%d reps)", tag, cfg.reps)
+					cellLog.Info("cell started", "reps", cfg.reps)
 					cellStart := time.Now()
-					res, err := runCellAttempts(ctx, cfg, rg, profile, algo, w, live)
+					res, err := runCellAttempts(ctx, cfg, rg, profile, algo, w, live, cellLog)
 					if err != nil {
 						emit()
 						return report, fmt.Errorf("matrix aborted at cell %s/%s/w%d: %w", profile, algo, w, err)
@@ -419,8 +443,9 @@ func runMatrix(ctx context.Context, cfg appConfig, out *errWriter, manifest cnco
 						}
 						continue
 					}
-					log.Printf("%s finished in %v (best %.2f ns/edge)",
-						tag, time.Since(cellStart).Round(time.Millisecond), res.NsPerEdge)
+					cellLog.Info("cell finished",
+						"elapsed", time.Since(cellStart).Round(time.Millisecond),
+						"ns_per_edge", res.NsPerEdge)
 					if old, ok := best[key]; !ok || old.Failed || res.ElapsedNanos < old.ElapsedNanos {
 						best[key] = res
 					}
@@ -437,7 +462,7 @@ func runMatrix(ctx context.Context, cfg appConfig, out *errWriter, manifest cnco
 // second failure comes back as a Result with Failed set so the matrix
 // continues. Only a dying parent context — the whole invocation canceled
 // or timed out — returns an error, which aborts the matrix.
-func runCellAttempts(ctx context.Context, cfg appConfig, rg *cncount.Graph, profile string, algo cncount.Algorithm, workers int, live *liveObs) (*benchfmt.Result, error) {
+func runCellAttempts(ctx context.Context, cfg appConfig, rg *cncount.Graph, profile string, algo cncount.Algorithm, workers int, live *liveObs, cellLog *slog.Logger) (*benchfmt.Result, error) {
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
 		cellCtx, cancel := ctx, context.CancelFunc(func() {})
@@ -454,10 +479,10 @@ func runCellAttempts(ctx context.Context, cfg appConfig, rg *cncount.Graph, prof
 		}
 		lastErr = err
 		if attempt == 0 {
-			log.Printf("cell %s/%s/w%d attempt 1 failed (%v); retrying once", profile, algo, workers, err)
+			cellLog.Warn("cell attempt 1 failed; retrying once", "err", err)
 		}
 	}
-	log.Printf("cell %s/%s/w%d failed after retry: %v", profile, algo, workers, lastErr)
+	cellLog.Error("cell failed after retry", "err", lastErr)
 	return &benchfmt.Result{
 		Algo:    algo.String(),
 		Workers: workers,
@@ -499,6 +524,7 @@ func runCell(ctx context.Context, rg *cncount.Graph, algo cncount.Algorithm, wor
 		snap := mc.Snapshot()
 		res.ElapsedNanos = r.Elapsed.Nanoseconds()
 		res.Counters = snap.Counters
+		res.Attribution = snap.Attribution
 		if len(snap.Sched) > 0 {
 			sc := snap.Sched[0]
 			res.ImbalanceRatio = sc.Imbalance.Ratio

@@ -3,9 +3,8 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"io"
-	"log"
-	"os"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -13,6 +12,7 @@ import (
 	"time"
 
 	"cncount/internal/benchfmt"
+	"cncount/internal/logx"
 )
 
 // tinyRun is an appConfig whose matrix finishes in well under a second.
@@ -23,6 +23,19 @@ func tinyRun(out string) appConfig {
 		algos: "mps,bmp", workers: "1,2", reps: 1,
 		threshold: 0.10,
 	}
+}
+
+// captureLog points cfg's structured logger at a goroutine-safe buffer
+// in text format and returns the buffer.
+func captureLog(t *testing.T, cfg *appConfig) *syncBuffer {
+	t.Helper()
+	buf := &syncBuffer{}
+	logger, err := logx.New(buf, "text", "benchrun")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.logger = logger
+	return buf
 }
 
 // TestRunWritesSchemaVersionedReport drives the harness end to end and
@@ -74,21 +87,20 @@ func TestRunWritesSchemaVersionedReport(t *testing.T) {
 	}
 }
 
-// TestRunEmitsHeartbeats checks each matrix cell logs started/finished
-// heartbeat lines so a long run redirected to a file stays watchable on
-// stderr.
+// TestRunEmitsHeartbeats checks each matrix cell logs structured
+// started/finished heartbeat events so a long run redirected to a file
+// stays watchable on stderr.
 func TestRunEmitsHeartbeats(t *testing.T) {
-	var logBuf syncBuffer
-	log.SetOutput(&logBuf)
-	defer log.SetOutput(os.Stderr)
-
-	if err := run(context.Background(), tinyRun(filepath.Join(t.TempDir(), "out.json")), io.Discard); err != nil {
+	cfg := tinyRun(filepath.Join(t.TempDir(), "out.json"))
+	logBuf := captureLog(t, &cfg)
+	if err := run(context.Background(), cfg, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	logs := logBuf.String()
 	for _, want := range []string{
-		"cell WI/MPS/w1 started", "cell WI/MPS/w1 finished in",
-		"cell WI/BMP/w2 started", "cell WI/BMP/w2 finished in",
+		`msg="cell started"`, `msg="cell finished"`,
+		"cell=WI/MPS/w1", "cell=WI/BMP/w2",
+		"ns_per_edge=", "component=benchrun",
 	} {
 		if !strings.Contains(logs, want) {
 			t.Errorf("heartbeat %q missing in:\n%s", want, logs)
@@ -96,17 +108,51 @@ func TestRunEmitsHeartbeats(t *testing.T) {
 	}
 }
 
+// TestRunEmitsJSONHeartbeats checks -logfmt json makes every heartbeat
+// one parseable JSON record, and a bad -logfmt fails the run.
+func TestRunEmitsJSONHeartbeats(t *testing.T) {
+	cfg := tinyRun(filepath.Join(t.TempDir(), "out.json"))
+	cfg.logFormat = "yaml"
+	if err := run(context.Background(), cfg, io.Discard); err == nil {
+		t.Error("unknown -logfmt accepted")
+	}
+
+	cfg = tinyRun(filepath.Join(t.TempDir(), "out.json"))
+	logBuf := &syncBuffer{}
+	logger, err := logx.New(logBuf, "json", "benchrun")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.logger = logger
+	if err := run(context.Background(), cfg, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	started := 0
+	for _, line := range strings.Split(strings.TrimSpace(logBuf.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("log line is not JSON: %v\n%s", err, line)
+		}
+		if rec["msg"] == "cell started" {
+			started++
+			if rec["cell"] == nil || rec["reps"] == nil {
+				t.Errorf("started event lacks attrs: %v", rec)
+			}
+		}
+	}
+	if started != 4 {
+		t.Errorf("started events = %d, want 4", started)
+	}
+}
+
 // TestRunMultiPassMergesCells checks -passes repeats the matrix but the
 // report still holds exactly one merged result per cell, with the pass
 // count recorded in the manifest and per-pass heartbeats in the log.
 func TestRunMultiPassMergesCells(t *testing.T) {
-	var logBuf syncBuffer
-	log.SetOutput(&logBuf)
-	defer log.SetOutput(os.Stderr)
-
 	path := filepath.Join(t.TempDir(), "BENCH_passes.json")
 	cfg := tinyRun(path)
 	cfg.passes = 2
+	logBuf := captureLog(t, &cfg)
 	var buf bytes.Buffer
 	if err := run(context.Background(), cfg, &buf); err != nil {
 		t.Fatalf("run: %v\n%s", err, buf.String())
@@ -133,7 +179,7 @@ func TestRunMultiPassMergesCells(t *testing.T) {
 	}
 	logs := logBuf.String()
 	for _, want := range []string{
-		"pass 1/2 cell WI/MPS/w1 started", "pass 2/2 cell WI/MPS/w1 started",
+		"cell=WI/MPS/w1", "pass=1", "pass=2", "passes=2",
 	} {
 		if !strings.Contains(logs, want) {
 			t.Errorf("heartbeat %q missing in:\n%s", want, logs)
@@ -180,12 +226,9 @@ func TestBaselineDiffWarnsOnManifestDivergence(t *testing.T) {
 // of the run: the report still writes, and the harness logs the bound
 // address. (Endpoint behavior itself is covered in internal/obs.)
 func TestRunHTTPPlaneServes(t *testing.T) {
-	var logBuf syncBuffer
-	log.SetOutput(&logBuf)
-	defer log.SetOutput(os.Stderr)
-
 	cfg := tinyRun(filepath.Join(t.TempDir(), "out.json"))
 	cfg.httpAddr = "127.0.0.1:0"
+	logBuf := captureLog(t, &cfg)
 	if err := run(context.Background(), cfg, io.Discard); err != nil {
 		t.Fatal(err)
 	}
@@ -286,13 +329,10 @@ func TestRunRejectsBadFlags(t *testing.T) {
 // error string) in the written report, the matrix must still cover every
 // cell, and the run must exit non-zero because cells failed.
 func TestRunCellTimeoutRecordsFailedCells(t *testing.T) {
-	var logBuf syncBuffer
-	log.SetOutput(&logBuf)
-	defer log.SetOutput(os.Stderr)
-
 	path := filepath.Join(t.TempDir(), "BENCH_fail.json")
 	cfg := tinyRun(path)
 	cfg.cellTimeout = 1 * time.Nanosecond
+	logBuf := captureLog(t, &cfg)
 	var buf bytes.Buffer
 	err := run(context.Background(), cfg, &buf)
 	if err == nil || !strings.Contains(err.Error(), "cells failed") {

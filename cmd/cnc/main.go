@@ -13,9 +13,11 @@
 // With -http, cnc mounts the observability plane (internal/obs) for the
 // lifetime of the run: /metrics (Prometheus text exposition), /progress
 // (percent complete, units/sec, ETA, per-worker stall flags), /healthz,
-// /trace.json (live timeline snapshot when -trace is also set), and
-// /debug/pprof/* — all on a dedicated mux. The deprecated -pprof flag is
-// an alias for -http.
+// /trace.json (live timeline snapshot when -trace is also set),
+// /timeseries.json (the flight recorder's runtime and per-worker series),
+// /dashboard (embedded live HTML view), and /debug/pprof/* — all on a
+// dedicated mux. Log output is structured (log/slog); -logfmt json turns
+// the text stream into machine-tailable JSON records.
 //
 // cnc exits 0 only when the whole run succeeded: a -verify mismatch, a
 // failed metrics or trace write, or an output I/O error all exit non-zero.
@@ -29,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strconv"
@@ -37,6 +40,7 @@ import (
 	"time"
 
 	"cncount"
+	"cncount/internal/logx"
 	"cncount/internal/obs"
 )
 
@@ -60,12 +64,16 @@ type appConfig struct {
 	metricsOut string
 	traceOut   string
 	httpAddr   string
-	pprofAddr  string // deprecated alias for httpAddr
 	httpWait   time.Duration
 	timeout    time.Duration
 	watchdog   time.Duration
 	memBudget  int64
 	bundleDir  string
+	logFormat  string
+	// logger receives structured events (watchdog reports, cancellation
+	// notices, plane lifecycle). run() defaults a nil logger to stderr in
+	// cfg.logFormat, so test call sites need not set it.
+	logger *slog.Logger
 }
 
 func main() {
@@ -89,8 +97,8 @@ func main() {
 	flag.BoolVar(&cfg.verify, "verify", false, "cross-check against the reference counter (slow)")
 	flag.StringVar(&cfg.metricsOut, "metrics", "", `write a JSON metrics snapshot (phase timings, scheduler tallies) to this file ("-" = stdout)`)
 	flag.StringVar(&cfg.traceOut, "trace", "", "write a Chrome trace-event JSON timeline (open in Perfetto) to this file")
-	flag.StringVar(&cfg.httpAddr, "http", "", "serve the live observability plane (/metrics, /progress, /healthz, /trace.json, /debug/pprof/) on this address while running (e.g. localhost:6060)")
-	flag.StringVar(&cfg.pprofAddr, "pprof", "", "deprecated alias for -http")
+	flag.StringVar(&cfg.httpAddr, "http", "", "serve the live observability plane (/metrics, /progress, /healthz, /trace.json, /timeseries.json, /dashboard, /debug/pprof/) on this address while running (e.g. localhost:6060)")
+	flag.StringVar(&cfg.logFormat, "logfmt", "text", "log output format: "+logx.Formats)
 	flag.DurationVar(&cfg.httpWait, "httpwait", 0, "keep the -http plane serving this long after the run completes (lets short runs be scraped)")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "abort the run after this long (0 = no deadline); a timed-out run flushes its final metrics/trace snapshot and exits non-zero")
 	flag.DurationVar(&cfg.watchdog, "watchdog", 0, "abort the run when no worker heartbeat arrives for this long (0 = disabled); a stall writes a diagnostic bundle and exits non-zero")
@@ -120,9 +128,12 @@ func main() {
 // SIGTERM, or test-driven) stops the count cooperatively and still
 // flushes the requested metrics/trace outputs from the partial run.
 func run(ctx context.Context, cfg appConfig, stdout io.Writer) error {
-	if cfg.httpAddr == "" && cfg.pprofAddr != "" {
-		log.Printf("warning: -pprof is deprecated, use -http (serving the full observability plane)")
-		cfg.httpAddr = cfg.pprofAddr
+	logger := cfg.logger
+	if logger == nil {
+		var err error
+		if logger, err = logx.New(os.Stderr, cfg.logFormat, "cnc"); err != nil {
+			return err
+		}
 	}
 	if cfg.timeout > 0 {
 		var cancel context.CancelFunc
@@ -155,11 +166,17 @@ func run(ctx context.Context, cfg appConfig, stdout io.Writer) error {
 	}
 	var plane *obs.Plane
 	if cfg.httpAddr != "" {
+		// The flight recorder samples runtime and per-worker series for
+		// /timeseries.json and /dashboard for the lifetime of the plane.
+		rec := obs.NewRecorder(obs.RecorderOptions{Progress: prog})
+		rec.Start()
+		defer rec.Stop()
 		planeOpts := obs.Options{
 			Snapshot: mc.Snapshot,
 			Progress: prog,
+			Recorder: rec,
 			Manifest: &manifest,
-			Logf:     log.Printf,
+			Logf:     logx.Printf(logger),
 		}
 		if tr != nil {
 			tr.SetLive()
@@ -176,10 +193,10 @@ func run(ctx context.Context, cfg appConfig, stdout io.Writer) error {
 				time.Sleep(cfg.httpWait)
 			}
 			if err := plane.Close(); err != nil {
-				log.Printf("observability plane shutdown: %v", err)
+				logger.Error("observability plane shutdown failed", "err", err)
 			}
 		}()
-		fmt.Fprintf(out, "observability plane listening on http://%s/ (metrics, progress, healthz, trace.json, debug/pprof)\n", addr)
+		fmt.Fprintf(out, "observability plane listening on http://%s/ (metrics, progress, healthz, trace.json, timeseries.json, dashboard, debug/pprof)\n", addr)
 		// On cancellation, flip /healthz to "draining" while the final
 		// metrics/progress flush happens; the goroutine exits via the
 		// deferred abort at the latest.
@@ -198,13 +215,19 @@ func run(ctx context.Context, cfg appConfig, stdout io.Writer) error {
 			Progress:   prog,
 			StallAfter: cfg.watchdog,
 			Snapshot:   mc.Snapshot,
-			Logf:       log.Printf,
+			Logf:       logx.Printf(logger),
 		}
 		if tr != nil {
 			wdOpts.TraceJSON = tr.WriteJSON
 		}
 		bundleDir := cfg.bundleDir
 		wdOpts.OnStall = func(r obs.StallReport) {
+			logger.Error("watchdog detected a stalled run",
+				"scope", r.Scope,
+				"stall_after", r.StallAfter,
+				"worst_beat_age", r.WorstBeatAge,
+				"stalled_workers", r.Progress.StalledWorkers,
+				"remaining_units", r.Progress.RemainingUnits)
 			dir := bundleDir
 			if dir == "" {
 				if d, err := os.MkdirTemp("", "cnc-stall-"); err == nil {
@@ -213,9 +236,9 @@ func run(ctx context.Context, cfg appConfig, stdout io.Writer) error {
 			}
 			if dir != "" {
 				if err := r.WriteBundle(dir); err != nil {
-					log.Printf("watchdog bundle: %v", err)
+					logger.Error("watchdog bundle write failed", "dir", dir, "err", err)
 				} else {
-					log.Printf("watchdog bundle written to %s", dir)
+					logger.Info("watchdog bundle written", "dir", dir)
 				}
 			}
 			abort()
@@ -288,13 +311,13 @@ func run(ctx context.Context, cfg appConfig, stdout io.Writer) error {
 			if errors.Is(err, cncount.ErrDeadline) {
 				reason = "timed out after " + cfg.timeout.String()
 			}
-			log.Printf("run %s: %v", reason, err)
+			logger.Warn("run did not complete", "reason", reason, "err", err)
 			if ce.Partial != nil {
 				fmt.Fprintf(out, "run %s with %d of %d edge offsets unprocessed (elapsed %v)\n",
 					reason, ce.Err.RemainingUnits, ce.Err.TotalUnits, ce.Partial.Elapsed)
 			}
 			if flushErr := flushOutputs(cfg, mc, tr, out); flushErr != nil {
-				log.Printf("final flush: %v", flushErr)
+				logger.Error("final flush failed", "err", flushErr)
 			}
 		}
 		return err

@@ -16,6 +16,8 @@ import (
 	"time"
 
 	"cncount"
+	"cncount/internal/logx"
+	"cncount/internal/obs"
 	"cncount/internal/trace"
 )
 
@@ -348,17 +350,49 @@ func TestRunBadHTTPAddr(t *testing.T) {
 	}
 }
 
-// TestRunDeprecatedPprofAlias pins that -pprof still works, now mounting
-// the full plane on a dedicated mux.
-func TestRunDeprecatedPprofAlias(t *testing.T) {
+// TestRunRejectsUnknownLogFormat pins that a bad -logfmt fails the run
+// before any work starts.
+func TestRunRejectsUnknownLogFormat(t *testing.T) {
 	cfg := smallRun()
-	cfg.pprofAddr = "127.0.0.1:0"
-	var buf bytes.Buffer
-	if err := run(context.Background(), cfg, &buf); err != nil {
+	cfg.logFormat = "yaml"
+	if err := run(context.Background(), cfg, io.Discard); err == nil {
+		t.Error("unknown -logfmt accepted")
+	}
+}
+
+// TestRunStructuredLogOnCancel checks lifecycle events come out of the
+// configured slog logger as structured records: a timed-out run emits a
+// parseable JSON "run did not complete" event under -logfmt json.
+func TestRunStructuredLogOnCancel(t *testing.T) {
+	cfg := smallRun()
+	cfg.timeout = time.Nanosecond // expires before the count starts
+	var logBuf bytes.Buffer
+	logger, err := logx.New(&logBuf, "json", "cnc")
+	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(buf.String(), "observability plane listening on") {
-		t.Error("plane address not announced")
+	cfg.logger = logger
+	if err := run(context.Background(), cfg, io.Discard); err == nil {
+		t.Fatal("timed-out run returned nil")
+	}
+	found := false
+	for _, line := range strings.Split(strings.TrimSpace(logBuf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("log line is not JSON: %v\n%s", err, line)
+		}
+		if rec["msg"] == "run did not complete" && rec["component"] == "cnc" {
+			found = true
+			if rec["reason"] == nil {
+				t.Errorf("cancellation record lacks reason: %v", rec)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no structured cancellation event:\n%s", logBuf.String())
 	}
 }
 
@@ -457,6 +491,17 @@ func TestRunHTTPPlaneServesLive(t *testing.T) {
 	}
 	if got := get("/debug/pprof/cmdline"); got == "" {
 		t.Error("/debug/pprof/cmdline empty")
+	}
+	tsBody := get("/timeseries.json")
+	if err := obs.ValidateTimeseries([]byte(tsBody)); err != nil {
+		t.Errorf("/timeseries.json invalid: %v", err)
+	}
+	if !strings.Contains(tsBody, `"schema": "cncount-timeseries/v1"`) &&
+		!strings.Contains(tsBody, `"schema":"cncount-timeseries/v1"`) {
+		t.Errorf("/timeseries.json lacks the schema marker:\n%s", tsBody)
+	}
+	if got := get("/dashboard"); !strings.Contains(got, "cncount dashboard") {
+		t.Error("/dashboard lacks the embedded page")
 	}
 
 	// /trace.json is 404 without -trace.

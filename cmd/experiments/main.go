@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -39,6 +40,7 @@ import (
 	"time"
 
 	"cncount/internal/experiments"
+	"cncount/internal/logx"
 	"cncount/internal/metrics"
 	"cncount/internal/obs"
 	"cncount/internal/sched"
@@ -62,6 +64,11 @@ type appConfig struct {
 	traceDir   string
 	httpAddr   string
 	timeout    time.Duration
+	logFormat  string
+	// logger receives the structured progress events (experiment done,
+	// plane lifecycle). run() defaults a nil logger to stderr in
+	// cfg.logFormat, so test call sites need not set it.
+	logger *slog.Logger
 }
 
 func main() {
@@ -77,6 +84,7 @@ func main() {
 	flag.StringVar(&cfg.traceDir, "trace-dir", "", "write a Chrome trace-event timeline trace_<id>.json per experiment into this directory")
 	flag.StringVar(&cfg.httpAddr, "http", "", "serve the observability plane (/metrics, /progress, ...) on this address while experiments run")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "abort the run after this long (0 = no limit)")
+	flag.StringVar(&cfg.logFormat, "logfmt", "text", "log output format: "+logx.Formats)
 	flag.Parse()
 
 	// SIGINT/SIGTERM cancel the sweep cooperatively: the current counting
@@ -93,6 +101,12 @@ func main() {
 // unwritable -out/-metrics/-trace-dir path, or an output I/O error — is
 // returned so main can exit non-zero.
 func run(runCtx context.Context, cfg appConfig, stdout io.Writer) error {
+	if cfg.logger == nil {
+		var err error
+		if cfg.logger, err = logx.New(os.Stderr, cfg.logFormat, "experiments"); err != nil {
+			return err
+		}
+	}
 	out := &errWriter{w: stdout}
 	if cfg.list {
 		for _, e := range experiments.All {
@@ -132,6 +146,7 @@ func run(runCtx context.Context, cfg appConfig, stdout io.Writer) error {
 // runExperiments runs the selected experiments, writing report text to w
 // and any -metrics "-" snapshot to stdout.
 func runExperiments(runCtx context.Context, cfg appConfig, w io.Writer, stdout io.Writer) error {
+	logger := cfg.logger
 	if cfg.traceDir != "" {
 		if err := os.MkdirAll(cfg.traceDir, 0o755); err != nil {
 			return fmt.Errorf("trace dir: %w", err)
@@ -167,6 +182,11 @@ func runExperiments(runCtx context.Context, cfg appConfig, w io.Writer, stdout i
 			ctx.Metrics.SetManifest(manifest)
 			liveMC.Store(ctx.Metrics)
 		}
+		// The flight recorder spans the whole sweep: /timeseries.json and
+		// /dashboard show every experiment's counting region in sequence.
+		rec := obs.NewRecorder(obs.RecorderOptions{Progress: ctx.Progress})
+		rec.Start()
+		defer rec.Stop()
 		plane := obs.New(obs.Options{
 			Snapshot: func() metrics.Snapshot {
 				if mc := liveMC.Load(); mc != nil {
@@ -175,14 +195,15 @@ func runExperiments(runCtx context.Context, cfg appConfig, w io.Writer, stdout i
 				return metrics.Snapshot{}
 			},
 			Progress: ctx.Progress,
+			Recorder: rec,
 			Manifest: &manifest,
-			Logf:     log.Printf,
+			Logf:     logx.Printf(logger),
 		})
 		addr, err := plane.Start(cfg.httpAddr)
 		if err != nil {
 			return fmt.Errorf("observability plane: %w", err)
 		}
-		log.Printf("observability plane listening on http://%s/", addr)
+		logger.Info("observability plane listening on http://"+addr.String()+"/", "addr", addr.String())
 		// Flip /healthz to "draining" the moment the run is canceled, so
 		// pollers see the shutdown before the listener goes away. The
 		// watcher always exits: cancelRun fires on return.
@@ -192,7 +213,7 @@ func runExperiments(runCtx context.Context, cfg appConfig, w io.Writer, stdout i
 		}()
 		defer func() {
 			if err := plane.Close(); err != nil {
-				log.Printf("observability plane shutdown: %v", err)
+				logger.Error("observability plane shutdown failed", "err", err)
 			}
 		}()
 	}
@@ -221,7 +242,7 @@ func runExperiments(runCtx context.Context, cfg appConfig, w io.Writer, stdout i
 		if _, err := fmt.Fprintf(w, "## %s\n\n```\n%s```\n\n", e.Title, text); err != nil {
 			return err
 		}
-		log.Printf("%s done in %v", e.ID, time.Since(start).Round(time.Millisecond))
+		logger.Info("experiment done", "id", e.ID, "elapsed", time.Since(start).Round(time.Millisecond))
 		if cfg.metricsOut != "" {
 			snaps = append(snaps, experimentMetrics{Experiment: e.ID, Snapshot: ctx.Metrics.Snapshot()})
 		}

@@ -78,6 +78,11 @@ type Result struct {
 	// Counters carries selected metrics-collector counters (kernel calls,
 	// edges scanned) of the best rep.
 	Counters map[string]uint64 `json:"counters,omitempty"`
+	// Attribution carries the best rep's per-(kernel × degree-bucket)
+	// timing matrices, when the run recorded them. Optional and additive:
+	// v1 readers that predate it ignore the field, so the schema version
+	// stays unchanged.
+	Attribution []metrics.KernelAttr `json:"attribution,omitempty"`
 	// Failed marks a cell whose measurement did not complete (a counting
 	// error, a per-cell timeout, or a run canceled mid-cell after the one
 	// retry the harness allows). Error carries the final attempt's error

@@ -63,6 +63,7 @@ func makeAdaptiveKernel(g *graph.CSR, opts Options) func(*workerCtx, uint32, uin
 		return func(ctx *workerCtx, u, v uint32) uint32 {
 			k := dispatch(u, v)
 			ctx.kernelSel[k]++
+			ctx.lastKernel = uint8(k)
 			return runAdaptiveStats(g, ctx, u, v, k, lanes)
 		}
 	}
@@ -97,9 +98,11 @@ func makeAdaptiveKernel(g *graph.CSR, opts Options) func(*workerCtx, uint32, uin
 	}
 	return func(ctx *workerCtx, u, v uint32) uint32 {
 		if ctx.pu == int64(u) {
+			ctx.lastKernel = uint8(kb)
 			return intersect.Bitmap(ctx.bm, g.Neighbors(v))
 		}
 		if bitmapDiag[lens[u]] {
+			ctx.lastKernel = uint8(kb)
 			refreshBitmap(g, ctx, u, false)
 			ctx.fastSrcs++
 			if ctx.fastSrcs&(fastSampleSrcs-1) == 1 {
@@ -113,6 +116,7 @@ func makeAdaptiveKernel(g *graph.CSR, opts Options) func(*workerCtx, uint32, uin
 		}
 		k := dispatch(u, v)
 		ctx.kernelSel[k]++
+		ctx.lastKernel = uint8(k)
 		if ctx.kernelSel[k]&(kernelSampleEvery-1) == 1 {
 			start := time.Now()
 			c := runAdaptive(g, ctx, u, v, k, lanes)

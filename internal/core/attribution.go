@@ -1,0 +1,107 @@
+package core
+
+import (
+	"cncount/internal/adaptive"
+	"cncount/internal/graph"
+	"cncount/internal/metrics"
+)
+
+// attrSampleEvery is the per-bucket sampling stride of the attribution
+// timing: within each degree bucket, every 256th kernel call is timed
+// with a time.Now pair. The stride is keyed on the bucket — not the
+// kernel — because under AlgoAdaptive the kernel identity is only known
+// after dispatch, while the time-this-call decision must be made before
+// it. Power of two so the stride test is a mask.
+const attrSampleEvery = 256
+
+// attrBuckets bounds the degree-bucket axis: adaptive.DegLen is the bit
+// length of an int64 degree, 1..64, indexed directly.
+const attrBuckets = 65
+
+// attrCell is one (kernel × degree-bucket) accumulator.
+type attrCell struct {
+	count        uint64
+	sampledNanos uint64
+	samples      uint64
+}
+
+// attrMatrix is one worker's attribution state: a cells[kernel][bucket]
+// matrix plus the per-bucket sampling trigger. Each worker owns a
+// separately allocated matrix, so per-edge writes never share cache
+// lines across workers.
+type attrMatrix struct {
+	cells [][attrBuckets]attrCell
+	seen  [attrBuckets]uint64
+}
+
+func newAttrMatrix(kernels int) *attrMatrix {
+	return &attrMatrix{cells: make([][attrBuckets]attrCell, kernels)}
+}
+
+// attrKernelNames returns the attribution row labels of an algorithm:
+// the five dispatchable kernel families for AlgoAdaptive (row index ==
+// adaptive.Kernel), one fixed row otherwise.
+func attrKernelNames(alg Algorithm) []string {
+	switch alg {
+	case AlgoAdaptive:
+		names := make([]string, adaptive.NumKernels)
+		for k := range names {
+			names[k] = adaptive.Kernel(k).String()
+		}
+		return names
+	case AlgoM:
+		return []string{"merge"}
+	case AlgoMPS:
+		return []string{"mps"}
+	case AlgoBMP:
+		return []string{"bitmap"}
+	case AlgoBMPRF:
+		return []string{"bitmap-rf"}
+	}
+	return []string{alg.String()}
+}
+
+// degLens precomputes every vertex's degree bit length (the same O(V)
+// setup pass the adaptive dispatcher performs), so the per-edge bucket
+// is two one-byte loads and a compare.
+func degLens(g *graph.CSR) []uint8 {
+	lens := make([]uint8, g.NumVertices())
+	for u := range lens {
+		lens[u] = uint8(adaptive.DegLen(g.Degree(uint32(u))))
+	}
+	return lens
+}
+
+// foldAttribution sums the per-worker matrices into metrics rows, one
+// per kernel that ran, with empty buckets omitted and the rest ordered
+// by ascending MinDegLen.
+func foldAttribution(alg Algorithm, contexts []workerCtx) []metrics.KernelAttr {
+	if len(contexts) == 0 || contexts[0].attr == nil {
+		return nil
+	}
+	names := attrKernelNames(alg)
+	rows := make([]metrics.KernelAttr, 0, len(names))
+	for k, name := range names {
+		row := metrics.KernelAttr{Scope: "core.count", Kernel: name}
+		for b := 0; b < attrBuckets; b++ {
+			var cell attrCell
+			for i := range contexts {
+				c := &contexts[i].attr.cells[k][b]
+				cell.count += c.count
+				cell.sampledNanos += c.sampledNanos
+				cell.samples += c.samples
+			}
+			if cell.count == 0 {
+				continue
+			}
+			row.Buckets = append(row.Buckets, metrics.AttrBucket{
+				MinDegLen:    b,
+				Count:        cell.count,
+				SampledNanos: cell.sampledNanos,
+				Samples:      cell.samples,
+			})
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

@@ -74,6 +74,13 @@ type workerCtx struct {
 	kernelSel         [adaptive.NumKernels]uint64
 	kernelSampleNanos [adaptive.NumKernels]uint64
 	kernelSamples     [adaptive.NumKernels]uint64
+	// lastKernel is the kernel family the worker's most recent adaptive
+	// dispatch executed (a plain store in the dispatch closure), read by
+	// the metered body to resolve the attribution row after the call.
+	lastKernel uint8
+	// attr is the worker's (kernel × degree-bucket) attribution matrix;
+	// nil unless Options.Metrics is set.
+	attr *attrMatrix
 	// pad prevents false sharing between adjacent worker contexts in the
 	// contexts slice when workers write their work tallies.
 	_ [64]byte
@@ -125,10 +132,14 @@ func Count(g *graph.CSR, opts Options) (*Result, error) {
 	counts := make([]uint32, numEdges)
 	contexts := make([]workerCtx, opts.Threads)
 	numV := uint32(g.NumVertices())
+	numAttrKernels := len(attrKernelNames(opts.Algorithm))
 	for i := range contexts {
 		contexts[i].finder = graph.NewSrcFinder(g)
 		contexts[i].pu = -1
 		contexts[i].hu = -1
+		if mc.Enabled() {
+			contexts[i].attr = newAttrMatrix(numAttrKernels)
+		}
 		switch opts.Algorithm {
 		case AlgoBMP:
 			contexts[i].bm = bitmap.New(numV)
@@ -198,6 +209,7 @@ func Count(g *graph.CSR, opts Options) (*Result, error) {
 		if opts.Algorithm == AlgoAdaptive {
 			addAdaptiveCounters(mc, contexts)
 		}
+		mc.RecordKernelAttr(foldAttribution(opts.Algorithm, contexts))
 	}
 	stopReduceSpan()
 	stopReduce()
@@ -235,31 +247,89 @@ func indexBytes(o Options, n int64) int64 {
 // makeBody builds the per-chunk edge loop of Algorithm 3 for the selected
 // algorithm: recover the source vertex u of each edge offset, compute the
 // count when u < v, and symmetrically assign it to the reverse offset.
+//
+// With Options.Metrics set the loop additionally attributes every kernel
+// call to its (kernel × min-degree-bucket) cell and samples its wall time
+// once per attrSampleEvery bucket hits; the unmetered loop is returned as
+// a separate closure so the disabled path keeps the uninstrumented body.
 func makeBody(g *graph.CSR, counts []uint32, contexts []workerCtx, opts Options) func(int, int64, int64) {
 	kernel := makeKernel(g, contexts, opts)
 	collect := opts.CollectWork
-	metered := opts.Metrics.Enabled()
+	if !opts.Metrics.Enabled() {
+		return func(worker int, lo, hi int64) {
+			ctx := &contexts[worker]
+			for e := lo; e < hi; e++ {
+				v := g.Dst[e]
+				u := ctx.finder.Find(e)
+				if u >= v {
+					continue
+				}
+				if collect {
+					// The symmetric assignment writes two count-array entries —
+					// the reverse one at an uncorrelated offset — and performs
+					// a reverse-offset binary search; both are part of the cost
+					// the paper measures.
+					ctx.work.BytesStreamed += 8
+					ctx.work.RandomAccesses++
+					ctx.work.BinarySteps += log2(g.Degree(v))
+				}
+				c := kernel(ctx, u, v)
+				counts[e] = c
+				rev, ok := g.EdgeOffset(v, u)
+				if ok {
+					counts[rev] = c
+				}
+			}
+		}
+	}
+	// Metered body: same loop plus attribution. The degree-bucket lens
+	// array mirrors the adaptive dispatcher's precompute; under
+	// AlgoAdaptive the row is resolved after the call from the kernel the
+	// dispatch actually executed (ctx.lastKernel), since fast paths and
+	// table picks diverge.
+	lens := degLens(g)
+	adaptiveRows := opts.Algorithm == AlgoAdaptive
 	return func(worker int, lo, hi int64) {
 		ctx := &contexts[worker]
+		attr := ctx.attr
 		for e := lo; e < hi; e++ {
 			v := g.Dst[e]
 			u := ctx.finder.Find(e)
 			if u >= v {
 				continue
 			}
-			if metered {
-				ctx.kernelCalls++
-			}
+			ctx.kernelCalls++
 			if collect {
-				// The symmetric assignment writes two count-array entries —
-				// the reverse one at an uncorrelated offset — and performs
-				// a reverse-offset binary search; both are part of the cost
-				// the paper measures.
 				ctx.work.BytesStreamed += 8
 				ctx.work.RandomAccesses++
 				ctx.work.BinarySteps += log2(g.Degree(v))
 			}
-			c := kernel(ctx, u, v)
+			bkt := lens[u]
+			if l := lens[v]; l < bkt {
+				bkt = l
+			}
+			attr.seen[bkt]++
+			var c uint32
+			if attr.seen[bkt]&(attrSampleEvery-1) == 1 {
+				start := time.Now()
+				c = kernel(ctx, u, v)
+				d := uint64(time.Since(start))
+				row := 0
+				if adaptiveRows {
+					row = int(ctx.lastKernel)
+				}
+				cell := &attr.cells[row][bkt]
+				cell.count++
+				cell.sampledNanos += d
+				cell.samples++
+			} else {
+				c = kernel(ctx, u, v)
+				row := 0
+				if adaptiveRows {
+					row = int(ctx.lastKernel)
+				}
+				attr.cells[row][bkt].count++
+			}
 			counts[e] = c
 			rev, ok := g.EdgeOffset(v, u)
 			if ok {

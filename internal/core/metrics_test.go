@@ -54,6 +54,81 @@ func TestCountRecordsMetrics(t *testing.T) {
 	}
 }
 
+// TestCountRecordsAttribution checks every metered run attributes each
+// kernel call to exactly one (kernel × degree-bucket) cell: the bucket
+// counts sum to the kernel-call counter, rows carry the algorithm's
+// kernel labels, buckets ascend, and samples never exceed counts.
+func TestCountRecordsAttribution(t *testing.T) {
+	g := randomGraph(t, 7, 200, 2000)
+	for _, algo := range Algorithms {
+		t.Run(algo.String(), func(t *testing.T) {
+			mc := metrics.New()
+			if _, err := Count(g, Options{Algorithm: algo, Threads: 4, TaskSize: 64, Metrics: mc}); err != nil {
+				t.Fatal(err)
+			}
+			s := mc.Snapshot()
+			if len(s.Attribution) == 0 {
+				t.Fatal("no attribution rows in metered snapshot")
+			}
+			valid := make(map[string]bool)
+			for _, name := range attrKernelNames(algo) {
+				valid[name] = true
+			}
+			var total uint64
+			for _, row := range s.Attribution {
+				if row.Scope != "core.count" {
+					t.Errorf("row scope = %q, want core.count", row.Scope)
+				}
+				if !valid[row.Kernel] {
+					t.Errorf("row kernel %q not in %v", row.Kernel, attrKernelNames(algo))
+				}
+				prev := 0
+				for _, b := range row.Buckets {
+					if b.MinDegLen <= prev && prev != 0 {
+						t.Errorf("%s buckets not ascending: %d after %d", row.Kernel, b.MinDegLen, prev)
+					}
+					prev = b.MinDegLen
+					if b.MinDegLen < 1 || b.MinDegLen > 64 {
+						t.Errorf("%s bucket min_deg_len %d out of range", row.Kernel, b.MinDegLen)
+					}
+					if b.Samples > b.Count {
+						t.Errorf("%s bucket %d: samples %d > count %d", row.Kernel, b.MinDegLen, b.Samples, b.Count)
+					}
+					if b.Samples == 0 && b.SampledNanos != 0 {
+						t.Errorf("%s bucket %d: nanos without samples", row.Kernel, b.MinDegLen)
+					}
+					total += b.Count
+				}
+			}
+			if want := s.Counters["core.kernel_calls_"+algo.String()]; total != want {
+				t.Errorf("attributed calls = %d, want kernel_calls %d", total, want)
+			}
+			var samples uint64
+			for _, row := range s.Attribution {
+				for _, b := range row.Buckets {
+					samples += b.Samples
+				}
+			}
+			if samples == 0 {
+				t.Error("no timed samples recorded on a 2000-edge graph")
+			}
+		})
+	}
+}
+
+// TestCountAttributionAbsentWhenDisabled pins the off-switch: without a
+// collector no attribution state is allocated at all.
+func TestCountAttributionAbsentWhenDisabled(t *testing.T) {
+	g := randomGraph(t, 3, 50, 300)
+	var mc *metrics.Collector
+	if _, err := Count(g, Options{Algorithm: AlgoMPS, Threads: 2, Metrics: mc}); err != nil {
+		t.Fatal(err)
+	}
+	if s := mc.Snapshot(); len(s.Attribution) != 0 {
+		t.Errorf("nil collector produced attribution: %+v", s.Attribution)
+	}
+}
+
 // TestCountMetricsDisabledMatches checks the metered and unmetered paths
 // compute identical counts.
 func TestCountMetricsDisabledMatches(t *testing.T) {

@@ -33,11 +33,12 @@ import (
 // A nil *Collector is valid and records nothing; construct with New to
 // enable collection.
 type Collector struct {
-	mu       sync.Mutex
-	phases   []PhaseSample
-	counters map[string]uint64
-	sched    []SchedSnapshot
-	manifest *Manifest
+	mu          sync.Mutex
+	phases      []PhaseSample
+	counters    map[string]uint64
+	sched       []SchedSnapshot
+	attribution []KernelAttr
+	manifest    *Manifest
 }
 
 // New returns an enabled collector.
@@ -104,8 +105,9 @@ func (c *Collector) Snapshot() Snapshot {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s := Snapshot{
-		Phases: append([]PhaseSample(nil), c.phases...),
-		Sched:  append([]SchedSnapshot(nil), c.sched...),
+		Phases:      append([]PhaseSample(nil), c.phases...),
+		Sched:       append([]SchedSnapshot(nil), c.sched...),
+		Attribution: append([]KernelAttr(nil), c.attribution...),
 	}
 	if c.manifest != nil {
 		m := *c.manifest
@@ -140,6 +142,9 @@ type Snapshot struct {
 	Counters map[string]uint64 `json:"counters,omitempty"`
 	// Sched holds one entry per committed scheduler recorder.
 	Sched []SchedSnapshot `json:"sched,omitempty"`
+	// Attribution holds per-(kernel × degree-bucket) call counts and
+	// sampled timings recorded by core's kernel call sites.
+	Attribution []KernelAttr `json:"attribution,omitempty"`
 	// Manifest describes the build and environment that produced the
 	// snapshot, when the collector had one attached (SetManifest).
 	Manifest *Manifest `json:"manifest,omitempty"`

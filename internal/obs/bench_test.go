@@ -1,0 +1,54 @@
+package obs_test
+
+import (
+	"testing"
+
+	"cncount/internal/core"
+	"cncount/internal/gen"
+	"cncount/internal/graph"
+	"cncount/internal/obs"
+	"cncount/internal/sched"
+)
+
+// BenchmarkCountSamplerGuard is the overhead guard for the flight
+// recorder: the "off" variant runs core.Count with a progress source but
+// no recorder — the exact code path production uses when -http is off —
+// and must stay within noise of BenchmarkCountProgressGuard/on, because
+// the recorder touches the hot path only through the progress tallies
+// that variant already pays for. The "on" variant runs with a recorder
+// sampling at the default interval, whose cost lives entirely in the
+// sampler goroutine: a handful of atomic loads and one ReadMemStats per
+// tick, never per task or per edge.
+//
+//	go test -bench BenchmarkCountSamplerGuard -count 10 ./internal/obs/
+func BenchmarkCountSamplerGuard(b *testing.B) {
+	p, err := gen.ProfileByName("TW")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g0, err := p.Generate(0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, _ := graph.ReorderByDegree(g0)
+
+	run := func(b *testing.B, withRecorder bool) {
+		b.Helper()
+		prog := sched.NewProgress()
+		if withRecorder {
+			rec := obs.NewRecorder(obs.RecorderOptions{Progress: prog})
+			rec.Start()
+			defer rec.Stop()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Count(g, core.Options{Algorithm: core.AlgoBMP, Progress: prog}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(g.NumEdges()/2)*float64(b.N)/b.Elapsed().Seconds(), "intersections/s")
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
+}

@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+)
+
+// handleDashboard serves the embedded live dashboard. The page is fully
+// self-contained — inline CSS and vanilla JS, no external assets — so it
+// works from an air-gapped benchmark host. It polls /progress and
+// /timeseries.json and renders the run's position plus the flight
+// recorder's series as sparklines; when the recorder is disabled the
+// series section degrades to a note instead of failing.
+func (p *Plane) handleDashboard(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	io.WriteString(w, dashboardHTML)
+}
+
+const dashboardHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>cncount dashboard</title>
+<style>
+  :root {
+    --bg: #0f1419; --panel: #171e26; --line: #2a3440;
+    --text: #d6dde5; --dim: #7b8794; --accent: #4fb3d9;
+    --ok: #5cb85c; --warn: #e0a030; --bad: #d9534f;
+  }
+  * { box-sizing: border-box; }
+  body {
+    margin: 0; padding: 1.25rem; background: var(--bg); color: var(--text);
+    font: 14px/1.45 ui-monospace, SFMono-Regular, Menlo, Consolas, monospace;
+  }
+  h1 { font-size: 1.1rem; margin: 0 0 .25rem; font-weight: 600; }
+  h1 .scope { color: var(--accent); }
+  .sub { color: var(--dim); margin-bottom: 1rem; }
+  .badge {
+    display: inline-block; padding: .05rem .5rem; border-radius: 3px;
+    font-size: .8rem; vertical-align: middle; margin-left: .5rem;
+  }
+  .badge.active { background: #1d3a1d; color: var(--ok); }
+  .badge.idle { background: #2a3440; color: var(--dim); }
+  .badge.stalled { background: #3a1d1d; color: var(--bad); }
+  .grid { display: grid; grid-template-columns: repeat(auto-fit, minmax(240px, 1fr)); gap: .75rem; }
+  .card {
+    background: var(--panel); border: 1px solid var(--line);
+    border-radius: 6px; padding: .6rem .75rem;
+  }
+  .card .label { color: var(--dim); font-size: .78rem; text-transform: uppercase; letter-spacing: .05em; }
+  .card .value { font-size: 1.25rem; margin: .1rem 0 .3rem; }
+  .card canvas { width: 100%; height: 42px; display: block; }
+  #bar-track {
+    height: 14px; background: var(--line); border-radius: 7px;
+    overflow: hidden; margin: .5rem 0;
+  }
+  #bar-fill {
+    height: 100%; width: 0; background: var(--accent);
+    border-radius: 7px; transition: width .4s ease;
+  }
+  .kv { display: flex; gap: 1.5rem; flex-wrap: wrap; color: var(--dim); }
+  .kv b { color: var(--text); font-weight: 600; }
+  section { margin-bottom: 1.25rem; }
+  #workers .row { display: flex; align-items: center; gap: .6rem; margin: .25rem 0; }
+  #workers .wid { width: 3.5rem; color: var(--dim); }
+  #workers .track {
+    flex: 1; height: 10px; background: var(--line); border-radius: 5px;
+    overflow: hidden; display: flex;
+  }
+  #workers .busy { background: var(--ok); height: 100%; }
+  #workers .wait { background: var(--warn); height: 100%; }
+  #workers .steal { background: var(--accent); height: 100%; }
+  #workers .pct { width: 4.5rem; text-align: right; color: var(--dim); }
+  #workers .stalled-flag { color: var(--bad); }
+  .note { color: var(--dim); font-style: italic; }
+  .legend span { margin-right: 1rem; color: var(--dim); font-size: .8rem; }
+  .dot { display: inline-block; width: .6em; height: .6em; border-radius: 50%; margin-right: .3em; }
+</style>
+</head>
+<body>
+<h1>cncount <span class="scope" id="scope">—</span><span class="badge idle" id="badge">idle</span></h1>
+<div class="sub">live run dashboard · polls /progress and /timeseries.json</div>
+
+<section id="progress">
+  <div id="bar-track"><div id="bar-fill"></div></div>
+  <div class="kv">
+    <span><b id="pct">0%</b> done</span>
+    <span><b id="units">0 / 0</b> units</span>
+    <span><b id="rate">—</b> units/s</span>
+    <span>elapsed <b id="elapsed">—</b></span>
+    <span>eta <b id="eta">—</b></span>
+  </div>
+</section>
+
+<section>
+  <div class="grid" id="cards">
+    <div class="card"><div class="label">edges / sec</div><div class="value" id="v-eps">—</div><canvas id="c-eps"></canvas></div>
+    <div class="card"><div class="label">rss</div><div class="value" id="v-rss">—</div><canvas id="c-rss"></canvas></div>
+    <div class="card"><div class="label">heap alloc</div><div class="value" id="v-heap">—</div><canvas id="c-heap"></canvas></div>
+    <div class="card"><div class="label">goroutines</div><div class="value" id="v-gor">—</div><canvas id="c-gor"></canvas></div>
+  </div>
+  <div class="note" id="ts-note" hidden>flight recorder disabled for this run (no /timeseries.json)</div>
+</section>
+
+<section id="workers-section">
+  <div class="card">
+    <div class="label">workers · last interval</div>
+    <div class="legend">
+      <span><span class="dot" style="background:var(--ok)"></span>busy</span>
+      <span><span class="dot" style="background:var(--warn)"></span>wait</span>
+      <span><span class="dot" style="background:var(--accent)"></span>steal</span>
+    </div>
+    <div id="workers"><div class="note">no region observed yet</div></div>
+  </div>
+</section>
+
+<script>
+"use strict";
+const $ = id => document.getElementById(id);
+
+function fmtDur(s) {
+  if (!isFinite(s) || s <= 0) return "—";
+  if (s < 60) return s.toFixed(1) + "s";
+  const m = Math.floor(s / 60);
+  return m + "m" + Math.round(s - m * 60) + "s";
+}
+function fmtNum(n) {
+  if (!isFinite(n) || n === 0) return "0";
+  const units = ["", "k", "M", "G", "T"];
+  let i = 0;
+  while (Math.abs(n) >= 1000 && i < units.length - 1) { n /= 1000; i++; }
+  return (n >= 100 ? n.toFixed(0) : n.toFixed(1)) + units[i];
+}
+function fmtBytes(n) {
+  const units = ["B", "KiB", "MiB", "GiB", "TiB"];
+  let i = 0;
+  while (n >= 1024 && i < units.length - 1) { n /= 1024; i++; }
+  return (n >= 100 ? n.toFixed(0) : n.toFixed(1)) + " " + units[i];
+}
+
+function spark(canvas, values) {
+  const dpr = window.devicePixelRatio || 1;
+  const w = canvas.clientWidth, h = canvas.clientHeight;
+  if (w === 0 || h === 0) return;
+  canvas.width = w * dpr; canvas.height = h * dpr;
+  const g = canvas.getContext("2d");
+  g.scale(dpr, dpr);
+  g.clearRect(0, 0, w, h);
+  if (values.length < 2) return;
+  const max = Math.max(...values), min = Math.min(...values, 0);
+  const span = max - min || 1;
+  g.beginPath();
+  values.forEach((v, i) => {
+    const x = (i / (values.length - 1)) * (w - 2) + 1;
+    const y = h - 2 - ((v - min) / span) * (h - 4);
+    i === 0 ? g.moveTo(x, y) : g.lineTo(x, y);
+  });
+  g.strokeStyle = getComputedStyle(document.documentElement).getPropertyValue("--accent").trim();
+  g.lineWidth = 1.5;
+  g.stroke();
+}
+
+async function pollProgress() {
+  const r = await fetch("/progress");
+  if (!r.ok) return;
+  const p = await r.json();
+  $("scope").textContent = p.scope || "—";
+  const badge = $("badge");
+  if (p.stalled_workers > 0) { badge.textContent = "stalled"; badge.className = "badge stalled"; }
+  else if (p.active) { badge.textContent = "running"; badge.className = "badge active"; }
+  else { badge.textContent = p.runs > 0 ? "done" : "idle"; badge.className = "badge idle"; }
+  $("bar-fill").style.width = (p.percent_done || 0) + "%";
+  $("pct").textContent = (p.percent_done || 0).toFixed(1) + "%";
+  $("units").textContent = fmtNum(p.done_units) + " / " + fmtNum(p.total_units);
+  $("rate").textContent = fmtNum(p.units_per_sec);
+  $("elapsed").textContent = fmtDur(p.elapsed_seconds);
+  $("eta").textContent = p.active ? fmtDur(p.eta_seconds) : "—";
+  return p;
+}
+
+async function pollTimeseries(progress) {
+  const r = await fetch("/timeseries.json");
+  if (r.status === 404) { $("ts-note").hidden = false; return; }
+  if (!r.ok) return;
+  $("ts-note").hidden = true;
+  const t = await r.json();
+  const samples = t.samples || [];
+  if (samples.length === 0) return;
+  const last = samples[samples.length - 1];
+  $("v-eps").textContent = fmtNum(last.units_per_sec);
+  $("v-rss").textContent = fmtBytes(last.rss_bytes);
+  $("v-heap").textContent = fmtBytes(last.heap_alloc_bytes);
+  $("v-gor").textContent = String(last.goroutines);
+  spark($("c-eps"), samples.map(s => s.units_per_sec));
+  spark($("c-rss"), samples.map(s => s.rss_bytes));
+  spark($("c-heap"), samples.map(s => s.heap_alloc_bytes));
+  spark($("c-gor"), samples.map(s => s.goroutines));
+
+  const container = $("workers");
+  const workers = last.workers || [];
+  if (workers.length === 0) return;
+  const interval = t.interval_nanos || 1;
+  const stalled = new Set(((progress && progress.workers) || []).filter(w => w.stalled).map(w => w.worker));
+  container.innerHTML = "";
+  for (const wd of workers) {
+    const busy = Math.min(100, 100 * Math.max(wd.busy_nanos, 0) / interval);
+    const wait = Math.min(100 - busy, 100 * Math.max(wd.wait_nanos, 0) / interval);
+    const steal = Math.min(100 - busy - wait, 100 * Math.max(wd.steal_nanos, 0) / interval);
+    const row = document.createElement("div");
+    row.className = "row";
+    const flag = stalled.has(wd.worker) ? ' <span class="stalled-flag">stalled</span>' : "";
+    row.innerHTML =
+      '<span class="wid">w' + wd.worker + "</span>" +
+      '<span class="track">' +
+      '<span class="busy" style="width:' + busy + '%"></span>' +
+      '<span class="wait" style="width:' + wait + '%"></span>' +
+      '<span class="steal" style="width:' + steal + '%"></span>' +
+      "</span>" +
+      '<span class="pct">' + busy.toFixed(0) + "%" + flag + "</span>";
+    container.appendChild(row);
+  }
+}
+
+async function tick() {
+  try {
+    const p = await pollProgress();
+    await pollTimeseries(p);
+  } catch (e) { /* transient poll failure: keep last render */ }
+}
+tick();
+setInterval(tick, 1000);
+</script>
+</body>
+</html>
+`

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"cncount/internal/core"
 	"cncount/internal/gen"
@@ -154,5 +155,139 @@ func TestPlaneScrapesLiveRun(t *testing.T) {
 	}
 	if len(tj.TraceEvents) == 0 {
 		t.Error("live trace snapshot empty after a traced run")
+	}
+}
+
+// TestPlaneScrapesTimeseriesAndDashboard mounts the plane with a running
+// flight recorder and scrapes /timeseries.json and /dashboard
+// continuously while core.Count runs. Under -race this proves the
+// recorder's sampler goroutine and JSON serialization are safe against
+// the hot-path progress writers; in any mode every scraped document must
+// pass ValidateTimeseries, and the final ring must have recorded the run.
+func TestPlaneScrapesTimeseriesAndDashboard(t *testing.T) {
+	p, err := gen.ProfileByName("WI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := p.Generate(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mc := metrics.New()
+	prog := sched.NewProgress()
+	rec := obs.NewRecorder(obs.RecorderOptions{Interval: 2 * time.Millisecond, Progress: prog})
+	rec.Start()
+	defer rec.Stop()
+	plane := obs.New(obs.Options{
+		Snapshot: mc.Snapshot,
+		Progress: prog,
+		Recorder: rec,
+	})
+	ts := httptest.NewServer(plane.Handler())
+	defer ts.Close()
+
+	scrape := func(path string) (*http.Response, []byte, bool) {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Errorf("GET %s: %v", path, err)
+			return nil, nil, false
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d, %v", path, resp.StatusCode, err)
+			return nil, nil, false
+		}
+		return resp, body, true
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, body, ok := scrape("/timeseries.json")
+			if !ok {
+				return
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Errorf("/timeseries.json Content-Type = %q", ct)
+				return
+			}
+			if err := obs.ValidateTimeseries(body); err != nil {
+				t.Errorf("mid-run timeseries invalid: %v", err)
+				return
+			}
+			resp, body, ok = scrape("/dashboard")
+			if !ok {
+				return
+			}
+			if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+				t.Errorf("/dashboard Content-Type = %q", ct)
+				return
+			}
+			if !strings.Contains(string(body), "cncount dashboard") {
+				t.Error("/dashboard body lacks the page title")
+				return
+			}
+		}
+	}()
+
+	res, err := core.Count(g, core.Options{
+		Algorithm: core.AlgoBMP,
+		Threads:   4,
+		Metrics:   mc,
+		Progress:  prog,
+	})
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TriangleCount() == 0 {
+		t.Error("counting produced nothing; scrape test proved nothing")
+	}
+
+	// Give the sampler one more interval to observe the settled state,
+	// then check the ring actually recorded the run.
+	deadline := time.After(5 * time.Second)
+	for {
+		_, body, ok := scrape("/timeseries.json")
+		if !ok {
+			t.FailNow()
+		}
+		if err := obs.ValidateTimeseries(body); err != nil {
+			t.Fatalf("final timeseries invalid: %v", err)
+		}
+		var doc struct {
+			Samples []struct {
+				Scope     string `json:"scope"`
+				DoneUnits int64  `json:"done_units"`
+			} `json:"samples"`
+		}
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Fatal(err)
+		}
+		sawRun := false
+		for _, s := range doc.Samples {
+			if strings.HasPrefix(s.Scope, "core.count") {
+				sawRun = true
+			}
+		}
+		if sawRun {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("flight recorder never sampled the counting region")
+		case <-time.After(2 * time.Millisecond):
+		}
 	}
 }

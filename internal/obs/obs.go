@@ -9,12 +9,16 @@
 //
 // The plane serves, on one dedicated mux (never http.DefaultServeMux):
 //
-//	/healthz      liveness ("ok")
-//	/metrics      Prometheus text exposition of the live metrics.Collector
-//	/progress     JSON progress of the in-flight parallel region:
-//	              percent done, units/sec, ETA, per-worker stall flags
-//	/trace.json   point-in-time snapshot of the live trace rings
-//	/debug/pprof/ the standard runtime profiles
+//	/healthz          liveness ("ok")
+//	/metrics          Prometheus text exposition of the live metrics.Collector
+//	/progress         JSON progress of the in-flight parallel region:
+//	                  percent done, units/sec, ETA, per-worker stall flags
+//	/trace.json       point-in-time snapshot of the live trace rings
+//	/timeseries.json  the flight recorder's ring: runtime and per-worker
+//	                  series sampled at a fixed interval (schema-versioned)
+//	/dashboard        embedded zero-dependency HTML view that live-polls
+//	                  /progress + /timeseries.json and renders sparklines
+//	/debug/pprof/     the standard runtime profiles
 //
 // Everything is pull-based and read-only: handlers snapshot the
 // collector (mutex-guarded, histogram reads atomic), sample the progress
@@ -64,6 +68,11 @@ type Options struct {
 	// (*trace.Tracer).WriteJSON of a tracer in live mode (SetLive). nil
 	// makes /trace.json respond 404.
 	TraceJSON func(io.Writer) error
+	// Recorder is the flight recorder served as /timeseries.json and
+	// consumed by /dashboard's sparklines. nil makes /timeseries.json
+	// respond 404 (the dashboard degrades gracefully). The plane does not
+	// start or stop the recorder; the owning command does.
+	Recorder *Recorder
 	// Manifest is served under /metrics as cncount_build_info and used as
 	// the fallback when the snapshot carries none.
 	Manifest *Manifest
@@ -99,6 +108,8 @@ func New(opts Options) *Plane {
 	p.mux.HandleFunc("/metrics", p.handleMetrics)
 	p.mux.HandleFunc("/progress", p.handleProgress)
 	p.mux.HandleFunc("/trace.json", p.handleTrace)
+	p.mux.HandleFunc("/timeseries.json", p.handleTimeseries)
+	p.mux.HandleFunc("/dashboard", p.handleDashboard)
 	p.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	p.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	p.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -203,6 +214,17 @@ func (p *Plane) handleProgress(w http.ResponseWriter, _ *http.Request) {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(status); err != nil {
 		p.opts.Logf("obs: /progress write: %v", err)
+	}
+}
+
+func (p *Plane) handleTimeseries(w http.ResponseWriter, _ *http.Request) {
+	if p.opts.Recorder == nil {
+		http.Error(w, "flight recorder not enabled for this run", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := p.opts.Recorder.WriteJSON(w); err != nil {
+		p.opts.Logf("obs: /timeseries.json write: %v", err)
 	}
 }
 

@@ -35,7 +35,7 @@ func TestPlaneEndpoints(t *testing.T) {
 	c.RecordPhase("core.count", 1e9)
 	prog := sched.NewProgress()
 	prog.Begin("core.count.BMP", 100, 2)
-	prog.TaskDone(0, 40)
+	prog.TaskDone(0, 40, 0, 0)
 	manifest := NewManifest(map[string]string{"algo": "bmp"})
 	plane := New(Options{
 		Snapshot:  c.Snapshot,

@@ -33,6 +33,7 @@ func WriteProm(w io.Writer, snap metrics.Snapshot, prog *ProgressStatus) error {
 	writePhases(&b, snap.Phases)
 	writeCounters(&b, snap.Counters)
 	writeSched(&b, snap.Sched)
+	writeAttribution(&b, snap.Attribution)
 	if prog != nil {
 		writeProgress(&b, prog)
 	}
@@ -178,6 +179,80 @@ func writeSched(b *strings.Builder, scheds []metrics.SchedSnapshot) {
 			escapeLabel(scope), agg.count)
 		fmt.Fprintf(b, "cncount_sched_task_nanos_count{scope=%q} %d\n",
 			escapeLabel(scope), agg.count)
+	}
+}
+
+// writeAttribution renders the per-(kernel × degree-bucket) attribution
+// matrices. Repeated rows for the same (scope, kernel, bucket) sum, and
+// the sample series are emitted only for buckets that were ever timed, so
+// the exposition stays proportional to the kernels that actually ran.
+func writeAttribution(b *strings.Builder, rows []metrics.KernelAttr) {
+	if len(rows) == 0 {
+		return
+	}
+	type cell struct{ count, nanos, samples uint64 }
+	type key struct {
+		scope, kernel string
+		bucket        int
+	}
+	agg := map[key]*cell{}
+	keys := make([]key, 0, len(rows)*4)
+	for _, r := range rows {
+		for _, bk := range r.Buckets {
+			k := key{r.Scope, r.Kernel, bk.MinDegLen}
+			c := agg[k]
+			if c == nil {
+				c = &cell{}
+				agg[k] = c
+				keys = append(keys, k)
+			}
+			c.count += bk.Count
+			c.nanos += bk.SampledNanos
+			c.samples += bk.Samples
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].scope != keys[j].scope {
+			return keys[i].scope < keys[j].scope
+		}
+		if keys[i].kernel != keys[j].kernel {
+			return keys[i].kernel < keys[j].kernel
+		}
+		return keys[i].bucket < keys[j].bucket
+	})
+
+	fmt.Fprintf(b, "# HELP cncount_kernel_calls_total Kernel calls by kernel family and min-endpoint-degree bit length.\n")
+	fmt.Fprintf(b, "# TYPE cncount_kernel_calls_total counter\n")
+	for _, k := range keys {
+		fmt.Fprintf(b, "cncount_kernel_calls_total{scope=%q,kernel=%q,min_deg_len=\"%d\"} %d\n",
+			escapeLabel(k.scope), escapeLabel(k.kernel), k.bucket, agg[k].count)
+	}
+	anySamples := false
+	for _, k := range keys {
+		if agg[k].samples > 0 {
+			anySamples = true
+			break
+		}
+	}
+	if !anySamples {
+		return
+	}
+	fmt.Fprintf(b, "# HELP cncount_kernel_sample_nanos_total Sampled wall nanoseconds per kernel family and degree bucket.\n")
+	fmt.Fprintf(b, "# TYPE cncount_kernel_sample_nanos_total counter\n")
+	for _, k := range keys {
+		if agg[k].samples == 0 {
+			continue
+		}
+		fmt.Fprintf(b, "cncount_kernel_sample_nanos_total{scope=%q,kernel=%q,min_deg_len=\"%d\"} %d\n",
+			escapeLabel(k.scope), escapeLabel(k.kernel), k.bucket, agg[k].nanos)
+	}
+	fmt.Fprintf(b, "# TYPE cncount_kernel_samples_total counter\n")
+	for _, k := range keys {
+		if agg[k].samples == 0 {
+			continue
+		}
+		fmt.Fprintf(b, "cncount_kernel_samples_total{scope=%q,kernel=%q,min_deg_len=\"%d\"} %d\n",
+			escapeLabel(k.scope), escapeLabel(k.kernel), k.bucket, agg[k].samples)
 	}
 }
 

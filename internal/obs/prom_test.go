@@ -227,6 +227,94 @@ func TestWritePromAggregatesScopes(t *testing.T) {
 	}
 }
 
+// TestWritePromAttribution pins the attribution families: rows for the
+// same (scope, kernel, bucket) aggregate into one series, the sample
+// series appear only for buckets that were ever timed, and the output is
+// deterministic across calls.
+func TestWritePromAttribution(t *testing.T) {
+	snap := metrics.Snapshot{Attribution: []metrics.KernelAttr{
+		{Scope: "core.count", Kernel: "merge", Buckets: []metrics.AttrBucket{
+			{MinDegLen: 3, Count: 10, SampledNanos: 500, Samples: 2},
+			{MinDegLen: 5, Count: 4}, // counted, never timed
+		}},
+		{Scope: "core.count", Kernel: "bitmap", Buckets: []metrics.AttrBucket{
+			{MinDegLen: 7, Count: 6, SampledNanos: 900, Samples: 1},
+		}},
+		// Second worker fold for the same (scope, kernel, bucket): sums.
+		{Scope: "core.count", Kernel: "merge", Buckets: []metrics.AttrBucket{
+			{MinDegLen: 3, Count: 5, SampledNanos: 100, Samples: 1},
+		}},
+	}}
+
+	var b strings.Builder
+	if err := WriteProm(&b, snap, nil); err != nil {
+		t.Fatal(err)
+	}
+	samples, typed := parseProm(t, b.String())
+
+	for series, want := range map[string]float64{
+		`cncount_kernel_calls_total{scope="core.count",kernel="merge",min_deg_len="3"}`:         15,
+		`cncount_kernel_calls_total{scope="core.count",kernel="merge",min_deg_len="5"}`:         4,
+		`cncount_kernel_calls_total{scope="core.count",kernel="bitmap",min_deg_len="7"}`:        6,
+		`cncount_kernel_sample_nanos_total{scope="core.count",kernel="merge",min_deg_len="3"}`:  600,
+		`cncount_kernel_samples_total{scope="core.count",kernel="merge",min_deg_len="3"}`:       3,
+		`cncount_kernel_sample_nanos_total{scope="core.count",kernel="bitmap",min_deg_len="7"}`: 900,
+		`cncount_kernel_samples_total{scope="core.count",kernel="bitmap",min_deg_len="7"}`:      1,
+	} {
+		if got, ok := samples[series]; !ok {
+			t.Errorf("series %s missing", series)
+		} else if got != want {
+			t.Errorf("%s = %g, want %g", series, got, want)
+		}
+	}
+
+	// The never-timed bucket must not emit empty sample series.
+	for _, family := range []string{"cncount_kernel_sample_nanos_total", "cncount_kernel_samples_total"} {
+		if _, ok := samples[family+`{scope="core.count",kernel="merge",min_deg_len="5"}`]; ok {
+			t.Errorf("%s emitted for a bucket with zero samples", family)
+		}
+	}
+	for _, family := range []string{
+		"cncount_kernel_calls_total",
+		"cncount_kernel_sample_nanos_total",
+		"cncount_kernel_samples_total",
+	} {
+		if !typed[family] {
+			t.Errorf("family %s has no TYPE declaration", family)
+		}
+	}
+
+	// Determinism: a second render is byte-identical despite map iteration.
+	var b2 strings.Builder
+	if err := WriteProm(&b2, snap, nil); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != b2.String() {
+		t.Error("attribution exposition is not deterministic across calls")
+	}
+}
+
+// TestWritePromAttributionAllSamplesZero checks a purely-counted
+// attribution set emits the calls family alone.
+func TestWritePromAttributionAllSamplesZero(t *testing.T) {
+	snap := metrics.Snapshot{Attribution: []metrics.KernelAttr{
+		{Scope: "s", Kernel: "merge", Buckets: []metrics.AttrBucket{{MinDegLen: 2, Count: 1}}},
+	}}
+	var b strings.Builder
+	if err := WriteProm(&b, snap, nil); err != nil {
+		t.Fatal(err)
+	}
+	body := b.String()
+	parseProm(t, body)
+	if !strings.Contains(body, "cncount_kernel_calls_total") {
+		t.Error("calls family missing")
+	}
+	if strings.Contains(body, "cncount_kernel_sample_nanos_total") ||
+		strings.Contains(body, "cncount_kernel_samples_total") {
+		t.Error("sample families emitted with zero samples everywhere")
+	}
+}
+
 // TestWritePromEmptySnapshot checks the zero snapshot yields an empty
 // (but valid) exposition rather than malformed stub lines.
 func TestWritePromEmptySnapshot(t *testing.T) {

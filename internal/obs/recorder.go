@@ -1,0 +1,361 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"cncount/internal/sched"
+)
+
+// TimeseriesSchema versions the /timeseries.json payload; bump on any
+// incompatible change so downstream scrapers fail loudly instead of
+// misreading fields.
+const TimeseriesSchema = "cncount-timeseries/v1"
+
+// DefaultSampleInterval is the flight recorder's default sampling period.
+// 250ms keeps a 512-sample ring covering the last ~2 minutes while the
+// per-tick cost (one ReadMemStats, one /proc read, a few dozen atomic
+// loads) stays far below one permille of a core.
+const DefaultSampleInterval = 250 * time.Millisecond
+
+// DefaultRingCapacity is the default number of retained samples.
+const DefaultRingCapacity = 512
+
+// WorkerDelta is one worker's activity within one sampling interval,
+// differenced from the cumulative sched.Progress tallies between ticks.
+type WorkerDelta struct {
+	// Worker is the worker index.
+	Worker int `json:"worker"`
+	// Units is the iteration-space units the worker completed this
+	// interval.
+	Units int64 `json:"units"`
+	// BusyNanos / WaitNanos / StealNanos are the worker's task-body,
+	// queue-wait and steal-hunt time this interval.
+	BusyNanos  int64 `json:"busy_nanos"`
+	WaitNanos  int64 `json:"wait_nanos"`
+	StealNanos int64 `json:"steal_nanos"`
+	// Steals is the successful steals this interval.
+	Steals int64 `json:"steals"`
+}
+
+// TimeSample is one flight-recorder tick: process runtime state plus the
+// in-flight region's progress at that instant.
+type TimeSample struct {
+	// UnixNanos is the sample timestamp.
+	UnixNanos int64 `json:"unix_nanos"`
+	// RSSBytes is the process resident set size (0 where /proc is
+	// unavailable).
+	RSSBytes uint64 `json:"rss_bytes"`
+	// HeapAllocBytes / HeapSysBytes are runtime.MemStats heap gauges.
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	HeapSysBytes   uint64 `json:"heap_sys_bytes"`
+	// NumGC is the cumulative completed GC cycle count.
+	NumGC uint32 `json:"num_gc"`
+	// GCPauseTotalNanos is the cumulative stop-the-world pause total.
+	GCPauseTotalNanos uint64 `json:"gc_pause_total_nanos"`
+	// Goroutines is the live goroutine count.
+	Goroutines int `json:"goroutines"`
+	// Active / Scope / Runs mirror the progress source at this tick.
+	Active bool   `json:"active"`
+	Scope  string `json:"scope,omitempty"`
+	Runs   uint64 `json:"runs,omitempty"`
+	// TotalUnits / DoneUnits are the region's position at this tick.
+	TotalUnits int64 `json:"total_units"`
+	DoneUnits  int64 `json:"done_units"`
+	// UnitsPerSec is the interval throughput: done-unit delta over the
+	// tick interval (edges per second for core.count regions).
+	UnitsPerSec float64 `json:"units_per_sec"`
+	// Workers holds the per-worker activity deltas for this interval;
+	// omitted while no region has begun.
+	Workers []WorkerDelta `json:"workers,omitempty"`
+}
+
+// RecorderOptions configures a Recorder. The zero value is usable: it
+// samples runtime state only, at DefaultSampleInterval, into a
+// DefaultRingCapacity ring.
+type RecorderOptions struct {
+	// Interval is the sampling period; 0 uses DefaultSampleInterval.
+	Interval time.Duration
+	// Capacity is the ring size in samples; 0 uses DefaultRingCapacity.
+	Capacity int
+	// Progress is the live region source sampled each tick; nil records
+	// runtime state only.
+	Progress *sched.Progress
+}
+
+// Recorder is the continuous-profiling flight recorder: a sampler
+// goroutine that snapshots runtime and progress series into a fixed-size
+// ring, served as /timeseries.json and consumed by /dashboard. A nil
+// *Recorder is the disabled recorder — every method is nil-safe and the
+// observed run pays nothing, pinned by BenchmarkCountSamplerGuard.
+type Recorder struct {
+	opts RecorderOptions
+
+	mu    sync.Mutex
+	ring  []TimeSample
+	next  int
+	taken uint64
+	// prev anchors the per-tick deltas: the previous tick's progress
+	// sample and timestamp. prevValid distinguishes the first tick.
+	prev      sched.ProgressSample
+	prevAt    time.Time
+	prevValid bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewRecorder builds a recorder; call Start to begin sampling.
+func NewRecorder(opts RecorderOptions) *Recorder {
+	if opts.Interval <= 0 {
+		opts.Interval = DefaultSampleInterval
+	}
+	if opts.Capacity <= 0 {
+		opts.Capacity = DefaultRingCapacity
+	}
+	return &Recorder{opts: opts, ring: make([]TimeSample, 0, opts.Capacity)}
+}
+
+// Start launches the sampler goroutine. Nil-safe and idempotent (a
+// second Start while running is a no-op).
+func (r *Recorder) Start() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stop != nil {
+		return
+	}
+	r.stop = make(chan struct{})
+	r.done = make(chan struct{})
+	go r.run(r.stop, r.done)
+}
+
+// Stop halts the sampler and waits for it to exit. Nil-safe; safe on a
+// never-started recorder. The ring keeps its samples, so a scrape after
+// Stop still serves the recorded history.
+func (r *Recorder) Stop() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	stop, done := r.stop, r.done
+	r.stop, r.done = nil, nil
+	r.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+func (r *Recorder) run(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(r.opts.Interval)
+	defer ticker.Stop()
+	r.sampleOnce(time.Now())
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-ticker.C:
+			r.sampleOnce(now)
+		}
+	}
+}
+
+// sampleOnce takes one tick: runtime gauges, the progress sample, and
+// the per-worker deltas against the previous tick.
+func (r *Recorder) sampleOnce(now time.Time) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s := TimeSample{
+		UnixNanos:         now.UnixNano(),
+		RSSBytes:          readRSSBytes(),
+		HeapAllocBytes:    ms.HeapAlloc,
+		HeapSysBytes:      ms.HeapSys,
+		NumGC:             ms.NumGC,
+		GCPauseTotalNanos: ms.PauseTotalNs,
+		Goroutines:        runtime.NumGoroutine(),
+	}
+	var ps sched.ProgressSample
+	if r.opts.Progress != nil {
+		ps = r.opts.Progress.Sample()
+		s.Active = ps.Active
+		s.Scope = ps.Scope
+		s.Runs = ps.Runs
+		s.TotalUnits = ps.TotalUnits
+		s.DoneUnits = ps.DoneUnits
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.opts.Progress != nil && len(ps.WorkerTallies) > 0 {
+		// Tallies are cumulative within one region and reset by Begin;
+		// across a region turnover (Runs changed) the previous tick's
+		// values anchor a different region, so the delta restarts from
+		// the new cumulative values.
+		sameRegion := r.prevValid && r.prev.Runs == ps.Runs
+		elapsed := r.opts.Interval.Seconds()
+		if sameRegion {
+			if dt := now.Sub(r.prevAt).Seconds(); dt > 0 {
+				elapsed = dt
+			}
+			if delta := ps.DoneUnits - r.prev.DoneUnits; delta > 0 {
+				s.UnitsPerSec = float64(delta) / elapsed
+			}
+		} else if ps.DoneUnits > 0 && s.Active {
+			s.UnitsPerSec = float64(ps.DoneUnits) / elapsed
+		}
+		s.Workers = make([]WorkerDelta, len(ps.WorkerTallies))
+		for w, cur := range ps.WorkerTallies {
+			d := WorkerDelta{Worker: w, Units: cur.Units, BusyNanos: cur.BusyNanos,
+				WaitNanos: cur.WaitNanos, StealNanos: cur.StealNanos, Steals: cur.Steals}
+			if sameRegion && w < len(r.prev.WorkerTallies) {
+				prev := r.prev.WorkerTallies[w]
+				d.Units -= prev.Units
+				d.BusyNanos -= prev.BusyNanos
+				d.WaitNanos -= prev.WaitNanos
+				d.StealNanos -= prev.StealNanos
+				d.Steals -= prev.Steals
+			}
+			s.Workers[w] = d
+		}
+	}
+	r.prev, r.prevAt, r.prevValid = ps, now, true
+
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, s)
+	} else {
+		r.ring[r.next] = s
+		r.next = (r.next + 1) % cap(r.ring)
+	}
+	r.taken++
+}
+
+// Samples returns the retained samples in chronological order.
+// Nil-safe: the nil recorder returns nil.
+func (r *Recorder) Samples() []TimeSample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TimeSample, 0, len(r.ring))
+	if len(r.ring) == cap(r.ring) {
+		out = append(out, r.ring[r.next:]...)
+		out = append(out, r.ring[:r.next]...)
+	} else {
+		out = append(out, r.ring...)
+	}
+	return out
+}
+
+// timeseriesPayload is the /timeseries.json document.
+type timeseriesPayload struct {
+	Schema        string       `json:"schema"`
+	IntervalNanos int64        `json:"interval_nanos"`
+	Capacity      int          `json:"capacity"`
+	Taken         uint64       `json:"taken"`
+	Dropped       uint64       `json:"dropped"`
+	Samples       []TimeSample `json:"samples"`
+}
+
+// WriteJSON writes the schema-versioned timeseries document: the ring's
+// samples oldest-first plus enough metadata (interval, capacity, total
+// taken vs dropped) for a consumer to reason about coverage.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	samples := r.Samples()
+	p := timeseriesPayload{
+		Schema:  TimeseriesSchema,
+		Samples: samples,
+	}
+	if r != nil {
+		p.IntervalNanos = int64(r.opts.Interval)
+		p.Capacity = cap(r.ring)
+		r.mu.Lock()
+		p.Taken = r.taken
+		r.mu.Unlock()
+		p.Dropped = p.Taken - uint64(len(samples))
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(p)
+}
+
+// ValidateTimeseries structurally checks a /timeseries.json document the
+// way trace.Validate checks a trace: schema string, positive interval,
+// chronological samples, and internally consistent counts. It is the
+// gate smoke tests and report tooling run before trusting a scrape.
+func ValidateTimeseries(data []byte) error {
+	var p timeseriesPayload
+	if err := json.Unmarshal(data, &p); err != nil {
+		return fmt.Errorf("timeseries: not JSON: %w", err)
+	}
+	if p.Schema != TimeseriesSchema {
+		return fmt.Errorf("timeseries: schema %q, want %q", p.Schema, TimeseriesSchema)
+	}
+	if p.IntervalNanos <= 0 {
+		return fmt.Errorf("timeseries: interval %d not positive", p.IntervalNanos)
+	}
+	if p.Capacity <= 0 {
+		return fmt.Errorf("timeseries: capacity %d not positive", p.Capacity)
+	}
+	if len(p.Samples) > p.Capacity {
+		return fmt.Errorf("timeseries: %d samples exceed capacity %d", len(p.Samples), p.Capacity)
+	}
+	if p.Taken != uint64(len(p.Samples))+p.Dropped {
+		return fmt.Errorf("timeseries: taken %d != samples %d + dropped %d", p.Taken, len(p.Samples), p.Dropped)
+	}
+	var prevNanos int64
+	for i, s := range p.Samples {
+		if s.UnixNanos <= 0 {
+			return fmt.Errorf("timeseries: sample %d has no timestamp", i)
+		}
+		if s.UnixNanos < prevNanos {
+			return fmt.Errorf("timeseries: sample %d timestamp regresses (%d < %d)", i, s.UnixNanos, prevNanos)
+		}
+		prevNanos = s.UnixNanos
+		if s.DoneUnits < 0 || s.TotalUnits < 0 || s.DoneUnits > s.TotalUnits {
+			return fmt.Errorf("timeseries: sample %d units inconsistent (%d/%d)", i, s.DoneUnits, s.TotalUnits)
+		}
+		if s.UnitsPerSec < 0 {
+			return fmt.Errorf("timeseries: sample %d negative units/sec", i)
+		}
+		if s.Goroutines < 0 {
+			return fmt.Errorf("timeseries: sample %d negative goroutines", i)
+		}
+		for _, wd := range s.Workers {
+			if wd.Worker < 0 {
+				return fmt.Errorf("timeseries: sample %d negative worker index", i)
+			}
+		}
+	}
+	return nil
+}
+
+// readRSSBytes returns the process resident set size from /proc, or 0
+// where that interface does not exist (non-Linux); the series is then a
+// flat zero line rather than an error.
+func readRSSBytes() uint64 {
+	data, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) < 2 {
+		return 0
+	}
+	pages, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return pages * uint64(os.Getpagesize())
+}

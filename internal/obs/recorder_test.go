@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"cncount/internal/sched"
+)
+
+// TestRecorderNilSafe pins the disabled-recorder contract: every method
+// on a nil *Recorder is a no-op.
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Start()
+	r.Stop()
+	if s := r.Samples(); s != nil {
+		t.Errorf("nil recorder samples = %v", s)
+	}
+}
+
+// TestRecorderRingAndDeltas drives the sampler deterministically: ticks
+// are injected around manual progress updates, so the per-worker deltas,
+// the ring wraparound and the taken/dropped accounting are all exact.
+func TestRecorderRingAndDeltas(t *testing.T) {
+	prog := sched.NewProgress()
+	r := NewRecorder(RecorderOptions{Interval: 10 * time.Millisecond, Capacity: 4, Progress: prog})
+
+	now := time.Now()
+	r.sampleOnce(now) // idle tick: no region yet
+
+	prog.Begin("core.count.BMP", 1000, 2)
+	prog.TaskDone(0, 100, 5*time.Millisecond, time.Millisecond)
+	r.sampleOnce(now.Add(10 * time.Millisecond))
+
+	prog.TaskDone(0, 200, 8*time.Millisecond, 0)
+	prog.TaskDone(1, 300, 6*time.Millisecond, 0)
+	prog.StealDone(1, 2*time.Millisecond)
+	r.sampleOnce(now.Add(20 * time.Millisecond))
+
+	samples := r.Samples()
+	if len(samples) != 3 {
+		t.Fatalf("samples = %d, want 3", len(samples))
+	}
+	idle, first, second := samples[0], samples[1], samples[2]
+	if idle.Workers != nil || idle.Active {
+		t.Errorf("idle tick carries region state: %+v", idle)
+	}
+	if first.DoneUnits != 100 || !first.Active || first.Scope != "core.count.BMP" {
+		t.Errorf("first tick = %+v", first)
+	}
+	// First tick of the region: no same-region anchor, deltas are the
+	// cumulative values.
+	if len(first.Workers) != 2 || first.Workers[0].Units != 100 {
+		t.Errorf("first tick workers = %+v", first.Workers)
+	}
+	if second.DoneUnits != 600 {
+		t.Errorf("second tick done = %d, want 600", second.DoneUnits)
+	}
+	w0, w1 := second.Workers[0], second.Workers[1]
+	if w0.Units != 200 || w0.BusyNanos != (8*time.Millisecond).Nanoseconds() {
+		t.Errorf("worker 0 delta = %+v", w0)
+	}
+	if w1.Units != 300 || w1.Steals != 1 || w1.StealNanos != (2*time.Millisecond).Nanoseconds() {
+		t.Errorf("worker 1 delta = %+v", w1)
+	}
+	// 500 units in 10ms.
+	if second.UnitsPerSec < 40_000 || second.UnitsPerSec > 60_000 {
+		t.Errorf("units/sec = %g, want ~50000", second.UnitsPerSec)
+	}
+	if second.Goroutines <= 0 || second.HeapAllocBytes == 0 {
+		t.Errorf("runtime gauges missing: %+v", second)
+	}
+
+	// Region turnover: tallies reset, the delta restarts from the new
+	// region's cumulative values instead of going negative.
+	prog.Begin("core.count.MPS", 500, 2)
+	prog.TaskDone(0, 50, time.Millisecond, 0)
+	r.sampleOnce(now.Add(30 * time.Millisecond))
+	s := r.Samples()
+	turn := s[len(s)-1]
+	if turn.Scope != "core.count.MPS" || turn.Workers[0].Units != 50 {
+		t.Errorf("turnover tick = %+v", turn)
+	}
+
+	// Two more ticks overflow the 4-slot ring; Samples stays chronological.
+	r.sampleOnce(now.Add(40 * time.Millisecond))
+	r.sampleOnce(now.Add(50 * time.Millisecond))
+	s = r.Samples()
+	if len(s) != 4 {
+		t.Fatalf("ring holds %d, want capacity 4", len(s))
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i].UnixNanos < s[i-1].UnixNanos {
+			t.Fatalf("samples out of order at %d", i)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTimeseries(buf.Bytes()); err != nil {
+		t.Errorf("recorder output fails its own validator: %v", err)
+	}
+	var p timeseriesPayload
+	if err := json.Unmarshal(buf.Bytes(), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Taken != 6 || p.Dropped != 2 {
+		t.Errorf("taken/dropped = %d/%d, want 6/2", p.Taken, p.Dropped)
+	}
+}
+
+// TestRecorderStartStop checks the sampler goroutine lifecycle: Start
+// samples on its own, Stop joins it, both are idempotent, and the ring
+// keeps serving after Stop.
+func TestRecorderStartStop(t *testing.T) {
+	r := NewRecorder(RecorderOptions{Interval: 2 * time.Millisecond, Capacity: 64})
+	r.Start()
+	r.Start() // second Start: no second goroutine
+	deadline := time.After(5 * time.Second)
+	for len(r.Samples()) < 3 {
+		select {
+		case <-deadline:
+			t.Fatal("sampler produced no samples")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	r.Stop()
+	r.Stop() // idempotent
+	n := len(r.Samples())
+	time.Sleep(10 * time.Millisecond)
+	if got := len(r.Samples()); got != n {
+		t.Errorf("sampler still running after Stop: %d -> %d samples", n, got)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTimeseries(buf.Bytes()); err != nil {
+		t.Errorf("post-Stop document invalid: %v", err)
+	}
+}
+
+// TestValidateTimeseriesRejects feeds the validator structurally broken
+// documents and checks each is refused for the right reason.
+func TestValidateTimeseriesRejects(t *testing.T) {
+	valid := func() timeseriesPayload {
+		return timeseriesPayload{
+			Schema:        TimeseriesSchema,
+			IntervalNanos: int64(100 * time.Millisecond),
+			Capacity:      8,
+			Taken:         2,
+			Samples: []TimeSample{
+				{UnixNanos: 1000, TotalUnits: 10, DoneUnits: 5},
+				{UnixNanos: 2000, TotalUnits: 10, DoneUnits: 10},
+			},
+		}
+	}
+	cases := map[string]struct {
+		mutate  func(*timeseriesPayload)
+		wantErr string
+	}{
+		"wrong schema":      {func(p *timeseriesPayload) { p.Schema = "cncount-timeseries/v0" }, "schema"},
+		"zero interval":     {func(p *timeseriesPayload) { p.IntervalNanos = 0 }, "interval"},
+		"zero capacity":     {func(p *timeseriesPayload) { p.Capacity = 0 }, "capacity"},
+		"overfull ring":     {func(p *timeseriesPayload) { p.Capacity = 1 }, "exceed capacity"},
+		"bad accounting":    {func(p *timeseriesPayload) { p.Taken = 7 }, "taken"},
+		"no timestamp":      {func(p *timeseriesPayload) { p.Samples[0].UnixNanos = 0 }, "timestamp"},
+		"time regression":   {func(p *timeseriesPayload) { p.Samples[1].UnixNanos = 500 }, "regresses"},
+		"done over total":   {func(p *timeseriesPayload) { p.Samples[0].DoneUnits = 99 }, "units inconsistent"},
+		"negative rate":     {func(p *timeseriesPayload) { p.Samples[0].UnitsPerSec = -1 }, "units/sec"},
+		"negative worker":   {func(p *timeseriesPayload) { p.Samples[0].Workers = []WorkerDelta{{Worker: -1}} }, "worker index"},
+		"negative gorotine": {func(p *timeseriesPayload) { p.Samples[0].Goroutines = -1 }, "goroutines"},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			p := valid()
+			tc.mutate(&p)
+			b, err := json.Marshal(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = ValidateTimeseries(b)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("err = %v, want containing %q", err, tc.wantErr)
+			}
+		})
+	}
+
+	if err := ValidateTimeseries([]byte("{not json")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	b, _ := json.Marshal(valid())
+	if err := ValidateTimeseries(b); err != nil {
+		t.Errorf("valid document rejected: %v", err)
+	}
+}

@@ -19,7 +19,7 @@ import (
 func TestWatchdogFiresOnStall(t *testing.T) {
 	prog := sched.NewProgress()
 	prog.Begin("core.count.BMP", 100, 2)
-	prog.TaskDone(0, 10)
+	prog.TaskDone(0, 10, 0, 0)
 	// Worker heartbeats now freeze: the region is wedged.
 
 	reports := make(chan StallReport, 4)
@@ -62,7 +62,7 @@ func TestWatchdogFiresOnStall(t *testing.T) {
 func TestWatchdogStallWithZeroRemaining(t *testing.T) {
 	prog := sched.NewProgress()
 	prog.Begin("tail", 10, 1)
-	prog.TaskDone(0, 10) // all units handed out...
+	prog.TaskDone(0, 10, 0, 0) // all units handed out...
 	// ...but End never comes: the last body is stuck.
 	time.Sleep(40 * time.Millisecond)
 
@@ -98,7 +98,7 @@ func TestWatchdogQuietOnHealthyRun(t *testing.T) {
 	})
 	defer wd.Stop()
 	for i := 0; i < 10; i++ {
-		prog.TaskDone(0, 10)
+		prog.TaskDone(0, 10, 0, 0)
 		time.Sleep(10 * time.Millisecond)
 	}
 	prog.End()

@@ -6,16 +6,40 @@ import (
 	"time"
 )
 
+// workerSlot is one worker's live-observation cell: the last-heartbeat
+// timestamp plus cumulative task tallies, all atomically written by the
+// owning worker and atomically read by samplers. Unlike the
+// metrics.SchedRecorder tallies (plain stores, readable only after the
+// join), these are safe to read mid-run — they are what the flight
+// recorder's per-worker busy/steal/queue-wait series are cut from. The
+// struct is padded to its own cache line so worker w's stores never
+// bounce the line under worker w+1's.
+type workerSlot struct {
+	// beat is the unix-nano timestamp of the worker's last completed task.
+	beat atomic.Int64
+	// units is the cumulative unit count completed this region.
+	units atomic.Int64
+	// busyNanos / waitNanos / stealNanos accumulate task body time,
+	// claim→start queue wait, and successful-steal hunt time.
+	busyNanos  atomic.Int64
+	waitNanos  atomic.Int64
+	stealNanos atomic.Int64
+	// steals counts successful steals.
+	steals atomic.Int64
+	_      [128 - 6*8]byte
+}
+
 // Progress is the live progress source of a parallel region: the total and
-// remaining unit counts plus a per-worker last-heartbeat timestamp written
-// from the task loop. It is the substrate of the observability plane's
-// /progress endpoint — "is it stuck or just slow?" answered while the run
-// is in flight, without waiting for the join.
+// remaining unit counts plus per-worker heartbeat and cumulative tallies
+// written from the task loop. It is the substrate of the observability
+// plane's /progress endpoint and flight recorder — "is it stuck or just
+// slow?" and "who is doing the work?" answered while the run is in
+// flight, without waiting for the join.
 //
 // A Progress is attached to a region through Obs.Prog. Workers update it
-// once per completed task (one atomic add and one atomic store, both on
-// worker-owned or uncontended words), so the cost is amortized over |T|
-// units exactly like the tally and trace writes. A nil *Progress is the
+// once per completed task (a handful of atomic adds and stores, all on
+// worker-owned cache lines), so the cost is amortized over |T| units
+// exactly like the tally and trace writes. A nil *Progress is the
 // disabled source: every method is nil-safe and records nothing.
 //
 // One Progress observes one region at a time; a new Begin resets it for
@@ -33,10 +57,10 @@ type Progress struct {
 	runs       uint64
 
 	remaining atomic.Int64
-	// beats points at the per-worker last-heartbeat slots (unix nanos) of
-	// the current region; swapped wholesale by Begin so a concurrent
-	// Sample never reads a half-built slice.
-	beats atomic.Pointer[[]atomic.Int64]
+	// slots points at the per-worker observation cells of the current
+	// region; swapped wholesale by Begin so a concurrent Sample never
+	// reads a half-built slice.
+	slots atomic.Pointer[[]workerSlot]
 }
 
 // NewProgress returns an enabled progress source.
@@ -50,9 +74,9 @@ func (p *Progress) Begin(scope string, total int64, workers int) {
 		return
 	}
 	now := time.Now().UnixNano()
-	beats := make([]atomic.Int64, workers)
-	for i := range beats {
-		beats[i].Store(now)
+	slots := make([]workerSlot, workers)
+	for i := range slots {
+		slots[i].beat.Store(now)
 	}
 	p.mu.Lock()
 	p.scope = scope
@@ -63,18 +87,37 @@ func (p *Progress) Begin(scope string, total int64, workers int) {
 	p.runs++
 	p.mu.Unlock()
 	p.remaining.Store(total)
-	p.beats.Store(&beats)
+	p.slots.Store(&slots)
 }
 
-// TaskDone records `units` finished by `worker`: the remaining count drops
-// and the worker's heartbeat advances to now.
-func (p *Progress) TaskDone(worker int, units int64) {
+// TaskDone records one task of `units` units finished by `worker`: the
+// remaining count drops, the worker's heartbeat advances to now, and its
+// cumulative busy/wait tallies grow by the task's body duration and
+// claim→start queue wait.
+func (p *Progress) TaskDone(worker int, units int64, busy, wait time.Duration) {
 	if p == nil {
 		return
 	}
 	p.remaining.Add(-units)
-	if beats := p.beats.Load(); beats != nil && worker < len(*beats) {
-		(*beats)[worker].Store(time.Now().UnixNano())
+	if slots := p.slots.Load(); slots != nil && worker < len(*slots) {
+		s := &(*slots)[worker]
+		s.beat.Store(time.Now().UnixNano())
+		s.units.Add(units)
+		s.busyNanos.Add(int64(busy))
+		s.waitNanos.Add(int64(wait))
+	}
+}
+
+// StealDone records one successful steal by `worker` whose victim hunt
+// took d.
+func (p *Progress) StealDone(worker int, d time.Duration) {
+	if p == nil {
+		return
+	}
+	if slots := p.slots.Load(); slots != nil && worker < len(*slots) {
+		s := &(*slots)[worker]
+		s.steals.Add(1)
+		s.stealNanos.Add(int64(d))
 	}
 }
 
@@ -86,6 +129,22 @@ func (p *Progress) End() {
 	p.mu.Lock()
 	p.endNanos = time.Now().UnixNano()
 	p.mu.Unlock()
+}
+
+// WorkerLive is one worker's cumulative tallies within the current region,
+// safe to read while the region runs. The flight recorder differences
+// consecutive readings to get per-interval busy/wait/steal shares.
+type WorkerLive struct {
+	// Units is the cumulative unit count the worker has completed.
+	Units int64 `json:"units"`
+	// BusyNanos is cumulative task-body time.
+	BusyNanos int64 `json:"busy_nanos"`
+	// WaitNanos is cumulative claim→start queue wait.
+	WaitNanos int64 `json:"wait_nanos"`
+	// StealNanos is cumulative successful-steal hunt time.
+	StealNanos int64 `json:"steal_nanos"`
+	// Steals counts successful steals.
+	Steals int64 `json:"steals"`
 }
 
 // ProgressSample is one point-in-time reading of a Progress source. It
@@ -111,12 +170,15 @@ type ProgressSample struct {
 	// BeatAgeNanos[w] is how long ago worker w last completed a task
 	// (capped below at 0); nil when no region has begun.
 	BeatAgeNanos []int64 `json:"beat_age_nanos,omitempty"`
+	// WorkerTallies[w] is worker w's cumulative live tallies; nil when no
+	// region has begun. Index-aligned with BeatAgeNanos.
+	WorkerTallies []WorkerLive `json:"worker_tallies,omitempty"`
 }
 
 // Sample reads the source. Safe to call concurrently with workers
 // recording; the reading is consistent enough for monitoring (remaining
-// and heartbeats are each atomically read, not mutually snapshotted). The
-// nil source returns the zero sample.
+// and per-worker cells are each atomically read, not mutually
+// snapshotted). The nil source returns the zero sample.
 func (p *Progress) Sample() ProgressSample {
 	if p == nil {
 		return ProgressSample{}
@@ -148,14 +210,23 @@ func (p *Progress) Sample() ProgressSample {
 	}
 	s.RemainingUnits = rem
 	s.DoneUnits = s.TotalUnits - rem
-	if beats := p.beats.Load(); beats != nil {
-		s.BeatAgeNanos = make([]int64, len(*beats))
-		for i := range *beats {
-			age := now - (*beats)[i].Load()
+	if slots := p.slots.Load(); slots != nil {
+		s.BeatAgeNanos = make([]int64, len(*slots))
+		s.WorkerTallies = make([]WorkerLive, len(*slots))
+		for i := range *slots {
+			c := &(*slots)[i]
+			age := now - c.beat.Load()
 			if age < 0 {
 				age = 0
 			}
 			s.BeatAgeNanos[i] = age
+			s.WorkerTallies[i] = WorkerLive{
+				Units:      c.units.Load(),
+				BusyNanos:  c.busyNanos.Load(),
+				WaitNanos:  c.waitNanos.Load(),
+				StealNanos: c.stealNanos.Load(),
+				Steals:     c.steals.Load(),
+			}
 		}
 	}
 	return s

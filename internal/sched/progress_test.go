@@ -11,7 +11,8 @@ import (
 func TestProgressNilSafe(t *testing.T) {
 	var p *Progress
 	p.Begin("x", 10, 2)
-	p.TaskDone(0, 5)
+	p.TaskDone(0, 5, 0, 0)
+	p.StealDone(0, 0)
 	p.End()
 	s := p.Sample()
 	if s.Active || s.Runs != 0 || s.TotalUnits != 0 || s.BeatAgeNanos != nil {
@@ -39,14 +40,14 @@ func TestProgressLifecycle(t *testing.T) {
 		t.Fatalf("beat ages = %v, want 3 entries", s.BeatAgeNanos)
 	}
 
-	p.TaskDone(1, 30)
-	p.TaskDone(2, 20)
+	p.TaskDone(1, 30, 2*time.Millisecond, time.Millisecond)
+	p.TaskDone(2, 20, time.Millisecond, 0)
 	s = p.Sample()
 	if s.RemainingUnits != 50 || s.DoneUnits != 50 {
 		t.Errorf("after 50 units: %+v", s)
 	}
 
-	p.TaskDone(0, 50)
+	p.TaskDone(0, 50, 0, 0)
 	p.End()
 	s = p.Sample()
 	if s.Active {
@@ -74,7 +75,7 @@ func TestProgressRemainingMonotonicAndClamped(t *testing.T) {
 	p.Begin("x", 10, 1)
 	prev := p.Sample().RemainingUnits
 	for i := 0; i < 5; i++ {
-		p.TaskDone(0, 3) // 5*3 = 15 > 10: overshoots
+		p.TaskDone(0, 3, 0, 0) // 5*3 = 15 > 10: overshoots
 		s := p.Sample()
 		if s.RemainingUnits > prev {
 			t.Errorf("remaining grew: %d -> %d", prev, s.RemainingUnits)
@@ -94,7 +95,7 @@ func TestProgressRemainingMonotonicAndClamped(t *testing.T) {
 func TestProgressRegionTurnover(t *testing.T) {
 	p := NewProgress()
 	p.Begin("first", 10, 2)
-	p.TaskDone(0, 10)
+	p.TaskDone(0, 10, 0, 0)
 	p.End()
 
 	p.Begin("second", 40, 4)
@@ -118,7 +119,7 @@ func TestProgressHeartbeatAges(t *testing.T) {
 	p := NewProgress()
 	p.Begin("x", 10, 2)
 	time.Sleep(10 * time.Millisecond)
-	p.TaskDone(0, 1)
+	p.TaskDone(0, 1, 0, 0)
 	s := p.Sample()
 	if len(s.BeatAgeNanos) != 2 {
 		t.Fatalf("beat ages = %v", s.BeatAgeNanos)
@@ -130,7 +131,38 @@ func TestProgressHeartbeatAges(t *testing.T) {
 		t.Errorf("idle worker 1 age %d implausibly low", s.BeatAgeNanos[1])
 	}
 
-	p.TaskDone(7, 1) // out of range: must not panic
+	p.TaskDone(7, 1, 0, 0) // out of range: must not panic
+	p.StealDone(7, 0)      // likewise
+}
+
+// TestProgressWorkerTallies checks TaskDone/StealDone accumulate into the
+// reporting worker's live tallies only, and that Begin resets them for
+// the next region.
+func TestProgressWorkerTallies(t *testing.T) {
+	p := NewProgress()
+	p.Begin("x", 100, 2)
+	p.TaskDone(0, 30, 3*time.Millisecond, time.Millisecond)
+	p.TaskDone(0, 10, time.Millisecond, 0)
+	p.StealDone(1, 2*time.Millisecond)
+	s := p.Sample()
+	if len(s.WorkerTallies) != 2 {
+		t.Fatalf("tallies = %+v, want 2 entries", s.WorkerTallies)
+	}
+	w0, w1 := s.WorkerTallies[0], s.WorkerTallies[1]
+	if w0.Units != 40 || w0.BusyNanos != (4*time.Millisecond).Nanoseconds() || w0.WaitNanos != time.Millisecond.Nanoseconds() {
+		t.Errorf("worker 0 tallies = %+v", w0)
+	}
+	if w0.Steals != 0 || w0.StealNanos != 0 {
+		t.Errorf("worker 0 has steal tallies: %+v", w0)
+	}
+	if w1.Steals != 1 || w1.StealNanos != (2*time.Millisecond).Nanoseconds() || w1.Units != 0 {
+		t.Errorf("worker 1 tallies = %+v", w1)
+	}
+
+	p.Begin("y", 10, 2)
+	if s := p.Sample(); s.WorkerTallies[0] != (WorkerLive{}) || s.WorkerTallies[1] != (WorkerLive{}) {
+		t.Errorf("tallies not reset by Begin: %+v", s.WorkerTallies)
+	}
 }
 
 // TestProgressConcurrentSample hammers Sample while workers record,
@@ -162,7 +194,8 @@ func TestProgressConcurrentSample(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < tasks; i++ {
-				p.TaskDone(w, 1)
+				p.TaskDone(w, 1, time.Microsecond, 0)
+				p.StealDone(w, time.Microsecond)
 			}
 		}(w)
 	}
@@ -212,6 +245,13 @@ func TestSchedulersDriveProgress(t *testing.T) {
 			}
 			if s.Runs != 1 {
 				t.Errorf("runs = %d", s.Runs)
+			}
+			var tallied int64
+			for _, w := range s.WorkerTallies {
+				tallied += w.Units
+			}
+			if tallied != n {
+				t.Errorf("worker tallies sum to %d units, want %d", tallied, n)
 			}
 		})
 	}

@@ -199,7 +199,7 @@ func (wo *workerObs) record(claimAt, start time.Time, d time.Duration, units int
 		wo.ring.Complete(wo.waitSpan, claimAt, wait)
 		wo.ring.Complete(wo.span, start, d)
 	}
-	wo.prog.TaskDone(wo.worker, units)
+	wo.prog.TaskDone(wo.worker, units, d, wait)
 }
 
 // recordSteal logs one successful steal: start is when the worker began
@@ -212,6 +212,7 @@ func (wo *workerObs) recordSteal(start time.Time, d time.Duration) {
 	if wo.ring != nil {
 		wo.ring.Complete(wo.stealSpan, start, d)
 	}
+	wo.prog.StealDone(wo.worker, d)
 }
 
 // span is one contiguous half-open index range [lo, hi).

@@ -3,10 +3,12 @@
 #
 # Builds cnc, runs a tiny profile with the plane mounted on an ephemeral
 # port and held open after the run (-httpwait), scrapes /healthz,
-# /metrics and /progress, and validates the responses: liveness, valid
-# Prometheus exposition with the expected series, and a finished
-# progress payload. Exits non-zero on any failure. Run from the repo
-# root (the Makefile's `make obssmoke` does).
+# /metrics, /progress, /timeseries.json and /dashboard, and validates
+# the responses: liveness, valid Prometheus exposition with the
+# expected series, a finished progress payload, a schema-versioned
+# flight-recorder ring and the embedded dashboard page. Exits non-zero
+# on any failure. Run from the repo root (the Makefile's
+# `make obssmoke` does).
 set -eu
 
 GO=${GO:-go}
@@ -73,6 +75,23 @@ curl -fsS "http://$ADDR/progress" >"$TMP/progress.json" || fail "/progress unrea
 grep -q '"total_units"' "$TMP/progress.json" || fail "/progress lacks total_units"
 grep -q '"remaining_units": 0' "$TMP/progress.json" || fail "/progress remaining != 0"
 grep -q '"active": false' "$TMP/progress.json" || fail "/progress still active after run"
+
+# /timeseries.json: the flight recorder's ring, schema-versioned, with
+# at least one sample (the recorder runs for the whole -httpwait hold,
+# so by now the ring cannot be empty).
+curl -fsS "http://$ADDR/timeseries.json" >"$TMP/timeseries.json" || fail "/timeseries.json unreachable"
+grep -q '"cncount-timeseries/v1"' "$TMP/timeseries.json" || fail "/timeseries.json lacks schema cncount-timeseries/v1"
+grep -q '"samples"' "$TMP/timeseries.json" || fail "/timeseries.json lacks samples array"
+grep -q '"unix_nanos"' "$TMP/timeseries.json" || fail "/timeseries.json has an empty ring"
+
+# /dashboard: the embedded zero-dependency HTML page.
+curl -fsS "http://$ADDR/dashboard" >"$TMP/dashboard.html" || fail "/dashboard unreachable"
+grep -q 'cncount dashboard' "$TMP/dashboard.html" || fail "/dashboard lacks the page title"
+grep -qi '<html' "$TMP/dashboard.html" || fail "/dashboard is not HTML"
+# Zero-dependency means zero external fetches: no http(s) references.
+if grep -Eq 'src="https?://|href="https?://' "$TMP/dashboard.html"; then
+	fail "/dashboard references external assets"
+fi
 
 kill "$CNC_PID"
 wait "$CNC_PID" 2>/dev/null || true
