@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check benchsmoke calibratesmoke obssmoke chaossmoke reportsmoke fuzz bench benchdiff benchreport microbench experiments examples clean
+.PHONY: all build vet test race check benchsmoke calibratesmoke obssmoke chaossmoke reportsmoke servesmoke fuzz bench benchdiff benchreport microbench experiments examples clean
 
 # The default verify path is `make check`: build + vet + tests + the race
 # detector on the small-graph packages.
@@ -21,7 +21,7 @@ test:
 # Race detection runs on the packages whose tests use small graphs; the
 # full profile-scale workloads are too slow under the race detector.
 race:
-	$(GO) test -race ./internal/core/ ./internal/adaptive/ ./internal/sched/ ./internal/gpusim/ ./internal/graph/ ./internal/scan/ ./internal/metrics/ ./internal/trace/ ./internal/obs/ ./internal/benchfmt/ ./internal/chaos/ ./cmd/cnc/ ./cmd/benchrun/
+	$(GO) test -race ./internal/core/ ./internal/adaptive/ ./internal/sched/ ./internal/gpusim/ ./internal/graph/ ./internal/scan/ ./internal/metrics/ ./internal/trace/ ./internal/obs/ ./internal/benchfmt/ ./internal/chaos/ ./internal/serve/ ./cmd/cnc/ ./cmd/benchrun/ ./cmd/cncd/ ./cmd/cncload/
 
 # Tiny end-to-end benchmark matrix (~seconds): exercises the full
 # generate → count → record pipeline under the work-stealing scheduler,
@@ -58,7 +58,15 @@ reportsmoke:
 chaossmoke:
 	$(GO) test -race -count=1 -run 'TestSeededStress|TestWatchdogAbortsStalledRun|TestPanicDrain|TestCancellationUnderChaos|TestLoaderReadFault' ./internal/chaos/
 
-check: build test race benchsmoke calibratesmoke obssmoke chaossmoke reportsmoke
+# End-to-end smoke of the resident counting service: build cncd and
+# cncload, serve a tiny profile, exercise every /v1 endpoint, verify the
+# cache reports MISS then HIT, run a short load burst and validate its
+# serving report, then require a clean SIGTERM drain
+# (see scripts/servesmoke.sh).
+servesmoke:
+	sh scripts/servesmoke.sh
+
+check: build test race benchsmoke calibratesmoke obssmoke chaossmoke reportsmoke servesmoke
 
 # Short fuzzing pass over every fuzz target.
 fuzz:

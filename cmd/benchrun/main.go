@@ -66,6 +66,18 @@ type appConfig struct {
 	// finished, retries, plane lifecycle). run() defaults a nil logger to
 	// stderr in cfg.logFormat, so test call sites need not set it.
 	logger *slog.Logger
+	// countFn abstracts the counting call so tests can inject faults into
+	// individual cell attempts (e.g. a chaos-driven failure on the first
+	// attempt to exercise the retry path). nil means cncount.Count.
+	countFn func(g *cncount.Graph, opts cncount.Options) (*cncount.Result, error)
+}
+
+// count dispatches to the injected counting function, if any.
+func (cfg appConfig) count(g *cncount.Graph, opts cncount.Options) (*cncount.Result, error) {
+	if cfg.countFn != nil {
+		return cfg.countFn(g, opts)
+	}
+	return cncount.Count(g, opts)
 }
 
 // resolvedConfig records the harness knobs that shape the measurement,
@@ -469,7 +481,7 @@ func runCellAttempts(ctx context.Context, cfg appConfig, rg *cncount.Graph, prof
 		if cfg.cellTimeout > 0 {
 			cellCtx, cancel = context.WithTimeout(ctx, cfg.cellTimeout)
 		}
-		res, err := runCell(cellCtx, rg, algo, workers, cfg.reps, live)
+		res, err := runCell(cellCtx, cfg, rg, algo, workers, live)
 		cancel()
 		if err == nil {
 			return res, nil
@@ -494,20 +506,26 @@ func runCellAttempts(ctx context.Context, cfg appConfig, rg *cncount.Graph, prof
 }
 
 // runCell measures one matrix cell: reps counting runs on the already
-// reordered graph, keeping the best and its metrics snapshot.
-func runCell(ctx context.Context, rg *cncount.Graph, algo cncount.Algorithm, workers, reps int, live *liveObs) (*benchfmt.Result, error) {
-	res := &benchfmt.Result{
-		Algo:    algo.String(),
-		Workers: workers,
-		Edges:   rg.NumEdges(),
-		Reps:    reps,
-	}
-	for rep := 0; rep < reps; rep++ {
+// reordered graph, keeping the best rep's numbers.
+//
+// Single-sample-set invariant: every measurement field of the returned
+// Result (elapsed, counters, attribution, scheduler imbalance and
+// quantiles) comes from ONE rep of ONE attempt — the surviving best.
+// Each rep builds a complete candidate Result from its own metrics
+// snapshot and the best is swapped wholesale; fields are never assigned
+// piecemeal onto an accumulator. The old accumulator let a faster rep
+// overwrite elapsed/counters while stale scheduler or attribution rows
+// from an earlier (possibly later-failed-and-retried) rep survived in
+// the cell, so a report mixed two attempts' sample sets. Pinned by
+// TestRetrySurvivingAttemptOnlySampleSet.
+func runCell(ctx context.Context, cfg appConfig, rg *cncount.Graph, algo cncount.Algorithm, workers int, live *liveObs) (*benchfmt.Result, error) {
+	var best *benchfmt.Result
+	for rep := 0; rep < cfg.reps; rep++ {
 		mc := cncount.NewMetrics()
 		if live != nil {
 			live.mc.Store(mc)
 		}
-		r, err := cncount.Count(rg, cncount.Options{
+		r, err := cfg.count(rg, cncount.Options{
 			Algorithm: algo,
 			Threads:   workers,
 			Reorder:   false, // measured graph is pre-reordered
@@ -516,31 +534,40 @@ func runCell(ctx context.Context, rg *cncount.Graph, algo cncount.Algorithm, wor
 			Context:   ctx,
 		})
 		if err != nil {
+			// The whole attempt is discarded, completed reps included: the
+			// caller either retries (a fresh runCell, fresh sample sets) or
+			// records the cell as failed with zero measurement fields.
 			return nil, err
 		}
-		if rep > 0 && r.Elapsed.Nanoseconds() >= res.ElapsedNanos {
-			continue
-		}
 		snap := mc.Snapshot()
-		res.ElapsedNanos = r.Elapsed.Nanoseconds()
-		res.Counters = snap.Counters
-		res.Attribution = snap.Attribution
+		cand := &benchfmt.Result{
+			Algo:         algo.String(),
+			Workers:      workers,
+			Edges:        rg.NumEdges(),
+			Reps:         cfg.reps,
+			ElapsedNanos: r.Elapsed.Nanoseconds(),
+			Counters:     snap.Counters,
+			Attribution:  snap.Attribution,
+		}
 		if len(snap.Sched) > 0 {
 			sc := snap.Sched[0]
-			res.ImbalanceRatio = sc.Imbalance.Ratio
-			res.MaxBusyNanos = sc.Imbalance.MaxBusyNanos
-			res.MeanBusyNanos = sc.Imbalance.MeanBusyNanos
-			res.TaskP50Nanos = sc.TaskNanos.P50Nanos
-			res.TaskP95Nanos = sc.TaskNanos.P95Nanos
-			res.TaskP99Nanos = sc.TaskNanos.P99Nanos
-			res.Steals = sc.Steals
-			res.StealNanos = sc.StealNanos
+			cand.ImbalanceRatio = sc.Imbalance.Ratio
+			cand.MaxBusyNanos = sc.Imbalance.MaxBusyNanos
+			cand.MeanBusyNanos = sc.Imbalance.MeanBusyNanos
+			cand.TaskP50Nanos = sc.TaskNanos.P50Nanos
+			cand.TaskP95Nanos = sc.TaskNanos.P95Nanos
+			cand.TaskP99Nanos = sc.TaskNanos.P99Nanos
+			cand.Steals = sc.Steals
+			cand.StealNanos = sc.StealNanos
+		}
+		if best == nil || cand.ElapsedNanos < best.ElapsedNanos {
+			best = cand
 		}
 	}
-	if res.Edges > 0 {
-		res.NsPerEdge = float64(res.ElapsedNanos) / float64(res.Edges)
+	if best.Edges > 0 {
+		best.NsPerEdge = float64(best.ElapsedNanos) / float64(best.Edges)
 	}
-	return res, nil
+	return best, nil
 }
 
 func splitList(s string) ([]string, error) {

@@ -4,15 +4,21 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
+	"maps"
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"cncount"
 	"cncount/internal/benchfmt"
+	"cncount/internal/chaos"
 	"cncount/internal/logx"
+	"cncount/internal/metrics"
 )
 
 // tinyRun is an appConfig whose matrix finishes in well under a second.
@@ -432,4 +438,119 @@ type failWriter struct{}
 
 func (failWriter) Write(p []byte) (int, error) {
 	return 0, io.ErrClosedPipe
+}
+
+// TestRetrySurvivingAttemptOnlySampleSet is the regression test for the
+// retry-once report semantics: when a cell's first attempt fails and the
+// retry succeeds, the report cell must carry exactly the surviving
+// attempt's sample set — one result for the cell key, not marked failed,
+// with counters and attribution identical to a fault-free control run —
+// and never a mixture of the failed and surviving attempts' metrics.
+// The failure is forced by a deterministic chaos schedule (one planned
+// panic on the first counting call) injected through the countFn seam.
+func TestRetrySurvivingAttemptOnlySampleSet(t *testing.T) {
+	base := func(out string) appConfig {
+		return appConfig{
+			label: "retry", out: out,
+			profiles: "WI", scale: 0.05,
+			algos: "adaptive", workers: "2", reps: 2,
+			threshold: 0.10,
+		}
+	}
+
+	// Control: the same cell with no faults.
+	ctrlPath := filepath.Join(t.TempDir(), "BENCH_ctrl.json")
+	if err := run(context.Background(), base(ctrlPath), io.Discard); err != nil {
+		t.Fatalf("control run: %v", err)
+	}
+	ctrl, err := benchfmt.LoadFile(ctrlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ctrl.Results) != 1 {
+		t.Fatalf("control results = %d, want 1", len(ctrl.Results))
+	}
+
+	// Chaos run: the injector's schedule fires one panic on counting call
+	// index 0 (Steps=1 clamps the placement), i.e. the first attempt's
+	// first rep. The seam converts the planned panic into the attempt
+	// error a real mid-cell fault would produce.
+	inj := chaos.New(chaos.Plan{Seed: 7, Steps: 1, Panics: 1})
+	var calls atomic.Int64
+	path := filepath.Join(t.TempDir(), "BENCH_retry.json")
+	cfg := base(path)
+	cfg.countFn = func(g *cncount.Graph, opts cncount.Options) (res *cncount.Result, err error) {
+		calls.Add(1)
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("injected chaos fault: %v", p)
+			}
+		}()
+		inj.Step()
+		return cncount.Count(g, opts)
+	}
+	logBuf := captureLog(t, &cfg)
+	if err := run(context.Background(), cfg, io.Discard); err != nil {
+		t.Fatalf("run with retried cell must succeed, got: %v\n%s", err, logBuf.String())
+	}
+	if !strings.Contains(logBuf.String(), "retrying once") {
+		t.Errorf("retry heartbeat missing:\n%s", logBuf.String())
+	}
+	// 1 failed call + 2 reps of the surviving attempt.
+	if got := calls.Load(); got != 3 {
+		t.Errorf("counting calls = %d, want 3 (1 failed + 2 surviving reps)", got)
+	}
+
+	rep, err := benchfmt.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 {
+		t.Fatalf("results = %d, want exactly 1 for the retried cell", len(rep.Results))
+	}
+	got, want := rep.Results[0], ctrl.Results[0]
+	if got.Failed {
+		t.Fatalf("retried cell recorded as failed: %+v", got)
+	}
+	if got.Key() != want.Key() {
+		t.Fatalf("cell key = %v, want %v", got.Key(), want.Key())
+	}
+	if got.ElapsedNanos <= 0 || got.NsPerEdge <= 0 {
+		t.Errorf("surviving attempt lost its measurement: %+v", got)
+	}
+	// Deterministic counters must match the control exactly: any surplus
+	// would be the failed attempt's work double-recorded into the cell.
+	// Counters holding sampled wall-clock time (…_nanos_…) vary run to
+	// run and are excluded, same as attribution nanos below.
+	if g, w := workCounters(got.Counters), workCounters(want.Counters); !maps.Equal(g, w) {
+		t.Errorf("retried cell counters = %v, want control %v", g, w)
+	}
+	// Attribution call counts likewise (sampled nanos are wall-clock and
+	// excluded): compare total calls per (kernel, bucket).
+	if g, w := attrCalls(got.Attribution), attrCalls(want.Attribution); !maps.Equal(g, w) {
+		t.Errorf("retried cell attribution calls = %v, want control %v", g, w)
+	}
+}
+
+// workCounters drops wall-clock-valued counters (key contains "nanos"),
+// keeping only the deterministic work counters for exact comparison.
+func workCounters(c map[string]uint64) map[string]uint64 {
+	out := map[string]uint64{}
+	for k, v := range c {
+		if !strings.Contains(k, "nanos") {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// attrCalls flattens attribution rows into (scope/kernel/bucket) → calls.
+func attrCalls(rows []metrics.KernelAttr) map[string]uint64 {
+	out := map[string]uint64{}
+	for _, r := range rows {
+		for _, b := range r.Buckets {
+			out[fmt.Sprintf("%s/%s/%d", r.Scope, r.Kernel, b.MinDegLen)] += b.Count
+		}
+	}
+	return out
 }

@@ -1,0 +1,235 @@
+// Command cncd is the resident counting service: it loads a graph once
+// into an immutable in-memory CSR and serves common-neighbor queries
+// against it over HTTP/JSON until terminated.
+//
+// Usage:
+//
+//	cncd -profile TW -scale 0.5 -listen 127.0.0.1:8080
+//	cncd -graph graph.bin -listen :8080 -inflight 128 -cache 65536
+//
+// Endpoints (all GET, all JSON):
+//
+//	/v1/edge?u=&v=          |N(u) ∩ N(v)| for an existing edge (u,v)
+//	/v1/pair?u=&v=          the intersection for any vertex pair
+//	/v1/topk?u=&k=          top-k non-adjacent recommendations for u
+//	/v1/count?algo=&workers= full all-edge recount on the resident graph
+//	/v1/sample?n=           n edges spaced through the offset range
+//	/v1/info                graph name, epoch, sizes, cache and gate state
+//
+// plus the observability plane (internal/obs) mounted on the same
+// listener: /healthz, /metrics, /progress, /debug/pprof/. Results are
+// cached in an LRU keyed by (graph epoch, query); every response body
+// carries the epoch it was computed under and the X-Cache header says
+// HIT or MISS. Admission control bounds in-flight requests (-inflight),
+// rejecting the excess with 429 + Retry-After, and every request runs
+// under a deadline (-deadline, or the client's timeout_ms), which the
+// counting runtime honors cooperatively mid-recount.
+//
+// On SIGTERM/SIGINT the daemon drains: /healthz flips to 503
+// "draining", in-flight requests get -draingrace to finish, and the
+// process exits 0 on a clean drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"cncount"
+	"cncount/internal/logx"
+	"cncount/internal/metrics"
+	"cncount/internal/obs"
+	"cncount/internal/serve"
+)
+
+// appConfig mirrors the flag set so the whole daemon is testable
+// without touching globals or os.Exit.
+type appConfig struct {
+	graphPath   string
+	profile     string
+	scale       float64
+	listen      string
+	opsListen   string
+	inflight    int
+	cacheSize   int
+	deadline    time.Duration
+	drainNotice time.Duration
+	drainGrace  time.Duration
+	threads     int
+	logFormat   string
+	// logger receives structured lifecycle events; run() defaults a nil
+	// logger to stderr in cfg.logFormat.
+	logger *slog.Logger
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cncd: ")
+
+	var cfg appConfig
+	flag.StringVar(&cfg.graphPath, "graph", "", "graph file (text edge list, or binary CSR with .bin)")
+	flag.StringVar(&cfg.profile, "profile", "", "generate a dataset profile instead: "+strings.Join(cncount.ProfileNames(), ", "))
+	flag.Float64Var(&cfg.scale, "scale", 1.0, "profile scale (1.0 ≈ 1/1000 of the paper's dataset)")
+	flag.StringVar(&cfg.listen, "listen", "127.0.0.1:8080", "address to serve /v1/* and the observability plane on")
+	flag.StringVar(&cfg.opsListen, "opshttp", "", "optionally serve the observability plane on a second, ops-only address too")
+	flag.IntVar(&cfg.inflight, "inflight", serve.DefaultMaxInFlight, "max in-flight query requests before 429")
+	flag.IntVar(&cfg.cacheSize, "cache", serve.DefaultCacheEntries, "result cache capacity in entries (-1 disables)")
+	flag.DurationVar(&cfg.deadline, "deadline", serve.DefaultRequestTimeout, "default per-request deadline (clients may override with timeout_ms)")
+	flag.DurationVar(&cfg.drainNotice, "drainnotice", 0, "after SIGTERM, keep serving this long with /healthz at 503 so load balancers observe unreadiness before the listener stops accepting")
+	flag.DurationVar(&cfg.drainGrace, "draingrace", 5*time.Second, "how long in-flight requests get to finish after SIGTERM")
+	flag.IntVar(&cfg.threads, "threads", 0, "worker count for /v1/count recounts (0 = all cores)")
+	flag.StringVar(&cfg.logFormat, "logfmt", "text", "log output format: "+logx.Formats)
+	flag.Parse()
+
+	if cfg.graphPath == "" && cfg.profile == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	// The first SIGTERM/SIGINT starts the drain; a second signal kills
+	// the process the hard way (NotifyContext restores default handling).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run loads the graph, serves until ctx is canceled, then drains and
+// returns nil on a clean shutdown. Every failure — a bad flag, an
+// unloadable graph, an unbindable address, an unclean drain — is
+// returned so main can exit non-zero.
+func run(ctx context.Context, cfg appConfig, stdout io.Writer) error {
+	logger := cfg.logger
+	if logger == nil {
+		var err error
+		if logger, err = logx.New(os.Stderr, cfg.logFormat, "cncd"); err != nil {
+			return err
+		}
+	}
+	logf := func(format string, args ...any) { logger.Info(fmt.Sprintf(format, args...)) }
+
+	mc := metrics.New()
+	g, name, err := loadGraph(cfg, mc)
+	if err != nil {
+		return err
+	}
+	manifest := cncount.NewManifest(map[string]string{
+		"mode":     "serve",
+		"graph":    name,
+		"listen":   cfg.listen,
+		"inflight": fmt.Sprint(cfg.inflight),
+		"cache":    fmt.Sprint(cfg.cacheSize),
+		"deadline": cfg.deadline.String(),
+	})
+	mc.SetManifest(manifest)
+	logger.Info("graph resident",
+		"graph", name, "vertices", g.NumVertices(), "edges", g.NumEdges(),
+		"bytes", g.MemoryBytes())
+
+	srv := serve.New(g, name, serve.Options{
+		MaxInFlight:    cfg.inflight,
+		CacheEntries:   cfg.cacheSize,
+		RequestTimeout: cfg.deadline,
+		CountThreads:   cfg.threads,
+		Metrics:        mc,
+		Logf:           logf,
+	})
+	plane := obs.New(obs.Options{
+		Snapshot: mc.Snapshot,
+		Manifest: &manifest,
+		Logf:     logf,
+	})
+	// One mux, one listener: /v1/* from the serving layer, everything
+	// else (healthz, metrics, progress, pprof) from the obs plane.
+	mux := srv.Mux()
+	mux.Handle("/", plane.Handler())
+
+	ln, err := net.Listen("tcp", cfg.listen)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", cfg.listen, err)
+	}
+	httpSrv := &http.Server{Handler: mux}
+
+	// The optional ops-only listener serves just the plane; both the
+	// drain path and the deferred cleanup close it, which Plane.Close is
+	// contractually safe against (idempotent, any order, any state).
+	defer plane.Close()
+	if cfg.opsListen != "" {
+		opsAddr, err := plane.Start(cfg.opsListen)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("ops listen %s: %w", cfg.opsListen, err)
+		}
+		logger.Info("ops plane listening", "addr", opsAddr.String())
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	logger.Info("listening", "addr", ln.Addr().String())
+	// The parseable ready line the load generator and e2e tests wait for.
+	fmt.Fprintf(stdout, "cncd listening on %s\n", ln.Addr())
+
+	select {
+	case err := <-serveErr:
+		plane.Close()
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+
+	// Drain: advertise unreadiness first so orchestrators stop routing,
+	// then give in-flight requests the grace window, then stop the ops
+	// listener. Exit 0 only when everything finished inside the grace.
+	logger.Info("draining", "grace", cfg.drainGrace.String(), "in_flight", srv.InFlight())
+	plane.BeginDrain()
+	if cfg.drainNotice > 0 {
+		// Keep accepting during the notice window: /healthz already says
+		// 503, so routers pull the backend while late requests still land.
+		time.Sleep(cfg.drainNotice)
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.drainGrace)
+	defer cancel()
+	err = httpSrv.Shutdown(shutdownCtx)
+	if err != nil {
+		httpSrv.Close()
+	}
+	<-serveErr // Serve has returned once Shutdown/Close took effect
+	if cerr := plane.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("drain: %w", err)
+	}
+	hits, misses := srv.CacheStats()
+	logger.Info("drained, exiting", "cache_hits", hits, "cache_misses", misses)
+	return nil
+}
+
+// loadGraph resolves -graph/-profile into a resident CSR, recording
+// load phases into mc.
+func loadGraph(cfg appConfig, mc *metrics.Collector) (*cncount.Graph, string, error) {
+	switch {
+	case cfg.graphPath != "" && cfg.profile != "":
+		return nil, "", errors.New("pass -graph or -profile, not both")
+	case cfg.graphPath != "":
+		g, err := cncount.LoadGraphMetrics(cfg.graphPath, mc)
+		return g, cfg.graphPath, err
+	case cfg.profile != "":
+		stop := mc.StartPhase("generate")
+		g, err := cncount.GenerateProfile(cfg.profile, cfg.scale)
+		stop()
+		return g, cfg.profile, err
+	default:
+		return nil, "", errors.New("pass -graph or -profile")
+	}
+}

@@ -1,0 +1,306 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"cncount/internal/logx"
+)
+
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenLine = regexp.MustCompile(`cncd listening on (\S+)`)
+
+// waitAddr polls buf for the daemon's ready line and returns the bound
+// address.
+func waitAddr(t *testing.T, buf *syncBuffer, timeout time.Duration) string {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if m := listenLine.FindStringSubmatch(buf.String()); m != nil {
+			return m[1]
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never reported its address:\n%s", buf.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func get(t *testing.T, url string) (int, http.Header, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, string(body)
+}
+
+// TestRunInProcessLifecycle drives the whole daemon through run() with
+// a cancellable context standing in for SIGTERM: ready line, concurrent
+// queries from several goroutines (race-instrumented under -race),
+// cache hit after miss, obs plane on the same listener, then a clean
+// nil-returning drain.
+func TestRunInProcessLifecycle(t *testing.T) {
+	logger, err := logx.New(io.Discard, "text", "cncd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := appConfig{
+		profile: "WI", scale: 0.05,
+		listen:     "127.0.0.1:0",
+		inflight:   16,
+		cacheSize:  128,
+		deadline:   5 * time.Second,
+		drainGrace: 5 * time.Second,
+		threads:    1,
+		logger:     logger,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var out syncBuffer
+	runErr := make(chan error, 1)
+	go func() { runErr <- run(ctx, cfg, &out) }()
+	base := "http://" + waitAddr(t, &out, 10*time.Second)
+
+	// The obs plane shares the listener with /v1/*.
+	if status, _, body := get(t, base+"/healthz"); status != http.StatusOK || body != "ok\n" {
+		t.Errorf("/healthz = %d %q", status, body)
+	}
+
+	// Draw a query pool, then hammer it from several goroutines.
+	var sample struct {
+		Edges [][2]uint32 `json:"edges"`
+	}
+	status, _, body := get(t, base+"/v1/sample?n=32")
+	if status != http.StatusOK {
+		t.Fatalf("/v1/sample = %d: %s", status, body)
+	}
+	if err := json.Unmarshal([]byte(body), &sample); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				e := sample.Edges[(w*25+i)%len(sample.Edges)]
+				resp, err := http.Get(fmt.Sprintf("%s/v1/edge?u=%d&v=%d", base, e[0], e[1]))
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("edge (%d,%d) = %d", e[0], e[1], resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Cache: a fresh canonical query misses, its repeat hits.
+	e := sample.Edges[0]
+	q := fmt.Sprintf("%s/v1/edge?u=%d&v=%d", base, e[0], e[1])
+	if _, hdr, _ := get(t, q); hdr.Get("X-Cache") == "" {
+		t.Error("edge response lacks X-Cache header")
+	}
+	if _, hdr, _ := get(t, q); hdr.Get("X-Cache") != "HIT" {
+		t.Errorf("repeat query X-Cache = %q, want HIT", hdr.Get("X-Cache"))
+	}
+	// The hit/miss counters surface on the shared /metrics.
+	if _, _, body := get(t, base+"/metrics"); !strings.Contains(body, `cncount_counter_total{name="serve.cache_hits"}`) {
+		t.Errorf("/metrics lacks serve.cache_hits:\n%.600s", body)
+	}
+
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("drained run returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not return after cancel")
+	}
+}
+
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "cncd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestDaemonSIGTERMDrainE2E pins the operational shutdown contract on
+// the real binary: SIGTERM flips /healthz to 503 "draining" while the
+// notice window keeps the listener accepting, and the process then
+// exits 0.
+func TestDaemonSIGTERMDrainE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and signals the real binary")
+	}
+	bin := buildDaemon(t)
+	cmd := exec.Command(bin,
+		"-profile", "WI", "-scale", "0.05", "-listen", "127.0.0.1:0",
+		"-drainnotice", "3s", "-draingrace", "5s", "-threads", "1")
+	var out syncBuffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+	base := "http://" + waitAddr(t, &out, 20*time.Second)
+
+	if status, _, body := get(t, base+"/healthz"); status != http.StatusOK || body != "ok\n" {
+		t.Fatalf("pre-drain /healthz = %d %q", status, body)
+	}
+	var info struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	_, _, body := get(t, base+"/v1/info")
+	if err := json.Unmarshal([]byte(body), &info); err != nil || info.Epoch != 1 {
+		t.Fatalf("/v1/info = %s (err %v)", body, err)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// Inside the notice window the daemon still accepts, advertising 503.
+	deadline := time.Now().Add(2 * time.Second)
+	var status int
+	var drainBody string
+	for {
+		status, _, drainBody = get(t, base+"/healthz")
+		if status == http.StatusServiceUnavailable || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if status != http.StatusServiceUnavailable || drainBody != "draining\n" {
+		t.Errorf("draining /healthz = %d %q, want 503 \"draining\"", status, drainBody)
+	}
+	// Queries still answer during the notice window.
+	if status, _, _ := get(t, base+"/v1/info"); status != http.StatusOK {
+		t.Errorf("/v1/info during drain notice = %d, want 200", status)
+	}
+
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("SIGTERM drain exited non-zero: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "drained, exiting") {
+		t.Errorf("no drain completion log:\n%s", out.String())
+	}
+}
+
+// TestDaemonAdmission429E2E saturates a one-slot daemon with a slow
+// recount and checks the next request is turned away with 429 +
+// Retry-After while the slot is held, then served once it frees up.
+func TestDaemonAdmission429E2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the real binary and runs a multi-second recount")
+	}
+	bin := buildDaemon(t)
+	cmd := exec.Command(bin,
+		"-profile", "TW", "-scale", "1", "-listen", "127.0.0.1:0",
+		"-inflight", "1", "-threads", "1")
+	var out syncBuffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Signal(os.Interrupt)
+		cmd.Wait()
+	}()
+	base := "http://" + waitAddr(t, &out, 60*time.Second)
+
+	// Hold the only slot with a slow sequential recount.
+	countDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(base + "/v1/count?algo=m&workers=1&timeout_ms=120000")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				err = fmt.Errorf("recount = %d", resp.StatusCode)
+			}
+		}
+		countDone <- err
+	}()
+
+	// While it runs, everything else must bounce with 429.
+	deadline := time.Now().Add(30 * time.Second)
+	saw429 := false
+	for !saw429 && time.Now().Before(deadline) {
+		status, hdr, _ := get(t, base+"/v1/info")
+		if status == http.StatusTooManyRequests {
+			saw429 = true
+			if hdr.Get("Retry-After") != "1" {
+				t.Errorf("429 Retry-After = %q, want \"1\"", hdr.Get("Retry-After"))
+			}
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if !saw429 {
+		t.Fatalf("never saw 429 while the recount held the slot:\n%s", out.String())
+	}
+
+	if err := <-countDone; err != nil {
+		t.Fatalf("slot-holding recount failed: %v", err)
+	}
+	// Slot free again: service restored.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		status, _, _ := get(t, base+"/v1/info")
+		if status == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("service not restored after the recount finished")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,424 @@
+// Command cncload is the load generator for the resident counting
+// service (cmd/cncd): it drives a configurable mix of query endpoints
+// at a fixed concurrency for a fixed duration and reports serving
+// throughput and latency percentiles, optionally as a schema-versioned
+// benchfmt report comparable across runs.
+//
+// Usage:
+//
+//	cncload -addr 127.0.0.1:8080 -duration 10s -concurrency 16
+//	cncload -addr 127.0.0.1:8080 -mix edge=8,pair=1,topk=1 -out BENCH_serve.json
+//
+// The generator first asks the daemon for its shape (/v1/info) and a
+// representative edge pool (/v1/sample), so the query stream touches
+// real edges spread across the offset range. Each worker then loops a
+// deterministic per-worker PRNG over the mix. 429 responses count as
+// rejected (the admission gate doing its job), any other non-200 as
+// failed; both rates are reported and failures exit non-zero past
+// -maxfail.
+//
+// In the report, one Result row carries the serving figures: Graph is
+// the endpoint mix cell ("serve/<endpoint>"... one row per endpoint),
+// Workers is the concurrency, Edges the request count, ElapsedNanos the
+// wall time, NsPerEdge the mean wall nanoseconds per request (1e9/QPS),
+// and TaskP50/95/99Nanos the request latency percentiles.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"cncount/internal/benchfmt"
+	"cncount/internal/logx"
+	"cncount/internal/metrics"
+)
+
+// appConfig mirrors the flag set so the whole run is testable without
+// touching globals or os.Exit.
+type appConfig struct {
+	addr        string
+	duration    time.Duration
+	concurrency int
+	mix         string
+	sampleN     int
+	topK        int
+	timeout     time.Duration
+	out         string
+	label       string
+	maxFailPct  float64
+	logFormat   string
+	logger      *slog.Logger
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cncload: ")
+
+	var cfg appConfig
+	flag.StringVar(&cfg.addr, "addr", "", "daemon address, e.g. 127.0.0.1:8080 (required)")
+	flag.DurationVar(&cfg.duration, "duration", 5*time.Second, "how long to generate load")
+	flag.IntVar(&cfg.concurrency, "concurrency", 8, "concurrent client workers")
+	flag.StringVar(&cfg.mix, "mix", "edge=8,pair=1,topk=1", "endpoint weights as name=weight, from edge, pair, topk, count")
+	flag.IntVar(&cfg.sampleN, "sample", 1024, "edge pool size drawn from /v1/sample")
+	flag.IntVar(&cfg.topK, "topk", 10, "k for topk queries")
+	flag.DurationVar(&cfg.timeout, "timeout", 10*time.Second, "per-request client timeout")
+	flag.StringVar(&cfg.out, "out", "", "write a benchfmt report (BENCH_*.json) here")
+	flag.StringVar(&cfg.label, "label", "serve", "report label")
+	flag.Float64Var(&cfg.maxFailPct, "maxfail", 1.0, "exit non-zero when more than this percent of requests fail (429 rejections excluded)")
+	flag.StringVar(&cfg.logFormat, "logfmt", "text", "log output format: "+logx.Formats)
+	flag.Parse()
+
+	if cfg.addr == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// op is one endpoint in the query mix.
+type op struct {
+	name   string
+	weight int
+}
+
+// workerStats accumulates one worker's measurements; workers never
+// share, so the hot loop is lock-free and slices merge after the join.
+type workerStats struct {
+	latencies map[string][]time.Duration // endpoint → per-request latency
+	sent      map[string]int64
+	rejected  int64 // 429: admission control, not a failure
+	failed    int64 // any other non-200
+}
+
+func run(ctx context.Context, cfg appConfig, stdout io.Writer) error {
+	logger := cfg.logger
+	if logger == nil {
+		var err error
+		if logger, err = logx.New(os.Stderr, cfg.logFormat, "cncload"); err != nil {
+			return err
+		}
+	}
+	mix, err := parseMix(cfg.mix)
+	if err != nil {
+		return err
+	}
+	if cfg.concurrency < 1 {
+		return fmt.Errorf("concurrency must be >= 1, got %d", cfg.concurrency)
+	}
+	if cfg.sampleN < 1 {
+		return fmt.Errorf("sample must be >= 1, got %d", cfg.sampleN)
+	}
+
+	client := &http.Client{Timeout: cfg.timeout}
+	base := "http://" + cfg.addr
+
+	info, err := fetchInfo(client, base)
+	if err != nil {
+		return fmt.Errorf("probe %s: %w", cfg.addr, err)
+	}
+	pool, err := fetchSample(client, base, cfg.sampleN)
+	if err != nil {
+		return fmt.Errorf("sample pool: %w", err)
+	}
+	logger.Info("target probed", "graph", info.Graph, "epoch", info.Epoch,
+		"vertices", info.Vertices, "edges", info.Edges, "pool", len(pool))
+
+	// Deterministic weighted schedule: a worker indexes sched[i%len] with
+	// its own PRNG-shuffled offsets, so the realized mix matches the
+	// weights exactly over each full cycle.
+	var sched []string
+	for _, o := range mix {
+		for i := 0; i < o.weight; i++ {
+			sched = append(sched, o.name)
+		}
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, cfg.duration)
+	defer cancel()
+	start := time.Now()
+	stats := make([]workerStats, cfg.concurrency)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			st := &stats[w]
+			st.latencies = make(map[string][]time.Duration)
+			st.sent = make(map[string]int64)
+			for i := 0; runCtx.Err() == nil; i++ {
+				opName := sched[rng.Intn(len(sched))]
+				url := buildQuery(base, opName, pool, info, cfg.topK, rng)
+				t0 := time.Now()
+				status, err := doGet(runCtx, client, url)
+				if runCtx.Err() != nil {
+					return // duration elapsed mid-request; drop the torn sample
+				}
+				if err != nil {
+					st.failed++
+					continue
+				}
+				switch {
+				case status == http.StatusOK:
+					st.sent[opName]++
+					st.latencies[opName] = append(st.latencies[opName], time.Since(t0))
+				case status == http.StatusTooManyRequests:
+					st.rejected++
+				default:
+					st.failed++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	// Merge the per-worker measurements.
+	merged := make(map[string][]time.Duration)
+	sent := make(map[string]int64)
+	var rejected, failed, total int64
+	for i := range stats {
+		for ep, ls := range stats[i].latencies {
+			merged[ep] = append(merged[ep], ls...)
+		}
+		for ep, n := range stats[i].sent {
+			sent[ep] += n
+			total += n
+		}
+		rejected += stats[i].rejected
+		failed += stats[i].failed
+	}
+	if total == 0 {
+		return errors.New("no request completed; is the daemon reachable and the duration sane?")
+	}
+
+	qps := float64(total) / wall.Seconds()
+	var all []time.Duration
+	for _, ls := range merged {
+		all = append(all, ls...)
+	}
+	p50, p95, p99 := percentiles(all)
+	fmt.Fprintf(stdout, "cncload: %d ok (%.0f req/s), %d rejected (429), %d failed over %v at concurrency %d\n",
+		total, qps, rejected, failed, wall.Round(time.Millisecond), cfg.concurrency)
+	fmt.Fprintf(stdout, "cncload: latency p50 %v  p95 %v  p99 %v\n", p50, p95, p99)
+	for _, o := range mix {
+		if n := sent[o.name]; n > 0 {
+			e50, e95, e99 := percentiles(merged[o.name])
+			fmt.Fprintf(stdout, "cncload: %-5s %8d reqs  p50 %v  p95 %v  p99 %v\n", o.name, n, e50, e95, e99)
+		}
+	}
+
+	if cfg.out != "" {
+		report := buildReport(cfg, info, mix, merged, sent, wall)
+		if err := benchfmt.WriteFile(cfg.out, report); err != nil {
+			return fmt.Errorf("write report: %w", err)
+		}
+		logger.Info("report written", "path", cfg.out, "rows", len(report.Results))
+	}
+
+	failPct := 100 * float64(failed) / float64(total+failed)
+	if failPct > cfg.maxFailPct {
+		return fmt.Errorf("%.2f%% of requests failed (max %.2f%%)", failPct, cfg.maxFailPct)
+	}
+	return nil
+}
+
+// buildReport maps the serving measurements onto the benchfmt schema:
+// one row per endpoint, Graph "serve/<endpoint>", Workers the client
+// concurrency, Edges the request count, NsPerEdge mean wall nanoseconds
+// per request across the whole mix cell, TaskP* the latency quantiles.
+func buildReport(cfg appConfig, info *infoResponse, mix []op,
+	merged map[string][]time.Duration, sent map[string]int64, wall time.Duration) *benchfmt.Report {
+	manifest := metrics.NewManifest(map[string]string{
+		"mode":        "load",
+		"target":      cfg.addr,
+		"graph":       info.Graph,
+		"mix":         cfg.mix,
+		"concurrency": strconv.Itoa(cfg.concurrency),
+		"duration":    cfg.duration.String(),
+	})
+	report := &benchfmt.Report{
+		Schema:      benchfmt.Schema,
+		Label:       cfg.label,
+		CreatedUnix: time.Now().Unix(),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Manifest:    &manifest,
+	}
+	for _, o := range mix {
+		n := sent[o.name]
+		if n == 0 {
+			continue
+		}
+		p50, p95, p99 := percentiles(merged[o.name])
+		var sum time.Duration
+		for _, l := range merged[o.name] {
+			sum += l
+		}
+		report.Results = append(report.Results, benchfmt.Result{
+			Graph:        "serve/" + o.name,
+			Algo:         "serve",
+			Workers:      cfg.concurrency,
+			Edges:        n,
+			Reps:         1,
+			ElapsedNanos: wall.Nanoseconds(),
+			NsPerEdge:    float64(sum.Nanoseconds()) / float64(n),
+			TaskP50Nanos: uint64(p50.Nanoseconds()),
+			TaskP95Nanos: uint64(p95.Nanoseconds()),
+			TaskP99Nanos: uint64(p99.Nanoseconds()),
+		})
+	}
+	return report
+}
+
+// percentiles returns the p50/p95/p99 of ls by nearest-rank on the
+// sorted copy; zero durations when ls is empty.
+func percentiles(ls []time.Duration) (p50, p95, p99 time.Duration) {
+	if len(ls) == 0 {
+		return 0, 0, 0
+	}
+	s := append([]time.Duration(nil), ls...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	at := func(p float64) time.Duration {
+		i := int(p*float64(len(s))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return s[i]
+	}
+	return at(0.50), at(0.95), at(0.99)
+}
+
+// buildQuery renders one request URL for the given endpoint against the
+// sampled pool.
+func buildQuery(base, opName string, pool [][2]uint32, info *infoResponse, topK int, rng *rand.Rand) string {
+	switch opName {
+	case "edge":
+		e := pool[rng.Intn(len(pool))]
+		return fmt.Sprintf("%s/v1/edge?u=%d&v=%d", base, e[0], e[1])
+	case "pair":
+		u := rng.Intn(info.Vertices)
+		v := rng.Intn(info.Vertices)
+		return fmt.Sprintf("%s/v1/pair?u=%d&v=%d", base, u, v)
+	case "topk":
+		e := pool[rng.Intn(len(pool))]
+		return fmt.Sprintf("%s/v1/topk?u=%d&k=%d", base, e[0], topK)
+	case "count":
+		return base + "/v1/count"
+	default:
+		panic("unreachable: mix validated in parseMix")
+	}
+}
+
+func doGet(ctx context.Context, client *http.Client, url string) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// parseMix parses "edge=8,pair=1,topk=1" into weighted ops, preserving
+// the written order.
+func parseMix(s string) ([]op, error) {
+	valid := map[string]bool{"edge": true, "pair": true, "topk": true, "count": true}
+	var mix []op
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		name, w, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q: want name=weight", part)
+		}
+		if !valid[name] {
+			return nil, fmt.Errorf("mix entry %q: unknown endpoint (want edge, pair, topk, count)", part)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("mix entry %q: duplicate endpoint", part)
+		}
+		seen[name] = true
+		weight, err := strconv.Atoi(w)
+		if err != nil || weight < 1 {
+			return nil, fmt.Errorf("mix entry %q: weight must be a positive integer", part)
+		}
+		mix = append(mix, op{name: name, weight: weight})
+	}
+	if len(mix) == 0 {
+		return nil, errors.New("empty mix")
+	}
+	return mix, nil
+}
+
+// infoResponse is the subset of /v1/info the generator needs.
+type infoResponse struct {
+	Graph    string `json:"graph"`
+	Epoch    uint64 `json:"epoch"`
+	Vertices int    `json:"vertices"`
+	Edges    int64  `json:"edges"`
+}
+
+func fetchInfo(client *http.Client, base string) (*infoResponse, error) {
+	resp, err := client.Get(base + "/v1/info")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/v1/info: %s", resp.Status)
+	}
+	var info infoResponse
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return nil, err
+	}
+	if info.Vertices == 0 {
+		return nil, errors.New("/v1/info reports an empty graph")
+	}
+	return &info, nil
+}
+
+func fetchSample(client *http.Client, base string, n int) ([][2]uint32, error) {
+	resp, err := client.Get(fmt.Sprintf("%s/v1/sample?n=%d", base, n))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/v1/sample: %s", resp.Status)
+	}
+	var out struct {
+		Edges [][2]uint32 `json:"edges"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	if len(out.Edges) == 0 {
+		return nil, errors.New("/v1/sample returned no edges")
+	}
+	return out.Edges, nil
+}

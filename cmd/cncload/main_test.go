@@ -1,0 +1,140 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cncount"
+	"cncount/internal/benchfmt"
+	"cncount/internal/logx"
+	"cncount/internal/serve"
+)
+
+// startTarget serves a small graph in-process and returns its host:port.
+func startTarget(t *testing.T) string {
+	t.Helper()
+	g, err := cncount.GenerateProfile("WI", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(serve.New(g, "WI", serve.Options{CountThreads: 1}).Handler())
+	t.Cleanup(ts.Close)
+	return strings.TrimPrefix(ts.URL, "http://")
+}
+
+func baseConfig(t *testing.T, addr string) appConfig {
+	t.Helper()
+	logger, err := logx.New(io.Discard, "text", "cncload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return appConfig{
+		addr:        addr,
+		duration:    300 * time.Millisecond,
+		concurrency: 4,
+		mix:         "edge=8,pair=1,topk=1",
+		sampleN:     64,
+		topK:        5,
+		timeout:     5 * time.Second,
+		label:       "loadtest",
+		maxFailPct:  0,
+		logger:      logger,
+	}
+}
+
+// TestLoadRunWritesServingReport drives the generator against an
+// in-process server and checks the human summary and the benchfmt
+// report: one row per mix endpoint with latency percentiles.
+func TestLoadRunWritesServingReport(t *testing.T) {
+	addr := startTarget(t)
+	cfg := baseConfig(t, addr)
+	cfg.out = filepath.Join(t.TempDir(), "BENCH_serve.json")
+
+	var out strings.Builder
+	if err := run(context.Background(), cfg, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "req/s") || !strings.Contains(out.String(), "p99") {
+		t.Errorf("summary missing throughput/latency:\n%s", out.String())
+	}
+
+	rep, err := benchfmt.LoadFile(cfg.out)
+	if err != nil {
+		t.Fatalf("report unreadable: %v", err)
+	}
+	if rep.Schema != benchfmt.Schema || rep.Label != "loadtest" {
+		t.Errorf("report header = %q/%q", rep.Schema, rep.Label)
+	}
+	if len(rep.Results) == 0 || len(rep.Results) > 3 {
+		t.Fatalf("report rows = %d, want 1..3 (one per exercised endpoint)", len(rep.Results))
+	}
+	seen := map[string]bool{}
+	for _, r := range rep.Results {
+		seen[r.Graph] = true
+		if !strings.HasPrefix(r.Graph, "serve/") || r.Algo != "serve" {
+			t.Errorf("row identity = %s/%s, want serve/<endpoint> with algo serve", r.Graph, r.Algo)
+		}
+		if r.Workers != 4 || r.Edges <= 0 || r.ElapsedNanos <= 0 || r.NsPerEdge <= 0 {
+			t.Errorf("row %s: empty measurement %+v", r.Graph, r)
+		}
+		if r.TaskP50Nanos == 0 || r.TaskP99Nanos < r.TaskP95Nanos || r.TaskP95Nanos < r.TaskP50Nanos {
+			t.Errorf("row %s: implausible percentiles p50=%d p95=%d p99=%d",
+				r.Graph, r.TaskP50Nanos, r.TaskP95Nanos, r.TaskP99Nanos)
+		}
+	}
+	// The dominant mix member must be present.
+	if !seen["serve/edge"] {
+		t.Errorf("no serve/edge row in %v", seen)
+	}
+	if rep.Manifest == nil || rep.Manifest.Config["mix"] != cfg.mix {
+		t.Errorf("manifest does not record the mix: %+v", rep.Manifest)
+	}
+}
+
+// TestLoadRunUnreachableTarget fails fast with a useful error instead
+// of reporting an empty run.
+func TestLoadRunUnreachableTarget(t *testing.T) {
+	cfg := baseConfig(t, "127.0.0.1:1")
+	cfg.timeout = 500 * time.Millisecond
+	err := run(context.Background(), cfg, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "probe") {
+		t.Fatalf("unreachable target: err = %v, want probe failure", err)
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("edge=8, pair=1,topk=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 3 || mix[0] != (op{"edge", 8}) || mix[1] != (op{"pair", 1}) || mix[2] != (op{"topk", 2}) {
+		t.Errorf("mix = %+v", mix)
+	}
+	for _, bad := range []string{"", "edge", "edge=0", "edge=x", "nope=1", "edge=1,edge=2"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var ls []time.Duration
+	for i := 1; i <= 100; i++ {
+		ls = append(ls, time.Duration(i)*time.Millisecond)
+	}
+	p50, p95, p99 := percentiles(ls)
+	if p50 != 50*time.Millisecond || p95 != 95*time.Millisecond || p99 != 99*time.Millisecond {
+		t.Errorf("percentiles = %v %v %v", p50, p95, p99)
+	}
+	if a, b, c := percentiles(nil); a != 0 || b != 0 || c != 0 {
+		t.Errorf("empty percentiles = %v %v %v", a, b, c)
+	}
+	if a, _, c := percentiles([]time.Duration{time.Second}); a != time.Second || c != time.Second {
+		t.Errorf("singleton percentiles = %v %v", a, c)
+	}
+}

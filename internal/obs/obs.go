@@ -35,6 +35,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -89,10 +90,24 @@ type Options struct {
 type Plane struct {
 	opts     Options
 	mux      *http.ServeMux
-	srv      *http.Server
-	ln       net.Listener
-	done     chan struct{}
 	draining atomic.Bool
+
+	// mu guards the listener state below against Start racing Close: a
+	// command's signal handler and its main defer both call Close (and
+	// may do so while Start is still binding), so the pair must be safe
+	// in any order and any interleaving.
+	mu      sync.Mutex
+	srv     *http.Server
+	ln      net.Listener
+	done    chan struct{}
+	started bool
+	closed  bool
+
+	// closeOnce makes Close idempotent: the first call performs the
+	// shutdown and memoizes its error, every later or concurrent call
+	// waits for it and returns the same error.
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // New builds a plane serving the given sources on a dedicated mux.
@@ -129,16 +144,28 @@ func (p *Plane) Start(addr string) (net.Addr, error) {
 	if p == nil {
 		return nil, nil
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, errors.New("obs: plane already closed")
+	}
+	if p.started {
+		return nil, errors.New("obs: plane already started")
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
+		// A failed bind leaves the plane exactly as it was: no listener,
+		// no serve goroutine, and Close stays a clean no-op.
 		return nil, err
 	}
 	p.ln = ln
 	p.done = make(chan struct{})
 	p.srv = &http.Server{Handler: p.mux}
+	p.started = true
+	srv, done := p.srv, p.done
 	go func() {
-		defer close(p.done)
-		if err := p.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		defer close(done)
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			p.opts.Logf("obs: serve error on %s: %v", ln.Addr(), err)
 		}
 	}()
@@ -147,18 +174,36 @@ func (p *Plane) Start(addr string) (net.Addr, error) {
 
 // Close shuts the listener down cleanly, draining in-flight requests for
 // up to one second before force-closing, and waits for the serve
-// goroutine to exit. Safe on the nil or never-started plane.
+// goroutine to exit. It is idempotent and safe from any goroutine in any
+// state: on the nil plane, before or without a successful Start (e.g.
+// after a failed bind), called twice, or called concurrently — a
+// command's signal handler and its main defer both call it. Every call
+// returns the first call's error.
 func (p *Plane) Close() error {
-	if p == nil || p.srv == nil {
+	if p == nil {
+		return nil
+	}
+	p.closeOnce.Do(func() { p.closeErr = p.doClose() })
+	return p.closeErr
+}
+
+func (p *Plane) doClose() error {
+	p.mu.Lock()
+	p.closed = true
+	srv, done := p.srv, p.done
+	p.mu.Unlock()
+	if srv == nil {
+		// Never started (or the bind failed): nothing to shut down, no
+		// goroutine to wait for.
 		return nil
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 	defer cancel()
-	err := p.srv.Shutdown(ctx)
+	err := srv.Shutdown(ctx)
 	if err != nil {
-		err = p.srv.Close()
+		err = srv.Close()
 	}
-	<-p.done
+	<-done
 	return err
 }
 

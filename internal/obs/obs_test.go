@@ -3,10 +3,14 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"cncount/internal/metrics"
 	"cncount/internal/sched"
@@ -216,5 +220,119 @@ func TestPlaneDraining(t *testing.T) {
 	nilPlane.BeginDrain()
 	if nilPlane.Draining() {
 		t.Error("nil plane reports draining")
+	}
+}
+
+// TestPlaneCloseIdempotent pins the shutdown contract cmd/cncd relies on:
+// Close is called from both the signal handler and the main defer, in
+// any order, possibly concurrently, and possibly without a successful
+// Start — none of which may panic, hang, or leak the serve goroutine.
+func TestPlaneCloseIdempotent(t *testing.T) {
+	t.Run("without start", func(t *testing.T) {
+		p := New(Options{})
+		for i := 0; i < 2; i++ {
+			if err := p.Close(); err != nil {
+				t.Fatalf("Close #%d on never-started plane: %v", i+1, err)
+			}
+		}
+	})
+
+	t.Run("after failed bind", func(t *testing.T) {
+		// Occupy a port so the plane's bind fails.
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		p := New(Options{})
+		if _, err := p.Start(ln.Addr().String()); err == nil {
+			t.Fatal("Start on an occupied port succeeded")
+		}
+		for i := 0; i < 2; i++ {
+			if err := p.Close(); err != nil {
+				t.Fatalf("Close #%d after failed bind: %v", i+1, err)
+			}
+		}
+	})
+
+	t.Run("double and concurrent close", func(t *testing.T) {
+		p := New(Options{})
+		addr, err := p.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Concurrent closers model the signal handler racing the defer;
+		// all must return the same (nil) error once shutdown finishes.
+		var wg sync.WaitGroup
+		errs := make([]error, 4)
+		for i := range errs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = p.Close()
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Errorf("concurrent Close #%d: %v", i, err)
+			}
+		}
+		// A late sequential Close must also be a no-op, and the listener
+		// must actually be gone.
+		if err := p.Close(); err != nil {
+			t.Errorf("Close after Close: %v", err)
+		}
+		if _, err := net.DialTimeout("tcp", addr.String(), 100*time.Millisecond); err == nil {
+			t.Error("listener still accepting after Close")
+		}
+	})
+
+	t.Run("start after close rejected", func(t *testing.T) {
+		p := New(Options{})
+		if _, err := p.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Restarting a closed plane would leak a server no Close will ever
+		// reach (closeOnce is spent), so Start must refuse.
+		if _, err := p.Start("127.0.0.1:0"); err == nil {
+			t.Fatal("Start on a closed plane succeeded")
+		}
+	})
+
+	t.Run("nil plane", func(t *testing.T) {
+		var p *Plane
+		if err := p.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestPlaneCloseDoesNotLeakServeGoroutine starts and closes many planes
+// and checks the goroutine count settles back, so a daemon cycling the
+// plane (or a test suite) cannot accumulate serve goroutines.
+func TestPlaneCloseDoesNotLeakServeGoroutine(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		p := New(Options{})
+		if _, err := p.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines %d, started at %d: serve goroutines leaked", runtime.NumGoroutine(), before)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

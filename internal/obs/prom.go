@@ -41,7 +41,14 @@ func WriteProm(w io.Writer, snap metrics.Snapshot, prog *ProgressStatus) error {
 	return err
 }
 
-// escapeLabel escapes a label value per the exposition format.
+// escapeLabel escapes a label value per the exposition format: exactly
+// backslash, newline and double quote, in that order, and nothing else.
+// Values must be interpolated as `label=\"%s\"` with this escaping applied
+// once — formatting them with %q instead layers Go's string escaping on
+// top (doubling every backslash and quote, and emitting escapes like \t
+// the exposition format does not define), which corrupts or breaks the
+// whole /metrics page for any hostile value. Pinned by
+// TestWritePromHostileLabelValues.
 func escapeLabel(v string) string {
 	v = strings.ReplaceAll(v, `\`, `\\`)
 	v = strings.ReplaceAll(v, "\n", `\n`)
@@ -55,11 +62,19 @@ func writeManifest(b *strings.Builder, m *metrics.Manifest) {
 	}
 	fmt.Fprintf(b, "# HELP cncount_build_info Build and environment manifest; the value is always 1.\n")
 	fmt.Fprintf(b, "# TYPE cncount_build_info gauge\n")
-	fmt.Fprintf(b, "cncount_build_info{go_version=%q,goos=%q,goarch=%q,module=%q,version=%q,vcs_revision=%q} 1\n",
+	fmt.Fprintf(b, "cncount_build_info{go_version=\"%s\",goos=\"%s\",goarch=\"%s\",module=\"%s\",version=\"%s\",vcs_revision=\"%s\"} 1\n",
 		escapeLabel(m.GoVersion), escapeLabel(m.GOOS), escapeLabel(m.GOARCH),
 		escapeLabel(m.Module), escapeLabel(m.Version), escapeLabel(m.VCSRevision))
 	fmt.Fprintf(b, "# TYPE cncount_gomaxprocs gauge\ncncount_gomaxprocs %d\n", m.GOMAXPROCS)
 	fmt.Fprintf(b, "# TYPE cncount_num_cpu gauge\ncncount_num_cpu %d\n", m.NumCPU)
+	if len(m.Config) > 0 {
+		fmt.Fprintf(b, "# HELP cncount_build_config Resolved run configuration from the manifest; the value is always 1.\n")
+		fmt.Fprintf(b, "# TYPE cncount_build_config gauge\n")
+		for _, k := range sortedKeys(m.Config) {
+			fmt.Fprintf(b, "cncount_build_config{key=\"%s\",value=\"%s\"} 1\n",
+				escapeLabel(k), escapeLabel(m.Config[k]))
+		}
+	}
 }
 
 func writePhases(b *strings.Builder, phases []metrics.PhaseSample) {
@@ -76,11 +91,11 @@ func writePhases(b *strings.Builder, phases []metrics.PhaseSample) {
 	fmt.Fprintf(b, "# HELP cncount_phase_seconds_total Total wall time recorded under each phase.\n")
 	fmt.Fprintf(b, "# TYPE cncount_phase_seconds_total counter\n")
 	for _, n := range names {
-		fmt.Fprintf(b, "cncount_phase_seconds_total{phase=%q} %g\n", escapeLabel(n), secs[n])
+		fmt.Fprintf(b, "cncount_phase_seconds_total{phase=\"%s\"} %g\n", escapeLabel(n), secs[n])
 	}
 	fmt.Fprintf(b, "# TYPE cncount_phase_samples_total counter\n")
 	for _, n := range names {
-		fmt.Fprintf(b, "cncount_phase_samples_total{phase=%q} %d\n", escapeLabel(n), samples[n])
+		fmt.Fprintf(b, "cncount_phase_samples_total{phase=\"%s\"} %d\n", escapeLabel(n), samples[n])
 	}
 }
 
@@ -91,7 +106,7 @@ func writeCounters(b *strings.Builder, counters map[string]uint64) {
 	fmt.Fprintf(b, "# HELP cncount_counter_total Named monotonic counters of the metrics collector.\n")
 	fmt.Fprintf(b, "# TYPE cncount_counter_total counter\n")
 	for _, n := range sortedKeys(counters) {
-		fmt.Fprintf(b, "cncount_counter_total{name=%q} %d\n", escapeLabel(n), counters[n])
+		fmt.Fprintf(b, "cncount_counter_total{name=\"%s\"} %d\n", escapeLabel(n), counters[n])
 	}
 }
 
@@ -154,7 +169,7 @@ func writeSched(b *strings.Builder, scheds []metrics.SchedSnapshot) {
 		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n", series.name, series.help, series.name)
 		for _, scope := range scopes {
 			for w, t := range byScope[scope].workers {
-				fmt.Fprintf(b, "%s{scope=%q,worker=\"%d\"} %d\n",
+				fmt.Fprintf(b, "%s{scope=\"%s\",worker=\"%d\"} %d\n",
 					series.name, escapeLabel(scope), w, series.get(t))
 			}
 		}
@@ -172,12 +187,12 @@ func writeSched(b *strings.Builder, scheds []metrics.SchedSnapshot) {
 		var cum uint64
 		for _, ub := range bounds {
 			cum += agg.buckets[ub]
-			fmt.Fprintf(b, "cncount_sched_task_nanos_bucket{scope=%q,le=\"%d\"} %d\n",
+			fmt.Fprintf(b, "cncount_sched_task_nanos_bucket{scope=\"%s\",le=\"%d\"} %d\n",
 				escapeLabel(scope), ub, cum)
 		}
-		fmt.Fprintf(b, "cncount_sched_task_nanos_bucket{scope=%q,le=\"+Inf\"} %d\n",
+		fmt.Fprintf(b, "cncount_sched_task_nanos_bucket{scope=\"%s\",le=\"+Inf\"} %d\n",
 			escapeLabel(scope), agg.count)
-		fmt.Fprintf(b, "cncount_sched_task_nanos_count{scope=%q} %d\n",
+		fmt.Fprintf(b, "cncount_sched_task_nanos_count{scope=\"%s\"} %d\n",
 			escapeLabel(scope), agg.count)
 	}
 }
@@ -224,7 +239,7 @@ func writeAttribution(b *strings.Builder, rows []metrics.KernelAttr) {
 	fmt.Fprintf(b, "# HELP cncount_kernel_calls_total Kernel calls by kernel family and min-endpoint-degree bit length.\n")
 	fmt.Fprintf(b, "# TYPE cncount_kernel_calls_total counter\n")
 	for _, k := range keys {
-		fmt.Fprintf(b, "cncount_kernel_calls_total{scope=%q,kernel=%q,min_deg_len=\"%d\"} %d\n",
+		fmt.Fprintf(b, "cncount_kernel_calls_total{scope=\"%s\",kernel=\"%s\",min_deg_len=\"%d\"} %d\n",
 			escapeLabel(k.scope), escapeLabel(k.kernel), k.bucket, agg[k].count)
 	}
 	anySamples := false
@@ -243,7 +258,7 @@ func writeAttribution(b *strings.Builder, rows []metrics.KernelAttr) {
 		if agg[k].samples == 0 {
 			continue
 		}
-		fmt.Fprintf(b, "cncount_kernel_sample_nanos_total{scope=%q,kernel=%q,min_deg_len=\"%d\"} %d\n",
+		fmt.Fprintf(b, "cncount_kernel_sample_nanos_total{scope=\"%s\",kernel=\"%s\",min_deg_len=\"%d\"} %d\n",
 			escapeLabel(k.scope), escapeLabel(k.kernel), k.bucket, agg[k].nanos)
 	}
 	fmt.Fprintf(b, "# TYPE cncount_kernel_samples_total counter\n")
@@ -251,7 +266,7 @@ func writeAttribution(b *strings.Builder, rows []metrics.KernelAttr) {
 		if agg[k].samples == 0 {
 			continue
 		}
-		fmt.Fprintf(b, "cncount_kernel_samples_total{scope=%q,kernel=%q,min_deg_len=\"%d\"} %d\n",
+		fmt.Fprintf(b, "cncount_kernel_samples_total{scope=\"%s\",kernel=\"%s\",min_deg_len=\"%d\"} %d\n",
 			escapeLabel(k.scope), escapeLabel(k.kernel), k.bucket, agg[k].samples)
 	}
 }

@@ -338,3 +338,120 @@ func TestEscapeLabel(t *testing.T) {
 		t.Errorf("escaped label does not parse: %s", line)
 	}
 }
+
+// refEscape is an independent reference implementation of the exposition
+// label-value escaping (exactly \\, \n and \" — nothing else), so the
+// hostile-value test below does not validate escapeLabel against itself.
+var refEscape = strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+
+// unescapeLabel reverses the exposition escaping, failing the test on any
+// escape sequence the format does not define (e.g. Go's \t or \x00, which
+// a %q-formatted label would smuggle in).
+func unescapeLabel(t *testing.T, v string) string {
+	t.Helper()
+	var out strings.Builder
+	for i := 0; i < len(v); i++ {
+		if v[i] != '\\' {
+			out.WriteByte(v[i])
+			continue
+		}
+		i++
+		if i == len(v) {
+			t.Fatalf("label value %q ends mid-escape", v)
+		}
+		switch v[i] {
+		case '\\':
+			out.WriteByte('\\')
+		case 'n':
+			out.WriteByte('\n')
+		case '"':
+			out.WriteByte('"')
+		default:
+			t.Fatalf("label value %q uses escape \\%c, not defined by the exposition format", v, v[i])
+		}
+	}
+	return out.String()
+}
+
+// TestWritePromHostileLabelValues is the regression test for the
+// double-escaping bug: label values were escaped once by escapeLabel and
+// then again by %q formatting, so any value containing a backslash, a
+// quote or a newline (a Windows graph path in the manifest config, a
+// hostile counter name) reached /metrics corrupted — and values with
+// other control characters produced escape sequences the exposition
+// format does not define at all. Every label value must now round-trip
+// exactly through the format's three escapes.
+func TestWritePromHostileLabelValues(t *testing.T) {
+	hostile := "C:\\graphs\\tw.bin\nline two\twith \"quotes\" and trailing \\"
+	c := metrics.New()
+	c.RecordPhase(hostile, time.Second)
+	c.Add(hostile, 7)
+	m := metrics.NewManifest(map[string]string{"graph": hostile})
+	c.SetManifest(m)
+
+	var b strings.Builder
+	if err := WriteProm(&b, c.Snapshot(), nil); err != nil {
+		t.Fatal(err)
+	}
+	body := b.String()
+	// The whole page must still parse line by line (a raw newline in a
+	// label value would split a sample across two malformed lines).
+	parseProm(t, body)
+
+	esc := refEscape.Replace(hostile)
+	for _, wantLine := range []string{
+		`cncount_counter_total{name="` + esc + `"} 7`,
+		`cncount_phase_samples_total{phase="` + esc + `"} 1`,
+		`cncount_build_config{key="graph",value="` + esc + `"} 1`,
+	} {
+		if !strings.Contains(body, wantLine+"\n") {
+			t.Errorf("exposition lacks exactly-once-escaped line %q", wantLine)
+		}
+	}
+
+	// And the escaped value must round-trip back to the original bytes.
+	for _, line := range strings.Split(body, "\n") {
+		rest, ok := strings.CutPrefix(line, `cncount_counter_total{name="`)
+		if !ok {
+			continue
+		}
+		val, ok := strings.CutSuffix(rest, `"} 7`)
+		if !ok {
+			t.Fatalf("counter sample has unexpected shape: %q", line)
+		}
+		if got := unescapeLabel(t, val); got != hostile {
+			t.Errorf("label value round-trips to %q, want %q", got, hostile)
+		}
+		return
+	}
+	t.Fatal("hostile counter series missing from exposition")
+}
+
+// TestWritePromManifestConfig checks the resolved run configuration is
+// exposed as cncount_build_config{key,value} series in sorted key order.
+func TestWritePromManifestConfig(t *testing.T) {
+	c := metrics.New()
+	m := metrics.NewManifest(map[string]string{"algo": "bmp", "graph": "g.bin"})
+	c.SetManifest(m)
+	var b strings.Builder
+	if err := WriteProm(&b, c.Snapshot(), nil); err != nil {
+		t.Fatal(err)
+	}
+	samples, typed := parseProm(t, b.String())
+	if !typed["cncount_build_config"] {
+		t.Error("cncount_build_config has no TYPE declaration")
+	}
+	for _, series := range []string{
+		`cncount_build_config{key="algo",value="bmp"}`,
+		`cncount_build_config{key="graph",value="g.bin"}`,
+	} {
+		if samples[series] != 1 {
+			t.Errorf("%s = %g, want 1", series, samples[series])
+		}
+	}
+	algoAt := strings.Index(b.String(), `key="algo"`)
+	graphAt := strings.Index(b.String(), `key="graph"`)
+	if algoAt < 0 || graphAt < 0 || algoAt > graphAt {
+		t.Errorf("config series not in sorted key order (algo@%d, graph@%d)", algoAt, graphAt)
+	}
+}

@@ -1,0 +1,102 @@
+// Package serve is the resident counting service behind cmd/cncd: a
+// graph loaded once into an immutable in-memory CSR, shared by every
+// request, with per-edge lookups, pair intersections, top-k
+// recommendations and full recounts served over HTTP/JSON. The serving
+// posture mirrors the paper's operating point — all-edge counting is
+// the expensive batch step, so the service keeps its results warm and
+// answers point queries against the same resident index — and adds the
+// operational guardrails a daemon needs: admission control with bounded
+// in-flight work, per-request deadlines threaded through the counting
+// runtime's cooperative cancellation, and an epoch-keyed result cache
+// that invalidates wholesale when the graph is swapped.
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheKey identifies one cached response. The epoch is part of the key,
+// not a separate validity check: swapping the graph bumps the epoch, so
+// every entry computed against the old graph simply stops matching and
+// ages out of the LRU — no scan, no flush, no lock over the swap.
+type cacheKey struct {
+	epoch uint64
+	query string
+}
+
+// Cache is a fixed-capacity LRU over marshaled response bodies, keyed by
+// (graph epoch, canonical query). It is safe for concurrent use; all
+// methods take one short mutex-guarded critical section and never block
+// on anything but the lock.
+type Cache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[cacheKey]*list.Element
+
+	hits, misses uint64
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	body []byte
+}
+
+// NewCache returns an LRU cache holding up to capacity entries;
+// capacity < 1 disables caching (every Get misses, Put is a no-op).
+func NewCache(capacity int) *Cache {
+	return &Cache{cap: capacity, ll: list.New(), m: make(map[cacheKey]*list.Element)}
+}
+
+// Get returns the cached body for (epoch, query) and whether it was
+// present, promoting a hit to most-recently-used.
+func (c *Cache) Get(epoch uint64, query string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[cacheKey{epoch, query}]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// Put stores body under (epoch, query), evicting the least recently
+// used entry when the cache is full. The caller must not mutate body
+// after the call.
+func (c *Cache) Put(epoch uint64, query string, body []byte) {
+	if c.cap < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := cacheKey{epoch, query}
+	if el, ok := c.m[key]; ok {
+		el.Value.(*cacheEntry).body = body
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of resident entries (all epochs).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
