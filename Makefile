@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check benchsmoke calibratesmoke obssmoke chaossmoke reportsmoke servesmoke fuzz bench benchdiff benchreport microbench experiments examples clean
+.PHONY: all build vet test race check benchsmoke calibratesmoke obssmoke chaossmoke reportsmoke servesmoke reqsmoke fuzz bench benchdiff benchreport microbench experiments examples clean
 
 # The default verify path is `make check`: build + vet + tests + the race
 # detector on the small-graph packages.
@@ -21,7 +21,7 @@ test:
 # Race detection runs on the packages whose tests use small graphs; the
 # full profile-scale workloads are too slow under the race detector.
 race:
-	$(GO) test -race ./internal/core/ ./internal/adaptive/ ./internal/sched/ ./internal/gpusim/ ./internal/graph/ ./internal/scan/ ./internal/metrics/ ./internal/trace/ ./internal/obs/ ./internal/benchfmt/ ./internal/chaos/ ./internal/serve/ ./cmd/cnc/ ./cmd/benchrun/ ./cmd/cncd/ ./cmd/cncload/
+	$(GO) test -race ./internal/core/ ./internal/adaptive/ ./internal/sched/ ./internal/gpusim/ ./internal/graph/ ./internal/scan/ ./internal/metrics/ ./internal/trace/ ./internal/obs/ ./internal/benchfmt/ ./internal/chaos/ ./internal/serve/ ./internal/reqctx/ ./cmd/cnc/ ./cmd/benchrun/ ./cmd/cncd/ ./cmd/cncload/
 
 # Tiny end-to-end benchmark matrix (~seconds): exercises the full
 # generate → count → record pipeline under the work-stealing scheduler,
@@ -66,7 +66,15 @@ chaossmoke:
 servesmoke:
 	sh scripts/servesmoke.sh
 
-check: build test race benchsmoke calibratesmoke obssmoke chaossmoke reportsmoke servesmoke
+# End-to-end smoke of request-scoped observability: traceparent
+# propagation and echo, hostile-header degradation, identified error
+# bodies, the /debug/requests capture ring and inspector page, RED
+# request families on /metrics, and structured access-log events
+# (see scripts/reqsmoke.sh).
+reqsmoke:
+	sh scripts/reqsmoke.sh
+
+check: build test race benchsmoke calibratesmoke obssmoke chaossmoke reportsmoke servesmoke reqsmoke
 
 # Short fuzzing pass over every fuzz target.
 fuzz:
@@ -74,6 +82,7 @@ fuzz:
 	$(GO) test -fuzz FuzzReadEdgeList -fuzztime 30s ./internal/graph/
 	$(GO) test -fuzz FuzzReadBinary -fuzztime 30s ./internal/graph/
 	$(GO) test -fuzz FuzzReadMETIS -fuzztime 30s ./internal/graph/
+	$(GO) test -fuzz FuzzParseTraceparent -fuzztime 30s ./internal/reqctx/
 
 # Continuous benchmark harness: run the graph × algorithm × workers
 # matrix and write a schema-versioned BENCH_local.json (~seconds, not

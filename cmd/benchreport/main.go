@@ -63,7 +63,10 @@ func main() {
 type trendPoint struct {
 	Label     string
 	NsPerEdge float64
-	Failed    bool
+	// CacheHitRatio is the serving result-cache hit fraction for
+	// load-generator cells; 0 for compute cells, which never carry it.
+	CacheHitRatio float64
+	Failed        bool
 	// Present distinguishes "cell absent from this report" from a zero.
 	Present bool
 }
@@ -174,10 +177,11 @@ func analyze(reports []*benchfmt.Report, threshold float64) analysis {
 				order = append(order, key)
 			}
 			t.Points[ri] = trendPoint{
-				Label:     r.Label,
-				NsPerEdge: res.NsPerEdge,
-				Failed:    res.Failed,
-				Present:   true,
+				Label:         r.Label,
+				NsPerEdge:     res.NsPerEdge,
+				CacheHitRatio: res.CacheHitRatio,
+				Failed:        res.Failed,
+				Present:       true,
 			}
 		}
 	}
@@ -313,6 +317,14 @@ func writeText(w io.Writer, a analysis) {
 		if t.Regressed {
 			status += "  REGRESSED"
 			regressions++
+		}
+		// Serving cells carry a cache hit ratio; show the newest one so a
+		// latency shift is readable next to the hit rate that drove it.
+		for i := len(t.Points) - 1; i >= 0; i-- {
+			if p := t.Points[i]; p.Present && p.CacheHitRatio > 0 {
+				status += fmt.Sprintf("  cache-hit %.0f%%", 100*p.CacheHitRatio)
+				break
+			}
 		}
 		fmt.Fprintf(w, "  %-18s %s ns/edge%s\n", t.Key, strings.Join(traj, " -> "), status)
 	}

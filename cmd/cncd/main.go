@@ -17,7 +17,13 @@
 //	/v1/info                graph name, epoch, sizes, cache and gate state
 //
 // plus the observability plane (internal/obs) mounted on the same
-// listener: /healthz, /metrics, /progress, /debug/pprof/. Results are
+// listener: /healthz, /metrics, /progress, /debug/pprof/, and the
+// request inspector /debug/requests (+ .json) backed by the capture
+// ring (-capture). Every response carries X-Request-Id, X-Trace-Id and
+// a W3C traceparent continuing the caller's trace when one was sent;
+// /metrics exposes RED request histograms; -accesslog emits one
+// structured event per request; -watchdog/-bundledir arm the recount
+// stall watchdog, whose reports name in-flight request IDs. Results are
 // cached in an LRU keyed by (graph epoch, query); every response body
 // carries the epoch it was computed under and the X-Cache header says
 // HIT or MISS. Admission control bounds in-flight requests (-inflight),
@@ -50,6 +56,7 @@ import (
 	"cncount/internal/logx"
 	"cncount/internal/metrics"
 	"cncount/internal/obs"
+	"cncount/internal/sched"
 	"cncount/internal/serve"
 )
 
@@ -68,6 +75,10 @@ type appConfig struct {
 	drainGrace  time.Duration
 	threads     int
 	logFormat   string
+	capture     int
+	accessLog   bool
+	watchdog    time.Duration
+	bundleDir   string
 	// logger receives structured lifecycle events; run() defaults a nil
 	// logger to stderr in cfg.logFormat.
 	logger *slog.Logger
@@ -90,6 +101,10 @@ func main() {
 	flag.DurationVar(&cfg.drainGrace, "draingrace", 5*time.Second, "how long in-flight requests get to finish after SIGTERM")
 	flag.IntVar(&cfg.threads, "threads", 0, "worker count for /v1/count recounts (0 = all cores)")
 	flag.StringVar(&cfg.logFormat, "logfmt", "text", "log output format: "+logx.Formats)
+	flag.IntVar(&cfg.capture, "capture", serve.DefaultCaptureSlowest, "requests retained by /debug/requests (slowest N plus recent errors; -1 disables capture)")
+	flag.BoolVar(&cfg.accessLog, "accesslog", false, "emit one structured log event per request (endpoint, status, cache, duration, ids)")
+	flag.DurationVar(&cfg.watchdog, "watchdog", 0, "declare a recount stalled when a worker heartbeat exceeds this age (0 disables the watchdog)")
+	flag.StringVar(&cfg.bundleDir, "bundledir", "", "directory for stall diagnostic bundles (progress/metrics/trace JSON); empty logs the report only")
 	flag.Parse()
 
 	if cfg.graphPath == "" && cfg.profile == "" {
@@ -137,6 +152,15 @@ func run(ctx context.Context, cfg appConfig, stdout io.Writer) error {
 		"graph", name, "vertices", g.NumVertices(), "edges", g.NumEdges(),
 		"bytes", g.MemoryBytes())
 
+	// Request-scoped observability: RED metrics and the recount progress
+	// source are shared between the serving layer (which feeds them) and
+	// the obs plane (which exposes them on /metrics and /progress).
+	reqMetrics := obs.NewRequestMetrics()
+	prog := sched.NewProgress()
+	var accessLog *slog.Logger
+	if cfg.accessLog {
+		accessLog = logger
+	}
 	srv := serve.New(g, name, serve.Options{
 		MaxInFlight:    cfg.inflight,
 		CacheEntries:   cfg.cacheSize,
@@ -144,12 +168,38 @@ func run(ctx context.Context, cfg appConfig, stdout io.Writer) error {
 		CountThreads:   cfg.threads,
 		Metrics:        mc,
 		Logf:           logf,
+		Requests:       reqMetrics,
+		CaptureSlowest: cfg.capture,
+		Progress:       prog,
+		AccessLog:      accessLog,
 	})
 	plane := obs.New(obs.Options{
 		Snapshot: mc.Snapshot,
+		Progress: prog,
 		Manifest: &manifest,
+		Requests: reqMetrics,
 		Logf:     logf,
 	})
+	if cfg.watchdog > 0 {
+		wd := obs.StartWatchdog(obs.WatchdogOptions{
+			Progress:   prog,
+			StallAfter: cfg.watchdog,
+			Snapshot:   mc.Snapshot,
+			InFlight:   srv.InFlightRequests,
+			OnStall: func(r obs.StallReport) {
+				logger.Error("recount stalled", "report", r.String())
+				if cfg.bundleDir != "" {
+					if err := r.WriteBundle(cfg.bundleDir); err != nil {
+						logger.Error("stall bundle write failed", "dir", cfg.bundleDir, "err", err)
+					} else {
+						logger.Info("stall bundle written", "dir", cfg.bundleDir)
+					}
+				}
+			},
+			Logf: logf,
+		})
+		defer wd.Stop()
+	}
 	// One mux, one listener: /v1/* from the serving layer, everything
 	// else (healthz, metrics, progress, pprof) from the obs plane.
 	mux := srv.Mux()

@@ -6,11 +6,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"regexp"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -18,6 +20,9 @@ import (
 	"time"
 
 	"cncount/internal/logx"
+	"cncount/internal/reqctx"
+	"cncount/internal/serve"
+	"cncount/internal/trace"
 )
 
 type syncBuffer struct {
@@ -302,5 +307,170 @@ func TestDaemonAdmission429E2E(t *testing.T) {
 			t.Fatal("service not restored after the recount finished")
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// getWith fetches url with extra request headers.
+func getWith(t *testing.T, url string, hdr map[string]string) (int, http.Header, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, string(body)
+}
+
+// TestDaemonRequestObservabilityE2E pins the request-scoped
+// observability contract on the real binary, race-instrumented: a
+// traced /v1/count echoes the caller's trace context, lands in
+// /debug/requests.json with a span tree reaching sched-level worker
+// spans, shows up in the correct RED histogram bucket on /metrics, and
+// leaves a structured access-log event carrying its request ID.
+func TestDaemonRequestObservabilityE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and drives the real binary under -race")
+	}
+	bin := filepath.Join(t.TempDir(), "cncd")
+	if out, err := exec.Command("go", "build", "-race", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build -race: %v\n%s", err, out)
+	}
+	cmd := exec.Command(bin,
+		"-profile", "WI", "-scale", "0.05", "-listen", "127.0.0.1:0",
+		"-threads", "1", "-capture", "8", "-accesslog", "-logfmt", "json")
+	var out syncBuffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Signal(os.Interrupt)
+		cmd.Wait()
+	}()
+	base := "http://" + waitAddr(t, &out, 60*time.Second)
+
+	// A traced recount: the response must continue the caller's trace
+	// with a fresh child span and name itself with a server request ID.
+	const caller = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	status, hdr, body := getWith(t, base+"/v1/count?algo=bmp&workers=1",
+		map[string]string{"traceparent": caller})
+	if status != http.StatusOK {
+		t.Fatalf("/v1/count = %d: %s", status, body)
+	}
+	wantTrace := "4bf92f3577b34da6a3ce929d0e0e4736"
+	if got := hdr.Get("X-Trace-Id"); got != wantTrace {
+		t.Errorf("X-Trace-Id = %q, want the caller's trace id", got)
+	}
+	tc, ok := reqctx.ParseTraceparent(hdr.Get("Traceparent"))
+	if !ok || tc.TraceID != wantTrace || tc.SpanID == "00f067aa0ba902b7" {
+		t.Errorf("response traceparent %q does not continue the trace with a fresh span", hdr.Get("Traceparent"))
+	}
+	countReqID := hdr.Get("X-Request-Id")
+	if !strings.HasPrefix(countReqID, "req-") {
+		t.Fatalf("X-Request-Id = %q", countReqID)
+	}
+
+	// The capture ring retains it with a span tree that reaches the
+	// scheduler: serve.count on the request's main row, core.count.BMP
+	// from the worker rows.
+	status, _, raw := get(t, base+"/debug/requests.json")
+	if status != http.StatusOK {
+		t.Fatalf("/debug/requests.json = %d", status)
+	}
+	if _, err := serve.ValidateRequests([]byte(raw)); err != nil {
+		t.Fatalf("ValidateRequests: %v\n%s", err, raw)
+	}
+	var payload struct {
+		Slowest []*serve.CapturedRequest `json:"slowest"`
+	}
+	if err := json.Unmarshal([]byte(raw), &payload); err != nil {
+		t.Fatal(err)
+	}
+	var entry *serve.CapturedRequest
+	for _, cr := range payload.Slowest {
+		if cr.ID == countReqID {
+			entry = cr
+		}
+	}
+	if entry == nil {
+		t.Fatalf("recount %s not in the capture ring:\n%s", countReqID, raw)
+	}
+	if entry.TraceID != wantTrace || entry.Endpoint != "count" {
+		t.Errorf("captured entry = trace %q endpoint %q", entry.TraceID, entry.Endpoint)
+	}
+	names := map[string]bool{}
+	var walk func(nodes []*trace.SpanNode)
+	walk = func(nodes []*trace.SpanNode) {
+		for _, n := range nodes {
+			names[n.Name] = true
+			walk(n.Children)
+		}
+	}
+	walk(entry.Spans)
+	if !names["serve.count"] {
+		t.Errorf("span tree lacks serve.count: %v", names)
+	}
+	if !names["core.count.BMP"] {
+		t.Errorf("span tree does not reach sched-level spans (core.count.BMP): %v", names)
+	}
+
+	// The RED histogram put the request in the right duration bucket:
+	// every finite bucket below its duration is empty, every bucket at
+	// or above it holds the one recount.
+	secs := float64(entry.DurationNanos) / 1e9
+	_, _, metricsBody := get(t, base+"/metrics")
+	bucketLine := regexp.MustCompile(`cncd_request_duration_seconds_bucket\{endpoint="count",status="200",cache="[a-z]+",le="([^"]+)"\} (\d+)`)
+	matched := 0
+	for _, line := range strings.Split(metricsBody, "\n") {
+		m := bucketLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		matched++
+		le := math.Inf(1)
+		if m[1] != "+Inf" {
+			var err error
+			if le, err = strconv.ParseFloat(m[1], 64); err != nil {
+				t.Fatalf("bucket bound %q: %v", m[1], err)
+			}
+		}
+		want := "1"
+		if le < secs {
+			want = "0"
+		}
+		if m[2] != want {
+			t.Errorf("bucket le=%q = %s, want %s (request took %.6fs)", m[1], m[2], want, secs)
+		}
+	}
+	if matched == 0 {
+		t.Errorf("/metrics has no count-endpoint duration buckets:\n%.800s", metricsBody)
+	}
+	if !strings.Contains(metricsBody, "cncd_requests_in_flight") {
+		t.Error("/metrics lacks cncd_requests_in_flight")
+	}
+
+	// The access log carries the request ID as a structured field.
+	if !strings.Contains(out.String(), countReqID) {
+		t.Errorf("access log never mentions %s:\n%.800s", countReqID, out.String())
+	}
+
+	// The inspector page is fully self-contained.
+	status, _, page := get(t, base+"/debug/requests")
+	if status != http.StatusOK {
+		t.Fatalf("/debug/requests = %d", status)
+	}
+	if strings.Contains(page, `src="http`) || strings.Contains(page, `href="http`) {
+		t.Error("inspector page references external assets")
 	}
 }

@@ -12,10 +12,14 @@
 // The generator first asks the daemon for its shape (/v1/info) and a
 // representative edge pool (/v1/sample), so the query stream touches
 // real edges spread across the offset range. Each worker then loops a
-// deterministic per-worker PRNG over the mix. 429 responses count as
-// rejected (the admission gate doing its job), any other non-200 as
-// failed; both rates are reported and failures exit non-zero past
-// -maxfail.
+// deterministic per-worker PRNG over the mix. Every request carries a
+// deterministic W3C traceparent (seeded by the worker PRNG), so
+// daemon-side capture entries are attributable to the run; the server's
+// X-Cache and X-Request-Id headers are read back to report per-endpoint
+// cache hit ratios and to name the slowest and failed requests by the
+// daemon's own request IDs. 429 responses count as rejected (the
+// admission gate doing its job), any other non-200 as failed; both
+// rates are reported and failures exit non-zero past -maxfail.
 //
 // In the report, one Result row carries the serving figures: Graph is
 // the endpoint mix cell ("serve/<endpoint>"... one row per endpoint),
@@ -48,6 +52,7 @@ import (
 	"cncount/internal/benchfmt"
 	"cncount/internal/logx"
 	"cncount/internal/metrics"
+	"cncount/internal/reqctx"
 )
 
 // appConfig mirrors the flag set so the whole run is testable without
@@ -107,9 +112,32 @@ type op struct {
 type workerStats struct {
 	latencies map[string][]time.Duration // endpoint → per-request latency
 	sent      map[string]int64
-	rejected  int64 // 429: admission control, not a failure
-	failed    int64 // any other non-200
+	cacheSeen map[string]int64 // endpoint → responses carrying X-Cache
+	cacheHits map[string]int64 // endpoint → X-Cache: HIT
+	slowest   map[string]slowRequest
+	failures  []failedRequest // first few non-429 failures, server-identified
+	rejected  int64           // 429: admission control, not a failure
+	failed    int64           // any other non-200
 }
+
+// slowRequest remembers the worst-latency success per endpoint with the
+// server's request ID, so a bad percentile is traceable to a concrete
+// entry in the daemon's /debug/requests ring.
+type slowRequest struct {
+	lat   time.Duration
+	reqID string
+}
+
+// failedRequest identifies one failed request by the server's own ID.
+type failedRequest struct {
+	endpoint string
+	status   int
+	reqID    string
+}
+
+// maxFailSamples bounds the identified-failure list per worker; the
+// failure *count* is always exact.
+const maxFailSamples = 5
 
 func run(ctx context.Context, cfg appConfig, stdout io.Writer) error {
 	logger := cfg.logger
@@ -167,11 +195,18 @@ func run(ctx context.Context, cfg appConfig, stdout io.Writer) error {
 			st := &stats[w]
 			st.latencies = make(map[string][]time.Duration)
 			st.sent = make(map[string]int64)
+			st.cacheSeen = make(map[string]int64)
+			st.cacheHits = make(map[string]int64)
+			st.slowest = make(map[string]slowRequest)
 			for i := 0; runCtx.Err() == nil; i++ {
 				opName := sched[rng.Intn(len(sched))]
 				url := buildQuery(base, opName, pool, info, cfg.topK, rng)
+				// Each request opens its own deterministic trace (seeded by
+				// the worker PRNG), so a daemon-side capture entry is
+				// attributable to this run and reproducible across reruns.
+				tc := reqctx.NewFrom(rng.Uint64)
 				t0 := time.Now()
-				status, err := doGet(runCtx, client, url)
+				status, xCache, reqID, err := doGet(runCtx, client, url, tc.String())
 				if runCtx.Err() != nil {
 					return // duration elapsed mid-request; drop the torn sample
 				}
@@ -181,12 +216,25 @@ func run(ctx context.Context, cfg appConfig, stdout io.Writer) error {
 				}
 				switch {
 				case status == http.StatusOK:
+					lat := time.Since(t0)
 					st.sent[opName]++
-					st.latencies[opName] = append(st.latencies[opName], time.Since(t0))
+					st.latencies[opName] = append(st.latencies[opName], lat)
+					if xCache != "" {
+						st.cacheSeen[opName]++
+						if xCache == "HIT" {
+							st.cacheHits[opName]++
+						}
+					}
+					if prev, ok := st.slowest[opName]; !ok || lat > prev.lat {
+						st.slowest[opName] = slowRequest{lat: lat, reqID: reqID}
+					}
 				case status == http.StatusTooManyRequests:
 					st.rejected++
 				default:
 					st.failed++
+					if len(st.failures) < maxFailSamples {
+						st.failures = append(st.failures, failedRequest{endpoint: opName, status: status, reqID: reqID})
+					}
 				}
 			}
 		}(w)
@@ -197,6 +245,10 @@ func run(ctx context.Context, cfg appConfig, stdout io.Writer) error {
 	// Merge the per-worker measurements.
 	merged := make(map[string][]time.Duration)
 	sent := make(map[string]int64)
+	cacheSeen := make(map[string]int64)
+	cacheHits := make(map[string]int64)
+	slowest := make(map[string]slowRequest)
+	var failures []failedRequest
 	var rejected, failed, total int64
 	for i := range stats {
 		for ep, ls := range stats[i].latencies {
@@ -206,10 +258,27 @@ func run(ctx context.Context, cfg appConfig, stdout io.Writer) error {
 			sent[ep] += n
 			total += n
 		}
+		for ep, n := range stats[i].cacheSeen {
+			cacheSeen[ep] += n
+		}
+		for ep, n := range stats[i].cacheHits {
+			cacheHits[ep] += n
+		}
+		for ep, sr := range stats[i].slowest {
+			if prev, ok := slowest[ep]; !ok || sr.lat > prev.lat {
+				slowest[ep] = sr
+			}
+		}
+		if len(failures) < 2*maxFailSamples {
+			failures = append(failures, stats[i].failures...)
+		}
 		rejected += stats[i].rejected
 		failed += stats[i].failed
 	}
 	if total == 0 {
+		for _, f := range failures {
+			fmt.Fprintf(stdout, "cncload: failed %s status=%d request_id=%s\n", f.endpoint, f.status, f.reqID)
+		}
 		return errors.New("no request completed; is the daemon reachable and the duration sane?")
 	}
 
@@ -225,12 +294,24 @@ func run(ctx context.Context, cfg appConfig, stdout io.Writer) error {
 	for _, o := range mix {
 		if n := sent[o.name]; n > 0 {
 			e50, e95, e99 := percentiles(merged[o.name])
-			fmt.Fprintf(stdout, "cncload: %-5s %8d reqs  p50 %v  p95 %v  p99 %v\n", o.name, n, e50, e95, e99)
+			line := fmt.Sprintf("cncload: %-5s %8d reqs  p50 %v  p95 %v  p99 %v", o.name, n, e50, e95, e99)
+			if seen := cacheSeen[o.name]; seen > 0 {
+				line += fmt.Sprintf("  cache-hit %.1f%%", 100*float64(cacheHits[o.name])/float64(seen))
+			}
+			if sr, ok := slowest[o.name]; ok && sr.reqID != "" {
+				line += fmt.Sprintf("  slowest %v (%s)", sr.lat.Round(time.Microsecond), sr.reqID)
+			}
+			fmt.Fprintln(stdout, line)
 		}
+	}
+	// Name the failures by the server's own request IDs so they can be
+	// pulled straight out of the daemon's /debug/requests error ring.
+	for _, f := range failures {
+		fmt.Fprintf(stdout, "cncload: failed %s status=%d request_id=%s\n", f.endpoint, f.status, f.reqID)
 	}
 
 	if cfg.out != "" {
-		report := buildReport(cfg, info, mix, merged, sent, wall)
+		report := buildReport(cfg, info, mix, merged, sent, cacheSeen, cacheHits, wall)
 		if err := benchfmt.WriteFile(cfg.out, report); err != nil {
 			return fmt.Errorf("write report: %w", err)
 		}
@@ -247,9 +328,11 @@ func run(ctx context.Context, cfg appConfig, stdout io.Writer) error {
 // buildReport maps the serving measurements onto the benchfmt schema:
 // one row per endpoint, Graph "serve/<endpoint>", Workers the client
 // concurrency, Edges the request count, NsPerEdge mean wall nanoseconds
-// per request across the whole mix cell, TaskP* the latency quantiles.
+// per request across the whole mix cell, TaskP* the latency quantiles,
+// CacheHitRatio the endpoint's observed X-Cache hit fraction.
 func buildReport(cfg appConfig, info *infoResponse, mix []op,
-	merged map[string][]time.Duration, sent map[string]int64, wall time.Duration) *benchfmt.Report {
+	merged map[string][]time.Duration, sent, cacheSeen, cacheHits map[string]int64,
+	wall time.Duration) *benchfmt.Report {
 	manifest := metrics.NewManifest(map[string]string{
 		"mode":        "load",
 		"target":      cfg.addr,
@@ -276,17 +359,22 @@ func buildReport(cfg appConfig, info *infoResponse, mix []op,
 		for _, l := range merged[o.name] {
 			sum += l
 		}
+		var hitRatio float64
+		if seen := cacheSeen[o.name]; seen > 0 {
+			hitRatio = float64(cacheHits[o.name]) / float64(seen)
+		}
 		report.Results = append(report.Results, benchfmt.Result{
-			Graph:        "serve/" + o.name,
-			Algo:         "serve",
-			Workers:      cfg.concurrency,
-			Edges:        n,
-			Reps:         1,
-			ElapsedNanos: wall.Nanoseconds(),
-			NsPerEdge:    float64(sum.Nanoseconds()) / float64(n),
-			TaskP50Nanos: uint64(p50.Nanoseconds()),
-			TaskP95Nanos: uint64(p95.Nanoseconds()),
-			TaskP99Nanos: uint64(p99.Nanoseconds()),
+			Graph:         "serve/" + o.name,
+			Algo:          "serve",
+			Workers:       cfg.concurrency,
+			Edges:         n,
+			Reps:          1,
+			ElapsedNanos:  wall.Nanoseconds(),
+			NsPerEdge:     float64(sum.Nanoseconds()) / float64(n),
+			TaskP50Nanos:  uint64(p50.Nanoseconds()),
+			TaskP95Nanos:  uint64(p95.Nanoseconds()),
+			TaskP99Nanos:  uint64(p99.Nanoseconds()),
+			CacheHitRatio: hitRatio,
 		})
 	}
 	return report
@@ -331,18 +419,23 @@ func buildQuery(base, opName string, pool [][2]uint32, info *infoResponse, topK 
 	}
 }
 
-func doGet(ctx context.Context, client *http.Client, url string) (int, error) {
+// doGet issues one query carrying the run's traceparent and returns the
+// status plus the server's X-Cache verdict and request ID.
+func doGet(ctx context.Context, client *http.Client, url, traceparent string) (status int, xCache, reqID string, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return 0, err
+		return 0, "", "", err
+	}
+	if traceparent != "" {
+		req.Header.Set(reqctx.TraceparentHeader, traceparent)
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, err
+		return 0, "", "", err
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return resp.StatusCode, nil
+	return resp.StatusCode, resp.Header.Get("X-Cache"), resp.Header.Get("X-Request-Id"), nil
 }
 
 // parseMix parses "edge=8,pair=1,topk=1" into weighted ops, preserving

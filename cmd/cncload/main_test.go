@@ -2,16 +2,20 @@ package main
 
 import (
 	"context"
+	"fmt"
 	"io"
+	"net/http"
 	"net/http/httptest"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"cncount"
 	"cncount/internal/benchfmt"
 	"cncount/internal/logx"
+	"cncount/internal/reqctx"
 	"cncount/internal/serve"
 )
 
@@ -74,8 +78,13 @@ func TestLoadRunWritesServingReport(t *testing.T) {
 		t.Fatalf("report rows = %d, want 1..3 (one per exercised endpoint)", len(rep.Results))
 	}
 	seen := map[string]bool{}
+	hitRatio := map[string]float64{}
 	for _, r := range rep.Results {
 		seen[r.Graph] = true
+		hitRatio[r.Graph] = r.CacheHitRatio
+		if r.CacheHitRatio < 0 || r.CacheHitRatio > 1 {
+			t.Errorf("row %s: cache_hit_ratio = %v, want [0,1]", r.Graph, r.CacheHitRatio)
+		}
 		if !strings.HasPrefix(r.Graph, "serve/") || r.Algo != "serve" {
 			t.Errorf("row identity = %s/%s, want serve/<endpoint> with algo serve", r.Graph, r.Algo)
 		}
@@ -87,12 +96,73 @@ func TestLoadRunWritesServingReport(t *testing.T) {
 				r.Graph, r.TaskP50Nanos, r.TaskP95Nanos, r.TaskP99Nanos)
 		}
 	}
-	// The dominant mix member must be present.
+	// The dominant mix member must be present, and hammering a 64-edge
+	// pool for the whole run must produce result-cache hits.
 	if !seen["serve/edge"] {
 		t.Errorf("no serve/edge row in %v", seen)
 	}
+	if hitRatio["serve/edge"] == 0 {
+		t.Error("serve/edge cache_hit_ratio = 0; repeated pool queries should hit the result cache")
+	}
+	if !strings.Contains(out.String(), "cache-hit") {
+		t.Errorf("summary lacks per-endpoint cache-hit ratios:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "(req-") {
+		t.Errorf("summary does not name the slowest requests by server request ID:\n%s", out.String())
+	}
 	if rep.Manifest == nil || rep.Manifest.Config["mix"] != cfg.mix {
 		t.Errorf("manifest does not record the mix: %+v", rep.Manifest)
+	}
+}
+
+// TestLoadPropagatesTraceAndNamesFailures drives the generator against
+// a stub daemon whose /v1/edge always fails: every request must carry a
+// parseable W3C traceparent, and the summary must name the failures by
+// the server-assigned request ID so they can be looked up in the
+// daemon's /debug/requests error ring.
+func TestLoadPropagatesTraceAndNamesFailures(t *testing.T) {
+	var mu sync.Mutex
+	traceparents := map[string]bool{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/info", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"graph":"stub","epoch":1,"vertices":16,"edges":32}`)
+	})
+	mux.HandleFunc("/v1/sample", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"edges":[[0,1],[1,2]]}`)
+	})
+	mux.HandleFunc("/v1/edge", func(w http.ResponseWriter, r *http.Request) {
+		tp := r.Header.Get("traceparent")
+		if _, ok := reqctx.ParseTraceparent(tp); !ok {
+			t.Errorf("request carried unparseable traceparent %q", tp)
+		}
+		mu.Lock()
+		traceparents[tp] = true
+		mu.Unlock()
+		w.Header().Set("X-Request-Id", "req-deadbeef00112233")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprint(w, `{"error":"stub failure","request_id":"req-deadbeef00112233"}`)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	cfg := baseConfig(t, strings.TrimPrefix(ts.URL, "http://"))
+	cfg.mix = "edge=1"
+	cfg.maxFailPct = 100
+	var out strings.Builder
+	err := run(context.Background(), cfg, &out)
+	// Every request failed, so the run errors on "no request completed" —
+	// the failure identification must still have been printed.
+	if err == nil {
+		t.Error("run succeeded against an all-failing target")
+	}
+	if !strings.Contains(out.String(), "failed edge status=500 request_id=req-deadbeef00112233") {
+		t.Errorf("failures not named by server request ID:\n%s", out.String())
+	}
+	mu.Lock()
+	distinct := len(traceparents)
+	mu.Unlock()
+	if distinct < 2 {
+		t.Errorf("saw %d distinct traceparents, want one per request", distinct)
 	}
 }
 

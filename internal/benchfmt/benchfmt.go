@@ -83,6 +83,11 @@ type Result struct {
 	// v1 readers that predate it ignore the field, so the schema version
 	// stays unchanged.
 	Attribution []metrics.KernelAttr `json:"attribution,omitempty"`
+	// CacheHitRatio is the serving-path result-cache hit fraction
+	// (hits / responses carrying X-Cache) observed for this cell, from
+	// load-generator rows only. Optional and additive like Attribution,
+	// so the schema version stays unchanged.
+	CacheHitRatio float64 `json:"cache_hit_ratio,omitempty"`
 	// Failed marks a cell whose measurement did not complete (a counting
 	// error, a per-cell timeout, or a run canceled mid-cell after the one
 	// retry the harness allows). Error carries the final attempt's error

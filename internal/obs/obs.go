@@ -77,6 +77,10 @@ type Options struct {
 	// Manifest is served under /metrics as cncount_build_info and used as
 	// the fallback when the snapshot carries none.
 	Manifest *Manifest
+	// Requests is the serving path's RED collector; when non-nil its
+	// families (cncd_request_duration_seconds and friends) are appended
+	// to /metrics after the process-scoped cncount_* families.
+	Requests *RequestMetrics
 	// StallAfter is the heartbeat age that flags a worker stalled;
 	// 0 uses DefaultStallAfter, negative disables stall detection.
 	StallAfter time.Duration
@@ -249,6 +253,9 @@ func (p *Plane) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := WriteProm(w, snap, prog); err != nil {
 		p.opts.Logf("obs: /metrics write: %v", err)
+	}
+	if err := p.opts.Requests.WriteProm(w); err != nil {
+		p.opts.Logf("obs: /metrics request families write: %v", err)
 	}
 }
 

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// RequestMetrics is the serving path's RED view (rate, errors,
+// duration): per-endpoint request-duration histograms labeled by
+// endpoint × status × cache outcome, an in-flight gauge, a rejected
+// counter, and — because the exposition format has no native exemplars —
+// a per-endpoint "slowest sample since the last scrape" gauge whose
+// trace_id/request_id labels let one jump from a latency spike on a
+// dashboard straight to the offending request in /debug/requests.
+//
+// The contract mirrors internal/metrics: a nil *RequestMetrics is the
+// disabled collector and every method is nil-safe at nil-check cost, so
+// the serving path instruments unconditionally. Observation takes one
+// mutex per request — the serving path is admission-bounded and each
+// request does graph work orders of magnitude heavier than a lock.
+type RequestMetrics struct {
+	mu       sync.Mutex
+	hist     map[redKey]*redHist
+	rejected uint64
+	slowest  map[string]slowSample // endpoint -> worst since last scrape
+	// inFlightFn reads the current in-flight count at scrape time (the
+	// admission gate already maintains it; mirroring it into a second
+	// counter would just invite drift).
+	inFlightFn func() int
+}
+
+type redKey struct {
+	endpoint string
+	status   string
+	cache    string
+}
+
+type redHist struct {
+	buckets [len(redBuckets)]uint64
+	sum     float64
+	count   uint64
+}
+
+type slowSample struct {
+	seconds   float64
+	traceID   string
+	requestID string
+}
+
+// redBuckets are the fixed duration bucket upper bounds in seconds:
+// cache hits land in the sub-millisecond buckets, point queries in the
+// milliseconds, full recounts in the seconds. Fixed buckets keep series
+// stable across processes so scrapes aggregate.
+var redBuckets = [...]float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// NewRequestMetrics returns an enabled RED collector.
+func NewRequestMetrics() *RequestMetrics {
+	return &RequestMetrics{
+		hist:    make(map[redKey]*redHist),
+		slowest: make(map[string]slowSample),
+	}
+}
+
+// SetInFlight installs the live in-flight reader sampled at scrape
+// time. Nil-safe.
+func (m *RequestMetrics) SetInFlight(fn func() int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.inFlightFn = fn
+	m.mu.Unlock()
+}
+
+// Observe records one finished request. cache is "hit", "miss" or
+// "none" (endpoints that never touch the result cache); status is the
+// final HTTP status. The slowest sample per endpoint keeps its
+// trace/request IDs for the exemplar-style gauge. Nil-safe.
+func (m *RequestMetrics) Observe(endpoint string, status int, cache string, dur time.Duration, requestID, traceID string) {
+	if m == nil {
+		return
+	}
+	secs := dur.Seconds()
+	k := redKey{endpoint: endpoint, status: fmt.Sprint(status), cache: cache}
+	m.mu.Lock()
+	h := m.hist[k]
+	if h == nil {
+		h = &redHist{}
+		m.hist[k] = h
+	}
+	for i, ub := range redBuckets {
+		if secs <= ub {
+			h.buckets[i]++
+		}
+	}
+	h.sum += secs
+	h.count++
+	if prev, ok := m.slowest[endpoint]; !ok || secs > prev.seconds {
+		m.slowest[endpoint] = slowSample{seconds: secs, traceID: traceID, requestID: requestID}
+	}
+	m.mu.Unlock()
+}
+
+// Reject counts one admission rejection (429). Nil-safe.
+func (m *RequestMetrics) Reject() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+// WriteProm renders the RED families in the exposition format, sorted
+// and deterministic like WriteProm in prom.go. The slowest-sample
+// gauges are read-and-reset: each scrape sees the worst request per
+// endpoint since the previous scrape, with its IDs as labels. The nil
+// collector writes nothing.
+func (m *RequestMetrics) WriteProm(w io.Writer) error {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	keys := make([]redKey, 0, len(m.hist))
+	for k := range m.hist {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].endpoint != keys[j].endpoint {
+			return keys[i].endpoint < keys[j].endpoint
+		}
+		if keys[i].status != keys[j].status {
+			return keys[i].status < keys[j].status
+		}
+		return keys[i].cache < keys[j].cache
+	})
+	hists := make([]*redHist, len(keys))
+	for i, k := range keys {
+		h := *m.hist[k] // copy so rendering happens outside the histogram map
+		hists[i] = &h
+	}
+	rejected := m.rejected
+	slowEndpoints := make([]string, 0, len(m.slowest))
+	for ep := range m.slowest {
+		slowEndpoints = append(slowEndpoints, ep)
+	}
+	sort.Strings(slowEndpoints)
+	slow := make([]slowSample, len(slowEndpoints))
+	for i, ep := range slowEndpoints {
+		slow[i] = m.slowest[ep]
+	}
+	// Read-and-reset: the next interval accumulates its own worst case.
+	m.slowest = make(map[string]slowSample)
+	inFlightFn := m.inFlightFn
+	m.mu.Unlock()
+
+	inFlight := 0
+	if inFlightFn != nil {
+		inFlight = inFlightFn()
+	}
+
+	var b strings.Builder
+	if len(keys) > 0 {
+		fmt.Fprintf(&b, "# HELP cncd_request_duration_seconds Serving request duration by endpoint, status and cache outcome.\n")
+		fmt.Fprintf(&b, "# TYPE cncd_request_duration_seconds histogram\n")
+		for i, k := range keys {
+			h := hists[i]
+			labels := fmt.Sprintf("endpoint=\"%s\",status=\"%s\",cache=\"%s\"",
+				escapeLabel(k.endpoint), escapeLabel(k.status), escapeLabel(k.cache))
+			for bi, ub := range redBuckets {
+				fmt.Fprintf(&b, "cncd_request_duration_seconds_bucket{%s,le=\"%g\"} %d\n", labels, ub, h.buckets[bi])
+			}
+			fmt.Fprintf(&b, "cncd_request_duration_seconds_bucket{%s,le=\"+Inf\"} %d\n", labels, h.count)
+			fmt.Fprintf(&b, "cncd_request_duration_seconds_sum{%s} %g\n", labels, h.sum)
+			fmt.Fprintf(&b, "cncd_request_duration_seconds_count{%s} %d\n", labels, h.count)
+		}
+	}
+	fmt.Fprintf(&b, "# HELP cncd_requests_in_flight Requests currently holding admission slots.\n")
+	fmt.Fprintf(&b, "# TYPE cncd_requests_in_flight gauge\ncncd_requests_in_flight %d\n", inFlight)
+	fmt.Fprintf(&b, "# HELP cncd_requests_rejected_total Requests rejected by admission control (429).\n")
+	fmt.Fprintf(&b, "# TYPE cncd_requests_rejected_total counter\ncncd_requests_rejected_total %d\n", rejected)
+	if len(slow) > 0 {
+		fmt.Fprintf(&b, "# HELP cncd_request_slowest_seconds Slowest request per endpoint since the last scrape; trace_id/request_id identify it in /debug/requests (read-and-reset).\n")
+		fmt.Fprintf(&b, "# TYPE cncd_request_slowest_seconds gauge\n")
+		for i, ep := range slowEndpoints {
+			fmt.Fprintf(&b, "cncd_request_slowest_seconds{endpoint=\"%s\",trace_id=\"%s\",request_id=\"%s\"} %g\n",
+				escapeLabel(ep), escapeLabel(slow[i].traceID), escapeLabel(slow[i].requestID), slow[i].seconds)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

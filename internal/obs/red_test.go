@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRequestMetricsExposition pushes the RED families through the same
+// exposition parser the process-scoped families use: every line must be
+// well-formed, typed, duplicate-free, and the samples must land in the
+// right endpoint × status × cache buckets.
+func TestRequestMetricsExposition(t *testing.T) {
+	m := NewRequestMetrics()
+	m.SetInFlight(func() int { return 3 })
+	m.Observe("edge", 200, "miss", 2*time.Millisecond, "req-aa", "trace-aa")
+	m.Observe("edge", 200, "hit", 100*time.Microsecond, "req-bb", "trace-bb")
+	m.Observe("edge", 200, "hit", 150*time.Microsecond, "req-cc", "trace-cc")
+	m.Observe("count", 504, "miss", 1200*time.Millisecond, "req-dd", "trace-dd")
+	m.Reject()
+	m.Reject()
+
+	var b strings.Builder
+	if err := m.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples, typed := parseProm(t, b.String())
+
+	for _, family := range []string{
+		"cncd_request_duration_seconds",
+		"cncd_requests_in_flight",
+		"cncd_requests_rejected_total",
+		"cncd_request_slowest_seconds",
+	} {
+		if !typed[family] {
+			t.Errorf("family %s has no # TYPE line", family)
+		}
+	}
+	for series, want := range map[string]float64{
+		`cncd_request_duration_seconds_count{endpoint="edge",status="200",cache="hit"}`:            2,
+		`cncd_request_duration_seconds_count{endpoint="edge",status="200",cache="miss"}`:           1,
+		`cncd_request_duration_seconds_bucket{endpoint="edge",status="200",cache="hit",le="0.25"}`: 2,
+		// 100µs and 150µs both land at or under the 0.00025s bound…
+		`cncd_request_duration_seconds_bucket{endpoint="edge",status="200",cache="hit",le="0.00025"}`: 2,
+		// …but only one fits under 0.0001s.
+		`cncd_request_duration_seconds_bucket{endpoint="edge",status="200",cache="hit",le="0.0001"}`:  1,
+		`cncd_request_duration_seconds_bucket{endpoint="edge",status="200",cache="miss",le="0.001"}`:  0,
+		`cncd_request_duration_seconds_bucket{endpoint="edge",status="200",cache="miss",le="0.0025"}`: 1,
+		`cncd_request_duration_seconds_count{endpoint="count",status="504",cache="miss"}`:             1,
+		`cncd_request_duration_seconds_bucket{endpoint="count",status="504",cache="miss",le="1"}`:     0,
+		`cncd_request_duration_seconds_bucket{endpoint="count",status="504",cache="miss",le="+Inf"}`:  1,
+		`cncd_requests_in_flight`:      3,
+		`cncd_requests_rejected_total`: 2,
+		`cncd_request_slowest_seconds{endpoint="count",trace_id="trace-dd",request_id="req-dd"}`: 1.2,
+		`cncd_request_slowest_seconds{endpoint="edge",trace_id="trace-aa",request_id="req-aa"}`:  0.002,
+	} {
+		if got, ok := samples[series]; !ok {
+			t.Errorf("series %s missing", series)
+		} else if got != want {
+			t.Errorf("series %s = %g, want %g", series, got, want)
+		}
+	}
+
+	// The slowest-sample gauges are read-and-reset: a second scrape with
+	// no new traffic must not repeat them (stale exemplars would pin a
+	// long-gone request on the dashboard forever).
+	var b2 strings.Builder
+	if err := m.WriteProm(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b2.String(), "cncd_request_slowest_seconds{") {
+		t.Error("slowest samples survived a scrape; want read-and-reset")
+	}
+	// The histograms are cumulative and must survive.
+	samples2, _ := parseProm(t, b2.String())
+	if samples2[`cncd_request_duration_seconds_count{endpoint="edge",status="200",cache="hit"}`] != 2 {
+		t.Error("histogram did not survive the scrape")
+	}
+}
+
+// TestRequestMetricsNil: the disabled collector is free and writes
+// nothing — the contract that lets the serving path instrument
+// unconditionally.
+func TestRequestMetricsNil(t *testing.T) {
+	var m *RequestMetrics
+	m.Observe("edge", 200, "hit", time.Millisecond, "id", "tid")
+	m.Reject()
+	m.SetInFlight(func() int { return 1 })
+	var b strings.Builder
+	if err := m.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("nil collector wrote %q", b.String())
+	}
+}
+
+// TestRequestMetricsHostileLabels: hostile endpoint/ID values must not
+// corrupt the exposition (same contract as TestWritePromHostileLabelValues).
+func TestRequestMetricsHostileLabels(t *testing.T) {
+	m := NewRequestMetrics()
+	m.Observe("edge\"}\nboom", 200, "none", time.Millisecond, "req\\1", "tr\"2")
+	var b strings.Builder
+	if err := m.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	parseProm(t, b.String()) // fails the test on any malformed line
+}
+
+// TestPlaneServesRequestFamilies: a plane with a Requests collector
+// appends the RED families to /metrics after the cncount_* families.
+func TestPlaneServesRequestFamilies(t *testing.T) {
+	m := NewRequestMetrics()
+	m.Observe("pair", 200, "miss", time.Millisecond, "req-x", "trace-x")
+	p := New(Options{Requests: m})
+	ts := httptest.NewServer(p.Handler())
+	defer ts.Close()
+	status, _, body := get(t, ts, "/metrics")
+	if status != 200 {
+		t.Fatalf("/metrics status = %d", status)
+	}
+	samples, _ := parseProm(t, body)
+	if samples[`cncd_request_duration_seconds_count{endpoint="pair",status="200",cache="miss"}`] != 1 {
+		t.Errorf("/metrics lacks the RED histogram; body:\n%s", body)
+	}
+	if _, ok := samples["cncd_requests_in_flight"]; !ok {
+		t.Error("/metrics lacks cncd_requests_in_flight")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
@@ -30,6 +31,10 @@ type WatchdogOptions struct {
 	// TraceJSON writes the live trace snapshot into the bundle —
 	// typically (*trace.Tracer).WriteJSON of a live-mode tracer. Optional.
 	TraceJSON func(io.Writer) error
+	// InFlight names the requests currently executing in the serving
+	// layer ("req-… endpoint=count age=1.2s"), sampled at detection time
+	// so a wedged request is identifiable from the bundle. Optional.
+	InFlight func() []string
 	// OnStall receives the report when a stall is detected, at most once
 	// per observed region (ProgressSample.Runs). Typical handlers write
 	// the diagnostic bundle and cancel the run's context. Required.
@@ -53,6 +58,10 @@ type StallReport struct {
 	WorstBeatAge time.Duration
 	// Progress is the derived progress view at detection time.
 	Progress ProgressStatus
+	// InFlightRequests names the serving requests executing at detection
+	// time (empty outside a serving process), so the bundle points at the
+	// request that wedged, not just the region.
+	InFlightRequests []string
 
 	snapshot  func() metrics.Snapshot
 	traceJSON func(io.Writer) error
@@ -64,9 +73,13 @@ func (r *StallReport) String() string {
 	if scope == "" {
 		scope = "run"
 	}
-	return fmt.Sprintf("watchdog: %s stalled: no heartbeat for %v (threshold %v), %d/%d units done",
+	msg := fmt.Sprintf("watchdog: %s stalled: no heartbeat for %v (threshold %v), %d/%d units done",
 		scope, r.WorstBeatAge.Round(time.Millisecond), r.StallAfter,
 		r.Progress.DoneUnits, r.Progress.TotalUnits)
+	if len(r.InFlightRequests) > 0 {
+		msg += fmt.Sprintf("; in-flight requests: %s", strings.Join(r.InFlightRequests, ", "))
+	}
+	return msg
 }
 
 // WriteBundle writes the diagnostic bundle into dir (created if needed):
@@ -90,8 +103,9 @@ func (r *StallReport) WriteBundle(dir string) error {
 		Runs              uint64         `json:"runs"`
 		StallAfterSeconds float64        `json:"stall_after_seconds"`
 		WorstBeatSeconds  float64        `json:"worst_beat_seconds"`
+		InFlightRequests  []string       `json:"in_flight_requests,omitempty"`
 		Progress          ProgressStatus `json:"progress"`
-	}{r.Scope, r.Runs, r.StallAfter.Seconds(), r.WorstBeatAge.Seconds(), r.Progress}, "", "  ")
+	}{r.Scope, r.Runs, r.StallAfter.Seconds(), r.WorstBeatAge.Seconds(), r.InFlightRequests, r.Progress}, "", "  ")
 	if jerr == nil {
 		jerr = os.WriteFile(filepath.Join(dir, "progress.json"), append(pb, '\n'), 0o644)
 	}
@@ -199,6 +213,9 @@ func (w *Watchdog) loop() {
 			Progress:     BuildProgress(s, w.opts.StallAfter),
 			snapshot:     w.opts.Snapshot,
 			traceJSON:    w.opts.TraceJSON,
+		}
+		if w.opts.InFlight != nil {
+			report.InFlightRequests = w.opts.InFlight()
 		}
 		w.opts.Logf("%s", report.String())
 		w.opts.OnStall(report)

@@ -139,12 +139,13 @@ func TestStallReportWriteBundle(t *testing.T) {
 	c := metrics.New()
 	c.Add("core.edges_scanned", 42)
 	r := StallReport{
-		Scope:        "core.count.BMP",
-		Runs:         3,
-		StallAfter:   time.Second,
-		WorstBeatAge: 2 * time.Second,
-		Progress:     ProgressStatus{Scope: "core.count.BMP", TotalUnits: 100, DoneUnits: 40},
-		snapshot:     c.Snapshot,
+		Scope:            "core.count.BMP",
+		Runs:             3,
+		StallAfter:       time.Second,
+		WorstBeatAge:     2 * time.Second,
+		Progress:         ProgressStatus{Scope: "core.count.BMP", TotalUnits: 100, DoneUnits: 40},
+		InFlightRequests: []string{"req-0011aabb endpoint=count age=2.1s"},
+		snapshot:         c.Snapshot,
 		traceJSON: func(w io.Writer) error {
 			_, err := io.WriteString(w, `{"traceEvents":[]}`)
 			return err
@@ -167,6 +168,13 @@ func TestStallReportWriteBundle(t *testing.T) {
 	}
 	if prog.Scope != "core.count.BMP" || prog.WorstBeatSeconds != 2 {
 		t.Errorf("progress.json = %+v", prog)
+	}
+	// The bundle and the one-liner both name the wedged request.
+	if !strings.Contains(string(pb), "req-0011aabb endpoint=count") {
+		t.Errorf("progress.json missing in-flight requests: %s", pb)
+	}
+	if !strings.Contains(r.String(), "req-0011aabb") {
+		t.Errorf("report String() missing in-flight requests: %s", r.String())
 	}
 	mb, err := os.ReadFile(filepath.Join(dir, "metrics.json"))
 	if err != nil {

@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"cncount"
+	"cncount/internal/obs"
+)
+
+// BenchmarkServeRequestObsGuard is the overhead guard for request-scoped
+// observability on the serving path: the "off" variant runs the exact
+// production wrap path with capture, RED metrics and access logging all
+// disabled, so the only additions over the pre-observability server are
+// the identity headers, a handful of nil checks and one deferred
+// duration read per request. The "on" variant shows the enabled cost:
+// one histogram observation, one slog event and a capture-ring offer per
+// request, plus the per-request tracer allocation.
+//
+//	go test -bench BenchmarkServeRequestObsGuard -count 10 ./internal/serve/
+func BenchmarkServeRequestObsGuard(b *testing.B) {
+	g, err := cncount.GenerateProfile("WI", 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var u, v cncount.VertexID
+	found := false
+	for uu := 0; uu < g.NumVertices() && !found; uu++ {
+		for _, vv := range g.Neighbors(cncount.VertexID(uu)) {
+			if cncount.VertexID(uu) < vv {
+				u, v, found = cncount.VertexID(uu), vv, true
+				break
+			}
+		}
+	}
+	if !found {
+		b.Fatal("graph has no edges")
+	}
+	path := fmt.Sprintf("/v1/edge?u=%d&v=%d", u, v)
+
+	run := func(b *testing.B, opts Options) {
+		b.Helper()
+		s := New(g, "WI", opts)
+		h := s.Handler()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest(http.MethodGet, path, nil)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status = %d", rec.Code)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		run(b, Options{CaptureSlowest: -1})
+	})
+	b.Run("on", func(b *testing.B) {
+		run(b, Options{
+			Requests:  obs.NewRequestMetrics(),
+			AccessLog: slog.New(slog.NewJSONHandler(io.Discard, nil)),
+		})
+	})
+}

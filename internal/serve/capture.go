@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"cncount/internal/trace"
+)
+
+// RequestsSchema versions the /debug/requests.json payload. Bump on any
+// incompatible change; additive optional fields keep the version.
+const RequestsSchema = "cncd-requests/v1"
+
+// DefaultCaptureSlowest is the slow-ring capacity when Options leaves
+// CaptureSlowest zero.
+const DefaultCaptureSlowest = 32
+
+// CapturedRequest is one request retained by the capture ring: its
+// identity, outcome, resolved options and private span tree — enough to
+// explain a slow tail entry after the fact without re-running it.
+type CapturedRequest struct {
+	ID          string `json:"id"`
+	TraceID     string `json:"trace_id"`
+	Traceparent string `json:"traceparent,omitempty"`
+	Endpoint    string `json:"endpoint"`
+	Status      int    `json:"status"`
+	// Cache is the result-cache outcome: "hit", "miss" or "none".
+	Cache string `json:"cache"`
+	// Error is the error body text for non-2xx outcomes.
+	Error string `json:"error,omitempty"`
+	// Options are the server-resolved request options (post-defaulting).
+	Options        map[string]string `json:"options,omitempty"`
+	StartUnixNanos int64             `json:"start_unix_nanos"`
+	DurationNanos  int64             `json:"duration_nanos"`
+	// Spans is the request's span forest (serve phases on the main row,
+	// sched worker spans on theirs). SpanCount totals the nodes;
+	// DroppedSpans counts ring-overwritten spans not in the tree.
+	Spans        []*trace.SpanNode `json:"spans,omitempty"`
+	SpanCount    int               `json:"span_count"`
+	DroppedSpans uint64            `json:"dropped_spans,omitempty"`
+}
+
+// requestsPayload is the /debug/requests.json wire format.
+type requestsPayload struct {
+	Schema string `json:"schema"`
+	// Seen counts every request offered to the ring since process start,
+	// so a reader knows how selective the retained set is.
+	Seen       uint64 `json:"seen"`
+	SlowestCap int    `json:"slowest_cap"`
+	// Slowest holds the N slowest requests, duration-descending.
+	Slowest []*CapturedRequest `json:"slowest"`
+	// Errors holds the most recent errored requests, newest first.
+	Errors []*CapturedRequest `json:"errors"`
+}
+
+// Capture is the bounded retention ring behind /debug/requests: the N
+// slowest requests since start plus the most recent errored ones
+// (bounded separately, so an error burst cannot evict the slow tail and
+// a slow tail cannot evict the evidence of failures).
+type Capture struct {
+	mu      sync.Mutex
+	maxSlow int
+	maxErr  int
+	slow    []*CapturedRequest // duration-descending
+	errs    []*CapturedRequest // newest first
+	seen    uint64
+}
+
+// NewCapture builds a ring keeping the `slowest` slowest requests
+// (values < 1 use DefaultCaptureSlowest) and twice that many recent
+// errors.
+func NewCapture(slowest int) *Capture {
+	if slowest < 1 {
+		slowest = DefaultCaptureSlowest
+	}
+	return &Capture{maxSlow: slowest, maxErr: 2 * slowest}
+}
+
+// offer submits one finished request for retention.
+func (c *Capture) offer(cr *CapturedRequest) {
+	if c == nil || cr == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seen++
+	if cr.Status >= 400 {
+		c.errs = append(c.errs, nil)
+		copy(c.errs[1:], c.errs)
+		c.errs[0] = cr
+		if len(c.errs) > c.maxErr {
+			c.errs = c.errs[:c.maxErr]
+		}
+		return
+	}
+	// Insert into the duration-descending slow list; drop the fastest
+	// when full. Requests faster than the current floor are rejected
+	// without shifting anything.
+	if len(c.slow) == c.maxSlow && cr.DurationNanos <= c.slow[len(c.slow)-1].DurationNanos {
+		return
+	}
+	i := sort.Search(len(c.slow), func(i int) bool {
+		return c.slow[i].DurationNanos < cr.DurationNanos
+	})
+	c.slow = append(c.slow, nil)
+	copy(c.slow[i+1:], c.slow[i:])
+	c.slow[i] = cr
+	if len(c.slow) > c.maxSlow {
+		c.slow = c.slow[:c.maxSlow]
+	}
+}
+
+// snapshot copies the retained sets into a serializable payload.
+func (c *Capture) snapshot() requestsPayload {
+	p := requestsPayload{
+		Schema:  RequestsSchema,
+		Slowest: []*CapturedRequest{},
+		Errors:  []*CapturedRequest{},
+	}
+	if c == nil {
+		return p
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p.Seen = c.seen
+	p.SlowestCap = c.maxSlow
+	p.Slowest = append(p.Slowest, c.slow...)
+	p.Errors = append(p.Errors, c.errs...)
+	return p
+}
+
+// ValidateRequests checks data against the /debug/requests.json schema
+// (the internal/trace Validate stance applied to the capture payload):
+// schema tag, every entry identified and plausibly timed, duration
+// ordering of the slow list, and span counts consistent with the trees.
+// Returns the total entry count.
+func ValidateRequests(data []byte) (int, error) {
+	var p requestsPayload
+	if err := json.Unmarshal(data, &p); err != nil {
+		return 0, fmt.Errorf("requests: not JSON: %w", err)
+	}
+	if p.Schema != RequestsSchema {
+		return 0, fmt.Errorf("requests: schema %q, want %q", p.Schema, RequestsSchema)
+	}
+	if p.Slowest == nil || p.Errors == nil {
+		return 0, fmt.Errorf("requests: slowest/errors must be arrays, even when empty")
+	}
+	check := func(kind string, i int, cr *CapturedRequest) error {
+		switch {
+		case cr == nil:
+			return fmt.Errorf("requests: %s[%d] is null", kind, i)
+		case cr.ID == "":
+			return fmt.Errorf("requests: %s[%d] lacks an id", kind, i)
+		case cr.TraceID == "":
+			return fmt.Errorf("requests: %s[%d] (%s) lacks a trace id", kind, i, cr.ID)
+		case cr.Endpoint == "":
+			return fmt.Errorf("requests: %s[%d] (%s) lacks an endpoint", kind, i, cr.ID)
+		case cr.Status < 100 || cr.Status > 599:
+			return fmt.Errorf("requests: %s[%d] (%s) has status %d", kind, i, cr.ID, cr.Status)
+		case cr.Cache != "hit" && cr.Cache != "miss" && cr.Cache != "none":
+			return fmt.Errorf("requests: %s[%d] (%s) has cache %q", kind, i, cr.ID, cr.Cache)
+		case cr.DurationNanos < 0 || cr.StartUnixNanos <= 0:
+			return fmt.Errorf("requests: %s[%d] (%s) has bad timing start=%d dur=%d",
+				kind, i, cr.ID, cr.StartUnixNanos, cr.DurationNanos)
+		case cr.SpanCount != trace.CountSpans(cr.Spans):
+			return fmt.Errorf("requests: %s[%d] (%s) span_count=%d but tree holds %d",
+				kind, i, cr.ID, cr.SpanCount, trace.CountSpans(cr.Spans))
+		}
+		return nil
+	}
+	for i, cr := range p.Slowest {
+		if err := check("slowest", i, cr); err != nil {
+			return 0, err
+		}
+		if i > 0 && cr.DurationNanos > p.Slowest[i-1].DurationNanos {
+			return 0, fmt.Errorf("requests: slowest[%d] (%d ns) out of order after %d ns",
+				i, cr.DurationNanos, p.Slowest[i-1].DurationNanos)
+		}
+		if cr.Status >= 400 {
+			return 0, fmt.Errorf("requests: slowest[%d] (%s) has error status %d; errored requests belong to errors[]", i, cr.ID, cr.Status)
+		}
+	}
+	for i, cr := range p.Errors {
+		if err := check("errors", i, cr); err != nil {
+			return 0, err
+		}
+		if cr.Status < 400 {
+			return 0, fmt.Errorf("requests: errors[%d] (%s) has non-error status %d", i, cr.ID, cr.Status)
+		}
+	}
+	n := len(p.Slowest) + len(p.Errors)
+	if uint64(n) > p.Seen {
+		return 0, fmt.Errorf("requests: %d entries retained but only %d seen", n, p.Seen)
+	}
+	return n, nil
+}
+
+// handleRequestsJSON serves the capture ring as schema-versioned JSON.
+// Capture disabled serves 404, matching the obs plane's stance on
+// unconfigured sources.
+func (s *Server) handleRequestsJSON(w http.ResponseWriter, r *http.Request) {
+	if s.capture == nil {
+		http.Error(w, "request capture disabled (cncd -capture)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s.capture.snapshot()); err != nil {
+		s.opts.Logf("serve: /debug/requests.json write: %v", err)
+	}
+}

@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+)
+
+// handleRequestsHTML serves the embedded request inspector — the
+// x/net/trace stance applied to the capture ring: a fully
+// self-contained page (inline CSS, vanilla JS, no external assets) that
+// fetches /debug/requests.json and renders the slow tail and the error
+// ring with expandable per-request span trees, so "why was that request
+// slow" is answerable from a browser on an air-gapped host.
+func (s *Server) handleRequestsHTML(w http.ResponseWriter, _ *http.Request) {
+	if s.capture == nil {
+		http.Error(w, "request capture disabled (cncd -capture)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	io.WriteString(w, requestsHTML)
+}
+
+const requestsHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>cncd requests</title>
+<style>
+  :root {
+    --bg: #0f1419; --panel: #171e26; --line: #2a3440;
+    --text: #d6dde5; --dim: #7b8794; --accent: #4fb3d9;
+    --ok: #5cb85c; --warn: #e0a030; --bad: #d9534f;
+  }
+  * { box-sizing: border-box; }
+  body {
+    margin: 0; padding: 1.25rem; background: var(--bg); color: var(--text);
+    font: 14px/1.45 ui-monospace, SFMono-Regular, Menlo, Consolas, monospace;
+  }
+  h1 { font-size: 1.1rem; margin: 0 0 .25rem; font-weight: 600; }
+  h2 { font-size: .95rem; margin: 1.25rem 0 .4rem; font-weight: 600; color: var(--accent); }
+  .sub { color: var(--dim); margin-bottom: 1rem; }
+  table { border-collapse: collapse; width: 100%; background: var(--panel);
+          border: 1px solid var(--line); border-radius: 6px; }
+  th, td { text-align: left; padding: .3rem .6rem; border-bottom: 1px solid var(--line);
+           font-size: .85rem; white-space: nowrap; }
+  th { color: var(--dim); text-transform: uppercase; font-size: .72rem; letter-spacing: .05em; }
+  tr.req { cursor: pointer; }
+  tr.req:hover td { background: #1d2630; }
+  td.num { text-align: right; }
+  .status-2xx { color: var(--ok); }
+  .status-4xx { color: var(--warn); }
+  .status-5xx { color: var(--bad); }
+  .cache-hit { color: var(--ok); }
+  .cache-miss { color: var(--warn); }
+  .cache-none { color: var(--dim); }
+  .id { color: var(--accent); }
+  tr.detail td { background: #131920; white-space: normal; }
+  .tree { margin: .35rem 0 .35rem 0; }
+  .tree .span { padding-left: calc(var(--depth) * 1.1rem); }
+  .tree .bar {
+    display: inline-block; height: 8px; background: var(--accent);
+    border-radius: 2px; margin-right: .5rem; vertical-align: middle;
+  }
+  .tree .row-name { color: var(--warn); }
+  .tree .dur { color: var(--dim); }
+  .opts { color: var(--dim); }
+  .empty { color: var(--dim); padding: .5rem .6rem; }
+  #err { color: var(--bad); }
+</style>
+</head>
+<body>
+<h1>cncd requests</h1>
+<div class="sub">slow tail and errored requests retained by the capture ring
+ &middot; <span id="meta">loading&hellip;</span> <span id="err"></span></div>
+<h2>slowest</h2>
+<div id="slowest"></div>
+<h2>errors</h2>
+<div id="errors"></div>
+<script>
+"use strict";
+function fmtDur(ns) {
+  if (ns >= 1e9) return (ns / 1e9).toFixed(2) + "s";
+  if (ns >= 1e6) return (ns / 1e6).toFixed(2) + "ms";
+  if (ns >= 1e3) return (ns / 1e3).toFixed(1) + "µs";
+  return ns + "ns";
+}
+function statusClass(s) {
+  if (s < 400) return "status-2xx";
+  if (s < 500) return "status-4xx";
+  return "status-5xx";
+}
+function el(tag, cls, text) {
+  const e = document.createElement(tag);
+  if (cls) e.className = cls;
+  if (text !== undefined) e.textContent = text;
+  return e;
+}
+function spanTree(spans, total) {
+  const box = el("div", "tree");
+  const walk = (nodes, depth) => {
+    for (const n of nodes || []) {
+      const line = el("div", "span");
+      line.style.setProperty("--depth", depth);
+      const bar = el("span", "bar");
+      bar.style.width = Math.max(2, 220 * n.dur_nanos / Math.max(1, total)) + "px";
+      line.appendChild(bar);
+      if (n.row) line.appendChild(el("span", "row-name", "[" + n.row + "] "));
+      line.appendChild(el("span", "", n.name + " "));
+      line.appendChild(el("span", "dur",
+        fmtDur(n.dur_nanos) + " @ +" + fmtDur(n.start_nanos)));
+      box.appendChild(line);
+      walk(n.children, depth + 1);
+    }
+  };
+  walk(spans, 0);
+  return box;
+}
+function renderTable(mount, reqs) {
+  mount.textContent = "";
+  if (!reqs || reqs.length === 0) {
+    mount.appendChild(el("div", "empty", "none captured"));
+    return;
+  }
+  const table = el("table");
+  const head = el("tr");
+  for (const h of ["request", "endpoint", "status", "cache", "duration", "spans", "trace"])
+    head.appendChild(el("th", "", h));
+  table.appendChild(head);
+  for (const r of reqs) {
+    const row = el("tr", "req");
+    row.appendChild(el("td", "id", r.id));
+    row.appendChild(el("td", "", r.endpoint));
+    row.appendChild(el("td", statusClass(r.status), String(r.status)));
+    row.appendChild(el("td", "cache-" + r.cache, r.cache));
+    const durCell = el("td", "num", fmtDur(r.duration_nanos));
+    row.appendChild(durCell);
+    row.appendChild(el("td", "num", String(r.span_count)));
+    row.appendChild(el("td", "id", r.trace_id));
+    table.appendChild(row);
+    const detail = el("tr", "detail");
+    const cell = el("td");
+    cell.colSpan = 7;
+    if (r.error) cell.appendChild(el("div", "status-5xx", "error: " + r.error));
+    if (r.options && Object.keys(r.options).length) {
+      cell.appendChild(el("div", "opts", "options: " +
+        Object.entries(r.options).map(([k, v]) => k + "=" + v).join(" ")));
+    }
+    if (r.traceparent) cell.appendChild(el("div", "opts", "traceparent: " + r.traceparent));
+    if (r.dropped_spans) cell.appendChild(el("div", "status-4xx",
+      "span tree truncated: " + r.dropped_spans + " spans dropped"));
+    cell.appendChild(r.span_count ? spanTree(r.spans, r.duration_nanos)
+                                  : el("div", "opts", "no spans recorded"));
+    detail.appendChild(cell);
+    detail.style.display = "none";
+    table.appendChild(detail);
+    row.addEventListener("click", () => {
+      detail.style.display = detail.style.display === "none" ? "" : "none";
+    });
+  }
+  mount.appendChild(table);
+}
+async function refresh() {
+  try {
+    const resp = await fetch("/debug/requests.json", {cache: "no-store"});
+    if (!resp.ok) throw new Error("HTTP " + resp.status);
+    const p = await resp.json();
+    document.getElementById("meta").textContent =
+      p.seen + " requests seen, keeping " + p.slowest.length + "/" +
+      p.slowest_cap + " slowest and " + p.errors.length + " errors (" + p.schema + ")";
+    document.getElementById("err").textContent = "";
+    renderTable(document.getElementById("slowest"), p.slowest);
+    renderTable(document.getElementById("errors"), p.errors);
+  } catch (e) {
+    document.getElementById("err").textContent = " fetch failed: " + e.message;
+  }
+}
+refresh();
+setInterval(refresh, 5000);
+</script>
+</body>
+</html>
+`

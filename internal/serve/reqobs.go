@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"cncount/internal/reqctx"
+	"cncount/internal/trace"
+)
+
+// This file holds the per-request observability state of the serving
+// path: the request scope threaded through handlers (identity, cache
+// outcome, resolved options, the request's private span tracer), the
+// status-recording ResponseWriter the wrap path uses to learn what a
+// handler did, and the in-flight registry the stall watchdog reads so a
+// wedged request is nameable from a diagnostic bundle.
+
+// reqTraceEvents is the per-ring capacity of a request's private
+// tracer: enough for the serve/core phase spans plus a tail of worker
+// task spans on a /v1/count. When a recount overflows it the newest
+// spans win and the drop is reported in the captured entry.
+const reqTraceEvents = 128
+
+// requestScope carries one request's observability state from wrap
+// through the handlers. A nil *requestScope is valid and inert, so
+// helpers never branch on capture being enabled.
+type requestScope struct {
+	id    string
+	tc    reqctx.TraceContext
+	start time.Time
+	// tr is the request's private span tracer; non-nil only when the
+	// server captures requests. Handlers thread it into core.Count as
+	// Options.Trace, so sched worker spans land in this request's tree.
+	tr *trace.Tracer
+	// cache is the result-cache outcome: "none" until cached() marks the
+	// request "hit" or "miss".
+	cache string
+	// mu guards opts: handlers run on the request goroutine but compute
+	// closures may touch the scope after timeouts started racing.
+	mu   sync.Mutex
+	opts map[string]string
+}
+
+type scopeKey struct{}
+
+// scopeFrom recovers the request scope from a request context; nil when
+// the wrap path did not install one (direct handler tests).
+func scopeFrom(ctx context.Context) *requestScope {
+	sc, _ := ctx.Value(scopeKey{}).(*requestScope)
+	return sc
+}
+
+// tracer returns the request's span tracer (nil when capture is off or
+// the scope itself is nil) — handlers pass it straight into
+// cncount.Options.Trace, whose nil contract does the rest.
+func (sc *requestScope) tracer() *trace.Tracer {
+	if sc == nil {
+		return nil
+	}
+	return sc.tr
+}
+
+// span opens a named span on the request's main timeline row and
+// returns its stop function; a no-op without a tracer.
+func (sc *requestScope) span(name string) func() {
+	if sc == nil || sc.tr == nil {
+		return func() {}
+	}
+	return sc.tr.Span(name)
+}
+
+// setCache records the result-cache outcome.
+func (sc *requestScope) setCache(outcome string) {
+	if sc != nil {
+		sc.cache = outcome
+	}
+}
+
+// setOpt records one resolved request option ("algo" → "BMP") for the
+// captured entry — the server-side view after defaulting, not the raw
+// query string.
+func (sc *requestScope) setOpt(k, v string) {
+	if sc == nil {
+		return
+	}
+	sc.mu.Lock()
+	if sc.opts == nil {
+		sc.opts = make(map[string]string, 4)
+	}
+	sc.opts[k] = v
+	sc.mu.Unlock()
+}
+
+func (sc *requestScope) optsCopy() map[string]string {
+	if sc == nil {
+		return nil
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if len(sc.opts) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(sc.opts))
+	for k, v := range sc.opts {
+		out[k] = v
+	}
+	return out
+}
+
+// statusRecorder learns the status code a handler wrote (200 when the
+// handler wrote a body without an explicit WriteHeader), so the wrap
+// path can observe and log the real outcome.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+func (r *statusRecorder) statusOr(fallback int) int {
+	if r.status == 0 {
+		return fallback
+	}
+	return r.status
+}
+
+// inflightReg is the registry of admitted, still-executing requests.
+// The stall watchdog samples it at detection time, so a wedged
+// /v1/count is identifiable by request ID from the diagnostic bundle.
+type inflightReg struct {
+	mu sync.Mutex
+	m  map[string]inflightEntry
+}
+
+type inflightEntry struct {
+	endpoint string
+	start    time.Time
+}
+
+func newInflightReg() *inflightReg {
+	return &inflightReg{m: make(map[string]inflightEntry)}
+}
+
+func (g *inflightReg) add(id, endpoint string, start time.Time) {
+	g.mu.Lock()
+	g.m[id] = inflightEntry{endpoint: endpoint, start: start}
+	g.mu.Unlock()
+}
+
+func (g *inflightReg) remove(id string) {
+	g.mu.Lock()
+	delete(g.m, id)
+	g.mu.Unlock()
+}
+
+// describe renders the in-flight set oldest-first as
+// "req-… endpoint=count age=1.2s" lines.
+func (g *inflightReg) describe() []string {
+	now := time.Now()
+	g.mu.Lock()
+	type row struct {
+		id string
+		e  inflightEntry
+	}
+	rows := make([]row, 0, len(g.m))
+	for id, e := range g.m {
+		rows = append(rows, row{id, e})
+	}
+	g.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].e.start.Before(rows[j].e.start) })
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = fmt.Sprintf("%s endpoint=%s age=%s",
+			r.id, r.e.endpoint, now.Sub(r.e.start).Round(time.Millisecond))
+	}
+	return out
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -14,6 +15,10 @@ import (
 
 	"cncount"
 	"cncount/internal/metrics"
+	"cncount/internal/obs"
+	"cncount/internal/reqctx"
+	"cncount/internal/sched"
+	"cncount/internal/trace"
 )
 
 // Defaults for Options fields left zero.
@@ -45,6 +50,23 @@ type Options struct {
 	// rejections, per-endpoint requests) alongside whatever counting
 	// phases /v1/count records. Nil disables collection.
 	Metrics *metrics.Collector
+	// Requests receives the RED view of every request (duration
+	// histograms by endpoint × status × cache, rejected counter, slowest
+	// samples); the server installs its in-flight reader on it. Nil
+	// disables RED collection at nil-check cost.
+	Requests *obs.RequestMetrics
+	// CaptureSlowest sizes the /debug/requests retention ring (the N
+	// slowest plus recent errored requests, each with its span tree);
+	// 0 uses DefaultCaptureSlowest, < 0 disables capture — and with it
+	// per-request span tracing, leaving the hot path at nil-check cost.
+	CaptureSlowest int
+	// Progress, when non-nil, receives live progress from /v1/count
+	// recounts, which the watchdog and /progress observe.
+	Progress *sched.Progress
+	// AccessLog receives one structured event per finished request
+	// (endpoint, status, cache outcome, admission outcome, duration,
+	// request/trace IDs); nil disables access logging.
+	AccessLog *slog.Logger
 	// Logf receives serving errors; nil discards.
 	Logf func(format string, args ...any)
 }
@@ -63,11 +85,13 @@ type graphState struct {
 // with New, mount Handler on an http.Server. All methods are safe for
 // concurrent use.
 type Server struct {
-	opts  Options
-	state atomic.Pointer[graphState]
-	cache *Cache
-	adm   *admission
-	mux   *http.ServeMux
+	opts     Options
+	state    atomic.Pointer[graphState]
+	cache    *Cache
+	adm      *admission
+	mux      *http.ServeMux
+	capture  *Capture
+	inflight *inflightReg
 }
 
 // New builds a server around the given resident graph (epoch 1).
@@ -89,11 +113,16 @@ func New(g *cncount.Graph, name string, opts Options) *Server {
 		opts.Logf = func(string, ...any) {}
 	}
 	s := &Server{
-		opts:  opts,
-		cache: NewCache(cacheCap),
-		adm:   newAdmission(opts.MaxInFlight),
-		mux:   http.NewServeMux(),
+		opts:     opts,
+		cache:    NewCache(cacheCap),
+		adm:      newAdmission(opts.MaxInFlight),
+		mux:      http.NewServeMux(),
+		inflight: newInflightReg(),
 	}
+	if opts.CaptureSlowest >= 0 {
+		s.capture = NewCapture(opts.CaptureSlowest)
+	}
+	opts.Requests.SetInFlight(s.adm.inFlight)
 	s.state.Store(&graphState{g: g, name: name, epoch: 1})
 	s.mux.HandleFunc("/v1/info", s.wrap("info", s.handleInfo))
 	s.mux.HandleFunc("/v1/edge", s.wrap("edge", s.handleEdge))
@@ -101,6 +130,8 @@ func New(g *cncount.Graph, name string, opts Options) *Server {
 	s.mux.HandleFunc("/v1/topk", s.wrap("topk", s.handleTopK))
 	s.mux.HandleFunc("/v1/count", s.wrap("count", s.handleCount))
 	s.mux.HandleFunc("/v1/sample", s.wrap("sample", s.handleSample))
+	s.mux.HandleFunc("/debug/requests.json", s.handleRequestsJSON)
+	s.mux.HandleFunc("/debug/requests", s.handleRequestsHTML)
 	return s
 }
 
@@ -139,6 +170,12 @@ func (s *Server) CacheStats() (hits, misses uint64) { return s.cache.Stats() }
 // slots.
 func (s *Server) InFlight() int { return s.adm.inFlight() }
 
+// InFlightRequests names the admitted, still-executing requests
+// ("req-… endpoint=count age=1.2s", oldest first) — the watchdog's
+// WatchdogOptions.InFlight source, so a stalled recount is identifiable
+// by request ID in the diagnostic bundle.
+func (s *Server) InFlightRequests() []string { return s.inflight.describe() }
+
 // httpError is a handler-returned error carrying its status code.
 type httpError struct {
 	status int
@@ -151,43 +188,136 @@ func errf(status int, format string, args ...any) error {
 	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
 }
 
-// wrap is the common serving path of every /v1 endpoint: method check,
-// admission, deadline, request counter, JSON error rendering. Handlers
-// return an error instead of writing error responses themselves so the
-// envelope stays uniform.
+// wrap is the common serving path of every /v1 endpoint: request
+// identity first (so every response — 405s and 429s included — carries
+// the correlation headers), then method check, admission, deadline,
+// request counter, RED observation, access logging, capture, and JSON
+// error rendering. Handlers return an error instead of writing error
+// responses themselves so the envelope stays uniform.
 func (s *Server) wrap(name string, h func(w http.ResponseWriter, r *http.Request, st *graphState) error) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		// Ingest the caller's trace context; any hostile or absent header
+		// degrades to a fresh server-minted root (never an error). The
+		// response continues the trace under a fresh span ID and echoes
+		// everything, so the caller can quote our IDs when reporting.
+		inbound, _ := reqctx.ParseTraceparent(r.Header.Get(reqctx.TraceparentHeader))
+		tc := inbound.Child()
+		reqID := reqctx.NewRequestID()
+		hdr := w.Header()
+		hdr.Set("X-Request-Id", reqID)
+		hdr.Set("X-Trace-Id", tc.TraceID)
+		hdr.Set("Traceparent", tc.String())
+
+		sc := &requestScope{id: reqID, tc: tc, start: start, cache: "none"}
+		if q := r.URL.RawQuery; q != "" {
+			sc.setOpt("query", q)
+		}
+		rec := &statusRecorder{ResponseWriter: w}
+		admission := "ok"
+		var errBody string
+		fail := func(status int, format string, args ...any) {
+			errBody = fmt.Sprintf(format, args...)
+			writeJSONError(rec, status, reqID, "%s", errBody)
+		}
+		defer func() {
+			dur := time.Since(start)
+			status := rec.statusOr(http.StatusOK)
+			s.opts.Requests.Observe(name, status, sc.cache, dur, reqID, tc.TraceID)
+			s.logAccess(name, status, sc, admission, dur)
+			s.captureRequest(name, status, errBody, sc, dur)
+		}()
+
 		if r.Method != http.MethodGet {
-			writeJSONError(w, http.StatusMethodNotAllowed, "GET only")
+			fail(http.StatusMethodNotAllowed, "GET only")
 			return
 		}
 		if !s.adm.tryAcquire() {
+			admission = "rejected"
 			s.opts.Metrics.Add("serve.rejected", 1)
-			w.Header().Set("Retry-After", "1")
-			writeJSONError(w, http.StatusTooManyRequests,
+			s.opts.Requests.Reject()
+			hdr.Set("Retry-After", "1")
+			fail(http.StatusTooManyRequests,
 				"server at max in-flight requests (%d); retry shortly", s.opts.MaxInFlight)
 			return
 		}
 		defer s.adm.release()
+		s.inflight.add(reqID, name, start)
+		defer s.inflight.remove(reqID)
 		s.opts.Metrics.Add("serve.req_"+name, 1)
+
+		// Admitted requests get a private span tracer (capture enabled
+		// only): its epoch is now, so the serve.<endpoint> span and the
+		// sched worker spans of a recount share one timeline.
+		var stopSpan func()
+		if s.capture != nil {
+			sc.tr = trace.NewWithCapacity(reqTraceEvents)
+			stopSpan = sc.tr.Span("serve." + name)
+			defer func() { stopSpan() }()
+		}
 
 		ctx, cancel, err := s.reqContext(r)
 		if err != nil {
-			writeJSONError(w, http.StatusBadRequest, "%v", err)
+			fail(http.StatusBadRequest, "%v", err)
 			return
 		}
 		defer cancel()
+		ctx = context.WithValue(ctx, scopeKey{}, sc)
 		st := s.state.Load()
-		if err := h(w, r.WithContext(ctx), st); err != nil {
+		if err := h(rec, r.WithContext(ctx), st); err != nil {
 			var he *httpError
 			if errors.As(err, &he) {
-				writeJSONError(w, he.status, "%s", he.msg)
+				fail(he.status, "%s", he.msg)
 				return
 			}
 			s.opts.Logf("serve: %s: %v", r.URL.Path, err)
-			writeJSONError(w, http.StatusInternalServerError, "%v", err)
+			fail(http.StatusInternalServerError, "%v", err)
 		}
 	}
+}
+
+// logAccess emits the structured access-log event for one finished
+// request. Nil AccessLog disables it at nil-check cost.
+func (s *Server) logAccess(endpoint string, status int, sc *requestScope, admission string, dur time.Duration) {
+	if s.opts.AccessLog == nil {
+		return
+	}
+	s.opts.AccessLog.LogAttrs(context.Background(), slog.LevelInfo, "request",
+		slog.String("endpoint", endpoint),
+		slog.Int("status", status),
+		slog.String("cache", sc.cache),
+		slog.String("admission", admission),
+		slog.Duration("dur", dur),
+		slog.String("request_id", sc.id),
+		slog.String("trace_id", sc.tc.TraceID),
+	)
+}
+
+// captureRequest offers one finished request to the capture ring.
+// Admission rejections are excluded: they did no work, carry no spans,
+// and under overload would evict the errors worth keeping.
+func (s *Server) captureRequest(endpoint string, status int, errBody string, sc *requestScope, dur time.Duration) {
+	if s.capture == nil || status == http.StatusTooManyRequests {
+		return
+	}
+	cr := &CapturedRequest{
+		ID:             sc.id,
+		TraceID:        sc.tc.TraceID,
+		Traceparent:    sc.tc.String(),
+		Endpoint:       endpoint,
+		Status:         status,
+		Cache:          sc.cache,
+		Error:          errBody,
+		Options:        sc.optsCopy(),
+		StartUnixNanos: sc.start.UnixNano(),
+		DurationNanos:  dur.Nanoseconds(),
+	}
+	if sc.tr != nil {
+		cr.Spans = trace.Tree(sc.tr.SpanRecords())
+		cr.SpanCount = trace.CountSpans(cr.Spans)
+		cr.DroppedSpans = sc.tr.Dropped()
+	}
+	s.capture.offer(cr)
 }
 
 // reqContext derives the request's deadline: timeout_ms when the client
@@ -207,10 +337,17 @@ func (s *Server) reqContext(r *http.Request) (context.Context, context.CancelFun
 	return ctx, cancel, nil
 }
 
-func writeJSONError(w http.ResponseWriter, status int, format string, args ...any) {
+// writeJSONError renders the uniform error envelope. Every error body
+// carries the request ID alongside the message, so a client that only
+// logged the body can still report the failure actionably.
+func writeJSONError(w http.ResponseWriter, status int, requestID, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	body := map[string]string{"error": fmt.Sprintf(format, args...)}
+	if requestID != "" {
+		body["request_id"] = requestID
+	}
+	json.NewEncoder(w).Encode(body)
 }
 
 // writeCached sends a response body that went through the result cache,
@@ -228,15 +365,22 @@ func writeCached(w http.ResponseWriter, body []byte, hit bool) {
 
 // cached runs compute under the result cache: on a hit the stored body
 // is served verbatim; on a miss the computed body is stored under
-// (epoch, key). Errors are never cached.
-func (s *Server) cached(w http.ResponseWriter, st *graphState, key string, compute func() ([]byte, error)) error {
+// (epoch, key). Errors are never cached. The request scope (when the
+// wrap path installed one) learns the outcome and brackets the miss
+// computation in a span.
+func (s *Server) cached(w http.ResponseWriter, r *http.Request, st *graphState, key string, compute func() ([]byte, error)) error {
+	sc := scopeFrom(r.Context())
 	if body, ok := s.cache.Get(st.epoch, key); ok {
 		s.opts.Metrics.Add("serve.cache_hits", 1)
+		sc.setCache("hit")
 		writeCached(w, body, true)
 		return nil
 	}
 	s.opts.Metrics.Add("serve.cache_misses", 1)
+	sc.setCache("miss")
+	stop := sc.span("serve.compute")
 	body, err := compute()
+	stop()
 	if err != nil {
 		return err
 	}
@@ -290,7 +434,7 @@ func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request, st *graphSta
 	if u > v {
 		u, v = v, u // counts are symmetric; canonicalize the cache key
 	}
-	return s.cached(w, st, fmt.Sprintf("edge:%d:%d", u, v), func() ([]byte, error) {
+	return s.cached(w, r, st, fmt.Sprintf("edge:%d:%d", u, v), func() ([]byte, error) {
 		cnt, err := cncount.CountEdge(st.g, u, v)
 		if err != nil {
 			return nil, errf(http.StatusNotFound, "%v", err)
@@ -315,7 +459,7 @@ func (s *Server) handlePair(w http.ResponseWriter, r *http.Request, st *graphSta
 	if u > v {
 		u, v = v, u
 	}
-	return s.cached(w, st, fmt.Sprintf("pair:%d:%d", u, v), func() ([]byte, error) {
+	return s.cached(w, r, st, fmt.Sprintf("pair:%d:%d", u, v), func() ([]byte, error) {
 		cnt := intersectCount(st.g.Neighbors(u), st.g.Neighbors(v))
 		return marshalBody(map[string]any{
 			"epoch": st.epoch, "u": u, "v": v, "count": cnt,
@@ -341,7 +485,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request, st *graphSta
 			return errf(http.StatusBadRequest, "k must be in [1, 1000], got %q", raw)
 		}
 	}
-	return s.cached(w, st, fmt.Sprintf("topk:%d:%d", u, k), func() ([]byte, error) {
+	return s.cached(w, r, st, fmt.Sprintf("topk:%d:%d", u, k), func() ([]byte, error) {
 		ctx := r.Context()
 		counts := make(map[cncount.VertexID]uint32)
 		for i, x := range st.g.Neighbors(u) {
@@ -403,12 +547,20 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request, st *graphSt
 		workers = n
 	}
 	key := fmt.Sprintf("count:%s:%d", algo, workers)
-	return s.cached(w, st, key, func() ([]byte, error) {
+	sc := scopeFrom(r.Context())
+	sc.setOpt("algo", algo.String())
+	sc.setOpt("workers", strconv.Itoa(workers))
+	return s.cached(w, r, st, key, func() ([]byte, error) {
+		// The request's private tracer rides Options.Trace into the sched
+		// *Observed paths, so the captured entry's span tree reaches the
+		// per-worker task spans of this recount — and only this one.
 		res, err := cncount.Count(st.g, cncount.Options{
 			Algorithm: algo,
 			Threads:   workers,
 			Context:   r.Context(),
 			Metrics:   s.opts.Metrics,
+			Trace:     sc.tracer(),
+			Progress:  s.opts.Progress,
 		})
 		if err != nil {
 			if errors.Is(err, cncount.ErrDeadline) {

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpanRecordsAndTree(t *testing.T) {
+	tr := New()
+	base := tr.epoch
+
+	// Main row: an outer span containing two sequential inner spans.
+	main := tr.main
+	main.Complete("outer", base, 100*time.Microsecond)
+	main.Complete("inner.a", base.Add(10*time.Microsecond), 30*time.Microsecond)
+	main.Complete("inner.b", base.Add(50*time.Microsecond), 40*time.Microsecond)
+	// Worker row: one task span nested in a worker span.
+	w := tr.WorkerRing(0)
+	w.Complete("region.worker", base.Add(5*time.Microsecond), 80*time.Microsecond)
+	w.Complete("region.task", base.Add(6*time.Microsecond), 20*time.Microsecond)
+	// An instant event must not appear among span records.
+	main.Instant("marker", base.Add(1*time.Microsecond))
+
+	recs := tr.SpanRecords()
+	if len(recs) != 5 {
+		t.Fatalf("SpanRecords len = %d, want 5: %+v", len(recs), recs)
+	}
+	if recs[0].Name != "outer" || recs[0].Row != "main" || recs[0].TID != MainTID {
+		t.Errorf("first record = %+v, want outer on main row", recs[0])
+	}
+
+	roots := Tree(recs)
+	if len(roots) != 2 {
+		t.Fatalf("Tree roots = %d, want 2 (one per row): %+v", len(roots), roots)
+	}
+	outer := roots[0]
+	if outer.Name != "outer" || outer.Row != "main" || len(outer.Children) != 2 {
+		t.Fatalf("outer = %+v, want 2 children", outer)
+	}
+	if outer.Children[0].Name != "inner.a" || outer.Children[1].Name != "inner.b" {
+		t.Errorf("outer children = %q, %q", outer.Children[0].Name, outer.Children[1].Name)
+	}
+	if outer.Children[0].Row != "" {
+		t.Errorf("child carries a row name %q; only roots should", outer.Children[0].Row)
+	}
+	worker := roots[1]
+	if worker.Name != "region.worker" || worker.Row != "worker 0" || len(worker.Children) != 1 {
+		t.Fatalf("worker root = %+v, want one child on row 'worker 0'", worker)
+	}
+	if got := CountSpans(roots); got != 5 {
+		t.Errorf("CountSpans = %d, want 5", got)
+	}
+}
+
+// TestTreeSiblingsDoNotNest: spans that merely touch (end == next
+// start) are siblings, while a span ending exactly at its parent's end
+// still nests (closed-interval containment).
+func TestTreeSiblingsDoNotNest(t *testing.T) {
+	recs := []SpanRecord{
+		{TID: 0, Row: "main", Name: "parent", StartNanos: 0, DurNanos: 100},
+		{TID: 0, Row: "main", Name: "first", StartNanos: 0, DurNanos: 50},
+		{TID: 0, Row: "main", Name: "second", StartNanos: 50, DurNanos: 50},
+		{TID: 0, Row: "main", Name: "after", StartNanos: 100, DurNanos: 10},
+	}
+	roots := Tree(recs)
+	if len(roots) != 2 {
+		t.Fatalf("roots = %d, want 2: %+v", len(roots), roots)
+	}
+	p := roots[0]
+	if len(p.Children) != 2 || p.Children[0].Name != "first" || p.Children[1].Name != "second" {
+		t.Fatalf("parent children wrong: %+v", p)
+	}
+	if roots[1].Name != "after" {
+		t.Errorf("span starting at parent end nested; want sibling root, got %+v", roots[1])
+	}
+}
+
+func TestSpanRecordsNilTracer(t *testing.T) {
+	var tr *Tracer
+	if recs := tr.SpanRecords(); recs != nil {
+		t.Errorf("nil tracer SpanRecords = %v, want nil", recs)
+	}
+	if roots := Tree(nil); roots != nil {
+		t.Errorf("Tree(nil) = %v, want nil", roots)
+	}
+}

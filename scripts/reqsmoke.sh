@@ -1,0 +1,116 @@
+#!/bin/sh
+# reqsmoke: end-to-end smoke test of request-scoped observability.
+#
+# Builds cncd, starts it with request capture and access logging
+# enabled, and verifies the per-request contract over real HTTP: a
+# caller's W3C traceparent is continued (same trace ID, fresh child
+# span) and echoed with a server request ID; a hostile traceparent
+# degrades to a fresh context instead of an error; error responses
+# carry the request ID in both header and JSON body; the capture ring
+# serves schema-versioned /debug/requests.json with span trees; the
+# inspector page at /debug/requests is fully self-contained (no
+# external assets); the RED request families surface on /metrics; and
+# the access log emits one structured event per request. Exits non-zero
+# on any failure. Run from the repo root (the Makefile's `make
+# reqsmoke` does).
+set -eu
+
+GO=${GO:-go}
+TMP=$(mktemp -d)
+CNCD_PID=""
+
+fail() {
+	echo "reqsmoke: FAIL: $*" >&2
+	[ -f "$TMP/cncd.log" ] && sed 's/^/reqsmoke:   cncd: /' "$TMP/cncd.log" >&2
+	exit 1
+}
+
+cleanup() {
+	[ -n "$CNCD_PID" ] && kill "$CNCD_PID" 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+$GO build -o "$TMP/cncd" ./cmd/cncd
+
+"$TMP/cncd" -profile WI -scale 0.05 -listen 127.0.0.1:0 -threads 1 \
+	-capture 8 -accesslog -logfmt json >"$TMP/cncd.log" 2>&1 &
+CNCD_PID=$!
+
+ADDR=""
+i=0
+while [ $i -lt 300 ]; do
+	ADDR=$(sed -n 's/^cncd listening on \(.*\)$/\1/p' "$TMP/cncd.log")
+	[ -n "$ADDR" ] && break
+	kill -0 "$CNCD_PID" 2>/dev/null || fail "cncd exited before listening"
+	i=$((i + 1))
+	sleep 0.1
+done
+[ -n "$ADDR" ] || fail "cncd address never appeared"
+
+# A traced recount: the response continues the caller's trace with a
+# fresh child span and names itself with a server request ID.
+TRACE=4bf92f3577b34da6a3ce929d0e0e4736
+PARENT=00f067aa0ba902b7
+curl -fsS -D "$TMP/h1" -H "traceparent: 00-$TRACE-$PARENT-01" \
+	"http://$ADDR/v1/count?algo=bmp&workers=1" >"$TMP/count.json" \
+	|| fail "/v1/count unreachable"
+grep -qi "^x-trace-id: $TRACE" "$TMP/h1" || fail "X-Trace-Id does not echo the caller's trace"
+grep -qi "^traceparent: 00-$TRACE-" "$TMP/h1" || fail "response traceparent does not continue the trace"
+grep -qi "^traceparent: 00-$TRACE-$PARENT-" "$TMP/h1" && fail "response reused the caller's span id"
+REQID=$(sed -n 's/^[Xx]-[Rr]equest-[Ii]d: \(req-[0-9a-f]*\).*/\1/p' "$TMP/h1")
+[ -n "$REQID" ] || fail "no X-Request-Id on /v1/count"
+
+# A hostile traceparent degrades to a fresh server context, never an error.
+curl -fsS -D "$TMP/h2" -H "traceparent: 00-zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz-$PARENT-01" \
+	"http://$ADDR/v1/info" >/dev/null || fail "hostile traceparent broke /v1/info"
+grep -qi '^x-trace-id: [0-9a-f]\{32\}' "$TMP/h2" || fail "hostile traceparent: no fresh trace id"
+grep -qi "^x-trace-id: $TRACE" "$TMP/h2" && fail "hostile traceparent was accepted"
+
+# Error responses carry the request ID in header and JSON body alike.
+ERRBODY=$(curl -sS -D "$TMP/h3" "http://$ADDR/v1/edge?u=99999999&v=1")
+grep -q '^HTTP/[0-9.]* 404' "$TMP/h3" || fail "out-of-range edge did not 404"
+ERRID=$(sed -n 's/^[Xx]-[Rr]equest-[Ii]d: \(req-[0-9a-f]*\).*/\1/p' "$TMP/h3")
+[ -n "$ERRID" ] || fail "404 lacks X-Request-Id"
+echo "$ERRBODY" | grep -qF "\"request_id\":\"$ERRID\"" || fail "404 body request_id != header: $ERRBODY"
+
+# The capture ring: schema-versioned, retains the recount with its span
+# tree reaching sched-level worker spans.
+curl -fsS "http://$ADDR/debug/requests.json" >"$TMP/requests.json" || fail "/debug/requests.json unreachable"
+grep -qF '"schema": "cncd-requests/v1"' "$TMP/requests.json" || fail "requests.json lacks the schema tag"
+grep -qF "\"id\": \"$REQID\"" "$TMP/requests.json" || fail "recount $REQID not in the capture ring"
+grep -qF "\"trace_id\": \"$TRACE\"" "$TMP/requests.json" || fail "capture entry lost the trace id"
+grep -qF '"name": "serve.count"' "$TMP/requests.json" || fail "capture entry lacks the serve.count span"
+grep -qF '"name": "core.count.BMP"' "$TMP/requests.json" || fail "span tree does not reach sched-level spans"
+grep -qF "\"id\": \"$ERRID\"" "$TMP/requests.json" || fail "errored request $ERRID not in the error ring"
+
+# The inspector page: served, self-contained, wired to the JSON feed.
+curl -fsS "http://$ADDR/debug/requests" >"$TMP/inspector.html" || fail "/debug/requests unreachable"
+grep -q '<title>cncd requests</title>' "$TMP/inspector.html" || fail "inspector page has no title"
+grep -Eq 'src="https?://|href="https?://' "$TMP/inspector.html" && fail "inspector references external assets"
+grep -qF '/debug/requests.json' "$TMP/inspector.html" || fail "inspector does not fetch the JSON feed"
+
+# RED request families surface on the shared /metrics.
+curl -fsS "http://$ADDR/metrics" >"$TMP/metrics.prom" || fail "/metrics unreachable"
+for series in \
+	'cncd_request_duration_seconds_bucket{endpoint="count",status="200"' \
+	'cncd_requests_in_flight' \
+	'cncd_requests_rejected_total' \
+	'cncd_request_slowest_seconds{endpoint="count"'; do
+	grep -qF "$series" "$TMP/metrics.prom" || fail "/metrics lacks $series"
+done
+
+# The access log carries one structured event per request with its IDs.
+grep -qF "\"request_id\":\"$REQID\"" "$TMP/cncd.log" || fail "access log never names $REQID"
+grep -qF "\"trace_id\":\"$TRACE\"" "$TMP/cncd.log" || fail "access log never names trace $TRACE"
+grep -qF '"msg":"request"' "$TMP/cncd.log" || fail "no structured access-log events"
+
+# SIGTERM still drains cleanly with observability enabled.
+kill -TERM "$CNCD_PID"
+DRAIN_RC=0
+wait "$CNCD_PID" || DRAIN_RC=$?
+CNCD_PID=""
+[ "$DRAIN_RC" -eq 0 ] || fail "cncd drain exited $DRAIN_RC"
+grep -q "drained, exiting" "$TMP/cncd.log" || fail "cncd never logged a completed drain"
+
+echo "reqsmoke: ok (inspected http://$ADDR/debug/requests)"
