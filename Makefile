@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check benchsmoke calibratesmoke obssmoke chaossmoke reportsmoke servesmoke reqsmoke fuzz bench benchdiff benchreport microbench experiments examples clean
+.PHONY: all build vet test race check benchsmoke calibratesmoke obssmoke chaossmoke reportsmoke servesmoke reqsmoke walsmoke fuzz bench benchdiff benchreport microbench experiments examples clean
 
 # The default verify path is `make check`: build + vet + tests + the race
 # detector on the small-graph packages.
@@ -21,7 +21,7 @@ test:
 # Race detection runs on the packages whose tests use small graphs; the
 # full profile-scale workloads are too slow under the race detector.
 race:
-	$(GO) test -race ./internal/core/ ./internal/adaptive/ ./internal/sched/ ./internal/gpusim/ ./internal/graph/ ./internal/scan/ ./internal/metrics/ ./internal/trace/ ./internal/obs/ ./internal/benchfmt/ ./internal/chaos/ ./internal/serve/ ./internal/reqctx/ ./cmd/cnc/ ./cmd/benchrun/ ./cmd/cncd/ ./cmd/cncload/
+	$(GO) test -race ./internal/core/ ./internal/adaptive/ ./internal/sched/ ./internal/gpusim/ ./internal/graph/ ./internal/scan/ ./internal/metrics/ ./internal/trace/ ./internal/obs/ ./internal/benchfmt/ ./internal/chaos/ ./internal/serve/ ./internal/reqctx/ ./internal/wal/ ./internal/dynamic/ ./cmd/cnc/ ./cmd/benchrun/ ./cmd/cncd/ ./cmd/cncload/
 
 # Tiny end-to-end benchmark matrix (~seconds): exercises the full
 # generate → count → record pipeline under the work-stealing scheduler,
@@ -53,10 +53,11 @@ reportsmoke:
 
 # Seeded chaos stress under the race detector: deterministic fault
 # schedules (worker panics, injected delays and stalls, loader read
-# errors) driven through the scheduler, watchdog and cancellation paths.
-# -count=1 defeats test caching so every check reruns the stress.
+# errors, short writes and fsync refusals on the WAL path) driven
+# through the scheduler, watchdog, cancellation and crash-recovery
+# paths. -count=1 defeats test caching so every check reruns the stress.
 chaossmoke:
-	$(GO) test -race -count=1 -run 'TestSeededStress|TestWatchdogAbortsStalledRun|TestPanicDrain|TestCancellationUnderChaos|TestLoaderReadFault' ./internal/chaos/
+	$(GO) test -race -count=1 -run 'TestSeededStress|TestWatchdogAbortsStalledRun|TestPanicDrain|TestCancellationUnderChaos|TestLoaderReadFault|TestWALRecoveryUnderChaos|TestWALMidLogCorruptionTyped' ./internal/chaos/
 
 # End-to-end smoke of the resident counting service: build cncd and
 # cncload, serve a tiny profile, exercise every /v1 endpoint, verify the
@@ -74,7 +75,15 @@ servesmoke:
 reqsmoke:
 	sh scripts/reqsmoke.sh
 
-check: build test race benchsmoke calibratesmoke obssmoke chaossmoke reportsmoke servesmoke reqsmoke
+# End-to-end smoke of durable streaming ingestion: serve with a WAL,
+# commit acknowledged update batches, SIGKILL the daemon mid-run,
+# restart on the same log, and require the replay banner plus exact
+# count equality between the replayed maintained state and a fresh
+# recount (see scripts/walsmoke.sh).
+walsmoke:
+	sh scripts/walsmoke.sh
+
+check: build test race benchsmoke calibratesmoke obssmoke chaossmoke reportsmoke servesmoke reqsmoke walsmoke
 
 # Short fuzzing pass over every fuzz target.
 fuzz:
@@ -83,6 +92,7 @@ fuzz:
 	$(GO) test -fuzz FuzzReadBinary -fuzztime 30s ./internal/graph/
 	$(GO) test -fuzz FuzzReadMETIS -fuzztime 30s ./internal/graph/
 	$(GO) test -fuzz FuzzParseTraceparent -fuzztime 30s ./internal/reqctx/
+	$(GO) test -fuzz FuzzWALRecord -fuzztime 30s ./internal/wal/
 
 # Continuous benchmark harness: run the graph × algorithm × workers
 # matrix and write a schema-versioned BENCH_local.json (~seconds, not

@@ -14,6 +14,8 @@
 //	benchrun -baseline BENCH_main.json           # run matrix, diff against base
 //	benchrun -http 127.0.0.1:8080                # watch the live matrix at /dashboard
 //	benchrun -logfmt json 2>run.jsonl            # machine-tailable heartbeat events
+//	benchrun -ingest -label ingest               # streaming-ingest matrix: updates/sec
+//	benchrun -ingest -fsync off -batches 500     # ingest without durability, longer stream
 //
 // benchrun exits 0 only when the whole run succeeded and, in -baseline
 // mode, no regression exceeded the threshold.
@@ -57,6 +59,13 @@ type appConfig struct {
 	input     string
 	threshold float64
 	httpAddr  string
+	// ingest switches the harness to the streaming-ingest matrix:
+	// batches × batchOps edge mutations per cell through the WAL (under
+	// the fsync policy) and the batched incremental repair.
+	ingest   bool
+	batches  int
+	batchOps int
+	fsync    string
 	// timeout bounds the whole invocation; cellTimeout bounds each cell
 	// attempt (a cell gets two attempts before it is recorded as failed).
 	timeout     time.Duration
@@ -83,7 +92,7 @@ func (cfg appConfig) count(g *cncount.Graph, opts cncount.Options) (*cncount.Res
 // resolvedConfig records the harness knobs that shape the measurement,
 // for the report manifest (and hence for -baseline comparability checks).
 func (cfg appConfig) resolvedConfig() map[string]string {
-	return map[string]string{
+	m := map[string]string{
 		"harness":  "benchrun",
 		"label":    cfg.label,
 		"profiles": cfg.profiles,
@@ -93,6 +102,13 @@ func (cfg appConfig) resolvedConfig() map[string]string {
 		"reps":     strconv.Itoa(cfg.reps),
 		"passes":   strconv.Itoa(max(cfg.passes, 1)),
 	}
+	if cfg.ingest {
+		m["mode"] = "ingest"
+		m["batches"] = strconv.Itoa(cfg.batches)
+		m["batchops"] = strconv.Itoa(cfg.batchOps)
+		m["fsync"] = cfg.fsync
+	}
+	return m
 }
 
 func main() {
@@ -112,6 +128,10 @@ func main() {
 	flag.StringVar(&cfg.input, "input", "", "diff mode: head BENCH_*.json (empty = run the matrix)")
 	flag.Float64Var(&cfg.threshold, "threshold", 0.10, "relative ns/edge slowdown that fails the diff")
 	flag.StringVar(&cfg.httpAddr, "http", "", "serve the observability plane (/metrics, /progress, ...) on this address while the matrix runs")
+	flag.BoolVar(&cfg.ingest, "ingest", false, "run the streaming-ingest matrix (WAL append + batched repair) instead of the counting matrix; reports updates/sec")
+	flag.IntVar(&cfg.batches, "batches", 200, "ingest mode: update batches per cell")
+	flag.IntVar(&cfg.batchOps, "batchops", 64, "ingest mode: edge mutations per batch")
+	flag.StringVar(&cfg.fsync, "fsync", "batch", "ingest mode: WAL fsync policy (batch, interval, off)")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "abort the whole run after this long (0 = no limit)")
 	flag.DurationVar(&cfg.cellTimeout, "celltimeout", 0, "time limit per cell attempt; a cell is retried once, then recorded as failed (0 = no limit)")
 	flag.StringVar(&cfg.logFormat, "logfmt", "text", "log output format: "+logx.Formats)
@@ -219,7 +239,13 @@ func run(ctx context.Context, cfg appConfig, stdout io.Writer) error {
 		return out.err
 	}
 
-	report, runErr := runMatrix(ctx, cfg, out, manifest, live, logger)
+	var report *benchfmt.Report
+	var runErr error
+	if cfg.ingest {
+		report, runErr = runIngest(ctx, cfg, out, manifest, logger)
+	} else {
+		report, runErr = runMatrix(ctx, cfg, out, manifest, live, logger)
+	}
 	if report == nil {
 		return runErr
 	}

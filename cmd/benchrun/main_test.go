@@ -557,3 +557,47 @@ func attrCalls(rows []metrics.KernelAttr) map[string]uint64 {
 	}
 	return out
 }
+
+// TestRunIngestWritesReport drives -ingest end to end: the written
+// report must carry one "ingest" row per worker count with a positive
+// updates/sec, and its manifest must record the ingest shape so
+// baseline diffs can check comparability.
+func TestRunIngestWritesReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_ingest.json")
+	cfg := appConfig{
+		label: "ingest-test", out: path,
+		profiles: "WI", scale: 0.05,
+		algos: "mps", workers: "1,2", reps: 1,
+		ingest: true, batches: 10, batchOps: 8, fsync: "off",
+	}
+	captureLog(t, &cfg)
+	var buf bytes.Buffer
+	if err := run(context.Background(), cfg, &buf); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	rep, err := benchfmt.LoadFile(path)
+	if err != nil {
+		t.Fatalf("written report fails schema load: %v", err)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("results = %d, want 2 (1 profile x 2 worker counts)", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.Algo != "ingest" {
+			t.Errorf("%v: algo = %q, want ingest", r.Key(), r.Algo)
+		}
+		if r.UpdatesPerSec <= 0 || r.NsPerEdge <= 0 || r.ElapsedNanos <= 0 {
+			t.Errorf("%v: empty ingest measurement %+v", r.Key(), r)
+		}
+		if r.Edges != 10*8 {
+			t.Errorf("%v: ops = %d, want 80", r.Key(), r.Edges)
+		}
+	}
+	for key, want := range map[string]string{
+		"mode": "ingest", "batches": "10", "batchops": "8", "fsync": "off",
+	} {
+		if got := rep.Manifest.Config[key]; got != want {
+			t.Errorf("manifest config %s = %q, want %q", key, got, want)
+		}
+	}
+}

@@ -15,6 +15,17 @@
 //	/v1/count?algo=&workers= full all-edge recount on the resident graph
 //	/v1/sample?n=           n edges spaced through the offset range
 //	/v1/info                graph name, epoch, sizes, cache and gate state
+//	/v1/update              POST: an edge-mutation batch (with -wal or -updates)
+//
+// With -wal DIR the daemon keeps a write-ahead update log: every
+// /v1/update batch is validated, appended to the log (fsynced per
+// -fsync), applied to an in-memory dynamic graph with maintained
+// per-edge counts, and installed as a new epoch. On boot the log is
+// replayed before updates re-enable — torn tails are truncated and
+// tolerated, mid-log corruption fails startup with a typed error —
+// while /healthz reports 503 "recovering" with live replay progress
+// and queries keep serving the loaded graph. -updates alone enables
+// the same endpoint memory-only (mutations are lost on restart).
 //
 // plus the observability plane (internal/obs) mounted on the same
 // listener: /healthz, /metrics, /progress, /debug/pprof/, and the
@@ -49,15 +60,18 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"cncount"
+	"cncount/internal/dynamic"
 	"cncount/internal/logx"
 	"cncount/internal/metrics"
 	"cncount/internal/obs"
 	"cncount/internal/sched"
 	"cncount/internal/serve"
+	"cncount/internal/wal"
 )
 
 // appConfig mirrors the flag set so the whole daemon is testable
@@ -79,6 +93,11 @@ type appConfig struct {
 	accessLog   bool
 	watchdog    time.Duration
 	bundleDir   string
+	walDir      string
+	fsync       string
+	fsyncEvery  time.Duration
+	walSeg      int64
+	updates     bool
 	// logger receives structured lifecycle events; run() defaults a nil
 	// logger to stderr in cfg.logFormat.
 	logger *slog.Logger
@@ -105,6 +124,11 @@ func main() {
 	flag.BoolVar(&cfg.accessLog, "accesslog", false, "emit one structured log event per request (endpoint, status, cache, duration, ids)")
 	flag.DurationVar(&cfg.watchdog, "watchdog", 0, "declare a recount stalled when a worker heartbeat exceeds this age (0 disables the watchdog)")
 	flag.StringVar(&cfg.bundleDir, "bundledir", "", "directory for stall diagnostic bundles (progress/metrics/trace JSON); empty logs the report only")
+	flag.StringVar(&cfg.walDir, "wal", "", "write-ahead log directory: enables durable POST /v1/update and replays the log on boot")
+	flag.StringVar(&cfg.fsync, "fsync", "batch", "WAL fsync policy: batch (every append), interval (at most every -fsyncevery), off")
+	flag.DurationVar(&cfg.fsyncEvery, "fsyncevery", 100*time.Millisecond, "maximum fsync age under -fsync interval")
+	flag.Int64Var(&cfg.walSeg, "walseg", 0, "WAL segment rotation size in bytes (0 = 64 MiB)")
+	flag.BoolVar(&cfg.updates, "updates", false, "enable POST /v1/update without a WAL (memory-only: updates are lost on restart)")
 	flag.Parse()
 
 	if cfg.graphPath == "" && cfg.profile == "" {
@@ -146,6 +170,8 @@ func run(ctx context.Context, cfg appConfig, stdout io.Writer) error {
 		"inflight": fmt.Sprint(cfg.inflight),
 		"cache":    fmt.Sprint(cfg.cacheSize),
 		"deadline": cfg.deadline.String(),
+		"wal":      cfg.walDir,
+		"fsync":    cfg.fsync,
 	})
 	mc.SetManifest(manifest)
 	logger.Info("graph resident",
@@ -173,13 +199,37 @@ func run(ctx context.Context, cfg appConfig, stdout io.Writer) error {
 		Progress:       prog,
 		AccessLog:      accessLog,
 	})
+	// walLog is set once recovery finishes; until then the obs closure
+	// reports "no WAL" and /metrics omits the cncd_wal_* families.
+	var walLog atomic.Pointer[wal.Log]
 	plane := obs.New(obs.Options{
 		Snapshot: mc.Snapshot,
 		Progress: prog,
 		Manifest: &manifest,
 		Requests: reqMetrics,
 		Logf:     logf,
+		WALStats: func() (obs.WALStatus, bool) {
+			l := walLog.Load()
+			if l == nil {
+				return obs.WALStatus{}, false
+			}
+			st := l.Stats()
+			return obs.WALStatus{
+				Segments:          st.Segments,
+				Bytes:             st.Bytes,
+				Appended:          st.Appended,
+				LastSyncUnixNanos: st.LastSyncUnixNanos,
+				NextSeq:           st.NextSeq,
+			}, true
+		},
 	})
+	defer func() {
+		if l := walLog.Load(); l != nil {
+			if cerr := l.Close(); cerr != nil {
+				logger.Error("wal close failed", "err", cerr)
+			}
+		}
+	}()
 	if cfg.watchdog > 0 {
 		wd := obs.StartWatchdog(obs.WatchdogOptions{
 			Progress:   prog,
@@ -230,6 +280,31 @@ func run(ctx context.Context, cfg appConfig, stdout io.Writer) error {
 	// The parseable ready line the load generator and e2e tests wait for.
 	fmt.Fprintf(stdout, "cncd listening on %s\n", ln.Addr())
 
+	// The write path comes up after the listener so /healthz can report
+	// recovery progress while the WAL replays; queries serve the loaded
+	// epoch throughout, and /v1/update answers 503 until the ingester is
+	// installed.
+	if cfg.walDir != "" || cfg.updates {
+		var done, total atomic.Int64
+		if cfg.walDir != "" {
+			plane.BeginRecovery(func() string {
+				return fmt.Sprintf("wal replay %d/%d bytes", done.Load(), total.Load())
+			})
+		}
+		log, err := setupIngest(cfg, g, name, srv, mc, logger, stdout,
+			func(d, t int64) { done.Store(d); total.Store(t) })
+		if err != nil {
+			ln.Close()
+			plane.Close()
+			return err
+		}
+		if log != nil {
+			walLog.Store(log)
+		}
+		plane.EndRecovery()
+		logger.Info("updates enabled", "durable", log != nil, "epoch", srv.Epoch())
+	}
+
 	select {
 	case err := <-serveErr:
 		plane.Close()
@@ -263,6 +338,78 @@ func run(ctx context.Context, cfg appConfig, stdout io.Writer) error {
 	hits, misses := srv.CacheStats()
 	logger.Info("drained, exiting", "cache_hits", hits, "cache_misses", misses)
 	return nil
+}
+
+// setupIngest builds the write path: a boot count seeds the dynamic
+// graph's maintained per-edge counts, the WAL (when configured) is
+// replayed into it — torn tails truncated and tolerated, real
+// corruption returned as a typed error that fails startup — and the
+// ingestion layer is installed behind /v1/update. Returns the opened
+// log, nil when running memory-only.
+func setupIngest(cfg appConfig, g *cncount.Graph, name string, srv *serve.Server,
+	mc *metrics.Collector, logger *slog.Logger, stdout io.Writer,
+	progress func(done, total int64)) (*wal.Log, error) {
+	policy, err := wal.ParseSyncPolicy(cfg.fsync)
+	if err != nil {
+		return nil, err
+	}
+	stop := mc.StartPhase("boot_count")
+	res, err := cncount.Count(g, cncount.Options{Threads: cfg.threads, Metrics: mc})
+	stop()
+	if err != nil {
+		return nil, fmt.Errorf("boot count for the update path: %w", err)
+	}
+	dyn, err := dynamic.FromCSR(g, res.Counts)
+	if err != nil {
+		return nil, err
+	}
+
+	nextSeq := uint64(1)
+	var log *wal.Log
+	if cfg.walDir != "" {
+		info, err := wal.Replay(cfg.walDir, func(b wal.Batch) error {
+			ops := make([]dynamic.Op, len(b.Ops))
+			for i, op := range b.Ops {
+				ops[i] = dynamic.Op{Kind: dynamic.OpKind(op.Kind), U: cncount.VertexID(op.U), V: cncount.VertexID(op.V)}
+			}
+			_, err := dyn.ApplyBatch(ops, cfg.threads)
+			return err
+		}, progress)
+		if err != nil {
+			return nil, fmt.Errorf("wal replay: %w", err)
+		}
+		if info.TornTail {
+			logger.Warn("wal torn tail truncated",
+				"segment", info.TruncatedSegment, "dropped_bytes", info.TruncatedBytes)
+		}
+		if info.Batches > 0 {
+			csr, _, err := dyn.ToCSR()
+			if err != nil {
+				return nil, fmt.Errorf("rebuilding the replayed graph: %w", err)
+			}
+			srv.SwapGraph(csr, name)
+		}
+		// The parseable recovery banner the e2e crash tests wait for.
+		fmt.Fprintf(stdout, "cncd wal replayed: batches=%d ops=%d torn_tail=%v epoch=%d\n",
+			info.Batches, info.Ops, info.TornTail, srv.Epoch())
+		nextSeq = info.LastSeq + 1
+		log, err = wal.Open(cfg.walDir, wal.Options{
+			SegmentBytes: cfg.walSeg,
+			Sync:         policy,
+			SyncEvery:    cfg.fsyncEvery,
+			NextSeq:      nextSeq,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("wal open: %w", err)
+		}
+	}
+	srv.EnableUpdates(serve.NewIngester(srv, dyn, nextSeq, serve.IngestOptions{
+		WAL:     log,
+		Workers: cfg.threads,
+		Name:    name,
+		Metrics: mc,
+	}))
+	return log, nil
 }
 
 // loadGraph resolves -graph/-profile into a resident CSR, recording

@@ -474,3 +474,221 @@ func TestDaemonRequestObservabilityE2E(t *testing.T) {
 		t.Error("inspector page references external assets")
 	}
 }
+
+// postJSON posts a JSON body and returns the status and response body.
+func postJSON(t *testing.T, url string, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(raw)
+}
+
+// updateResponse mirrors the /v1/update 202 body.
+type updateResponse struct {
+	Epoch   uint64 `json:"epoch"`
+	Seq     uint64 `json:"seq"`
+	Applied int    `json:"applied"`
+}
+
+var replayBanner = regexp.MustCompile(`cncd wal replayed: batches=(\d+) ops=(\d+) torn_tail=(\w+) epoch=(\d+)`)
+
+// TestDaemonCrashRecoveryE2E pins the durability contract on the real
+// binary: a daemon accepting durable updates is killed dead (SIGKILL —
+// no drain, no WAL close) with a batch in flight; a restart on the same
+// WAL directory must report a replay banner covering every acknowledged
+// batch, resume epochs and sequence numbers monotonically, and serve a
+// graph whose maintained counts match a from-scratch recount exactly.
+func TestDaemonCrashRecoveryE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills the real binary under -race")
+	}
+	bin := filepath.Join(t.TempDir(), "cncd")
+	if out, err := exec.Command("go", "build", "-race", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build -race: %v\n%s", err, out)
+	}
+	walDir := t.TempDir()
+	args := []string{
+		"-profile", "WI", "-scale", "0.05", "-listen", "127.0.0.1:0",
+		"-threads", "2", "-wal", walDir, "-fsync", "batch",
+	}
+
+	cmd := exec.Command(bin, args...)
+	var out syncBuffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+	base := "http://" + waitAddr(t, &out, 60*time.Second)
+
+	// The ready line races the ingester install (recovery runs after the
+	// listener is up, so queries serve during replay): wait for the
+	// ingest section before relying on /v1/update.
+	var info struct {
+		Vertices int    `json:"vertices"`
+		Epoch    uint64 `json:"epoch"`
+		Ingest   *struct {
+			Durable bool `json:"durable"`
+		} `json:"ingest"`
+	}
+	bootDeadline := time.Now().Add(30 * time.Second)
+	for {
+		_, _, body := get(t, base+"/v1/info")
+		if err := json.Unmarshal([]byte(body), &info); err != nil {
+			t.Fatalf("/v1/info = %s (err %v)", body, err)
+		}
+		if info.Ingest != nil && info.Ingest.Durable {
+			break
+		}
+		if time.Now().After(bootDeadline) {
+			t.Fatalf("ingester never came up: %s", body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if info.Vertices < 8 {
+		t.Fatalf("WI graph has %d vertices", info.Vertices)
+	}
+
+	// Acknowledged durable batches: each 202 means the batch is fsynced.
+	// Epochs and seqs must climb strictly — one epoch per committed batch.
+	const acks = 6
+	lastEpoch, lastSeq := info.Epoch, uint64(0)
+	for i := 0; i < acks; i++ {
+		u, v := 2*i, 2*i+1
+		reqBody := fmt.Sprintf(`{"ops":[{"op":"insert","u":%d,"v":%d},{"op":"insert","u":%d,"v":%d}]}`,
+			u, v, u, (v+1)%info.Vertices)
+		status, raw := postJSON(t, base+"/v1/update", reqBody)
+		if status != http.StatusAccepted {
+			t.Fatalf("update %d = %d: %s", i, status, raw)
+		}
+		var ur updateResponse
+		if err := json.Unmarshal([]byte(raw), &ur); err != nil {
+			t.Fatal(err)
+		}
+		if ur.Epoch <= lastEpoch || ur.Seq <= lastSeq {
+			t.Fatalf("update %d: epoch %d seq %d did not climb past %d/%d", i, ur.Epoch, ur.Seq, lastEpoch, lastSeq)
+		}
+		lastEpoch, lastSeq = ur.Epoch, ur.Seq
+	}
+
+	// The crash: one more batch goes out and SIGKILL lands while it is
+	// (possibly) in flight — no drain, no WAL close, a torn tail at the
+	// disk's mercy. The in-flight batch may or may not have committed;
+	// recovery must land on one of those two states, never in between.
+	inflight := make(chan struct{})
+	go func() {
+		defer close(inflight)
+		http.Post(base+"/v1/update", "application/json",
+			strings.NewReader(`{"ops":[{"op":"insert","u":1,"v":3}]}`))
+	}()
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+	<-inflight
+
+	// Restart on the same WAL directory.
+	cmd2 := exec.Command(bin, args...)
+	var out2 syncBuffer
+	cmd2.Stdout, cmd2.Stderr = &out2, &out2
+	if err := cmd2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd2.Process.Signal(os.Interrupt)
+		cmd2.Wait()
+	}()
+	base2 := "http://" + waitAddr(t, &out2, 60*time.Second)
+
+	// The replay banner must cover every acknowledged batch; at most one
+	// more (the killed in-flight batch, if its fsync won the race).
+	deadline := time.Now().Add(30 * time.Second)
+	var m []string
+	for {
+		if m = replayBanner.FindStringSubmatch(out2.String()); m != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no replay banner after restart:\n%s", out2.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	replayed, _ := strconv.Atoi(m[1])
+	if replayed < acks || replayed > acks+1 {
+		t.Fatalf("replayed %d batches, acknowledged %d (banner %q)", replayed, acks, m[0])
+	}
+
+	// Wait for recovery to finish (healthz leaves "recovering"), then
+	// check the resumed ingest state: last_seq continues the WAL, the
+	// replay swap moved the epoch past boot.
+	for {
+		status, _, body := get(t, base2+"/healthz")
+		if status == http.StatusOK && body == "ok\n" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never left recovery: %d %q", status, body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	var info2 struct {
+		Epoch  uint64 `json:"epoch"`
+		Ingest struct {
+			LastSeq   uint64 `json:"last_seq"`
+			Triangles uint64 `json:"triangles"`
+			Durable   bool   `json:"durable"`
+		} `json:"ingest"`
+	}
+	_, _, body := get(t, base2+"/v1/info")
+	if err := json.Unmarshal([]byte(body), &info2); err != nil {
+		t.Fatalf("/v1/info after recovery: %v (%s)", err, body)
+	}
+	if info2.Ingest.LastSeq != uint64(replayed) || !info2.Ingest.Durable {
+		t.Errorf("recovered ingest = %+v, want last_seq %d durable", info2.Ingest, replayed)
+	}
+	if info2.Epoch < 2 {
+		t.Errorf("recovered epoch = %d, want >= 2 (boot + replay swap)", info2.Epoch)
+	}
+
+	// Count equality: the maintained counts replayed from the WAL must
+	// match a from-scratch recount of the served graph, triangle for
+	// triangle — the no-silent-divergence acceptance bar.
+	var count struct {
+		Triangles uint64 `json:"triangles"`
+	}
+	status, _, body := get(t, base2+"/v1/count?workers=2")
+	if status != http.StatusOK {
+		t.Fatalf("/v1/count after recovery = %d: %s", status, body)
+	}
+	if err := json.Unmarshal([]byte(body), &count); err != nil {
+		t.Fatal(err)
+	}
+	if count.Triangles != info2.Ingest.Triangles {
+		t.Fatalf("recount found %d triangles, replayed maintained counts say %d — silent divergence",
+			count.Triangles, info2.Ingest.Triangles)
+	}
+
+	// Updates resume where the WAL left off: the next 202's seq is the
+	// replayed stream plus one, its epoch past the recovery swap.
+	status, raw := postJSON(t, base2+"/v1/update", `{"ops":[{"op":"insert","u":0,"v":5}]}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("post-recovery update = %d: %s", status, raw)
+	}
+	var ur updateResponse
+	if err := json.Unmarshal([]byte(raw), &ur); err != nil {
+		t.Fatal(err)
+	}
+	if ur.Seq != uint64(replayed)+1 {
+		t.Errorf("post-recovery seq = %d, want %d", ur.Seq, replayed+1)
+	}
+	if ur.Epoch <= info2.Epoch {
+		t.Errorf("post-recovery epoch = %d, did not climb past %d", ur.Epoch, info2.Epoch)
+	}
+}

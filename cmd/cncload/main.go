@@ -17,9 +17,15 @@
 // daemon-side capture entries are attributable to the run; the server's
 // X-Cache and X-Request-Id headers are read back to report per-endpoint
 // cache hit ratios and to name the slowest and failed requests by the
-// daemon's own request IDs. 429 responses count as rejected (the
-// admission gate doing its job), any other non-200 as failed; both
-// rates are reported and failures exit non-zero past -maxfail.
+// daemon's own request IDs. A 429 is retried with jittered backoff
+// honoring the server's Retry-After header, up to -retries attempts per
+// request; only a request whose budget runs out counts as rejected (the
+// admission gate doing its job), any other non-2xx as failed; rejection,
+// retry and failure rates are all reported and failures exit non-zero
+// past -maxfail. The mix may include "update": those workers POST small
+// edge-mutation batches to /v1/update (each worker deletes only edges it
+// previously inserted, so the resident graph's own edges are never
+// touched) and the report gains an updates/sec dimension.
 //
 // In the report, one Result row carries the serving figures: Graph is
 // the endpoint mix cell ("serve/<endpoint>"... one row per endpoint),
@@ -29,6 +35,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -68,6 +75,7 @@ type appConfig struct {
 	out         string
 	label       string
 	maxFailPct  float64
+	retries     int
 	logFormat   string
 	logger      *slog.Logger
 }
@@ -80,13 +88,14 @@ func main() {
 	flag.StringVar(&cfg.addr, "addr", "", "daemon address, e.g. 127.0.0.1:8080 (required)")
 	flag.DurationVar(&cfg.duration, "duration", 5*time.Second, "how long to generate load")
 	flag.IntVar(&cfg.concurrency, "concurrency", 8, "concurrent client workers")
-	flag.StringVar(&cfg.mix, "mix", "edge=8,pair=1,topk=1", "endpoint weights as name=weight, from edge, pair, topk, count")
+	flag.StringVar(&cfg.mix, "mix", "edge=8,pair=1,topk=1", "endpoint weights as name=weight, from edge, pair, topk, count, update")
 	flag.IntVar(&cfg.sampleN, "sample", 1024, "edge pool size drawn from /v1/sample")
 	flag.IntVar(&cfg.topK, "topk", 10, "k for topk queries")
 	flag.DurationVar(&cfg.timeout, "timeout", 10*time.Second, "per-request client timeout")
 	flag.StringVar(&cfg.out, "out", "", "write a benchfmt report (BENCH_*.json) here")
 	flag.StringVar(&cfg.label, "label", "serve", "report label")
 	flag.Float64Var(&cfg.maxFailPct, "maxfail", 1.0, "exit non-zero when more than this percent of requests fail (429 rejections excluded)")
+	flag.IntVar(&cfg.retries, "retries", 3, "retry budget per request on 429, with jittered backoff honoring Retry-After")
 	flag.StringVar(&cfg.logFormat, "logfmt", "text", "log output format: "+logx.Formats)
 	flag.Parse()
 
@@ -114,10 +123,12 @@ type workerStats struct {
 	sent      map[string]int64
 	cacheSeen map[string]int64 // endpoint → responses carrying X-Cache
 	cacheHits map[string]int64 // endpoint → X-Cache: HIT
+	retries   map[string]int64 // endpoint → 429 retry attempts taken
 	slowest   map[string]slowRequest
 	failures  []failedRequest // first few non-429 failures, server-identified
-	rejected  int64           // 429: admission control, not a failure
-	failed    int64           // any other non-200
+	rejected  int64           // 429 with the retry budget exhausted
+	failed    int64           // any other non-2xx
+	updateOps int64           // edge ops carried by accepted update batches
 }
 
 // slowRequest remembers the worst-latency success per endpoint with the
@@ -197,16 +208,45 @@ func run(ctx context.Context, cfg appConfig, stdout io.Writer) error {
 			st.sent = make(map[string]int64)
 			st.cacheSeen = make(map[string]int64)
 			st.cacheHits = make(map[string]int64)
+			st.retries = make(map[string]int64)
 			st.slowest = make(map[string]slowRequest)
+			var us updateState
 			for i := 0; runCtx.Err() == nil; i++ {
 				opName := sched[rng.Intn(len(sched))]
-				url := buildQuery(base, opName, pool, info, cfg.topK, rng)
+				method, url, body := http.MethodGet, "", []byte(nil)
+				nOps := 0
+				if opName == "update" {
+					url = base + "/v1/update"
+					method = http.MethodPost
+					body, nOps = buildUpdateBody(rng, info, &us)
+				} else {
+					url = buildQuery(base, opName, pool, info, cfg.topK, rng)
+				}
 				// Each request opens its own deterministic trace (seeded by
 				// the worker PRNG), so a daemon-side capture entry is
 				// attributable to this run and reproducible across reruns.
 				tc := reqctx.NewFrom(rng.Uint64)
-				t0 := time.Now()
-				status, xCache, reqID, err := doGet(runCtx, client, url, tc.String())
+				var (
+					t0     time.Time
+					status int
+					xCache string
+					reqID  string
+					err    error
+				)
+				for attempt := 0; ; attempt++ {
+					var retryAfter string
+					t0 = time.Now()
+					status, xCache, reqID, retryAfter, err = doRequest(runCtx, client, method, url, body, tc.String())
+					if err != nil || status != http.StatusTooManyRequests || attempt >= cfg.retries {
+						break
+					}
+					// The admission gate said later: honor its Retry-After
+					// with jitter, inside the bounded retry budget.
+					if !backoff(runCtx, rng, attempt, retryAfter) {
+						break
+					}
+					st.retries[opName]++
+				}
 				if runCtx.Err() != nil {
 					return // duration elapsed mid-request; drop the torn sample
 				}
@@ -215,10 +255,13 @@ func run(ctx context.Context, cfg appConfig, stdout io.Writer) error {
 					continue
 				}
 				switch {
-				case status == http.StatusOK:
+				case status == http.StatusOK || status == http.StatusAccepted:
 					lat := time.Since(t0)
 					st.sent[opName]++
 					st.latencies[opName] = append(st.latencies[opName], lat)
+					if opName == "update" {
+						st.updateOps += int64(nOps)
+					}
 					if xCache != "" {
 						st.cacheSeen[opName]++
 						if xCache == "HIT" {
@@ -247,9 +290,10 @@ func run(ctx context.Context, cfg appConfig, stdout io.Writer) error {
 	sent := make(map[string]int64)
 	cacheSeen := make(map[string]int64)
 	cacheHits := make(map[string]int64)
+	retries := make(map[string]int64)
 	slowest := make(map[string]slowRequest)
 	var failures []failedRequest
-	var rejected, failed, total int64
+	var rejected, failed, total, totalRetries, updateOps int64
 	for i := range stats {
 		for ep, ls := range stats[i].latencies {
 			merged[ep] = append(merged[ep], ls...)
@@ -264,6 +308,10 @@ func run(ctx context.Context, cfg appConfig, stdout io.Writer) error {
 		for ep, n := range stats[i].cacheHits {
 			cacheHits[ep] += n
 		}
+		for ep, n := range stats[i].retries {
+			retries[ep] += n
+			totalRetries += n
+		}
 		for ep, sr := range stats[i].slowest {
 			if prev, ok := slowest[ep]; !ok || sr.lat > prev.lat {
 				slowest[ep] = sr
@@ -274,6 +322,7 @@ func run(ctx context.Context, cfg appConfig, stdout io.Writer) error {
 		}
 		rejected += stats[i].rejected
 		failed += stats[i].failed
+		updateOps += stats[i].updateOps
 	}
 	if total == 0 {
 		for _, f := range failures {
@@ -288,15 +337,22 @@ func run(ctx context.Context, cfg appConfig, stdout io.Writer) error {
 		all = append(all, ls...)
 	}
 	p50, p95, p99 := percentiles(all)
-	fmt.Fprintf(stdout, "cncload: %d ok (%.0f req/s), %d rejected (429), %d failed over %v at concurrency %d\n",
-		total, qps, rejected, failed, wall.Round(time.Millisecond), cfg.concurrency)
+	fmt.Fprintf(stdout, "cncload: %d ok (%.0f req/s), %d rejected (429 after %d retries), %d failed over %v at concurrency %d\n",
+		total, qps, rejected, totalRetries, failed, wall.Round(time.Millisecond), cfg.concurrency)
 	fmt.Fprintf(stdout, "cncload: latency p50 %v  p95 %v  p99 %v\n", p50, p95, p99)
+	if updateOps > 0 {
+		fmt.Fprintf(stdout, "cncload: ingest %d edge ops accepted (%.0f updates/s)\n",
+			updateOps, float64(updateOps)/wall.Seconds())
+	}
 	for _, o := range mix {
 		if n := sent[o.name]; n > 0 {
 			e50, e95, e99 := percentiles(merged[o.name])
-			line := fmt.Sprintf("cncload: %-5s %8d reqs  p50 %v  p95 %v  p99 %v", o.name, n, e50, e95, e99)
+			line := fmt.Sprintf("cncload: %-6s %8d reqs  p50 %v  p95 %v  p99 %v", o.name, n, e50, e95, e99)
 			if seen := cacheSeen[o.name]; seen > 0 {
 				line += fmt.Sprintf("  cache-hit %.1f%%", 100*float64(cacheHits[o.name])/float64(seen))
+			}
+			if r := retries[o.name]; r > 0 {
+				line += fmt.Sprintf("  retries %d", r)
 			}
 			if sr, ok := slowest[o.name]; ok && sr.reqID != "" {
 				line += fmt.Sprintf("  slowest %v (%s)", sr.lat.Round(time.Microsecond), sr.reqID)
@@ -311,7 +367,7 @@ func run(ctx context.Context, cfg appConfig, stdout io.Writer) error {
 	}
 
 	if cfg.out != "" {
-		report := buildReport(cfg, info, mix, merged, sent, cacheSeen, cacheHits, wall)
+		report := buildReport(cfg, info, mix, merged, sent, cacheSeen, cacheHits, retries, updateOps, wall)
 		if err := benchfmt.WriteFile(cfg.out, report); err != nil {
 			return fmt.Errorf("write report: %w", err)
 		}
@@ -331,8 +387,8 @@ func run(ctx context.Context, cfg appConfig, stdout io.Writer) error {
 // per request across the whole mix cell, TaskP* the latency quantiles,
 // CacheHitRatio the endpoint's observed X-Cache hit fraction.
 func buildReport(cfg appConfig, info *infoResponse, mix []op,
-	merged map[string][]time.Duration, sent, cacheSeen, cacheHits map[string]int64,
-	wall time.Duration) *benchfmt.Report {
+	merged map[string][]time.Duration, sent, cacheSeen, cacheHits, retries map[string]int64,
+	updateOps int64, wall time.Duration) *benchfmt.Report {
 	manifest := metrics.NewManifest(map[string]string{
 		"mode":        "load",
 		"target":      cfg.addr,
@@ -363,7 +419,7 @@ func buildReport(cfg appConfig, info *infoResponse, mix []op,
 		if seen := cacheSeen[o.name]; seen > 0 {
 			hitRatio = float64(cacheHits[o.name]) / float64(seen)
 		}
-		report.Results = append(report.Results, benchfmt.Result{
+		row := benchfmt.Result{
 			Graph:         "serve/" + o.name,
 			Algo:          "serve",
 			Workers:       cfg.concurrency,
@@ -375,7 +431,12 @@ func buildReport(cfg appConfig, info *infoResponse, mix []op,
 			TaskP95Nanos:  uint64(p95.Nanoseconds()),
 			TaskP99Nanos:  uint64(p99.Nanoseconds()),
 			CacheHitRatio: hitRatio,
-		})
+			Retries:       uint64(retries[o.name]),
+		}
+		if o.name == "update" && wall > 0 {
+			row.UpdatesPerSec = float64(updateOps) / wall.Seconds()
+		}
+		report.Results = append(report.Results, row)
 	}
 	return report
 }
@@ -419,29 +480,108 @@ func buildQuery(base, opName string, pool [][2]uint32, info *infoResponse, topK 
 	}
 }
 
-// doGet issues one query carrying the run's traceparent and returns the
-// status plus the server's X-Cache verdict and request ID.
-func doGet(ctx context.Context, client *http.Client, url, traceparent string) (status int, xCache, reqID string, err error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+// doRequest issues one request carrying the run's traceparent and
+// returns the status plus the server's X-Cache verdict, request ID and
+// Retry-After header (empty except on 429).
+func doRequest(ctx context.Context, client *http.Client, method, url string, body []byte, traceparent string) (status int, xCache, reqID, retryAfter string, err error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
 	if err != nil {
-		return 0, "", "", err
+		return 0, "", "", "", err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
 	}
 	if traceparent != "" {
 		req.Header.Set(reqctx.TraceparentHeader, traceparent)
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, "", "", err
+		return 0, "", "", "", err
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return resp.StatusCode, resp.Header.Get("X-Cache"), resp.Header.Get("X-Request-Id"), nil
+	return resp.StatusCode, resp.Header.Get("X-Cache"), resp.Header.Get("X-Request-Id"), resp.Header.Get("Retry-After"), nil
+}
+
+// backoff sleeps the jittered retry delay before attempt+1: the
+// server's Retry-After (capped at 5s) when it sent one, otherwise an
+// exponential base starting at 50ms — either way uniformly jittered
+// over [base/2, base) so synchronized workers do not re-arrive as a
+// thundering herd. Returns false when ctx ended first.
+func backoff(ctx context.Context, rng *rand.Rand, attempt int, retryAfter string) bool {
+	base := 50 * time.Millisecond << attempt
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs >= 0 {
+		base = time.Duration(secs) * time.Second
+		switch {
+		case base > 5*time.Second:
+			base = 5 * time.Second
+		case base == 0:
+			base = 50 * time.Millisecond
+		}
+	}
+	d := base/2 + time.Duration(rng.Int63n(int64(base/2)+1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// updateState tracks the edges a worker has inserted and not yet
+// deleted: deletes only ever target this set, so update load never
+// removes an edge of the resident graph (which would fail concurrent
+// edge queries drawn from the sample pool).
+type updateState struct {
+	inserted [][2]uint32
+}
+
+// updateRingMax bounds the per-worker inserted-edge memory.
+const updateRingMax = 256
+
+// buildUpdateBody renders one random edge-mutation batch (1–4 ops) and
+// returns it with its op count.
+func buildUpdateBody(rng *rand.Rand, info *infoResponse, us *updateState) ([]byte, int) {
+	type jsonOp struct {
+		Op string `json:"op"`
+		U  uint32 `json:"u"`
+		V  uint32 `json:"v"`
+	}
+	n := 1 + rng.Intn(4)
+	ops := make([]jsonOp, 0, n)
+	for i := 0; i < n; i++ {
+		if len(us.inserted) > 0 && (rng.Intn(2) == 0 || len(us.inserted) >= updateRingMax) {
+			j := rng.Intn(len(us.inserted))
+			e := us.inserted[j]
+			us.inserted = append(us.inserted[:j], us.inserted[j+1:]...)
+			ops = append(ops, jsonOp{Op: "delete", U: e[0], V: e[1]})
+			continue
+		}
+		u := uint32(rng.Intn(info.Vertices))
+		v := uint32(rng.Intn(info.Vertices - 1))
+		if v >= u {
+			v++
+		}
+		us.inserted = append(us.inserted, [2]uint32{u, v})
+		ops = append(ops, jsonOp{Op: "insert", U: u, V: v})
+	}
+	body, err := json.Marshal(map[string]any{"ops": ops})
+	if err != nil {
+		panic(err) // a map of fixed-shape structs cannot fail to marshal
+	}
+	return body, len(ops)
 }
 
 // parseMix parses "edge=8,pair=1,topk=1" into weighted ops, preserving
 // the written order.
 func parseMix(s string) ([]op, error) {
-	valid := map[string]bool{"edge": true, "pair": true, "topk": true, "count": true}
+	valid := map[string]bool{"edge": true, "pair": true, "topk": true, "count": true, "update": true}
 	var mix []op
 	seen := map[string]bool{}
 	for _, part := range strings.Split(s, ",") {
@@ -450,7 +590,7 @@ func parseMix(s string) ([]op, error) {
 			return nil, fmt.Errorf("mix entry %q: want name=weight", part)
 		}
 		if !valid[name] {
-			return nil, fmt.Errorf("mix entry %q: unknown endpoint (want edge, pair, topk, count)", part)
+			return nil, fmt.Errorf("mix entry %q: unknown endpoint (want edge, pair, topk, count, update)", part)
 		}
 		if seen[name] {
 			return nil, fmt.Errorf("mix entry %q: duplicate endpoint", part)

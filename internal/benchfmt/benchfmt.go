@@ -88,6 +88,14 @@ type Result struct {
 	// load-generator rows only. Optional and additive like Attribution,
 	// so the schema version stays unchanged.
 	CacheHitRatio float64 `json:"cache_hit_ratio,omitempty"`
+	// Retries counts client-side retry attempts after 429 + Retry-After
+	// for this cell, from load-generator rows only. Optional and
+	// additive, so the schema version stays unchanged.
+	Retries uint64 `json:"retries,omitempty"`
+	// UpdatesPerSec is the streaming-ingest throughput (committed
+	// update batches' ops per wall second) for ingest-mode cells.
+	// Optional and additive, so the schema version stays unchanged.
+	UpdatesPerSec float64 `json:"updates_per_sec,omitempty"`
 	// Failed marks a cell whose measurement did not complete (a counting
 	// error, a per-cell timeout, or a run canceled mid-cell after the one
 	// retry the harness allows). Error carries the final attempt's error

@@ -5,14 +5,19 @@
 // every run with the same plan injects the same fault schedule — a
 // failing seed reproduces exactly.
 //
-// Faults model the three ways the runtime dies in production: a worker
+// Faults model the ways the runtime dies in production: a worker
 // panic (a bug in a kernel), an induced delay or stall (a straggler or a
-// wedged body, food for the obs watchdog), and a loader read error (a
-// truncated or flaky input stream). The race-gated tests in this package
-// drive the scheduler, core, and watchdog through all of them and assert
-// the runtime's failure model: cooperative cancellation terminates,
-// panics drain and re-surface typed, stalls trip the watchdog, and read
-// errors come back as errors — never hangs, never silent corruption.
+// wedged body, food for the obs watchdog), a loader read error (a
+// truncated or flaky input stream), and — through the write injector in
+// write.go — storage faults on the durability path: short writes that
+// tear a WAL record mid-frame and fsync calls that refuse, plus crashes
+// that stop the writer dead between them. The race-gated tests in this
+// package drive the scheduler, core, watchdog, and WAL recovery through
+// all of them and assert the runtime's failure model: cooperative
+// cancellation terminates, panics drain and re-surface typed, stalls
+// trip the watchdog, read errors come back as errors, and crash
+// recovery replays to an exactly-verifiable state or fails with a typed
+// corruption error — never hangs, never silent corruption.
 package chaos
 
 import (

@@ -1,0 +1,115 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"sync/atomic"
+)
+
+// ErrInjectedWrite is the error injected short writes surface: the
+// write reports fewer bytes than requested plus this error, the way a
+// full disk or a crash mid-write looks to the caller.
+var ErrInjectedWrite = errors.New("chaos: injected short write")
+
+// ErrInjectedSync is the error injected fsync failures surface.
+var ErrInjectedSync = errors.New("chaos: injected fsync error")
+
+// WFile is the file surface the write injector interposes on —
+// structurally identical to wal.File, declared here so the storage
+// layer and the fault injector stay import-independent.
+type WFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// WritePlan describes a deterministic write-path fault schedule:
+// ShortWrites are scattered over the first Writes write calls,
+// SyncErrs over the first Syncs fsync calls. Same seed, same schedule.
+type WritePlan struct {
+	// Seed drives the pseudo-random placement.
+	Seed int64
+	// Writes is the write-call horizon, ShortWrites the count of writes
+	// that persist only a prefix and then fail with ErrInjectedWrite —
+	// each one plants a torn record for recovery to truncate.
+	Writes      int64
+	ShortWrites int
+	// Syncs is the fsync-call horizon, SyncErrs the count failing with
+	// ErrInjectedSync — durability refused after the data was buffered.
+	Syncs    int64
+	SyncErrs int
+}
+
+// WriteInjector realizes a WritePlan over wrapped files. Construction
+// fixes the schedule; the counters are atomic, so one injector may
+// wrap any number of files concurrently. The nil *WriteInjector
+// injects nothing.
+type WriteInjector struct {
+	writes      atomic.Int64
+	syncs       atomic.Int64
+	shortWrites map[int64]bool
+	syncErrs    map[int64]bool
+}
+
+// NewWrite realizes plan into a write injector.
+func NewWrite(plan WritePlan) *WriteInjector {
+	in := &WriteInjector{
+		shortWrites: make(map[int64]bool),
+		syncErrs:    make(map[int64]bool),
+	}
+	rng := rand.New(rand.NewSource(plan.Seed))
+	for _, i := range pickIndices(rng, plan.Writes, plan.ShortWrites) {
+		in.shortWrites[i] = true
+	}
+	for _, i := range pickIndices(rng, plan.Syncs, plan.SyncErrs) {
+		in.syncErrs[i] = true
+	}
+	return in
+}
+
+// WrapFile interposes the planned faults on f — the shape of
+// wal.Options.WrapFile. Nil-safe: the nil injector returns f.
+func (in *WriteInjector) WrapFile(f WFile) WFile {
+	if in == nil {
+		return f
+	}
+	return &faultFile{in: in, f: f}
+}
+
+// Writes returns how many writes have executed so far.
+func (in *WriteInjector) Writes() int64 {
+	if in == nil {
+		return 0
+	}
+	return in.writes.Load()
+}
+
+type faultFile struct {
+	in *WriteInjector
+	f  WFile
+}
+
+// Write persists a prefix and fails on planned short-write calls: the
+// bytes that reached the file stay there, exactly like a crash landing
+// mid-write, so the torn frame is real on disk.
+func (ff *faultFile) Write(p []byte) (int, error) {
+	if ff.in.shortWrites[ff.in.writes.Add(1)-1] {
+		n := len(p) / 2
+		m, err := ff.f.Write(p[:n])
+		if err != nil {
+			return m, err
+		}
+		return m, ErrInjectedWrite
+	}
+	return ff.f.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	if ff.in.syncErrs[ff.in.syncs.Add(1)-1] {
+		return ErrInjectedSync
+	}
+	return ff.f.Sync()
+}
+
+func (ff *faultFile) Close() error { return ff.f.Close() }

@@ -81,6 +81,10 @@ type Options struct {
 	// families (cncd_request_duration_seconds and friends) are appended
 	// to /metrics after the process-scoped cncount_* families.
 	Requests *RequestMetrics
+	// WALStats supplies the durability log's live view for the
+	// cncd_wal_* gauge families; nil (or a false second return) omits
+	// them from /metrics.
+	WALStats func() (WALStatus, bool)
 	// StallAfter is the heartbeat age that flags a worker stalled;
 	// 0 uses DefaultStallAfter, negative disables stall detection.
 	StallAfter time.Duration
@@ -92,9 +96,10 @@ type Options struct {
 // usable; construct with New. A nil *Plane is the disabled plane: Start
 // and Close are no-ops, so callers thread one pointer unconditionally.
 type Plane struct {
-	opts     Options
-	mux      *http.ServeMux
-	draining atomic.Bool
+	opts       Options
+	mux        *http.ServeMux
+	draining   atomic.Bool
+	recovering atomic.Pointer[recovery]
 
 	// mu guards the listener state below against Start racing Close: a
 	// command's signal handler and its main defer both call Close (and
@@ -234,6 +239,11 @@ func (p *Plane) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		io.WriteString(w, "draining\n")
 		return
 	}
+	if p.recovering.Load() != nil {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		p.healthzRecovery(w)
+		return
+	}
 	io.WriteString(w, "ok\n")
 }
 
@@ -256,6 +266,9 @@ func (p *Plane) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	if err := p.opts.Requests.WriteProm(w); err != nil {
 		p.opts.Logf("obs: /metrics request families write: %v", err)
+	}
+	if err := p.writeWALProm(w, time.Now()); err != nil {
+		p.opts.Logf("obs: /metrics wal families write: %v", err)
 	}
 }
 

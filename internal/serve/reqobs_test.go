@@ -396,7 +396,7 @@ func TestInFlightRequestsNamed(t *testing.T) {
 	s, ts := newTestServer(t, g, Options{})
 	entered := make(chan struct{})
 	release := make(chan struct{})
-	s.mux.HandleFunc("/v1/slow", s.wrap("slow", func(http.ResponseWriter, *http.Request, *graphState) error {
+	s.mux.HandleFunc("/v1/slow", s.wrap("slow", http.MethodGet, func(http.ResponseWriter, *http.Request, *graphState) error {
 		close(entered)
 		<-release
 		return nil

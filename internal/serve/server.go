@@ -92,6 +92,7 @@ type Server struct {
 	mux      *http.ServeMux
 	capture  *Capture
 	inflight *inflightReg
+	ingester atomic.Pointer[Ingester]
 }
 
 // New builds a server around the given resident graph (epoch 1).
@@ -124,16 +125,27 @@ func New(g *cncount.Graph, name string, opts Options) *Server {
 	}
 	opts.Requests.SetInFlight(s.adm.inFlight)
 	s.state.Store(&graphState{g: g, name: name, epoch: 1})
-	s.mux.HandleFunc("/v1/info", s.wrap("info", s.handleInfo))
-	s.mux.HandleFunc("/v1/edge", s.wrap("edge", s.handleEdge))
-	s.mux.HandleFunc("/v1/pair", s.wrap("pair", s.handlePair))
-	s.mux.HandleFunc("/v1/topk", s.wrap("topk", s.handleTopK))
-	s.mux.HandleFunc("/v1/count", s.wrap("count", s.handleCount))
-	s.mux.HandleFunc("/v1/sample", s.wrap("sample", s.handleSample))
+	s.mux.HandleFunc("/v1/info", s.wrap("info", http.MethodGet, s.handleInfo))
+	s.mux.HandleFunc("/v1/edge", s.wrap("edge", http.MethodGet, s.handleEdge))
+	s.mux.HandleFunc("/v1/pair", s.wrap("pair", http.MethodGet, s.handlePair))
+	s.mux.HandleFunc("/v1/topk", s.wrap("topk", http.MethodGet, s.handleTopK))
+	s.mux.HandleFunc("/v1/count", s.wrap("count", http.MethodGet, s.handleCount))
+	s.mux.HandleFunc("/v1/sample", s.wrap("sample", http.MethodGet, s.handleSample))
+	s.mux.HandleFunc("/v1/update", s.wrap("update", http.MethodPost, s.handleUpdate))
 	s.mux.HandleFunc("/debug/requests.json", s.handleRequestsJSON)
 	s.mux.HandleFunc("/debug/requests", s.handleRequestsHTML)
 	return s
 }
+
+// EnableUpdates installs the ingestion layer behind /v1/update. Until
+// it is called (cncd calls it after WAL replay finishes), update
+// requests are turned away with 503 — queries keep serving the resident
+// epoch throughout recovery.
+func (s *Server) EnableUpdates(in *Ingester) { s.ingester.Store(in) }
+
+// Ingest returns the installed ingestion layer, nil when updates are
+// disabled or recovery has not finished.
+func (s *Server) Ingest() *Ingester { return s.ingester.Load() }
 
 // Handler returns the server's mux. cmd/cncd mounts the observability
 // plane's handler on the same outer mux under "/", so /metrics and
@@ -176,9 +188,12 @@ func (s *Server) InFlight() int { return s.adm.inFlight() }
 // by request ID in the diagnostic bundle.
 func (s *Server) InFlightRequests() []string { return s.inflight.describe() }
 
-// httpError is a handler-returned error carrying its status code.
+// httpError is a handler-returned error carrying its status code and,
+// for typed errors, a machine-readable code rendered into the JSON
+// error envelope.
 type httpError struct {
 	status int
+	code   string
 	msg    string
 }
 
@@ -188,13 +203,19 @@ func errf(status int, format string, args ...any) error {
 	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
 }
 
+// errcode is errf with a machine-readable error code for clients that
+// branch on failure kinds rather than parsing messages.
+func errcode(status int, code, format string, args ...any) error {
+	return &httpError{status: status, code: code, msg: fmt.Sprintf(format, args...)}
+}
+
 // wrap is the common serving path of every /v1 endpoint: request
 // identity first (so every response — 405s and 429s included — carries
 // the correlation headers), then method check, admission, deadline,
 // request counter, RED observation, access logging, capture, and JSON
 // error rendering. Handlers return an error instead of writing error
 // responses themselves so the envelope stays uniform.
-func (s *Server) wrap(name string, h func(w http.ResponseWriter, r *http.Request, st *graphState) error) http.HandlerFunc {
+func (s *Server) wrap(name, method string, h func(w http.ResponseWriter, r *http.Request, st *graphState) error) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		// Ingest the caller's trace context; any hostile or absent header
@@ -215,10 +236,10 @@ func (s *Server) wrap(name string, h func(w http.ResponseWriter, r *http.Request
 		}
 		rec := &statusRecorder{ResponseWriter: w}
 		admission := "ok"
-		var errBody string
+		var errBody, errCode string
 		fail := func(status int, format string, args ...any) {
 			errBody = fmt.Sprintf(format, args...)
-			writeJSONError(rec, status, reqID, "%s", errBody)
+			writeJSONError(rec, status, reqID, errCode, "%s", errBody)
 		}
 		defer func() {
 			dur := time.Since(start)
@@ -228,8 +249,8 @@ func (s *Server) wrap(name string, h func(w http.ResponseWriter, r *http.Request
 			s.captureRequest(name, status, errBody, sc, dur)
 		}()
 
-		if r.Method != http.MethodGet {
-			fail(http.StatusMethodNotAllowed, "GET only")
+		if r.Method != method {
+			fail(http.StatusMethodNotAllowed, "%s only", method)
 			return
 		}
 		if !s.adm.tryAcquire() {
@@ -267,6 +288,7 @@ func (s *Server) wrap(name string, h func(w http.ResponseWriter, r *http.Request
 		if err := h(rec, r.WithContext(ctx), st); err != nil {
 			var he *httpError
 			if errors.As(err, &he) {
+				errCode = he.code
 				fail(he.status, "%s", he.msg)
 				return
 			}
@@ -339,13 +361,17 @@ func (s *Server) reqContext(r *http.Request) (context.Context, context.CancelFun
 
 // writeJSONError renders the uniform error envelope. Every error body
 // carries the request ID alongside the message, so a client that only
-// logged the body can still report the failure actionably.
-func writeJSONError(w http.ResponseWriter, status int, requestID, format string, args ...any) {
+// logged the body can still report the failure actionably; typed errors
+// additionally carry a machine-readable code.
+func writeJSONError(w http.ResponseWriter, status int, requestID, code, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	body := map[string]string{"error": fmt.Sprintf(format, args...)}
 	if requestID != "" {
 		body["request_id"] = requestID
+	}
+	if code != "" {
+		body["code"] = code
 	}
 	json.NewEncoder(w).Encode(body)
 }
@@ -406,8 +432,7 @@ func vertexParam(r *http.Request, st *graphState, name string) (cncount.VertexID
 
 func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request, st *graphState) error {
 	hits, misses := s.cache.Stats()
-	w.Header().Set("Content-Type", "application/json")
-	return json.NewEncoder(w).Encode(map[string]any{
+	body := map[string]any{
 		"graph":         st.name,
 		"epoch":         st.epoch,
 		"vertices":      st.g.NumVertices(),
@@ -417,7 +442,12 @@ func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request, st *graphSta
 		"cache_misses":  misses,
 		"in_flight":     s.adm.inFlight(),
 		"max_in_flight": s.opts.MaxInFlight,
-	})
+	}
+	if in := s.ingester.Load(); in != nil {
+		body["ingest"] = in.Info()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	return json.NewEncoder(w).Encode(body)
 }
 
 // handleEdge answers |N(u) ∩ N(v)| for an existing edge (u,v) — the

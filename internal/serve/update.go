@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"cncount/internal/dynamic"
+	"cncount/internal/graph"
+	"cncount/internal/wal"
+)
+
+// maxUpdateBody bounds the /v1/update request body so one client
+// cannot make the server buffer an arbitrarily large batch.
+const maxUpdateBody = 8 << 20
+
+// updateOp is the wire form of one edge mutation.
+type updateOp struct {
+	Op string `json:"op"`
+	U  uint32 `json:"u"`
+	V  uint32 `json:"v"`
+}
+
+// updateRequest is the /v1/update body: {"ops":[{"op":"insert","u":1,"v":2},…]}.
+type updateRequest struct {
+	Ops []updateOp `json:"ops"`
+}
+
+// handleUpdate accepts one edge-mutation batch. 202 means the batch is
+// committed (durably, when a WAL is configured) and its epoch is
+// installed; 409 with code "invalid_op" means the batch was rejected
+// whole — out-of-range vertex, self-loop, unknown op — and nothing
+// changed; 503 means updates are disabled, recovery is still running,
+// or the write path is broken. Responses are never cached.
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, _ *graphState) error {
+	in := s.ingester.Load()
+	if in == nil {
+		return errcode(http.StatusServiceUnavailable, "updates_unavailable",
+			"updates are disabled or recovery is still in progress")
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxUpdateBody+1))
+	if err != nil {
+		return errf(http.StatusBadRequest, "reading body: %v", err)
+	}
+	if len(body) > maxUpdateBody {
+		return errf(http.StatusRequestEntityTooLarge, "body exceeds %d bytes", maxUpdateBody)
+	}
+	var req updateRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return errf(http.StatusBadRequest, "decoding body: %v", err)
+	}
+	if len(req.Ops) == 0 {
+		return errf(http.StatusBadRequest, "empty batch: ops is required")
+	}
+	if len(req.Ops) > wal.MaxBatchOps {
+		return errf(http.StatusRequestEntityTooLarge,
+			"batch of %d ops exceeds the maximum of %d", len(req.Ops), wal.MaxBatchOps)
+	}
+	ops := make([]dynamic.Op, len(req.Ops))
+	for i, o := range req.Ops {
+		var kind dynamic.OpKind
+		switch o.Op {
+		case "insert":
+			kind = dynamic.OpInsert
+		case "delete":
+			kind = dynamic.OpDelete
+		default:
+			return errcode(http.StatusBadRequest, "invalid_op",
+				"ops[%d]: unknown op %q (want insert or delete)", i, o.Op)
+		}
+		ops[i] = dynamic.Op{Kind: kind, U: graph.VertexID(o.U), V: graph.VertexID(o.V)}
+	}
+
+	res, err := in.Apply(r.Context(), ops)
+	if err != nil {
+		var bad *dynamic.BadOpError
+		if errors.As(err, &bad) {
+			return errcode(http.StatusConflict, "invalid_op", "%v", bad)
+		}
+		if errors.Is(err, ErrIngestBroken) {
+			return errcode(http.StatusServiceUnavailable, "ingest_broken", "%v", err)
+		}
+		return err
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	return json.NewEncoder(w).Encode(map[string]any{
+		"epoch":    res.Epoch,
+		"seq":      res.Seq,
+		"ops":      len(ops),
+		"applied":  res.Applied,
+		"deduped":  res.Deduped,
+		"noops":    res.NoOps,
+		"repaired": res.Repaired,
+	})
+}

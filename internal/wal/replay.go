@@ -1,0 +1,233 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// ErrCorrupt is the sentinel every *CorruptionError wraps; replay
+// callers branch on errors.Is(err, wal.ErrCorrupt) to distinguish
+// "refuse to start, the log is damaged" from ordinary I/O failures.
+var ErrCorrupt = errors.New("wal: log corrupted")
+
+// CorruptionError pinpoints mid-log damage: a bad record with valid
+// data after it, damage in a non-final segment, or a sequence gap.
+// Recovery from such a log would silently diverge, so Replay refuses.
+type CorruptionError struct {
+	// Segment is the damaged segment's path.
+	Segment string
+	// Offset is the byte offset of the damaged record within it.
+	Offset int64
+	// Reason describes the damage.
+	Reason string
+}
+
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("wal: corrupt log: %s at %s:%d", e.Reason, e.Segment, e.Offset)
+}
+
+// Unwrap ties the typed error to the ErrCorrupt sentinel.
+func (e *CorruptionError) Unwrap() error { return ErrCorrupt }
+
+// ReplayInfo summarizes a completed replay.
+type ReplayInfo struct {
+	// Segments is how many segment files were read.
+	Segments int
+	// Batches and Ops count the replayed records and their edge ops.
+	Batches int
+	// Ops counts edge operations across all replayed batches.
+	Ops int64
+	// Bytes is the valid byte count replayed (after any truncation).
+	Bytes int64
+	// FirstSeq and LastSeq bound the replayed sequence numbers (both 0
+	// for an empty log). Open's Options.NextSeq should be LastSeq+1.
+	FirstSeq, LastSeq uint64
+	// TornTail reports that the final segment ended in a torn record —
+	// the expected residue of a crash mid-append — which was truncated
+	// at the last valid record.
+	TornTail bool
+	// TruncatedSegment and TruncatedBytes identify the truncation: the
+	// segment that was cut and how many trailing bytes were dropped.
+	TruncatedSegment string
+	TruncatedBytes   int64
+}
+
+// Replay reads every committed batch in dir in order, calling apply for
+// each. progress, when non-nil, receives (doneBytes, totalBytes) as
+// segments are consumed — the recovery-progress feed for /healthz.
+//
+// A torn record at the tail of the final segment is truncated in place
+// (the file is cut back to its last valid record) and reported via
+// ReplayInfo.TornTail — never an error. Damage anywhere else returns a
+// *CorruptionError and the log must not be appended to. An apply error
+// aborts the replay and is returned as-is.
+func Replay(dir string, apply func(Batch) error, progress func(done, total int64)) (ReplayInfo, error) {
+	var info ReplayInfo
+	segs, err := listSegments(dir)
+	if err != nil {
+		return info, err
+	}
+	var total int64
+	for _, s := range segs {
+		total += s.size
+	}
+	var done int64
+	report := func() {
+		if progress != nil {
+			progress(done, total)
+		}
+	}
+	report()
+	var lastSeq uint64
+	for i, seg := range segs {
+		final := i == len(segs)-1
+		res, err := replaySegment(seg, final, lastSeq, info.Batches == 0, func(b Batch) error {
+			if info.Batches == 0 {
+				info.FirstSeq = b.Seq
+			}
+			info.Batches++
+			info.Ops += int64(len(b.Ops))
+			lastSeq = b.Seq
+			return apply(b)
+		})
+		if err != nil {
+			return info, err
+		}
+		info.Segments++
+		info.Bytes += res.validBytes
+		done += seg.size
+		report()
+		if res.torn {
+			info.TornTail = true
+			info.TruncatedSegment = seg.path
+			info.TruncatedBytes = seg.size - res.validBytes
+			if err := os.Truncate(seg.path, res.validBytes); err != nil {
+				return info, fmt.Errorf("wal: truncate torn tail: %w", err)
+			}
+		}
+	}
+	info.LastSeq = lastSeq
+	return info, nil
+}
+
+// segResult is one segment's replay outcome.
+type segResult struct {
+	// validBytes is the prefix length holding the header and every
+	// valid record; torn marks trailing garbage past it.
+	validBytes int64
+	torn       bool
+}
+
+// replaySegment scans one segment. prevSeq is the last sequence
+// replayed from earlier segments (0 with first=true when none yet).
+//
+// Torn-tail vs corruption: a record that fails to decode ends the scan.
+// In a non-final segment that is always corruption — the writer only
+// ever appends to the last segment, so old segments can only be damaged
+// by external causes. In the final segment it is a torn tail unless a
+// fully-present record fails its checksum *and* valid data follows it:
+// a torn write truncates, it cannot leave a hole with good records
+// after it, so that shape is corruption too.
+func replaySegment(seg segment, final bool, prevSeq uint64, first bool, apply func(Batch) error) (segResult, error) {
+	data, err := os.ReadFile(seg.path)
+	if err != nil {
+		return segResult{}, fmt.Errorf("wal: read segment: %w", err)
+	}
+	corrupt := func(off int64, reason string) (segResult, error) {
+		return segResult{}, &CorruptionError{Segment: seg.path, Offset: off, Reason: reason}
+	}
+	// A segment shorter than its magic header never held a record: a
+	// crash between file creation and header write. Harmless anywhere
+	// (the writer never resumes an old segment), but only torn-truncate
+	// it when final; short non-final segments are left as-is and
+	// contribute no records.
+	if len(data) < len(segMagic) {
+		if len(data) == 0 {
+			return segResult{validBytes: 0}, nil
+		}
+		if final {
+			return segResult{validBytes: 0, torn: true}, nil
+		}
+		return segResult{validBytes: int64(len(data))}, nil
+	}
+	if string(data[:len(segMagic)]) != segMagic {
+		return corrupt(0, fmt.Sprintf("bad segment magic %q", data[:len(segMagic)]))
+	}
+	off := int64(len(segMagic))
+	torn := func(reason string) (segResult, error) {
+		if !final {
+			return corrupt(off, reason+" in non-final segment")
+		}
+		return segResult{validBytes: off, torn: true}, nil
+	}
+	for off < int64(len(data)) {
+		rest := data[off:]
+		if len(rest) < headerLen {
+			return torn("truncated record header")
+		}
+		plen := binary.LittleEndian.Uint32(rest[0:4])
+		if plen < batchHeaderLen || plen > MaxRecordBytes {
+			return torn(fmt.Sprintf("implausible record length %d", plen))
+		}
+		if len(rest) < headerLen+int(plen) {
+			return torn("truncated record payload")
+		}
+		payload := rest[headerLen : headerLen+int(plen)]
+		wantCRC := binary.LittleEndian.Uint32(rest[4:8])
+		if crc32.Checksum(payload, castagnoli) != wantCRC {
+			// The whole declared payload is present, so this is only a
+			// torn tail if nothing valid follows: a crash truncates, it
+			// does not punch holes.
+			next := off + headerLen + int64(plen)
+			if final && !validRecordAt(data, next) {
+				return torn("record checksum mismatch")
+			}
+			return corrupt(off, "record checksum mismatch with valid data after it")
+		}
+		b, err := DecodeBatch(payload)
+		if err != nil {
+			// The checksum matched, so these bytes are what was written:
+			// a structurally invalid batch is a writer bug or forged
+			// log, not a torn write.
+			return corrupt(off, err.Error())
+		}
+		switch {
+		case first:
+			first = false
+		case b.Seq != prevSeq+1:
+			return corrupt(off, fmt.Sprintf("sequence gap: batch %d follows %d", b.Seq, prevSeq))
+		}
+		prevSeq = b.Seq
+		if err := apply(b); err != nil {
+			return segResult{}, err
+		}
+		off += headerLen + int64(plen)
+	}
+	return segResult{validBytes: off}, nil
+}
+
+// validRecordAt reports whether a structurally valid, checksummed
+// record starts at off — the lookahead distinguishing a final-record
+// checksum failure (torn tail) from mid-segment damage.
+func validRecordAt(data []byte, off int64) bool {
+	if off < 0 || off+headerLen > int64(len(data)) {
+		return false
+	}
+	rest := data[off:]
+	plen := binary.LittleEndian.Uint32(rest[0:4])
+	if plen < batchHeaderLen || plen > MaxRecordBytes {
+		return false
+	}
+	if int64(len(rest)) < headerLen+int64(plen) {
+		return false
+	}
+	payload := rest[headerLen : headerLen+int64(plen)]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(rest[4:8]) {
+		return false
+	}
+	_, err := DecodeBatch(payload)
+	return err == nil
+}

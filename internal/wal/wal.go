@@ -1,0 +1,533 @@
+// Package wal is the durability layer of the streaming-ingestion
+// pipeline: a length-prefixed, CRC32C-checksummed, segment-rotating
+// write-ahead log of edge insert/delete batches. The serving path
+// appends a batch (the commit point) before applying it to the
+// in-memory dynamic graph, so a crash between commit and apply loses
+// nothing: on boot, Replay feeds every committed batch back through the
+// same repair path, and the rebuilt counts are identical to the
+// pre-crash state.
+//
+// On-disk format. A log is a directory of segment files named
+// wal-<seq8>.log. Every segment starts with an 8-byte magic header
+// ("cncwal01"); records follow back to back:
+//
+//	[4B LE payload length][4B LE CRC32C(payload)][payload]
+//
+// The payload is one batch: an 8-byte LE sequence number, a 4-byte LE
+// op count, then 9 bytes per op (1B kind, 4B LE u, 4B LE v). Batch
+// sequence numbers are contiguous across the whole log; Replay rejects
+// gaps, so a silently vanished record can never masquerade as a clean
+// log.
+//
+// Failure semantics. A crash mid-append tears the tail of the final
+// segment; Replay truncates it at the last valid record and reports it
+// (TornTail) — a clean torn tail never refuses startup, because it is
+// exactly what a crash is expected to leave behind. Anything else — a
+// bad record with valid data after it, damage in a non-final segment, a
+// sequence gap — is mid-log corruption and Replay refuses with a typed
+// *CorruptionError (errors.Is(err, ErrCorrupt)): counts rebuilt from a
+// log with a hole would silently diverge, and the one thing this layer
+// guarantees is that recovery is either exact or loudly refused.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Record framing constants.
+const (
+	// segMagic opens every segment file.
+	segMagic = "cncwal01"
+	// headerLen is the per-record frame header: 4B length + 4B CRC32C.
+	headerLen = 8
+	// opLen is the encoded size of one Op.
+	opLen = 9
+	// batchHeaderLen is the payload prefix: 8B seq + 4B op count.
+	batchHeaderLen = 12
+	// MaxBatchOps bounds the ops per appended batch.
+	MaxBatchOps = 1 << 20
+	// MaxRecordBytes bounds a declared payload length during replay, so
+	// a corrupt length prefix cannot drive an unbounded allocation.
+	MaxRecordBytes = batchHeaderLen + opLen*MaxBatchOps
+	// DefaultSegmentBytes is the rotation threshold.
+	DefaultSegmentBytes = 64 << 20
+)
+
+// castagnoli is the CRC32C polynomial table (the checksum SSE4.2
+// accelerates, and the one most WAL formats standardize on).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// OpKind is an edge operation kind.
+type OpKind uint8
+
+const (
+	// OpInsert adds an undirected edge.
+	OpInsert OpKind = 1
+	// OpDelete removes an undirected edge.
+	OpDelete OpKind = 2
+)
+
+// String names the kind for logs and errors.
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Op is one edge mutation.
+type Op struct {
+	Kind OpKind
+	U, V uint32
+}
+
+// Batch is one committed unit: a contiguous sequence number and the ops
+// applied atomically under it.
+type Batch struct {
+	Seq uint64
+	Ops []Op
+}
+
+// SyncPolicy says when Append fsyncs.
+type SyncPolicy int
+
+const (
+	// SyncBatch fsyncs after every appended batch: a 202 response means
+	// the batch is on stable storage. The durable default.
+	SyncBatch SyncPolicy = iota
+	// SyncInterval fsyncs when the last fsync is older than SyncEvery:
+	// bounded data loss, amortized fsync cost.
+	SyncInterval
+	// SyncNone never fsyncs on the append path (Close still syncs):
+	// durability left to the OS, for benchmarks and bulk loads.
+	SyncNone
+)
+
+// ParseSyncPolicy maps the -fsync flag spellings to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(s) {
+	case "batch", "always":
+		return SyncBatch, nil
+	case "interval":
+		return SyncInterval, nil
+	case "off", "none", "never":
+		return SyncNone, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown fsync policy %q: valid policies are batch, interval, off", s)
+	}
+}
+
+// String names the policy for flags and manifests.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncBatch:
+		return "batch"
+	case SyncInterval:
+		return "interval"
+	case SyncNone:
+		return "off"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// File is the subset of *os.File the append path uses. Options.WrapFile
+// interposes on it, which is how the chaos injector plants short writes
+// and fsync errors without the log knowing.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// Options configures an append-side Log. The zero value is usable:
+// per-batch fsync, 64 MiB segments, sequence numbers from 1.
+type Options struct {
+	// SegmentBytes rotates to a new segment when the current one would
+	// exceed it; <= 0 uses DefaultSegmentBytes.
+	SegmentBytes int64
+	// Sync is the fsync policy.
+	Sync SyncPolicy
+	// SyncEvery is SyncInterval's maximum fsync age; <= 0 uses 100ms.
+	SyncEvery time.Duration
+	// NextSeq is the first sequence number this Log assigns — after a
+	// replay, ReplayInfo.LastSeq+1 keeps the log contiguous. 0 means 1.
+	NextSeq uint64
+	// WrapFile, when non-nil, wraps every newly created segment file
+	// before the log writes to it (the chaos fault-injection hook).
+	WrapFile func(File) File
+}
+
+// Stats is a point-in-time view of the log for the observability plane.
+type Stats struct {
+	// Segments is the number of segment files, the open one included.
+	Segments int
+	// Bytes is the total size of all segments.
+	Bytes int64
+	// Appended counts batches appended through this Log.
+	Appended uint64
+	// LastSyncUnixNanos is the wall time of the last successful fsync,
+	// 0 when none has happened yet.
+	LastSyncUnixNanos int64
+	// NextSeq is the sequence number the next Append will assign.
+	NextSeq uint64
+}
+
+// Log is the append side of a write-ahead log. Safe for concurrent use;
+// appends serialize on an internal mutex (the ingestion layer serializes
+// batches anyway, so the lock is uncontended in practice).
+type Log struct {
+	dir  string
+	opts Options
+
+	mu        sync.Mutex
+	f         File
+	fRaw      *os.File // the unwrapped file, for Name/Stat
+	curBytes  int64    // bytes written to the current segment
+	segIndex  int      // current segment's numeric index
+	segments  int      // total segment files, current included
+	prevBytes int64    // bytes in all closed segments
+	appended  uint64
+	nextSeq   uint64
+	lastSync  time.Time
+	err       error // sticky: a failed write/sync poisons the log
+	closed    bool
+}
+
+// Open creates a Log appending to dir, creating the directory when
+// missing. It always starts a fresh segment — it never appends into an
+// old one — so a previously truncated tail can never be re-extended.
+// Call Replay first: its ReplayInfo.LastSeq feeds Options.NextSeq.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = 100 * time.Millisecond
+	}
+	if opts.NextSeq == 0 {
+		opts.NextSeq = 1
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	maxIndex := 0
+	var prevBytes int64
+	for _, s := range segs {
+		if s.index > maxIndex {
+			maxIndex = s.index
+		}
+		prevBytes += s.size
+	}
+	l := &Log{
+		dir:       dir,
+		opts:      opts,
+		segIndex:  maxIndex,
+		segments:  len(segs),
+		prevBytes: prevBytes,
+		nextSeq:   opts.NextSeq,
+	}
+	if err := l.rotateLocked(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// segment is one on-disk segment file.
+type segment struct {
+	path  string
+	index int
+	size  int64
+}
+
+// listSegments returns dir's segment files sorted by index.
+func listSegments(dir string) ([]segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []segment
+	for _, e := range entries {
+		var idx int
+		if e.IsDir() {
+			continue
+		}
+		if _, err := fmt.Sscanf(e.Name(), "wal-%08d.log", &idx); err != nil {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		segs = append(segs, segment{path: filepath.Join(dir, e.Name()), index: idx, size: info.Size()})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].index < segs[j].index })
+	return segs, nil
+}
+
+func segmentPath(dir string, index int) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%08d.log", index))
+}
+
+// rotateLocked closes the current segment (if any) and opens the next
+// one, writing its magic header and fsyncing the directory so the new
+// file name itself is durable.
+func (l *Log) rotateLocked() error {
+	if l.f != nil {
+		if err := l.f.Sync(); err != nil {
+			return l.poison(fmt.Errorf("wal: sync before rotate: %w", err))
+		}
+		if err := l.f.Close(); err != nil {
+			return l.poison(fmt.Errorf("wal: close before rotate: %w", err))
+		}
+		l.prevBytes += l.curBytes
+		l.f, l.fRaw, l.curBytes = nil, nil, 0
+	}
+	l.segIndex++
+	path := segmentPath(l.dir, l.segIndex)
+	raw, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return l.poison(fmt.Errorf("wal: create segment: %w", err))
+	}
+	l.fRaw = raw
+	l.f = File(raw)
+	if l.opts.WrapFile != nil {
+		l.f = l.opts.WrapFile(raw)
+	}
+	l.segments++
+	if _, err := io.WriteString(l.f, segMagic); err != nil {
+		return l.poison(fmt.Errorf("wal: write segment header: %w", err))
+	}
+	l.curBytes = int64(len(segMagic))
+	if err := syncDir(l.dir); err != nil {
+		return l.poison(err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so newly created file names survive a
+// crash (the segment's own fsync does not cover its directory entry).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: open dir for sync: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}
+
+// poison records the first fatal error; every later call fails with it.
+// A log whose last write may be torn must not accept more appends — the
+// torn record would sit mid-log and turn a clean tail into corruption.
+func (l *Log) poison(err error) error {
+	if l.err == nil {
+		l.err = err
+	}
+	return err
+}
+
+// Err returns the sticky error poisoning the log, nil when healthy.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// EncodeBatch renders a batch payload (no frame header).
+func EncodeBatch(seq uint64, ops []Op) []byte {
+	buf := make([]byte, batchHeaderLen+opLen*len(ops))
+	binary.LittleEndian.PutUint64(buf[0:8], seq)
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(len(ops)))
+	at := batchHeaderLen
+	for _, op := range ops {
+		buf[at] = byte(op.Kind)
+		binary.LittleEndian.PutUint32(buf[at+1:at+5], op.U)
+		binary.LittleEndian.PutUint32(buf[at+5:at+9], op.V)
+		at += opLen
+	}
+	return buf
+}
+
+// DecodeBatch parses a batch payload. It never panics on hostile bytes
+// (FuzzWALRecord pins this): every structural violation is an error.
+func DecodeBatch(payload []byte) (Batch, error) {
+	if len(payload) < batchHeaderLen {
+		return Batch{}, fmt.Errorf("wal: payload %d bytes, want >= %d", len(payload), batchHeaderLen)
+	}
+	seq := binary.LittleEndian.Uint64(payload[0:8])
+	n := binary.LittleEndian.Uint32(payload[8:12])
+	if n > MaxBatchOps {
+		return Batch{}, fmt.Errorf("wal: batch declares %d ops, max %d", n, MaxBatchOps)
+	}
+	if want := batchHeaderLen + opLen*int(n); len(payload) != want {
+		return Batch{}, fmt.Errorf("wal: batch of %d ops is %d bytes, want %d", n, len(payload), want)
+	}
+	ops := make([]Op, n)
+	at := batchHeaderLen
+	for i := range ops {
+		k := OpKind(payload[at])
+		if k != OpInsert && k != OpDelete {
+			return Batch{}, fmt.Errorf("wal: op %d: unknown kind %d", i, payload[at])
+		}
+		ops[i] = Op{
+			Kind: k,
+			U:    binary.LittleEndian.Uint32(payload[at+1 : at+5]),
+			V:    binary.LittleEndian.Uint32(payload[at+5 : at+9]),
+		}
+		at += opLen
+	}
+	return Batch{Seq: seq, Ops: ops}, nil
+}
+
+// frame renders the frame header + payload as one contiguous write, so
+// a crash tears at most one record and always at the tail.
+func frame(payload []byte) []byte {
+	rec := make([]byte, headerLen+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.Checksum(payload, castagnoli))
+	copy(rec[headerLen:], payload)
+	return rec
+}
+
+// Append commits one batch: it assigns the next sequence number, writes
+// the framed record, fsyncs per policy, and returns the sequence. When
+// Append returns nil the batch is in the log (and, under SyncBatch, on
+// stable storage) — the caller may apply it. Any write or sync failure
+// poisons the log: the on-disk tail is in an unknown state and only a
+// restart (whose replay truncates it) can recover.
+func (l *Log) Append(ops []Op) (seq uint64, err error) {
+	if len(ops) == 0 {
+		return 0, errors.New("wal: empty batch")
+	}
+	if len(ops) > MaxBatchOps {
+		return 0, fmt.Errorf("wal: batch of %d ops exceeds max %d", len(ops), MaxBatchOps)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, errors.New("wal: log closed")
+	}
+	if l.err != nil {
+		return 0, fmt.Errorf("wal: log poisoned by earlier failure: %w", l.err)
+	}
+	seq = l.nextSeq
+	rec := frame(EncodeBatch(seq, ops))
+	if l.curBytes+int64(len(rec)) > l.opts.SegmentBytes && l.curBytes > int64(len(segMagic)) {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	n, err := l.f.Write(rec)
+	if err != nil {
+		return 0, l.poison(fmt.Errorf("wal: append: %w", err))
+	}
+	if n < len(rec) {
+		return 0, l.poison(fmt.Errorf("wal: short append: %d of %d bytes", n, len(rec)))
+	}
+	l.curBytes += int64(len(rec))
+	switch l.opts.Sync {
+	case SyncBatch:
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	case SyncInterval:
+		if time.Since(l.lastSync) >= l.opts.SyncEvery {
+			if err := l.syncLocked(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	l.nextSeq++
+	l.appended++
+	return seq, nil
+}
+
+func (l *Log) syncLocked() error {
+	if err := l.f.Sync(); err != nil {
+		return l.poison(fmt.Errorf("wal: fsync: %w", err))
+	}
+	l.lastSync = time.Now()
+	return nil
+}
+
+// Sync forces an fsync of the current segment regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: log closed")
+	}
+	if l.err != nil {
+		return l.err
+	}
+	return l.syncLocked()
+}
+
+// Close syncs and closes the current segment. A poisoned log closes the
+// file without syncing (the data is suspect anyway) and returns the
+// sticky error.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.f == nil {
+		return l.err
+	}
+	if l.err == nil {
+		if err := l.f.Sync(); err != nil {
+			l.poison(fmt.Errorf("wal: sync on close: %w", err))
+		}
+	}
+	if err := l.f.Close(); err != nil && l.err == nil {
+		l.poison(fmt.Errorf("wal: close: %w", err))
+	}
+	l.f, l.fRaw = nil, nil
+	return l.err
+}
+
+// Stats snapshots the log's size and sync state.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var lastSync int64
+	if !l.lastSync.IsZero() {
+		lastSync = l.lastSync.UnixNano()
+	}
+	return Stats{
+		Segments:          l.segments,
+		Bytes:             l.prevBytes + l.curBytes,
+		Appended:          l.appended,
+		LastSyncUnixNanos: lastSync,
+		NextSeq:           l.nextSeq,
+	}
+}

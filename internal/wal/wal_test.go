@@ -1,0 +1,540 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+)
+
+// appendN appends n small distinct batches and returns them.
+func appendN(t *testing.T, l *Log, n int) []Batch {
+	t.Helper()
+	var out []Batch
+	for i := 0; i < n; i++ {
+		ops := []Op{
+			{Kind: OpInsert, U: uint32(i), V: uint32(i + 1)},
+			{Kind: OpDelete, U: uint32(i + 2), V: uint32(i + 3)},
+		}
+		seq, err := l.Append(ops)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		out = append(out, Batch{Seq: seq, Ops: ops})
+	}
+	return out
+}
+
+// replayAll replays dir into a slice.
+func replayAll(t *testing.T, dir string) ([]Batch, ReplayInfo) {
+	t.Helper()
+	var got []Batch
+	info, err := Replay(dir, func(b Batch) error {
+		got = append(got, b)
+		return nil
+	}, nil)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got, info
+}
+
+func batchesEqual(a, b []Batch) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Seq != b[i].Seq || len(a[i].Ops) != len(b[i].Ops) {
+			return false
+		}
+		for j := range a[i].Ops {
+			if a[i].Ops[j] != b[i].Ops[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := appendN(t, l, 10)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, info := replayAll(t, dir)
+	if !batchesEqual(got, want) {
+		t.Fatalf("replayed %v, want %v", got, want)
+	}
+	if info.TornTail {
+		t.Error("clean log reported a torn tail")
+	}
+	if info.FirstSeq != 1 || info.LastSeq != 10 || info.Batches != 10 || info.Ops != 20 {
+		t.Errorf("info = %+v, want seqs 1..10, 10 batches, 20 ops", info)
+	}
+}
+
+func TestSegmentRotationAndContinuation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := appendN(t, l, 20)
+	if st := l.Stats(); st.Segments < 3 {
+		t.Fatalf("got %d segments at 128-byte rotation, want >= 3", st.Segments)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, info := replayAll(t, dir)
+	if !batchesEqual(got, first) {
+		t.Fatalf("rotation broke replay: %d batches, want %d", len(got), len(first))
+	}
+
+	// A second life of the log continues the sequence from the replay.
+	l2, err := Open(dir, Options{SegmentBytes: 128, NextSeq: info.LastSeq + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := appendN(t, l2, 5)
+	if second[0].Seq != info.LastSeq+1 {
+		t.Fatalf("continuation started at seq %d, want %d", second[0].Seq, info.LastSeq+1)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got2, _ := replayAll(t, dir)
+	if !batchesEqual(got2, append(append([]Batch(nil), first...), second...)) {
+		t.Fatal("replay after continuation lost or reordered batches")
+	}
+}
+
+// lastSegment returns the path of the highest-index segment.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("listSegments: %v (%d segments)", err, len(segs))
+	}
+	return segs[len(segs)-1].path
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	for _, cut := range []int64{1, 3, 9} { // mid-header, mid-frame, mid-payload
+		t.Run(fmt.Sprintf("cut%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			l, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := appendN(t, l, 5)
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			// Tear the tail: keep all but `cut` bytes of the final record.
+			path := lastSegment(t, dir)
+			fi, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(path, fi.Size()-cut); err != nil {
+				t.Fatal(err)
+			}
+
+			got, info := replayAll(t, dir)
+			if !info.TornTail {
+				t.Fatal("torn tail not reported")
+			}
+			if !batchesEqual(got, want[:4]) {
+				t.Fatalf("replayed %d batches, want the 4 intact ones", len(got))
+			}
+			if info.TruncatedSegment != path || info.TruncatedBytes == 0 {
+				t.Errorf("truncation report = %q/%d", info.TruncatedSegment, info.TruncatedBytes)
+			}
+			// The truncation is physical: a second replay is clean.
+			got2, info2 := replayAll(t, dir)
+			if info2.TornTail {
+				t.Error("second replay still sees a torn tail")
+			}
+			if !batchesEqual(got2, want[:4]) {
+				t.Error("second replay diverged")
+			}
+		})
+	}
+}
+
+func TestTornTailOfLastRecordChecksum(t *testing.T) {
+	// A final record whose payload is fully present but checksum-bad,
+	// with nothing after it, is a torn tail (filesystems can land
+	// garbage in the final blocks on power loss), not corruption.
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := appendN(t, l, 3)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := lastSegment(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, info := replayAll(t, dir)
+	if !info.TornTail {
+		t.Fatal("final-record checksum failure not treated as torn tail")
+	}
+	if !batchesEqual(got, want[:2]) {
+		t.Fatalf("replayed %d batches, want 2", len(got))
+	}
+}
+
+func TestMidLogCorruptionRefused(t *testing.T) {
+	corruptAt := func(t *testing.T, path string, fromEnd int64) {
+		t.Helper()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[int64(len(data))-fromEnd] ^= 0xff
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	t.Run("non-final segment", func(t *testing.T) {
+		dir := t.TempDir()
+		l, err := Open(dir, Options{SegmentBytes: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendN(t, l, 20)
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		segs, _ := listSegments(dir)
+		if len(segs) < 2 {
+			t.Fatal("rotation did not happen")
+		}
+		corruptAt(t, segs[0].path, 5)
+		_, err = Replay(dir, func(Batch) error { return nil }, nil)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("non-final corruption returned %v, want ErrCorrupt", err)
+		}
+		var ce *CorruptionError
+		if !errors.As(err, &ce) || ce.Segment != segs[0].path {
+			t.Fatalf("error = %v, want *CorruptionError in %s", err, segs[0].path)
+		}
+	})
+
+	t.Run("final segment with valid data after", func(t *testing.T) {
+		dir := t.TempDir()
+		l, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendN(t, l, 5) // one segment, 5 records
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Flip a payload byte of a middle record: fully present, valid
+		// records after it — a hole, not a torn tail.
+		path := lastSegment(t, dir)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0xff
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err = Replay(dir, func(Batch) error { return nil }, nil)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("mid-segment hole returned %v, want ErrCorrupt", err)
+		}
+	})
+
+	t.Run("sequence gap", func(t *testing.T) {
+		dir := t.TempDir()
+		l, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendN(t, l, 2)
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Forge a gap: rewrite the segment with records 1 and 3.
+		path := lastSegment(t, dir)
+		var buf bytes.Buffer
+		buf.WriteString(segMagic)
+		buf.Write(frame(EncodeBatch(1, []Op{{Kind: OpInsert, U: 0, V: 1}})))
+		buf.Write(frame(EncodeBatch(3, []Op{{Kind: OpInsert, U: 1, V: 2}})))
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err = Replay(dir, func(Batch) error { return nil }, nil)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("sequence gap returned %v, want ErrCorrupt", err)
+		}
+	})
+
+	t.Run("bad magic", func(t *testing.T) {
+		dir := t.TempDir()
+		if err := os.WriteFile(segmentPath(dir, 1), []byte("notawal0"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Replay(dir, func(Batch) error { return nil }, nil)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("bad magic returned %v, want ErrCorrupt", err)
+		}
+	})
+}
+
+func TestEmptyAndHeaderOnlySegments(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := appendN(t, l, 3)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A crashed boot leaves an empty next segment, and a crash during
+	// segment creation can leave a partial header. Neither holds data;
+	// neither may refuse startup.
+	if err := os.WriteFile(segmentPath(dir, 2), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(segmentPath(dir, 3), []byte("cnc"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, info := replayAll(t, dir)
+	if !batchesEqual(got, want) {
+		t.Fatalf("stray empty segments broke replay: %d batches, want %d", len(got), len(want))
+	}
+	if !info.TornTail {
+		t.Error("partial-header final segment should report a torn tail")
+	}
+}
+
+func TestReplayProgressAndApplyError(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 10)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var lastDone, total int64
+	calls := 0
+	_, err = Replay(dir, func(Batch) error { return nil }, func(d, tot int64) {
+		if d < lastDone {
+			t.Errorf("progress went backwards: %d after %d", d, lastDone)
+		}
+		lastDone, total = d, tot
+		calls++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 || lastDone != total || total == 0 {
+		t.Errorf("progress: %d calls, done %d / total %d", calls, lastDone, total)
+	}
+
+	boom := errors.New("boom")
+	_, err = Replay(dir, func(b Batch) error {
+		if b.Seq == 3 {
+			return boom
+		}
+		return nil
+	}, nil)
+	if !errors.Is(err, boom) {
+		t.Errorf("apply error = %v, want boom", err)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SyncPolicy
+		ok   bool
+	}{
+		{"batch", SyncBatch, true}, {"always", SyncBatch, true},
+		{"interval", SyncInterval, true},
+		{"off", SyncNone, true}, {"none", SyncNone, true},
+		{"sometimes", 0, false},
+	} {
+		got, err := ParseSyncPolicy(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("ParseSyncPolicy(%q) accepted", tc.in)
+		}
+	}
+
+	// SyncNone appends without fsync; the data still replays (Close syncs).
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := appendN(t, l, 4)
+	if st := l.Stats(); st.LastSyncUnixNanos != 0 {
+		t.Error("SyncNone fsynced on the append path")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := replayAll(t, dir)
+	if !batchesEqual(got, want) {
+		t.Error("SyncNone lost appends")
+	}
+
+	// SyncInterval with a huge interval syncs at most once (the first
+	// append sees a zero lastSync).
+	dir2 := t.TempDir()
+	l2, err := Open(dir2, Options{Sync: SyncInterval, SyncEvery: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l2, 4)
+	st := l2.Stats()
+	if st.LastSyncUnixNanos == 0 {
+		t.Error("SyncInterval never synced")
+	}
+	l2.Close()
+}
+
+// failFile wraps a File to fail on command.
+type failFile struct {
+	File
+	failWrite bool
+	failSync  bool
+}
+
+func (f *failFile) Write(p []byte) (int, error) {
+	if f.failWrite {
+		n := len(p) / 2
+		nn, _ := f.File.Write(p[:n])
+		return nn, errors.New("injected write error")
+	}
+	return f.File.Write(p)
+}
+
+func (f *failFile) Sync() error {
+	if f.failSync {
+		return errors.New("injected sync error")
+	}
+	return f.File.Sync()
+}
+
+func TestWriteFailurePoisonsLog(t *testing.T) {
+	dir := t.TempDir()
+	var ff *failFile
+	l, err := Open(dir, Options{WrapFile: func(f File) File {
+		ff = &failFile{File: f}
+		return ff
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 2)
+	ff.failWrite = true
+	if _, err := l.Append([]Op{{Kind: OpInsert, U: 7, V: 8}}); err == nil {
+		t.Fatal("short write not surfaced")
+	}
+	ff.failWrite = false
+	if _, err := l.Append([]Op{{Kind: OpInsert, U: 9, V: 10}}); err == nil {
+		t.Fatal("poisoned log accepted another append")
+	}
+	if l.Err() == nil {
+		t.Fatal("Err() nil on poisoned log")
+	}
+	l.Close()
+
+	// Recovery: the torn record is truncated, the intact prefix replays.
+	got, info := replayAll(t, dir)
+	if len(got) != 2 {
+		t.Fatalf("replayed %d batches after short write, want 2", len(got))
+	}
+	if !info.TornTail {
+		t.Error("short write did not leave a (reported) torn tail")
+	}
+}
+
+func TestSyncFailurePoisonsLog(t *testing.T) {
+	dir := t.TempDir()
+	var ff *failFile
+	l, err := Open(dir, Options{WrapFile: func(f File) File {
+		ff = &failFile{File: f}
+		return ff
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 1)
+	ff.failSync = true
+	if _, err := l.Append([]Op{{Kind: OpInsert, U: 5, V: 6}}); err == nil {
+		t.Fatal("fsync failure not surfaced")
+	}
+	if _, err := l.Append([]Op{{Kind: OpInsert, U: 6, V: 7}}); err == nil {
+		t.Fatal("poisoned log accepted another append")
+	}
+	l.Close()
+}
+
+func TestAppendValidation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append(nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+}
+
+func TestStats(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 10)
+	st := l.Stats()
+	if st.Appended != 10 || st.NextSeq != 11 || st.Segments < 2 || st.Bytes == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.LastSyncUnixNanos == 0 {
+		t.Error("SyncBatch log has no last-sync time")
+	}
+	l.Close()
+	// On-disk truth matches the accounting.
+	var disk int64
+	segs, _ := listSegments(dir)
+	for _, s := range segs {
+		disk += s.size
+	}
+	if disk != st.Bytes {
+		t.Errorf("stats bytes %d, on disk %d", st.Bytes, disk)
+	}
+}

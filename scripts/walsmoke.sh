@@ -1,0 +1,129 @@
+#!/bin/sh
+# walsmoke: end-to-end smoke test of durable streaming ingestion.
+#
+# Builds cncd, starts it with a WAL directory, posts edge-mutation
+# batches to /v1/update until several are durably acknowledged, then
+# kills the daemon dead with SIGKILL (no drain, no WAL close). A second
+# daemon on the same WAL directory must print the replay banner, resume
+# at the next sequence number, and serve a graph whose maintained
+# triangle total matches a from-scratch /v1/count recount exactly —
+# the no-silent-divergence contract. Exits non-zero on any failure.
+# Run from the repo root (the Makefile's `make walsmoke` does).
+set -eu
+
+GO=${GO:-go}
+TMP=$(mktemp -d)
+CNCD_PID=""
+
+fail() {
+	echo "walsmoke: FAIL: $*" >&2
+	[ -f "$TMP/cncd.log" ] && sed 's/^/walsmoke:   cncd: /' "$TMP/cncd.log" >&2
+	[ -f "$TMP/cncd2.log" ] && sed 's/^/walsmoke:   cncd2: /' "$TMP/cncd2.log" >&2
+	exit 1
+}
+
+cleanup() {
+	[ -n "$CNCD_PID" ] && kill -9 "$CNCD_PID" 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+$GO build -o "$TMP/cncd" ./cmd/cncd
+WALDIR="$TMP/wal"
+
+# wait_addr LOGFILE: poll for the ready line, echo the bound address.
+wait_addr() {
+	i=0
+	while [ $i -lt 600 ]; do
+		A=$(sed -n 's/^cncd listening on \(.*\)$/\1/p' "$1")
+		if [ -n "$A" ]; then
+			echo "$A"
+			return 0
+		fi
+		kill -0 "$CNCD_PID" 2>/dev/null || return 1
+		i=$((i + 1))
+		sleep 0.1
+	done
+	return 1
+}
+
+# Phase 1: ingest. Start with a WAL, wait for the ingester (first boot
+# replays an empty log, so /v1/update 503s briefly), then commit batches.
+"$TMP/cncd" -profile WI -scale 0.05 -listen 127.0.0.1:0 -threads 2 \
+	-wal "$WALDIR" -fsync batch >"$TMP/cncd.log" 2>&1 &
+CNCD_PID=$!
+ADDR=$(wait_addr "$TMP/cncd.log") || fail "cncd never listened"
+
+i=0
+while ! curl -fsS "http://$ADDR/v1/info" 2>/dev/null | grep -q '"durable":true'; do
+	i=$((i + 1))
+	[ $i -lt 300 ] || fail "ingester never came up"
+	sleep 0.1
+done
+
+ACKS=0
+n=0
+while [ $n -lt 5 ]; do
+	u=$((2 * n))
+	v=$((2 * n + 1))
+	CODE=$(curl -s -o "$TMP/upd.json" -w '%{http_code}' -X POST \
+		-H 'Content-Type: application/json' \
+		-d "{\"ops\":[{\"op\":\"insert\",\"u\":$u,\"v\":$v}]}" \
+		"http://$ADDR/v1/update")
+	[ "$CODE" = "202" ] || fail "/v1/update = $CODE: $(cat "$TMP/upd.json")"
+	ACKS=$((ACKS + 1))
+	n=$((n + 1))
+done
+grep -q '"seq":5' "$TMP/upd.json" || fail "last ack is not seq 5: $(cat "$TMP/upd.json")"
+
+# Phase 2: crash. SIGKILL — the daemon gets no chance to flush or close.
+kill -9 "$CNCD_PID"
+wait "$CNCD_PID" 2>/dev/null || true
+CNCD_PID=""
+
+# Phase 3: recover. Same WAL directory; the banner must cover every
+# acknowledged batch.
+"$TMP/cncd" -profile WI -scale 0.05 -listen 127.0.0.1:0 -threads 2 \
+	-wal "$WALDIR" -fsync batch >"$TMP/cncd2.log" 2>&1 &
+CNCD_PID=$!
+ADDR=$(wait_addr "$TMP/cncd2.log") || fail "recovering cncd never listened"
+
+i=0
+while ! grep -q 'cncd wal replayed:' "$TMP/cncd2.log"; do
+	i=$((i + 1))
+	[ $i -lt 300 ] || fail "no replay banner after restart"
+	sleep 0.1
+done
+grep -q "cncd wal replayed: batches=$ACKS " "$TMP/cncd2.log" \
+	|| fail "replay banner does not cover $ACKS acknowledged batches: $(grep 'wal replayed' "$TMP/cncd2.log")"
+
+# Phase 4: verify. Replayed maintained counts must match a fresh
+# recount of the served graph, and sequence numbering must resume.
+i=0
+while ! curl -fsS "http://$ADDR/v1/info" >"$TMP/info.json" 2>/dev/null \
+	|| ! grep -q '"durable":true' "$TMP/info.json"; do
+	i=$((i + 1))
+	[ $i -lt 300 ] || fail "recovered ingester never came up"
+	sleep 0.1
+done
+grep -q "\"last_seq\":$ACKS" "$TMP/info.json" || fail "recovered last_seq != $ACKS: $(cat "$TMP/info.json")"
+
+MAINTAINED=$(sed -n 's/.*"triangles":\([0-9]*\).*/\1/p' "$TMP/info.json")
+[ -n "$MAINTAINED" ] || fail "/v1/info lacks the maintained triangle total"
+curl -fsS "http://$ADDR/v1/count?workers=2" >"$TMP/count.json" || fail "/v1/count unreachable"
+RECOUNT=$(sed -n 's/.*"triangles":\([0-9]*\).*/\1/p' "$TMP/count.json")
+[ "$MAINTAINED" = "$RECOUNT" ] \
+	|| fail "silent divergence: maintained=$MAINTAINED recount=$RECOUNT"
+
+CODE=$(curl -s -o "$TMP/upd2.json" -w '%{http_code}' -X POST \
+	-H 'Content-Type: application/json' \
+	-d '{"ops":[{"op":"insert","u":1,"v":4}]}' "http://$ADDR/v1/update")
+[ "$CODE" = "202" ] || fail "post-recovery /v1/update = $CODE"
+grep -q "\"seq\":$((ACKS + 1))" "$TMP/upd2.json" \
+	|| fail "post-recovery seq did not resume at $((ACKS + 1)): $(cat "$TMP/upd2.json")"
+
+kill -TERM "$CNCD_PID"
+wait "$CNCD_PID" || fail "recovered cncd did not drain cleanly"
+CNCD_PID=""
+
+echo "walsmoke: ok (replayed $ACKS batches, maintained=$MAINTAINED == recount=$RECOUNT)"
